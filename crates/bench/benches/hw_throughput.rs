@@ -1,0 +1,72 @@
+//! Simulation throughput of the cycle-accurate accelerator model across
+//! frame sizes and scale counts — plus the schedule arithmetic itself
+//! (which is what the paper's 60 fps claim rests on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rtped_hw::svm_engine::SvmEngine;
+use rtped_hw::{AcceleratorConfig, HogAccelerator};
+use rtped_image::GrayImage;
+use rtped_svm::LinearSvm;
+
+fn textured(w: usize, h: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| ((x * 23 + y * 41 + (x * y) % 19) % 256) as u8)
+}
+
+fn pseudo_model() -> LinearSvm {
+    let weights: Vec<f64> = (0..4608)
+        .map(|i| (((i * 2654435761usize) % 2001) as f64 / 1000.0 - 1.0) * 0.02)
+        .collect();
+    LinearSvm::new(weights, -0.2)
+}
+
+fn bench_schedule_math(c: &mut Criterion) {
+    let engine = SvmEngine::new();
+    c.bench_function("svm_engine_cycle_formula", |b| {
+        b.iter(|| engine.cycles_per_frame(black_box(240), black_box(135)));
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let model = pseudo_model();
+    let mut group = c.benchmark_group("hw_pipeline");
+    group.sample_size(10);
+    for (w, h) in [(160usize, 128usize), (320, 240)] {
+        let frame = textured(w, h);
+        for scales in [1usize, 2] {
+            let config = AcceleratorConfig {
+                scales: if scales == 1 {
+                    vec![1.0]
+                } else {
+                    vec![1.0, 1.5]
+                },
+                ..AcceleratorConfig::default()
+            };
+            let acc = HogAccelerator::new(&model, config);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{w}x{h}"), scales),
+                &frame,
+                |b, frame| b.iter(|| acc.process(black_box(frame))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_extraction_only(c: &mut Criterion) {
+    let model = pseudo_model();
+    let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+    let frame = textured(320, 240);
+    c.bench_function("hw_fixed_point_extraction_320x240", |b| {
+        b.iter(|| acc.extract_features(black_box(&frame)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_math,
+    bench_pipeline,
+    bench_extraction_only
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Runs every experiment harness in sequence and writes their outputs to
+//! `results_<name>.txt` in the current directory — the one-command
+//! "reproduce the paper" entry point.
+//!
+//! ```text
+//! cargo run --release -p rtped-bench --bin all_experiments            # full (slow)
+//! RTPED_QUICK=1 cargo run --release -p rtped-bench --bin all_experiments  # smoke
+//! ```
+
+use std::fs;
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::var("RTPED_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let bins = [
+        "table1",
+        "figure4",
+        "table2",
+        "throughput",
+        "das_requirements",
+        "scene_ap",
+        "ablation_quantization",
+        "ablation_norm",
+        "crossover",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe parent dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for bin in bins {
+        let path = exe_dir.join(bin);
+        if !path.exists() {
+            eprintln!("skipping {bin}: not built (run `cargo build --release -p rtped-bench --bins` first)");
+            failures.push(bin);
+            continue;
+        }
+        eprintln!(
+            "=== running {bin} {}===",
+            if quick { "(quick) " } else { "" }
+        );
+        let output = Command::new(&path)
+            .env("RTPED_QUICK", if quick { "1" } else { "0" })
+            .output()
+            .expect("spawn harness");
+        let file = format!("results_{bin}.txt");
+        fs::write(&file, &output.stdout).expect("write results file");
+        if output.status.success() {
+            eprintln!("    -> {file} ({} bytes)", output.stdout.len());
+        } else {
+            eprintln!(
+                "    FAILED (status {:?}):\n{}",
+                output.status.code(),
+                String::from_utf8_lossy(&output.stderr)
+            );
+            failures.push(bin);
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "all {} experiment harnesses completed; see results_*.txt",
+            bins.len()
+        );
+    } else {
+        println!("completed with failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

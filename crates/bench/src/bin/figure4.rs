@@ -1,0 +1,56 @@
+//! Regenerates **Figure 4**: ROC curves (with AUC and EER) for the two
+//! scaling methods at the original scale and at scale 1.1.
+//!
+//! Prints an AUC/EER summary table plus the four ROC series as CSV
+//! (`fpr,tpr` pairs) so they can be plotted directly.
+//!
+//! Run with `RTPED_QUICK=1` for a fast smoke version.
+
+use rtped_bench::{Experiment, ExperimentConfig, ScalingMethod};
+use rtped_eval::report::{float, Table};
+use rtped_eval::RocCurve;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    eprintln!("preparing experiment (seed {:#x})", config.seed);
+    let experiment = Experiment::prepare(&config);
+
+    // The four Fig. 4 curves: original scale (both methods coincide at
+    // scale 1.0 — the pipeline is identical before any scaling) and scale
+    // 1.1 for each method.
+    let base = experiment.score_base();
+    let img_11 = experiment.score_scaled(1.1, ScalingMethod::Image);
+    let hog_11 = experiment.score_scaled(1.1, ScalingMethod::HogFeature);
+
+    let curves = [
+        ("original (scale 1.0)", RocCurve::from_scores(&base)),
+        ("image scaling, s=1.1", RocCurve::from_scores(&img_11)),
+        ("HOG scaling, s=1.1", RocCurve::from_scores(&hog_11)),
+    ];
+
+    let mut summary = Table::new(
+        "Figure 4 summary: AUC and EER per test scenario",
+        &["Scenario", "AUC", "EER"],
+    );
+    for (name, roc) in &curves {
+        summary.row_owned(vec![
+            (*name).to_string(),
+            float(roc.auc(), 5),
+            float(roc.eer(), 5),
+        ]);
+    }
+    println!("{}", summary.render());
+
+    println!("ROC series (CSV):");
+    println!("scenario,fpr,tpr");
+    for (name, roc) in &curves {
+        for (fpr, tpr) in roc.sampled(41) {
+            println!("{name},{fpr:.4},{tpr:.4}");
+        }
+    }
+    println!();
+    println!(
+        "Paper reference: all AUCs near 1.0; at s=1.1 the HOG-scaled curve sits at or\n\
+         above the image-scaled curve (HOG scaling outperforms below s=1.5, paper §4)."
+    );
+}

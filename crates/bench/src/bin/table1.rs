@@ -1,0 +1,93 @@
+//! Regenerates **Table 1**: detection accuracy and true-positive /
+//! true-negative counts for the conventional image-scaling method versus
+//! the proposed HOG-feature-scaling method, across up-sampling factors.
+//!
+//! The paper reports scales 1.1–1.5; we extend to 2.0 to expose the
+//! crossover §4 describes ("as the scale value increases from 1.5 to
+//! higher values, down-sampled HOG features are not as promising as the
+//! resized image").
+//!
+//! Run with `RTPED_QUICK=1` for a fast smoke version.
+
+use rtped_bench::{Experiment, ExperimentConfig, ScalingMethod};
+use rtped_eval::bootstrap::bootstrap_paired_difference;
+use rtped_eval::report::{percent, Table};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    eprintln!(
+        "preparing experiment: {}+{} train, {}+{} test windows (seed {:#x})",
+        config.train_positives,
+        config.train_negatives,
+        config.test_positives,
+        config.test_negatives,
+        config.seed
+    );
+    let experiment = Experiment::prepare(&config);
+
+    let base = Experiment::confusion(&experiment.score_base());
+    let mut table = Table::new(
+        "Table 1: detection accuracy / true positives / true negatives (image vs HOG scaling)",
+        &[
+            "Scale",
+            "Acc(Image)%",
+            "Acc(HOG)%",
+            "TP(Image)",
+            "TP(HOG)",
+            "TN(Image)",
+            "TN(HOG)",
+        ],
+    );
+    table.row_owned(vec![
+        "1.0".into(),
+        percent(base.accuracy()),
+        percent(base.accuracy()),
+        base.true_positives().to_string(),
+        base.true_positives().to_string(),
+        base.true_negatives().to_string(),
+        base.true_negatives().to_string(),
+    ]);
+
+    let scales: Vec<f64> = (1..=10).map(|i| 1.0 + f64::from(i) * 0.1).collect();
+    for &scale in &scales {
+        let img = Experiment::confusion(&experiment.score_scaled(scale, ScalingMethod::Image));
+        let hog = Experiment::confusion(&experiment.score_scaled(scale, ScalingMethod::HogFeature));
+        table.row_owned(vec![
+            format!("{scale:.1}"),
+            percent(img.accuracy()),
+            percent(hog.accuracy()),
+            img.true_positives().to_string(),
+            hog.true_positives().to_string(),
+            img.true_negatives().to_string(),
+            hog.true_negatives().to_string(),
+        ]);
+        eprintln!("scale {scale:.1} done");
+    }
+
+    println!("{}", table.render());
+
+    // Error bars for the headline comparison: paired bootstrap of
+    // accuracy(HOG) - accuracy(Image) at the near and far ends.
+    for &scale in &[1.1, 1.5] {
+        let img = experiment.score_scaled(scale, ScalingMethod::Image);
+        let hog = experiment.score_scaled(scale, ScalingMethod::HogFeature);
+        let ci = bootstrap_paired_difference(&hog, &img, 500, 0.95, 0xB007);
+        println!(
+            "scale {scale:.1}: acc(HOG) - acc(Image) = {:+.3} pp, 95% CI [{:+.3}, {:+.3}] pp{}",
+            ci.estimate * 100.0,
+            ci.lower * 100.0,
+            ci.upper * 100.0,
+            if ci.excludes(0.0) {
+                "  (significant)"
+            } else {
+                "  (tie)"
+            },
+        );
+    }
+    println!();
+    println!(
+        "Paper reference (INRIA): base accuracy 98.0375%; HOG scaling wins at 1.1-1.4,\n\
+         loses at 1.5; above 1.5 the image pyramid dominates (paper §4, §6).\n\
+         Synthetic-data absolute numbers differ; compare the column ordering per row."
+    );
+}

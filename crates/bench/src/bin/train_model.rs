@@ -1,0 +1,69 @@
+//! Trains the release model on the full synthetic protocol and writes it
+//! (plus its Platt calibration) to `models/pedestrian_synthetic.json` —
+//! the artifact examples and downstream users load instead of retraining.
+//!
+//! ```text
+//! cargo run --release -p rtped-bench --bin train_model [output_dir]
+//! ```
+
+use rtped_bench::{Experiment, ExperimentConfig};
+use rtped_eval::RocCurve;
+use rtped_svm::io::save_model;
+use rtped_svm::platt::PlattCalibration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "models".to_string());
+    std::fs::create_dir_all(&out_dir)?;
+
+    let config = ExperimentConfig::from_env();
+    eprintln!(
+        "training on {}+{} windows (seed {:#x}, noise ±{}) ...",
+        config.train_positives, config.train_negatives, config.seed, config.noise
+    );
+    let experiment = Experiment::prepare(&config);
+
+    let scored = experiment.score_base();
+    let roc = RocCurve::from_scores(&scored);
+    let cm = Experiment::confusion(&scored);
+    eprintln!(
+        "test accuracy {:.4}%, AUC {:.5}, EER {:.5}",
+        cm.accuracy() * 100.0,
+        roc.auc(),
+        roc.eer()
+    );
+
+    let model_path = format!("{out_dir}/pedestrian_synthetic.json");
+    save_model(&model_path, experiment.model())?;
+
+    let calibration = PlattCalibration::fit(&scored);
+    let cal_path = format!("{out_dir}/pedestrian_synthetic.calibration.json");
+    std::fs::write(&cal_path, serde_json::to_string(&calibration)?)?;
+
+    let meta_path = format!("{out_dir}/pedestrian_synthetic.meta.json");
+    let meta = serde_json::json!({
+        "descriptor": "cell-major HOG, 8x16 cells x 36 = 4608 features",
+        "window": [64, 128],
+        "training": {
+            "positives": config.train_positives,
+            "negatives": config.train_negatives,
+            "seed": config.seed,
+            "noise": config.noise,
+            "svm_c": config.svm_c,
+        },
+        "test": {
+            "positives": config.test_positives,
+            "negatives": config.test_negatives,
+            "accuracy": cm.accuracy(),
+            "auc": roc.auc(),
+            "eer": roc.eer(),
+        },
+    });
+    std::fs::write(&meta_path, serde_json::to_string_pretty(&meta)?)?;
+
+    println!("model:       {model_path}");
+    println!("calibration: {cal_path}");
+    println!("metadata:    {meta_path}");
+    Ok(())
+}

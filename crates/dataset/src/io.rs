@@ -1,0 +1,232 @@
+//! Dataset import/export as PGM directories.
+//!
+//! Two purposes:
+//!
+//! 1. **Export** the synthetic dataset so humans can inspect it and other
+//!    tools can consume it.
+//! 2. **Import** window directories — users who hold a copy of the real
+//!    INRIA person dataset (which cannot ship in this repository) can
+//!    crop it to 64×128 windows, drop the files in `positives/` and
+//!    `negatives/` folders, and run every experiment harness on the real
+//!    data.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rtped_image::pnm::{load_pnm, save_pgm};
+use rtped_image::{GrayImage, ImageError};
+
+/// A labelled window set loaded from or saved to disk.
+#[derive(Debug, Clone)]
+pub struct WindowSet {
+    /// Pedestrian windows.
+    pub positives: Vec<GrayImage>,
+    /// Background windows.
+    pub negatives: Vec<GrayImage>,
+}
+
+/// Errors from dataset directory I/O.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A window file failed to parse.
+    Image(PathBuf, ImageError),
+    /// A window has unexpected dimensions.
+    WrongSize {
+        /// Offending file.
+        path: PathBuf,
+        /// Dimensions found.
+        found: (usize, usize),
+        /// Dimensions expected.
+        expected: (usize, usize),
+    },
+    /// A directory held no windows.
+    Empty(PathBuf),
+}
+
+impl std::fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            DatasetIoError::Image(p, e) => write!(f, "bad window file {}: {e}", p.display()),
+            DatasetIoError::WrongSize {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "window {} is {}x{}, expected {}x{}",
+                path.display(),
+                found.0,
+                found.1,
+                expected.0,
+                expected.1
+            ),
+            DatasetIoError::Empty(p) => write!(f, "no windows found in {}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetIoError::Io(e) => Some(e),
+            DatasetIoError::Image(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetIoError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+/// Writes a window set as `<root>/positives/NNNNN.pgm` and
+/// `<root>/negatives/NNNNN.pgm`.
+///
+/// # Errors
+///
+/// Returns [`DatasetIoError::Io`] on filesystem failures.
+pub fn export_windows(root: impl AsRef<Path>, set: &WindowSet) -> Result<(), DatasetIoError> {
+    let root = root.as_ref();
+    for (sub, windows) in [("positives", &set.positives), ("negatives", &set.negatives)] {
+        let dir = root.join(sub);
+        fs::create_dir_all(&dir)?;
+        for (i, window) in windows.iter().enumerate() {
+            save_pgm(dir.join(format!("{i:05}.pgm")), window)
+                .map_err(|e| DatasetIoError::Image(dir.join(format!("{i:05}.pgm")), e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a window set from `<root>/positives` and `<root>/negatives`.
+///
+/// Files are read in lexicographic order so loads are deterministic.
+/// Every window must have exactly `window` dimensions (pass the detector
+/// geometry, normally `(64, 128)`).
+///
+/// # Errors
+///
+/// Returns [`DatasetIoError`] variants for missing/empty directories,
+/// unparsable files, or size mismatches.
+pub fn import_windows(
+    root: impl AsRef<Path>,
+    window: (usize, usize),
+) -> Result<WindowSet, DatasetIoError> {
+    let root = root.as_ref();
+    let positives = load_dir(&root.join("positives"), window)?;
+    let negatives = load_dir(&root.join("negatives"), window)?;
+    Ok(WindowSet {
+        positives,
+        negatives,
+    })
+}
+
+fn load_dir(dir: &Path, window: (usize, usize)) -> Result<Vec<GrayImage>, DatasetIoError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|e| e.to_str())
+                .map(|e| matches!(e.to_ascii_lowercase().as_str(), "pgm" | "ppm" | "pnm"))
+                .unwrap_or(false)
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(DatasetIoError::Empty(dir.to_path_buf()));
+    }
+    let mut windows = Vec::with_capacity(paths.len());
+    for path in paths {
+        let img = load_pnm(&path).map_err(|e| DatasetIoError::Image(path.clone(), e))?;
+        if img.dimensions() != window {
+            return Err(DatasetIoError::WrongSize {
+                path,
+                found: img.dimensions(),
+                expected: window,
+            });
+        }
+        windows.push(img);
+    }
+    Ok(windows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::InriaProtocol;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rtped_dataset_io").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_set() -> WindowSet {
+        let ds = InriaProtocol::builder()
+            .train_positives(1)
+            .train_negatives(1)
+            .test_positives(3)
+            .test_negatives(5)
+            .seed(77)
+            .build()
+            .unwrap();
+        WindowSet {
+            positives: ds.test_positives().to_vec(),
+            negatives: ds.test_negatives().to_vec(),
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let root = temp_root("roundtrip");
+        let set = tiny_set();
+        export_windows(&root, &set).unwrap();
+        let back = import_windows(&root, (64, 128)).unwrap();
+        assert_eq!(back.positives, set.positives);
+        assert_eq!(back.negatives, set.negatives);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn import_checks_window_size() {
+        let root = temp_root("wrong_size");
+        let set = tiny_set();
+        export_windows(&root, &set).unwrap();
+        let err = import_windows(&root, (32, 64)).unwrap_err();
+        assert!(matches!(err, DatasetIoError::WrongSize { .. }));
+        assert!(err.to_string().contains("expected 32x64"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let root = temp_root("empty");
+        fs::create_dir_all(root.join("positives")).unwrap();
+        fs::create_dir_all(root.join("negatives")).unwrap();
+        let err = import_windows(&root, (64, 128)).unwrap_err();
+        assert!(matches!(err, DatasetIoError::Empty(_)));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let err = import_windows("/nonexistent/rtped/ds", (64, 128)).unwrap_err();
+        assert!(matches!(err, DatasetIoError::Io(_)));
+    }
+
+    #[test]
+    fn loads_are_deterministically_ordered() {
+        let root = temp_root("ordering");
+        let set = tiny_set();
+        export_windows(&root, &set).unwrap();
+        let a = import_windows(&root, (64, 128)).unwrap();
+        let b = import_windows(&root, (64, 128)).unwrap();
+        assert_eq!(a.positives, b.positives);
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded synthetic pedestrian dataset following the paper's INRIA
+//! evaluation protocol.
+//!
+//! The DAC'17 paper validates its HOG-feature-scaling method on the INRIA
+//! person dataset (§4): an SVM is trained on 64×128 windows, then the test
+//! windows (1126 positives, 4530 negatives, the negatives "randomly sampled
+//! from INRIA negative images") are *up-sampled* by factors 1.1 to 2.0 and
+//! pushed through the two detector configurations of Fig. 3.
+//!
+//! INRIA imagery cannot ship inside this repository, so this crate provides
+//! a **deterministic procedural substitute** (see DESIGN.md §2): positives
+//! are articulated pedestrian silhouettes rendered over cluttered urban
+//! backgrounds with randomized pose, contrast, illumination, and sensor
+//! noise; negatives are the same backgrounds without a figure. What the
+//! experiment measures — the *relative* accuracy of image-scaling versus
+//! HOG-feature-scaling on the same classifier — is preserved, because both
+//! methods see exactly the same windows.
+//!
+//! - [`pedestrian`]: the procedural articulated-figure renderer.
+//! - [`negatives`]: hard-negative clutter windows.
+//! - [`protocol`]: train/test splits with the paper's counts and the
+//!   up-sampled test sets of §4.
+//! - [`scene`]: full frames with ground-truth boxes for detector-level
+//!   tests and the HDTV throughput experiments.
+
+pub mod io;
+pub mod negatives;
+pub mod pedestrian;
+pub mod protocol;
+pub mod scene;
+
+pub use protocol::InriaProtocol;

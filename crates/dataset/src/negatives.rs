@@ -1,0 +1,179 @@
+//! Negative (background) window sampling.
+//!
+//! The INRIA protocol samples negative test windows "randomly ... from
+//! INRIA negative images" (paper §4 after [Dalal & Triggs]). We mirror
+//! that: large person-free clutter scenes are generated procedurally and
+//! windows are cropped from them at random positions, with a minimum
+//! texture-variance filter so the set is dominated by *hard* negatives
+//! (smooth sky patches teach the classifier nothing).
+
+use rand::Rng;
+
+use rtped_image::draw::{draw_capsule, fill_ellipse};
+use rtped_image::synthetic::{add_uniform_noise, clutter_background};
+use rtped_image::{GrayImage, IntegralImage};
+
+/// Stamps pedestrian-*like* distractors into a window: vertical capsules
+/// (poles, tree trunks, door frames) and blobs that share low-order
+/// gradient statistics with limbs and heads. These are the hard negatives
+/// that give an HOG+SVM classifier its residual false-positive pressure —
+/// without them the synthetic task saturates.
+fn add_distractors<R: Rng + ?Sized>(img: &mut GrayImage, rng: &mut R) {
+    let w = img.width() as f64;
+    let h = img.height() as f64;
+    let count = rng.gen_range(0..=3);
+    for _ in 0..count {
+        let value = if rng.gen_bool(0.5) {
+            rng.gen_range(10..=70)
+        } else {
+            rng.gen_range(185..=245)
+        };
+        let x = rng.gen_range(0.1..0.9) * w;
+        match rng.gen_range(0..3) {
+            // Vertical capsule: pole / trunk / frame edge.
+            0 => {
+                let top = rng.gen_range(0.0..0.4) * h;
+                let len = rng.gen_range(0.3..0.9) * h;
+                let thickness = rng.gen_range(0.04..0.16) * w;
+                draw_capsule(
+                    img,
+                    x,
+                    top,
+                    x + rng.gen_range(-4.0..4.0),
+                    top + len,
+                    thickness,
+                    value,
+                    1.0,
+                );
+            }
+            // Slanted capsule: railing / branch.
+            1 => {
+                let top = rng.gen_range(0.0..0.6) * h;
+                let len = rng.gen_range(0.2..0.5) * h;
+                let dx = rng.gen_range(-0.3..0.3) * w;
+                draw_capsule(
+                    img,
+                    x,
+                    top,
+                    x + dx,
+                    top + len,
+                    rng.gen_range(2.0..6.0),
+                    value,
+                    1.0,
+                );
+            }
+            // Blob: head-sized round structure (lamp, sign disc).
+            _ => {
+                let cy = rng.gen_range(0.1..0.9) * h;
+                let r = rng.gen_range(0.05..0.12) * h;
+                fill_ellipse(img, x, cy, r, r * rng.gen_range(0.8..1.3), value, 1.0);
+            }
+        }
+    }
+}
+
+/// Generates one negative window by cropping a random position of a fresh
+/// clutter scene. Deterministic in `rng`.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+#[must_use]
+pub fn render_negative<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: usize,
+    height: usize,
+    noise: u8,
+) -> GrayImage {
+    // A scene larger than the window so crops differ in content.
+    let scene_w = width * 3;
+    let scene_h = height * 2;
+    let scene = clutter_background(rng, scene_w, scene_h);
+    let integral = IntegralImage::new(&scene);
+
+    // Rejection-sample a crop with enough texture; fall back to the best
+    // seen if nothing clears the bar.
+    let mut best: Option<(f64, usize, usize)> = None;
+    for _ in 0..16 {
+        let x = rng.gen_range(0..=scene_w - width);
+        let y = rng.gen_range(0..=scene_h - height);
+        let var = integral.window_variance(x, y, width, height);
+        if var >= 64.0 {
+            let mut crop = scene.crop(x, y, width, height);
+            add_distractors(&mut crop, rng);
+            add_uniform_noise(&mut crop, rng, noise);
+            return crop;
+        }
+        if best.is_none_or(|(v, _, _)| var > v) {
+            best = Some((var, x, y));
+        }
+    }
+    let (_, x, y) = best.expect("at least one candidate was sampled");
+    let mut crop = scene.crop(x, y, width, height);
+    add_distractors(&mut crop, rng);
+    add_uniform_noise(&mut crop, rng, noise);
+    crop
+}
+
+/// Generates a batch of negative windows.
+#[must_use]
+pub fn render_negatives<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    width: usize,
+    height: usize,
+    noise: u8,
+) -> Vec<GrayImage> {
+    (0..count)
+        .map(|_| render_negative(rng, width, height, noise))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn negatives_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        assert_eq!(
+            render_negative(&mut a, 64, 128, 6),
+            render_negative(&mut b, 64, 128, 6)
+        );
+    }
+
+    #[test]
+    fn negatives_have_texture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let img = render_negative(&mut rng, 64, 128, 6);
+            assert!(
+                img.variance() > 20.0,
+                "negative too flat: {}",
+                img.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_produces_distinct_windows() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = render_negatives(&mut rng, 6, 64, 128, 6);
+        assert_eq!(batch.len(), 6);
+        for i in 0..batch.len() {
+            for j in i + 1..batch.len() {
+                assert_ne!(batch[i], batch[j], "windows {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_requested_dimensions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let img = render_negative(&mut rng, 48, 96, 0);
+        assert_eq!(img.dimensions(), (48, 96));
+    }
+}

@@ -1,0 +1,284 @@
+//! Procedural articulated pedestrian renderer.
+//!
+//! Draws a randomized human silhouette — head, torso, pelvis, two arms and
+//! two legs with gait articulation — into a 64×128 window over a cluttered
+//! background. The figure's limb layout and proportions follow the upright
+//! pedestrian poses HOG was designed for; randomized pose, body intensity,
+//! contrast, position jitter, and sensor noise provide the intra-class
+//! variation a trainable dataset needs.
+
+use rand::Rng;
+
+use rtped_image::draw::{draw_capsule, fill_ellipse};
+use rtped_image::synthetic::{add_uniform_noise, clutter_background};
+use rtped_image::GrayImage;
+
+/// Pose and appearance parameters of one rendered pedestrian.
+///
+/// All lengths are fractions of the window height so the same pose renders
+/// consistently at any window size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pose {
+    /// Total figure height as a fraction of the window height (~0.75,
+    /// following the INRIA annotation convention of generous margins).
+    pub height_frac: f64,
+    /// Horizontal center offset from the window center, as a fraction of
+    /// the window width.
+    pub center_offset: f64,
+    /// Gait angle of the leading leg in radians (0 = standing).
+    pub leg_swing: f64,
+    /// Arm swing angle in radians.
+    pub arm_swing: f64,
+    /// Torso lean in radians.
+    pub lean: f64,
+    /// Body intensity (0–255).
+    pub body_value: u8,
+    /// Head intensity (0–255); usually close to the body value.
+    pub head_value: u8,
+}
+
+impl Pose {
+    /// Samples a random walking/standing pose.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Body either dark on light background or light on dark; pick the
+        // intensity first, the background generator is independent.
+        let body_value = if rng.gen_bool(0.5) {
+            rng.gen_range(10..=70)
+        } else {
+            rng.gen_range(185..=245)
+        };
+        let head_delta: i16 = rng.gen_range(-25..=25);
+        Self {
+            height_frac: rng.gen_range(0.70..=0.82),
+            center_offset: rng.gen_range(-0.06..=0.06),
+            leg_swing: rng.gen_range(0.0..=0.45),
+            arm_swing: rng.gen_range(0.0..=0.5),
+            lean: rng.gen_range(-0.06..=0.06),
+            body_value,
+            head_value: (i16::from(body_value) + head_delta).clamp(0, 255) as u8,
+        }
+    }
+}
+
+/// Renders one pedestrian window.
+///
+/// The background is procedural urban clutter; the figure is drawn with
+/// anti-aliased capsules and ellipses; uniform sensor noise of amplitude
+/// `noise` is applied last. Deterministic in `rng`.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+#[must_use]
+pub fn render_pedestrian<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: usize,
+    height: usize,
+    noise: u8,
+) -> GrayImage {
+    let mut img = clutter_background(rng, width, height);
+    let pose = Pose::sample(rng);
+    draw_figure(&mut img, &pose);
+    add_uniform_noise(&mut img, rng, noise);
+    img
+}
+
+/// Draws `pose` into `img` (exposed so scenes can place figures over their
+/// own backgrounds).
+pub fn draw_figure(img: &mut GrayImage, pose: &Pose) {
+    let w = img.width() as f64;
+    let h = img.height() as f64;
+    let fig_h = h * pose.height_frac;
+    let cx = w / 2.0 + pose.center_offset * w;
+    let top = (h - fig_h) / 2.0;
+
+    // Proportions (fractions of figure height), loosely anatomical.
+    let head_r = fig_h * 0.065;
+    let neck_y = top + fig_h * 0.16;
+    let shoulder_y = top + fig_h * 0.20;
+    let hip_y = top + fig_h * 0.52;
+    let knee_len = fig_h * 0.24;
+    let shin_len = fig_h * 0.24;
+    let arm_len = fig_h * 0.26;
+    let forearm_len = fig_h * 0.20;
+    let torso_w = fig_h * 0.14;
+    let limb_w = fig_h * 0.055;
+
+    let lean_dx = pose.lean * fig_h * 0.3;
+    let body = pose.body_value;
+    let alpha = 1.0;
+
+    // Torso: thick capsule from shoulders to hips.
+    draw_capsule(
+        img,
+        cx + lean_dx,
+        shoulder_y,
+        cx,
+        hip_y,
+        torso_w,
+        body,
+        alpha,
+    );
+    // Head.
+    fill_ellipse(
+        img,
+        cx + lean_dx,
+        top + head_r + fig_h * 0.01,
+        head_r,
+        head_r * 1.15,
+        pose.head_value,
+        alpha,
+    );
+    // Neck.
+    draw_capsule(
+        img,
+        cx + lean_dx,
+        top + head_r * 2.0,
+        cx + lean_dx,
+        neck_y,
+        limb_w,
+        body,
+        alpha,
+    );
+
+    // Legs: thigh + shin, mirrored swing.
+    for side in [-1.0, 1.0] {
+        let swing = pose.leg_swing * side;
+        let hip_x = cx + side * torso_w * 0.25;
+        let knee_x = hip_x + swing.sin() * knee_len;
+        let knee_y = hip_y + swing.cos() * knee_len;
+        // Shin swings back toward vertical.
+        let shin_angle = swing * 0.4;
+        let foot_x = knee_x + shin_angle.sin() * shin_len;
+        let foot_y = knee_y + shin_angle.cos() * shin_len;
+        draw_capsule(img, hip_x, hip_y, knee_x, knee_y, limb_w, body, alpha);
+        draw_capsule(
+            img,
+            knee_x,
+            knee_y,
+            foot_x,
+            foot_y,
+            limb_w * 0.9,
+            body,
+            alpha,
+        );
+    }
+
+    // Arms: upper arm + forearm, opposite phase to the legs.
+    for side in [-1.0, 1.0] {
+        let swing = pose.arm_swing * -side;
+        let shoulder_x = cx + lean_dx + side * torso_w * 0.55;
+        let elbow_x = shoulder_x + swing.sin() * arm_len;
+        let elbow_y = shoulder_y + swing.cos() * arm_len;
+        let fore_angle = swing * 0.6;
+        let hand_x = elbow_x + fore_angle.sin() * forearm_len;
+        let hand_y = elbow_y + fore_angle.cos() * forearm_len;
+        draw_capsule(
+            img,
+            shoulder_x,
+            shoulder_y,
+            elbow_x,
+            elbow_y,
+            limb_w * 0.8,
+            body,
+            alpha,
+        );
+        draw_capsule(
+            img,
+            elbow_x,
+            elbow_y,
+            hand_x,
+            hand_y,
+            limb_w * 0.7,
+            body,
+            alpha,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let img_a = render_pedestrian(&mut a, 64, 128, 6);
+        let img_b = render_pedestrian(&mut b, 64, 128, 6);
+        assert_eq!(img_a, img_b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_windows() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(4);
+        assert_ne!(
+            render_pedestrian(&mut a, 64, 128, 6),
+            render_pedestrian(&mut b, 64, 128, 6)
+        );
+    }
+
+    #[test]
+    fn figure_adds_central_structure() {
+        // The figure must change the central columns relative to the
+        // background alone: re-render background with same rng stream,
+        // then compare central region variance.
+        let mut rng = StdRng::seed_from_u64(9);
+        let img = render_pedestrian(&mut rng, 64, 128, 0);
+        // Central vertical strip should contain body pixels of the pose's
+        // body_value family: verify a long vertical run of similar value
+        // exists near the center (the torso).
+        let mut best_run = 0;
+        for x in 24..40 {
+            let mut run = 0;
+            let mut max_run = 0;
+            for y in 1..128 {
+                let a = i16::from(img.get(x, y));
+                let b = i16::from(img.get(x, y - 1));
+                if (a - b).abs() <= 12 {
+                    run += 1;
+                    max_run = max_run.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            best_run = best_run.max(max_run);
+        }
+        assert!(
+            best_run >= 20,
+            "expected a smooth vertical torso run, best = {best_run}"
+        );
+    }
+
+    #[test]
+    fn pose_sample_within_documented_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = Pose::sample(&mut rng);
+            assert!((0.70..=0.82).contains(&p.height_frac));
+            assert!((-0.06..=0.06).contains(&p.center_offset));
+            assert!((0.0..=0.45).contains(&p.leg_swing));
+            assert!(p.body_value <= 245);
+        }
+    }
+
+    #[test]
+    fn draw_figure_respects_bounds() {
+        // Must not panic on tiny windows.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pose = Pose::sample(&mut rng);
+        let mut img = GrayImage::new(16, 32);
+        draw_figure(&mut img, &pose);
+    }
+
+    #[test]
+    fn render_at_double_scale_is_larger_figure() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let img = render_pedestrian(&mut rng, 128, 256, 0);
+        assert_eq!(img.dimensions(), (128, 256));
+        assert!(img.variance() > 100.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Driver-assistance timing and geometry (paper §1).
+//!
+//! The introduction derives the detection-range requirement from vehicle
+//! dynamics: with a nominal perception-brake reaction time (PRT) of 1.5 s
+//! and a deceleration of 6.5 m/s², a vehicle at 50 km/h needs 35.68 m to
+//! stop (14.84 m braking + 20.83 m reaction) and 58.3 m at 70 km/h, so
+//! "the DAS should be capable of detecting objects within around 20 m to
+//! 60 m of distance". This module reproduces that arithmetic and adds the
+//! pinhole-camera model that converts pedestrian distance into the image
+//! scale the detector must search.
+
+/// Vehicle/driver parameters of the stopping-distance model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DasParams {
+    /// Perception-brake reaction time in seconds (paper: nominal 1.5 s,
+    /// ranging 0.7 s to ≳1.5 s).
+    pub reaction_time_s: f64,
+    /// Braking deceleration in m/s² (paper: 6.5 m/s²).
+    pub deceleration_mps2: f64,
+}
+
+impl Default for DasParams {
+    fn default() -> Self {
+        Self {
+            reaction_time_s: 1.5,
+            deceleration_mps2: 6.5,
+        }
+    }
+}
+
+impl DasParams {
+    /// Distance traveled during the driver's reaction, `v * t`, for a
+    /// speed in km/h.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_kmh` is negative.
+    #[must_use]
+    pub fn reaction_distance_m(&self, speed_kmh: f64) -> f64 {
+        assert!(speed_kmh >= 0.0, "speed must be non-negative");
+        kmh_to_mps(speed_kmh) * self.reaction_time_s
+    }
+
+    /// Braking distance `v² / (2a)` for a speed in km/h.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_kmh` is negative or the deceleration is not
+    /// positive.
+    #[must_use]
+    pub fn braking_distance_m(&self, speed_kmh: f64) -> f64 {
+        assert!(speed_kmh >= 0.0, "speed must be non-negative");
+        assert!(
+            self.deceleration_mps2 > 0.0,
+            "deceleration must be positive"
+        );
+        let v = kmh_to_mps(speed_kmh);
+        v * v / (2.0 * self.deceleration_mps2)
+    }
+
+    /// Total stopping distance: reaction + braking (paper §1).
+    #[must_use]
+    pub fn stopping_distance_m(&self, speed_kmh: f64) -> f64 {
+        self.reaction_distance_m(speed_kmh) + self.braking_distance_m(speed_kmh)
+    }
+
+    /// The speed (km/h) at which the vehicle can still stop within
+    /// `distance_m` — the inverse of [`DasParams::stopping_distance_m`],
+    /// solved from `v·t + v²/2a = d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_m` is negative.
+    #[must_use]
+    pub fn max_safe_speed_kmh(&self, distance_m: f64) -> f64 {
+        assert!(distance_m >= 0.0, "distance must be non-negative");
+        let a = self.deceleration_mps2;
+        let t = self.reaction_time_s;
+        // v²/(2a) + v t - d = 0  =>  v = a (-t + sqrt(t² + 2 d / a)).
+        let v = a * (-t + (t * t + 2.0 * distance_m / a).sqrt());
+        mps_to_kmh(v.max(0.0))
+    }
+}
+
+/// Converts km/h to m/s.
+#[must_use]
+pub fn kmh_to_mps(kmh: f64) -> f64 {
+    kmh / 3.6
+}
+
+/// Converts m/s to km/h.
+#[must_use]
+pub fn mps_to_kmh(mps: f64) -> f64 {
+    mps * 3.6
+}
+
+/// Pinhole camera model mapping pedestrian distance to image scale.
+///
+/// At distance `d`, a pedestrian of physical height `H` appears
+/// `f · H / d` pixels tall. The detector's base window expects the figure
+/// at `figure_px` pixels (≈96 px inside the 128 px window, the INRIA
+/// annotation convention), so the required detection scale is
+/// `apparent_px / figure_px`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraModel {
+    /// Focal length in pixels.
+    pub focal_px: f64,
+    /// Assumed pedestrian height in meters.
+    pub pedestrian_height_m: f64,
+    /// Figure height (pixels) that corresponds to detection scale 1.0.
+    pub figure_px: f64,
+}
+
+impl Default for CameraModel {
+    /// A typical automotive camera: 1920-wide sensor with ~50° horizontal
+    /// FoV ⇒ f ≈ 2000 px; 1.7 m pedestrians; 96 px base figure.
+    fn default() -> Self {
+        Self {
+            focal_px: 2000.0,
+            pedestrian_height_m: 1.7,
+            figure_px: 96.0,
+        }
+    }
+}
+
+impl CameraModel {
+    /// Apparent pedestrian height in pixels at `distance_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_m` is not positive.
+    #[must_use]
+    pub fn apparent_height_px(&self, distance_m: f64) -> f64 {
+        assert!(distance_m > 0.0, "distance must be positive");
+        self.focal_px * self.pedestrian_height_m / distance_m
+    }
+
+    /// The detection scale needed for a pedestrian at `distance_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_m` is not positive.
+    #[must_use]
+    pub fn scale_for_distance(&self, distance_m: f64) -> f64 {
+        self.apparent_height_px(distance_m) / self.figure_px
+    }
+
+    /// The distance at which a pedestrian requires detection scale
+    /// `scale` — the inverse of [`CameraModel::scale_for_distance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    #[must_use]
+    pub fn distance_for_scale(&self, scale: f64) -> f64 {
+        assert!(scale > 0.0, "scale must be positive");
+        self.focal_px * self.pedestrian_height_m / (scale * self.figure_px)
+    }
+
+    /// The scale ladder (geometric, ratio `step`) covering pedestrians
+    /// between `near_m` and `far_m`: the concrete version of the paper's
+    /// "detecting objects within around 20 m to 60 m".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < near_m < far_m` and `step > 1`.
+    #[must_use]
+    pub fn scales_for_range(&self, near_m: f64, far_m: f64, step: f64) -> Vec<f64> {
+        assert!(near_m > 0.0 && near_m < far_m, "need 0 < near < far");
+        assert!(step > 1.0, "step must exceed 1");
+        let max_scale = self.scale_for_distance(near_m);
+        let min_scale = self.scale_for_distance(far_m);
+        let mut scales = Vec::new();
+        let mut s = min_scale;
+        while s <= max_scale * step.sqrt() {
+            scales.push(s);
+            s *= step;
+        }
+        scales
+    }
+}
+
+/// Estimates time-to-collision from the growth of a pedestrian's apparent
+/// height across frames.
+///
+/// For an object closing at constant speed, the apparent height `h(t)`
+/// satisfies `TTC = h / (dh/dt)` — no camera calibration or absolute
+/// distance needed (the classic "tau" estimate from looming). The input
+/// is `(timestamp_s, apparent_height_px)` observations, e.g. from
+/// consecutive [`crate::tracker::Track`] boxes; a least-squares fit of
+/// `1/h` against `t` gives a noise-tolerant estimate.
+///
+/// Returns `None` when fewer than two distinct timestamps are given or
+/// the object is not approaching (height shrinking or constant).
+///
+/// # Panics
+///
+/// Panics if any height is not positive.
+#[must_use]
+pub fn time_to_collision(observations: &[(f64, f64)]) -> Option<f64> {
+    if observations.len() < 2 {
+        return None;
+    }
+    assert!(
+        observations.iter().all(|&(_, h)| h > 0.0),
+        "apparent heights must be positive"
+    );
+    // For constant closing speed: 1/h(t) = (1/h0) * (1 - t/TTC0), linear
+    // in t. Fit y = a + b t with y = 1/h; TTC measured from the LAST
+    // observation is -y_last / b.
+    let n = observations.len() as f64;
+    let (mut st, mut sy, mut stt, mut sty) = (0.0, 0.0, 0.0, 0.0);
+    for &(t, h) in observations {
+        let y = 1.0 / h;
+        st += t;
+        sy += y;
+        stt += t * t;
+        sty += t * y;
+    }
+    let denom = n * stt - st * st;
+    if denom.abs() < 1e-12 {
+        return None; // no time spread
+    }
+    let b = (n * sty - st * sy) / denom;
+    if b >= -1e-12 {
+        return None; // 1/h not decreasing => not approaching
+    }
+    let a = (sy - b * st) / n;
+    let t_last = observations
+        .iter()
+        .map(|&(t, _)| t)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let y_last = a + b * t_last;
+    if y_last <= 0.0 {
+        return None; // already "past" the collision in the fit
+    }
+    Some(-y_last / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_braking_distance_at_50_kmh() {
+        let das = DasParams::default();
+        // Paper: 14.84 m at 50 km/h with a = 6.5 m/s².
+        assert!((das.braking_distance_m(50.0) - 14.84).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_braking_distance_at_70_kmh() {
+        let das = DasParams::default();
+        // Paper prints 29.16 m; the exact arithmetic gives 29.08 m — we
+        // match the formula, not the typo.
+        assert!((das.braking_distance_m(70.0) - 29.08).abs() < 0.02);
+    }
+
+    #[test]
+    fn paper_stopping_distance_at_50_kmh() {
+        let das = DasParams::default();
+        // Paper: 35.68 m total at 50 km/h.
+        assert!((das.stopping_distance_m(50.0) - 35.68).abs() < 0.02);
+    }
+
+    #[test]
+    fn paper_stopping_distance_at_70_kmh() {
+        let das = DasParams::default();
+        // Paper prints 58.23 m; the formula gives 58.25 m.
+        assert!((das.stopping_distance_m(70.0) - 58.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn stopping_distance_supports_the_20_to_60_m_requirement() {
+        // The paper concludes DAS must see 20–60 m: 50 km/h needs ~36 m,
+        // 70 km/h needs ~58 m; both inside [20, 60].
+        let das = DasParams::default();
+        for speed in [50.0, 70.0] {
+            let d = das.stopping_distance_m(speed);
+            assert!((20.0..=60.0).contains(&d), "{speed} km/h -> {d} m");
+        }
+    }
+
+    #[test]
+    fn max_safe_speed_inverts_stopping_distance() {
+        let das = DasParams::default();
+        for speed in [30.0, 50.0, 70.0, 110.0] {
+            let d = das.stopping_distance_m(speed);
+            let v = das.max_safe_speed_kmh(d);
+            assert!((v - speed).abs() < 1e-9, "{speed} vs {v}");
+        }
+    }
+
+    #[test]
+    fn zero_speed_stops_immediately() {
+        let das = DasParams::default();
+        assert_eq!(das.stopping_distance_m(0.0), 0.0);
+        assert_eq!(das.max_safe_speed_kmh(0.0), 0.0);
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        assert!((kmh_to_mps(36.0) - 10.0).abs() < 1e-12);
+        assert!((mps_to_kmh(kmh_to_mps(77.7)) - 77.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn camera_scale_shrinks_with_distance() {
+        let cam = CameraModel::default();
+        let near = cam.scale_for_distance(20.0);
+        let far = cam.scale_for_distance(60.0);
+        assert!(near > far);
+        // 1.7 m at 20 m with f = 2000: 170 px ≈ scale 1.77.
+        assert!((near - 2000.0 * 1.7 / 20.0 / 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_for_scale_inverts() {
+        let cam = CameraModel::default();
+        for d in [15.0, 25.0, 40.0, 60.0] {
+            let s = cam.scale_for_distance(d);
+            assert!((cam.distance_for_scale(s) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn range_ladder_covers_both_ends() {
+        let cam = CameraModel::default();
+        let scales = cam.scales_for_range(20.0, 60.0, 1.3);
+        assert!(!scales.is_empty());
+        let min_needed = cam.scale_for_distance(60.0);
+        let max_needed = cam.scale_for_distance(20.0);
+        assert!(scales[0] <= min_needed * 1.0001);
+        assert!(*scales.last().unwrap() >= max_needed / 1.3);
+        // Geometric ladder.
+        for pair in scales.windows(2) {
+            assert!((pair[1] / pair[0] - 1.3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn camera_rejects_zero_distance() {
+        let _ = CameraModel::default().apparent_height_px(0.0);
+    }
+
+    /// Synthesizes looming observations for an object at distance `d0`
+    /// closing at `v` m/s, seen by the default camera.
+    fn looming(d0: f64, v: f64, dt: f64, n: usize) -> Vec<(f64, f64)> {
+        let cam = CameraModel::default();
+        (0..n)
+            .map(|k| {
+                let t = k as f64 * dt;
+                let d = d0 - v * t;
+                (t, cam.apparent_height_px(d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ttc_matches_constant_closing_speed() {
+        // Object at 30 m closing at 10 m/s, observed for 0.5 s at 60 fps:
+        // at the last observation (t = 0.483 s) the true TTC is
+        // (30 - 10 * 0.483) / 10 = 2.517 s.
+        let obs = looming(30.0, 10.0, 1.0 / 60.0, 30);
+        let t_last = obs.last().unwrap().0;
+        let expected = (30.0 - 10.0 * t_last) / 10.0;
+        let ttc = time_to_collision(&obs).expect("approaching object");
+        assert!(
+            (ttc - expected).abs() < 0.01,
+            "ttc {ttc} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn receding_object_has_no_ttc() {
+        let obs = looming(30.0, -5.0, 1.0 / 30.0, 10);
+        assert_eq!(time_to_collision(&obs), None);
+    }
+
+    #[test]
+    fn stationary_object_has_no_ttc() {
+        let obs: Vec<(f64, f64)> = (0..10).map(|k| (k as f64 * 0.1, 96.0)).collect();
+        assert_eq!(time_to_collision(&obs), None);
+    }
+
+    #[test]
+    fn ttc_needs_two_distinct_timestamps() {
+        assert_eq!(time_to_collision(&[(0.0, 100.0)]), None);
+        assert_eq!(
+            time_to_collision(&[(1.0, 100.0), (1.0, 110.0)]),
+            None,
+            "no time spread"
+        );
+    }
+
+    #[test]
+    fn ttc_is_robust_to_measurement_noise() {
+        // ±2 px of box-height jitter on a 30-frame looming sequence.
+        let mut obs = looming(40.0, 8.0, 1.0 / 60.0, 30);
+        for (k, o) in obs.iter_mut().enumerate() {
+            o.1 += if k % 2 == 0 { 2.0 } else { -2.0 };
+        }
+        let t_last = obs.last().unwrap().0;
+        let expected = (40.0 - 8.0 * t_last) / 8.0;
+        let ttc = time_to_collision(&obs).expect("approaching object");
+        assert!(
+            (ttc - expected).abs() < expected * 0.15,
+            "noisy ttc {ttc} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn ttc_pairs_with_the_stopping_distance_requirement() {
+        // Braking is safe while the remaining distance (TTC × v) exceeds
+        // the total stopping distance, i.e. TTC > stopping_distance / v.
+        // At 50 km/h the stopping distance is 35.68 m => 2.57 s of TTC.
+        let das = DasParams::default();
+        let v = kmh_to_mps(50.0);
+        let needed = das.stopping_distance_m(50.0) / v;
+        // Pedestrian first seen at 45 m: still safely brakeable.
+        let obs = looming(45.0, v, 1.0 / 60.0, 20);
+        let ttc = time_to_collision(&obs).expect("approaching");
+        assert!(
+            ttc > needed,
+            "45 m at 50 km/h leaves {ttc:.2} s, needs {needed:.2} s"
+        );
+        // First seen at 30 m: inside the stopping distance — too late,
+        // which is exactly why §1 demands detection out to ~60 m.
+        let obs = looming(30.0, v, 1.0 / 60.0, 20);
+        let ttc = time_to_collision(&obs).expect("approaching");
+        assert!(ttc < needed, "30 m should be too late: {ttc:.2} s");
+    }
+
+    #[test]
+    #[should_panic(expected = "apparent heights must be positive")]
+    fn ttc_rejects_nonpositive_heights() {
+        let _ = time_to_collision(&[(0.0, 10.0), (0.1, 0.0)]);
+    }
+}

@@ -1,0 +1,402 @@
+//! The two multi-scale detector configurations the paper compares (Fig. 3).
+//!
+//! Both detectors share the scoring core (a linear SVM over cell-major HOG
+//! window descriptors, sliding one cell at a time) and differ only in how
+//! they obtain features for the non-native scales:
+//!
+//! - [`ImagePyramidDetector`] (conventional, Fig. 3a): resize the image by
+//!   `1/scale`, re-extract HOG, classify.
+//! - [`FeaturePyramidDetector`] (the paper's method, Fig. 3b): extract HOG
+//!   once, down-sample the normalized feature map per scale, classify.
+
+use rtped_hog::feature_map::FeatureMap;
+use rtped_hog::params::HogParams;
+use rtped_hog::pyramid::{FeaturePyramid, ImagePyramid, PyramidLevel};
+use rtped_image::GrayImage;
+use rtped_svm::LinearSvm;
+
+use crate::bbox::BoundingBox;
+use crate::nms::non_maximum_suppression;
+use crate::window::WindowPositions;
+
+/// One detected pedestrian.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Detection {
+    /// Location in native frame coordinates.
+    pub bbox: BoundingBox,
+    /// SVM decision value (higher = more confident).
+    pub score: f64,
+    /// Pyramid scale the detection fired at.
+    pub scale: f64,
+}
+
+/// Shared detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Pyramid scales (1.0 = native window size; larger = larger objects).
+    pub scales: Vec<f64>,
+    /// Decision threshold (paper §4: the FP/FN trade-off knob).
+    pub threshold: f64,
+    /// Window stride in cells (1 = the hardware schedule).
+    pub stride_cells: usize,
+    /// IoU threshold for NMS; `None` disables suppression.
+    pub nms_iou: Option<f64>,
+    /// HOG geometry.
+    pub params: HogParams,
+}
+
+impl DetectorConfig {
+    /// The implemented hardware configuration: two scales (§5: "Due to the
+    /// memory limitations only two scales of HOG features have been
+    /// considered"). The second scale sits at 1.5, the limit up to which
+    /// §4 shows feature scaling outperforms image scaling.
+    #[must_use]
+    pub fn two_scale() -> Self {
+        Self {
+            scales: vec![1.0, 1.5],
+            threshold: 0.0,
+            stride_cells: 1,
+            nms_iou: Some(0.3),
+            params: HogParams::pedestrian(),
+        }
+    }
+
+    /// A custom scale ladder with otherwise default settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty.
+    #[must_use]
+    pub fn with_scales(scales: Vec<f64>) -> Self {
+        assert!(!scales.is_empty(), "need at least one scale");
+        Self {
+            scales,
+            ..Self::two_scale()
+        }
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self::two_scale()
+    }
+}
+
+/// Common interface of the two detector configurations, so benchmarks and
+/// applications can switch between them (Fig. 3's A/B comparison).
+pub trait Detect {
+    /// Runs detection over a full frame, returning native-coordinate
+    /// detections (after NMS if configured).
+    fn detect(&self, frame: &GrayImage) -> Vec<Detection>;
+
+    /// The configuration in effect.
+    fn config(&self) -> &DetectorConfig;
+
+    /// Human-readable method name for reports.
+    fn method_name(&self) -> &'static str;
+}
+
+/// Scores every window position of one pyramid level, appending hits above
+/// `threshold` to `out` in native coordinates.
+fn scan_level(
+    level: &PyramidLevel,
+    model: &LinearSvm,
+    config: &DetectorConfig,
+    out: &mut Vec<Detection>,
+) {
+    let params = &config.params;
+    let cell = params.cell_size();
+    let (ww, wh) = params.window_size();
+    for (cx, cy) in WindowPositions::over(&level.features, params, config.stride_cells) {
+        let score = score_window(&level.features, cx, cy, params, model);
+        if score > config.threshold {
+            let native =
+                BoundingBox::new((cx * cell) as i64, (cy * cell) as i64, ww as u64, wh as u64)
+                    .scaled(level.scale);
+            out.push(Detection {
+                bbox: native,
+                score,
+                scale: level.scale,
+            });
+        }
+    }
+}
+
+/// Computes `w·x + b` for the window at `(cx, cy)` without materializing
+/// the 4608-element descriptor (the weights are walked cell by cell, the
+/// same order the hardware's MACBAR units consume features in).
+///
+/// # Panics
+///
+/// Panics if the model dimensionality does not match
+/// `params.cell_descriptor_len()` or the window is out of bounds.
+#[must_use]
+pub fn score_window(
+    map: &FeatureMap,
+    cx: usize,
+    cy: usize,
+    params: &HogParams,
+    model: &LinearSvm,
+) -> f64 {
+    let (wc, hc) = params.window_cells();
+    let f = map.cell_features();
+    assert_eq!(
+        model.dim(),
+        wc * hc * f,
+        "model dimensionality does not match the window descriptor"
+    );
+    let weights = model.weights();
+    let mut acc = 0.0f64;
+    let mut widx = 0;
+    for dy in 0..hc {
+        for dx in 0..wc {
+            let cell = map.cell(cx + dx, cy + dy);
+            for &v in cell {
+                acc += weights[widx] * f64::from(v);
+                widx += 1;
+            }
+        }
+    }
+    acc + model.bias()
+}
+
+/// Conventional multi-scale detector: image pyramid + re-extraction
+/// (paper Fig. 3a).
+#[derive(Debug, Clone)]
+pub struct ImagePyramidDetector {
+    model: LinearSvm,
+    config: DetectorConfig,
+}
+
+impl ImagePyramidDetector {
+    /// Creates the detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model dimensionality does not match the config's
+    /// cell-major window descriptor.
+    #[must_use]
+    pub fn new(model: LinearSvm, config: DetectorConfig) -> Self {
+        assert_eq!(
+            model.dim(),
+            config.params.cell_descriptor_len(),
+            "model dimensionality does not match the window descriptor"
+        );
+        Self { model, config }
+    }
+
+    /// The underlying SVM model.
+    #[must_use]
+    pub fn model(&self) -> &LinearSvm {
+        &self.model
+    }
+}
+
+impl Detect for ImagePyramidDetector {
+    fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
+        let pyramid = ImagePyramid::build(frame, &self.config.scales, &self.config.params);
+        let mut out = Vec::new();
+        for level in pyramid.levels() {
+            scan_level(level, &self.model, &self.config, &mut out);
+        }
+        match self.config.nms_iou {
+            Some(iou) => non_maximum_suppression(out, iou),
+            None => out,
+        }
+    }
+
+    fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    fn method_name(&self) -> &'static str {
+        "image-pyramid"
+    }
+}
+
+/// The paper's detector: single extraction + HOG feature pyramid
+/// (Fig. 3b, Fig. 6).
+#[derive(Debug, Clone)]
+pub struct FeaturePyramidDetector {
+    model: LinearSvm,
+    config: DetectorConfig,
+}
+
+impl FeaturePyramidDetector {
+    /// Creates the detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model dimensionality does not match the config's
+    /// cell-major window descriptor.
+    #[must_use]
+    pub fn new(model: LinearSvm, config: DetectorConfig) -> Self {
+        assert_eq!(
+            model.dim(),
+            config.params.cell_descriptor_len(),
+            "model dimensionality does not match the window descriptor"
+        );
+        Self { model, config }
+    }
+
+    /// The underlying SVM model.
+    #[must_use]
+    pub fn model(&self) -> &LinearSvm {
+        &self.model
+    }
+
+    /// Detects over a pre-extracted base feature map (lets callers reuse
+    /// the extraction across detectors or share it with the hardware
+    /// model).
+    #[must_use]
+    pub fn detect_on_features(&self, base: &FeatureMap) -> Vec<Detection> {
+        let pyramid = FeaturePyramid::from_base(base, &self.config.scales, &self.config.params);
+        let mut out = Vec::new();
+        for level in pyramid.levels() {
+            scan_level(level, &self.model, &self.config, &mut out);
+        }
+        match self.config.nms_iou {
+            Some(iou) => non_maximum_suppression(out, iou),
+            None => out,
+        }
+    }
+}
+
+impl Detect for FeaturePyramidDetector {
+    fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
+        let base = FeatureMap::extract(frame, &self.config.params);
+        self.detect_on_features(&base)
+    }
+
+    fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    fn method_name(&self) -> &'static str {
+        "feature-pyramid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero_model(params: &HogParams, bias: f64) -> LinearSvm {
+        LinearSvm::new(vec![0.0; params.cell_descriptor_len()], bias)
+    }
+
+    fn textured(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 7 + x * y % 11) % 256) as u8)
+    }
+
+    #[test]
+    fn negative_bias_model_never_fires() {
+        let config = DetectorConfig::two_scale();
+        let model = zero_model(&config.params, -1.0);
+        let det = FeaturePyramidDetector::new(model, config);
+        assert!(det.detect(&textured(320, 240)).is_empty());
+    }
+
+    #[test]
+    fn positive_bias_model_fires_everywhere_then_nms_collapses() {
+        let mut config = DetectorConfig::with_scales(vec![1.0]);
+        config.nms_iou = Some(0.3);
+        let model = zero_model(&config.params, 1.0);
+        let det = FeaturePyramidDetector::new(model, config);
+        let hits = det.detect(&textured(128, 192));
+        // 128x192 -> 16x24 cells -> 9x9 = 81 windows, all score 1.0; NMS
+        // keeps a non-overlapping subset.
+        assert!(!hits.is_empty());
+        assert!(hits.len() < 81);
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn without_nms_all_windows_fire() {
+        let mut config = DetectorConfig::with_scales(vec![1.0]);
+        config.nms_iou = None;
+        let model = zero_model(&config.params, 1.0);
+        let det = FeaturePyramidDetector::new(model, config);
+        let hits = det.detect(&textured(128, 192));
+        assert_eq!(hits.len(), 9 * 9);
+    }
+
+    #[test]
+    fn detections_are_scaled_to_native_coordinates() {
+        let mut config = DetectorConfig::with_scales(vec![2.0]);
+        config.nms_iou = None;
+        let model = zero_model(&config.params, 1.0);
+        let det = FeaturePyramidDetector::new(model, config);
+        // 256x512 image: at scale 2 the feature map is 16x32 cells,
+        // 9x17 windows; boxes are 128x256 in native coordinates.
+        let hits = det.detect(&textured(256, 512));
+        assert!(!hits.is_empty());
+        for h in &hits {
+            assert_eq!(h.bbox.width, 128);
+            assert_eq!(h.bbox.height, 256);
+            assert_eq!(h.scale, 2.0);
+        }
+    }
+
+    #[test]
+    fn image_and_feature_detectors_share_the_interface() {
+        let config = DetectorConfig::two_scale();
+        let model = zero_model(&config.params, -1.0);
+        let detectors: Vec<Box<dyn Detect>> = vec![
+            Box::new(ImagePyramidDetector::new(model.clone(), config.clone())),
+            Box::new(FeaturePyramidDetector::new(model, config)),
+        ];
+        let frame = textured(160, 256);
+        for d in &detectors {
+            assert!(d.detect(&frame).is_empty());
+            assert_eq!(d.config().scales.len(), 2);
+        }
+        assert_eq!(detectors[0].method_name(), "image-pyramid");
+        assert_eq!(detectors[1].method_name(), "feature-pyramid");
+    }
+
+    #[test]
+    fn score_window_matches_descriptor_dot_product() {
+        let params = HogParams::pedestrian();
+        let img = textured(96, 160);
+        let map = FeatureMap::extract(&img, &params);
+        // Random-ish deterministic weights.
+        let weights: Vec<f64> = (0..params.cell_descriptor_len())
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
+        let model = LinearSvm::new(weights, 0.25);
+        let fast = score_window(&map, 2, 1, &params, &model);
+        let descriptor = map.window_descriptor(2, 1, &params);
+        let direct = model.decision(&descriptor);
+        assert!((fast - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "model dimensionality")]
+    fn wrong_model_dimension_is_rejected() {
+        let config = DetectorConfig::two_scale();
+        let model = LinearSvm::new(vec![0.0; 100], 0.0);
+        let _ = FeaturePyramidDetector::new(model, config);
+    }
+
+    #[test]
+    fn threshold_filters_detections() {
+        let mut config = DetectorConfig::with_scales(vec![1.0]);
+        config.nms_iou = None;
+        config.threshold = 2.0;
+        let model = zero_model(&config.params, 1.0); // every window scores 1.0
+        let det = FeaturePyramidDetector::new(model, config);
+        assert!(det.detect(&textured(128, 192)).is_empty());
+    }
+
+    #[test]
+    fn small_frame_yields_no_detections() {
+        let config = DetectorConfig::two_scale();
+        let model = zero_model(&config.params, 1.0);
+        let det = ImagePyramidDetector::new(model, config);
+        // Smaller than one window: nothing to scan.
+        assert!(det.detect(&textured(32, 32)).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Scene-level detector evaluation: greedy IoU matching of detections
+//! against ground-truth boxes, with precision / recall / F1 — the
+//! PASCAL-style protocol used to compare full detectors (as opposed to
+//! the per-window protocol of the paper's Table 1).
+
+use crate::bbox::BoundingBox;
+use crate::detector::Detection;
+
+/// The outcome of matching one scene's detections to its ground truth.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchResult {
+    /// Detections matched to a ground-truth box (IoU above threshold).
+    pub true_positives: usize,
+    /// Detections with no ground-truth match.
+    pub false_positives: usize,
+    /// Ground-truth boxes no detection matched.
+    pub missed: usize,
+    /// The IoU of each matched pair, in matching order.
+    pub match_ious: Vec<f64>,
+}
+
+impl MatchResult {
+    /// `TP / (TP + FP)`; 1.0 when nothing was detected (no false alarms).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let det = self.true_positives + self.false_positives;
+        if det == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / det as f64
+        }
+    }
+
+    /// `TP / (TP + missed)`; 1.0 when the scene has no ground truth.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let gt = self.true_positives + self.missed;
+        if gt == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / gt as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accumulates another scene's result into this one.
+    pub fn merge(&mut self, other: &MatchResult) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.missed += other.missed;
+        self.match_ious.extend_from_slice(&other.match_ious);
+    }
+}
+
+/// Greedily matches detections (highest score first) to ground truth:
+/// each ground-truth box is matched at most once, to the best remaining
+/// detection with `IoU >= iou_threshold`.
+///
+/// # Panics
+///
+/// Panics if `iou_threshold` is outside `(0, 1]` or a score is NaN.
+#[must_use]
+pub fn match_detections(
+    detections: &[Detection],
+    ground_truth: &[BoundingBox],
+    iou_threshold: f64,
+) -> MatchResult {
+    assert!(
+        iou_threshold > 0.0 && iou_threshold <= 1.0,
+        "iou threshold must be in (0, 1]"
+    );
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| {
+        detections[b]
+            .score
+            .partial_cmp(&detections[a].score)
+            .expect("detection scores must not be NaN")
+    });
+
+    let mut gt_taken = vec![false; ground_truth.len()];
+    let mut result = MatchResult::default();
+    for &di in &order {
+        let det = &detections[di];
+        // Best unmatched ground-truth box for this detection.
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, gt) in ground_truth.iter().enumerate() {
+            if gt_taken[gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(gt);
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, iou)) => {
+                gt_taken[gi] = true;
+                result.true_positives += 1;
+                result.match_ious.push(iou);
+            }
+            None => result.false_positives += 1,
+        }
+    }
+    result.missed = gt_taken.iter().filter(|&&t| !t).count();
+    result
+}
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold producing this point.
+    pub threshold: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Detector-level precision–recall curve over per-scene detections and
+/// ground truth, built by sweeping the score threshold (PASCAL-style).
+///
+/// `scenes` pairs each scene's raw detections (pre-threshold) with its
+/// ground-truth boxes.
+///
+/// # Panics
+///
+/// Panics if `iou_threshold` is outside `(0, 1]`, a score is NaN, or
+/// there is no ground truth at all (recall would be undefined).
+#[must_use]
+pub fn pr_curve(scenes: &[(Vec<Detection>, Vec<BoundingBox>)], iou_threshold: f64) -> Vec<PrPoint> {
+    assert!(
+        iou_threshold > 0.0 && iou_threshold <= 1.0,
+        "iou threshold must be in (0, 1]"
+    );
+    let total_gt: usize = scenes.iter().map(|(_, gt)| gt.len()).sum();
+    assert!(total_gt > 0, "need at least one ground-truth box");
+
+    // Sweep over every distinct detection score.
+    let mut thresholds: Vec<f64> = scenes
+        .iter()
+        .flat_map(|(dets, _)| dets.iter().map(|d| d.score))
+        .collect();
+    thresholds.sort_by(|a, b| b.partial_cmp(a).expect("scores must not be NaN"));
+    thresholds.dedup();
+
+    let mut points = Vec::with_capacity(thresholds.len());
+    for &t in &thresholds {
+        let mut result = MatchResult::default();
+        for (dets, gt) in scenes {
+            let kept: Vec<Detection> = dets.iter().filter(|d| d.score >= t).copied().collect();
+            result.merge(&match_detections(&kept, gt, iou_threshold));
+        }
+        points.push(PrPoint {
+            threshold: t,
+            precision: result.precision(),
+            recall: result.recall(),
+        });
+    }
+    points
+}
+
+/// Average precision: area under the precision–recall curve with the
+/// standard right-envelope interpolation (precision at recall `r` = max
+/// precision at any recall ≥ `r`).
+///
+/// # Panics
+///
+/// Panics if `curve` is empty.
+#[must_use]
+pub fn average_precision(curve: &[PrPoint]) -> f64 {
+    assert!(!curve.is_empty(), "need at least one PR point");
+    let mut pts: Vec<(f64, f64)> = curve.iter().map(|p| (p.recall, p.precision)).collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("recall must not be NaN"));
+    let mut envelope = pts;
+    for i in (0..envelope.len().saturating_sub(1)).rev() {
+        envelope[i].1 = envelope[i].1.max(envelope[i + 1].1);
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (recall, precision) in envelope {
+        if recall > prev_recall {
+            ap += (recall - prev_recall) * precision;
+            prev_recall = recall;
+        }
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: i64, y: i64, score: f64) -> Detection {
+        Detection {
+            bbox: BoundingBox::new(x, y, 64, 128),
+            score,
+            scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn perfect_match() {
+        let gt = vec![BoundingBox::new(10, 10, 64, 128)];
+        let dets = vec![det(10, 10, 1.0)];
+        let m = match_detections(&dets, &gt, 0.5);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 0);
+        assert_eq!(m.missed, 0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.f1() - 1.0).abs() < 1e-12);
+        assert!((m.match_ious[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn each_ground_truth_matches_once() {
+        // Two detections over the same pedestrian: one TP, one FP.
+        let gt = vec![BoundingBox::new(0, 0, 64, 128)];
+        let dets = vec![det(0, 0, 2.0), det(4, 4, 1.0)];
+        let m = match_detections(&dets, &gt, 0.5);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.missed, 0);
+        assert_eq!(m.precision(), 0.5);
+    }
+
+    #[test]
+    fn higher_scores_get_matching_priority() {
+        // Both detections overlap the GT; the stronger one must take it.
+        let gt = vec![BoundingBox::new(0, 0, 64, 128)];
+        let dets = vec![det(8, 8, 0.5), det(0, 0, 2.0)];
+        let m = match_detections(&dets, &gt, 0.3);
+        assert_eq!(m.true_positives, 1);
+        // The match IoU must be the perfect one (from the stronger det).
+        assert!((m.match_ious[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_pedestrians_are_counted() {
+        let gt = vec![
+            BoundingBox::new(0, 0, 64, 128),
+            BoundingBox::new(500, 0, 64, 128),
+        ];
+        let dets = vec![det(0, 0, 1.0)];
+        let m = match_detections(&dets, &gt, 0.5);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.missed, 1);
+        assert_eq!(m.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_cases_are_well_defined() {
+        let m = match_detections(&[], &[], 0.5);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        let m = match_detections(&[], &[BoundingBox::new(0, 0, 1, 1)], 0.5);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 1.0);
+        let m = match_detections(&[det(0, 0, 1.0)], &[], 0.5);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let gt = vec![BoundingBox::new(0, 0, 64, 128)];
+        let mut total = match_detections(&[det(0, 0, 1.0)], &gt, 0.5);
+        let second = match_detections(&[det(300, 0, 1.0)], &gt, 0.5);
+        total.merge(&second);
+        assert_eq!(total.true_positives, 1);
+        assert_eq!(total.false_positives, 1);
+        assert_eq!(total.missed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "iou threshold must be in (0, 1]")]
+    fn zero_threshold_rejected() {
+        let _ = match_detections(&[], &[], 0.0);
+    }
+
+    #[test]
+    fn pr_curve_of_perfect_detector_has_ap_one() {
+        let gt = vec![BoundingBox::new(0, 0, 64, 128)];
+        let scenes = vec![(vec![det(0, 0, 2.0)], gt)];
+        let curve = pr_curve(&scenes, 0.5);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].precision, 1.0);
+        assert_eq!(curve[0].recall, 1.0);
+        assert!((average_precision(&curve) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_trades_precision_for_recall() {
+        // Two scenes: one has a high-scoring TP, the other a mid-scoring
+        // FP plus a low-scoring TP. Lowering the threshold raises recall
+        // but passes the FP first, denting precision.
+        let scene_a = (vec![det(0, 0, 3.0)], vec![BoundingBox::new(0, 0, 64, 128)]);
+        let scene_b = (
+            vec![det(500, 0, 2.0), det(0, 0, 1.0)],
+            vec![BoundingBox::new(0, 0, 64, 128)],
+        );
+        let curve = pr_curve(&[scene_a, scene_b], 0.5);
+        assert_eq!(curve.len(), 3);
+        // At t=3: 1 TP, recall 0.5, precision 1.
+        assert_eq!(curve[0].recall, 0.5);
+        assert_eq!(curve[0].precision, 1.0);
+        // At t=2: FP enters: precision 0.5, recall still 0.5.
+        assert_eq!(curve[1].precision, 0.5);
+        assert_eq!(curve[1].recall, 0.5);
+        // At t=1: second TP: recall 1, precision 2/3.
+        assert_eq!(curve[2].recall, 1.0);
+        assert!((curve[2].precision - 2.0 / 3.0).abs() < 1e-12);
+        let ap = average_precision(&curve);
+        // AP = 0.5 * 1.0 + 0.5 * (2/3) = 5/6.
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12, "ap = {ap}");
+    }
+
+    #[test]
+    fn pr_curve_recall_is_monotone_in_threshold() {
+        let scenes = vec![(
+            vec![det(0, 0, 3.0), det(4, 0, 2.0), det(500, 0, 1.0)],
+            vec![BoundingBox::new(0, 0, 64, 128)],
+        )];
+        let curve = pr_curve(&scenes, 0.5);
+        for pair in curve.windows(2) {
+            assert!(pair[1].recall >= pair[0].recall);
+            assert!(pair[1].threshold < pair[0].threshold);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one ground-truth box")]
+    fn pr_curve_requires_ground_truth() {
+        let scenes = vec![(vec![det(0, 0, 1.0)], vec![])];
+        let _ = pr_curve(&scenes, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one PR point")]
+    fn ap_requires_points() {
+        let _ = average_precision(&[]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Multi-model single-scale detection — the alternative the paper's
+//! related work discusses (Benenson et al. \[1\], Dollár et al. \[5\]):
+//! instead of rescaling the *data* (image or features), train one SVM per
+//! scale and slide differently-sized windows over a single feature map,
+//! "transferring the computation from test time to training time" (§2).
+//!
+//! A scale-`s` model sees windows of `round(8·s) × round(16·s)` cells on
+//! the native feature map; its training samples are the base training
+//! windows up-sampled by `s`. At detection time the base map is extracted
+//! once and *no* scaling of any kind happens.
+
+use rtped_hog::feature_map::FeatureMap;
+use rtped_hog::params::HogParams;
+use rtped_image::resize::{scale_by, Filter};
+use rtped_image::GrayImage;
+use rtped_svm::dcd::{train_dcd, DcdParams};
+use rtped_svm::model::Label;
+use rtped_svm::LinearSvm;
+
+use crate::bbox::BoundingBox;
+use crate::detector::Detection;
+use crate::nms::non_maximum_suppression;
+
+/// One per-scale classifier: the scale, its window size in cells, and its
+/// trained model (dimensionality `wc · hc · 36`).
+#[derive(Debug, Clone)]
+pub struct ScaleModel {
+    /// The object scale this model detects.
+    pub scale: f64,
+    /// Window width in cells.
+    pub window_cells_x: usize,
+    /// Window height in cells.
+    pub window_cells_y: usize,
+    /// The trained classifier.
+    pub model: LinearSvm,
+}
+
+/// A bank of per-scale models sharing one feature extraction.
+#[derive(Debug, Clone)]
+pub struct MultiModelDetector {
+    models: Vec<ScaleModel>,
+    params: HogParams,
+    threshold: f64,
+    nms_iou: Option<f64>,
+}
+
+impl MultiModelDetector {
+    /// Trains one model per scale from base-scale training windows.
+    ///
+    /// For each scale `s`, every training window is resized by `s`
+    /// (bicubic, like the §4 test-set preparation), features are
+    /// extracted at the enlarged size, and a model with the enlarged
+    /// window geometry is trained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty, any scale is not ≥ 1.0, training
+    /// data is missing a class, or windows mismatch `params`.
+    #[must_use]
+    pub fn train(
+        training: &[(GrayImage, Label)],
+        scales: &[f64],
+        params: &HogParams,
+        svm: &DcdParams,
+    ) -> Self {
+        assert!(!scales.is_empty(), "need at least one scale");
+        let (wc, hc) = params.window_cells();
+        let mut models = Vec::with_capacity(scales.len());
+        for &scale in scales {
+            assert!(scale >= 1.0, "multi-model scales must be >= 1.0");
+            let wcx = ((wc as f64) * scale).round() as usize;
+            let wcy = ((hc as f64) * scale).round() as usize;
+            let samples: Vec<(Vec<f32>, Label)> = training
+                .iter()
+                .map(|(img, label)| {
+                    let scaled = if (scale - 1.0).abs() < 1e-9 {
+                        img.clone()
+                    } else {
+                        scale_by(img, scale, Filter::Bicubic)
+                    };
+                    let map = FeatureMap::extract_centered(&scaled, params);
+                    // The scaled window may come out one cell off from the
+                    // target geometry; resample the features to the model
+                    // grid (training-time cost only).
+                    let map = map.scaled_to(wcx, wcy);
+                    let mut d = Vec::with_capacity(wcx * wcy * map.cell_features());
+                    for cy in 0..wcy {
+                        for cx in 0..wcx {
+                            d.extend_from_slice(map.cell(cx, cy));
+                        }
+                    }
+                    (d, *label)
+                })
+                .collect();
+            let model = train_dcd(&samples, svm);
+            models.push(ScaleModel {
+                scale,
+                window_cells_x: wcx,
+                window_cells_y: wcy,
+                model,
+            });
+        }
+        Self {
+            models,
+            params: params.clone(),
+            threshold: 0.0,
+            nms_iou: Some(0.3),
+        }
+    }
+
+    /// Sets the decision threshold (default 0).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets or disables NMS (default IoU 0.3).
+    #[must_use]
+    pub fn with_nms(mut self, iou: Option<f64>) -> Self {
+        self.nms_iou = iou;
+        self
+    }
+
+    /// The per-scale model bank.
+    #[must_use]
+    pub fn models(&self) -> &[ScaleModel] {
+        &self.models
+    }
+
+    /// Detects over a frame: one extraction, every model slides its own
+    /// window size over the same map.
+    #[must_use]
+    pub fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
+        let map = FeatureMap::extract(frame, &self.params);
+        self.detect_on_features(&map)
+    }
+
+    /// Detects over a pre-extracted feature map.
+    #[must_use]
+    pub fn detect_on_features(&self, map: &FeatureMap) -> Vec<Detection> {
+        let cell = self.params.cell_size();
+        let (cells_x, cells_y) = map.cells();
+        let f = map.cell_features();
+        let mut out = Vec::new();
+        for sm in &self.models {
+            if cells_x < sm.window_cells_x || cells_y < sm.window_cells_y {
+                continue;
+            }
+            let weights = sm.model.weights();
+            for cy in 0..=cells_y - sm.window_cells_y {
+                for cx in 0..=cells_x - sm.window_cells_x {
+                    let mut acc = 0.0f64;
+                    let mut widx = 0usize;
+                    for dy in 0..sm.window_cells_y {
+                        for dx in 0..sm.window_cells_x {
+                            let cell_features = map.cell(cx + dx, cy + dy);
+                            for &v in cell_features {
+                                acc += weights[widx] * f64::from(v);
+                                widx += 1;
+                            }
+                        }
+                    }
+                    debug_assert_eq!(widx, sm.window_cells_x * sm.window_cells_y * f);
+                    let score = acc + sm.model.bias();
+                    if score > self.threshold {
+                        out.push(Detection {
+                            bbox: BoundingBox::new(
+                                (cx * cell) as i64,
+                                (cy * cell) as i64,
+                                (sm.window_cells_x * cell) as u64,
+                                (sm.window_cells_y * cell) as u64,
+                            ),
+                            score,
+                            scale: sm.scale,
+                        });
+                    }
+                }
+            }
+        }
+        match self.nms_iou {
+            Some(iou) => non_maximum_suppression(out, iou),
+            None => out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rtped_image::synthetic::clutter_background;
+
+    /// Strong vertical bars = "positive"; clutter = "negative".
+    fn training_set(rng: &mut StdRng) -> Vec<(GrayImage, Label)> {
+        let mut out = Vec::new();
+        for i in 0..20 {
+            let phase = i % 8;
+            out.push((
+                GrayImage::from_fn(
+                    64,
+                    128,
+                    move |x, _| {
+                        if (x + phase) % 16 < 8 {
+                            30
+                        } else {
+                            220
+                        }
+                    },
+                ),
+                Label::Positive,
+            ));
+        }
+        for _ in 0..20 {
+            out.push((clutter_background(rng, 64, 128), Label::Negative));
+        }
+        out
+    }
+
+    fn bank(rng: &mut StdRng) -> MultiModelDetector {
+        let params = HogParams::pedestrian();
+        MultiModelDetector::train(
+            &training_set(rng),
+            &[1.0, 1.5],
+            &params,
+            &DcdParams {
+                c: 0.05,
+                ..DcdParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn trains_one_model_per_scale_with_scaled_geometry() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let det = bank(&mut rng);
+        assert_eq!(det.models().len(), 2);
+        let m0 = &det.models()[0];
+        assert_eq!((m0.window_cells_x, m0.window_cells_y), (8, 16));
+        assert_eq!(m0.model.dim(), 8 * 16 * 36);
+        let m1 = &det.models()[1];
+        assert_eq!((m1.window_cells_x, m1.window_cells_y), (12, 24));
+        assert_eq!(m1.model.dim(), 12 * 24 * 36);
+    }
+
+    #[test]
+    fn detects_pattern_at_both_sizes() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let det = bank(&mut rng).with_threshold(0.2).with_nms(None);
+        // A frame with the bar pattern in a 96x192 region (scale 1.5).
+        let mut frame = clutter_background(&mut rng, 256, 320);
+        let big_pattern =
+            GrayImage::from_fn(96, 192, |x, _| if (x / 12) % 2 == 0 { 30 } else { 220 });
+        frame.paste(&big_pattern, 80, 64);
+        let dets = det.detect(&frame);
+        let gt = BoundingBox::new(80, 64, 96, 192);
+        let best = dets
+            .iter()
+            .filter(|d| (d.scale - 1.5).abs() < 1e-9)
+            .map(|d| d.bbox.iou(&gt))
+            .fold(0.0f64, f64::max);
+        assert!(
+            best > 0.5,
+            "scale-1.5 model missed the large pattern (best IoU {best})"
+        );
+        // Detected boxes of the 1.5-scale model are 96x192 in native
+        // coordinates WITHOUT any data rescaling.
+        assert!(dets
+            .iter()
+            .filter(|d| (d.scale - 1.5).abs() < 1e-9)
+            .all(|d| d.bbox.width == 96 && d.bbox.height == 192));
+    }
+
+    #[test]
+    fn clean_clutter_stays_clean() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let det = bank(&mut rng).with_threshold(0.5);
+        let frame = clutter_background(&mut rng, 256, 320);
+        let dets = det.detect(&frame);
+        assert!(dets.len() <= 2, "too many false alarms: {}", dets.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-model scales must be >= 1.0")]
+    fn sub_unit_scales_rejected() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let params = HogParams::pedestrian();
+        let _ = MultiModelDetector::train(
+            &training_set(&mut rng),
+            &[0.5],
+            &params,
+            &DcdParams::default(),
+        );
+    }
+}

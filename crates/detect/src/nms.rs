@@ -1,0 +1,126 @@
+//! Greedy non-maximum suppression.
+//!
+//! Sliding a window one cell at a time fires many overlapping detections
+//! around each true pedestrian; NMS keeps the highest-scoring box of each
+//! overlapping cluster.
+
+use crate::detector::Detection;
+
+/// Suppresses detections that overlap a higher-scoring detection by more
+/// than `iou_threshold`. Returns the survivors sorted by descending score.
+///
+/// # Panics
+///
+/// Panics if `iou_threshold` is outside `[0, 1]` or any score is NaN.
+#[must_use]
+pub fn non_maximum_suppression(
+    mut detections: Vec<Detection>,
+    iou_threshold: f64,
+) -> Vec<Detection> {
+    assert!(
+        (0.0..=1.0).contains(&iou_threshold),
+        "iou threshold must be in [0, 1]"
+    );
+    detections.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("detection scores must not be NaN")
+    });
+    let mut keep: Vec<Detection> = Vec::new();
+    for det in detections {
+        if keep
+            .iter()
+            .all(|kept| kept.bbox.iou(&det.bbox) <= iou_threshold)
+        {
+            keep.push(det);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BoundingBox;
+
+    fn det(x: i64, y: i64, w: u64, h: u64, score: f64) -> Detection {
+        Detection {
+            bbox: BoundingBox::new(x, y, w, h),
+            score,
+            scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn keeps_the_strongest_of_a_cluster() {
+        let dets = vec![
+            det(0, 0, 64, 128, 1.0),
+            det(4, 0, 64, 128, 2.0),
+            det(8, 0, 64, 128, 1.5),
+        ];
+        let kept = non_maximum_suppression(dets, 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 2.0);
+    }
+
+    #[test]
+    fn keeps_disjoint_detections() {
+        let dets = vec![det(0, 0, 64, 128, 1.0), det(500, 0, 64, 128, 0.5)];
+        let kept = non_maximum_suppression(dets, 0.5);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn result_is_sorted_by_score() {
+        let dets = vec![
+            det(0, 0, 10, 10, 0.2),
+            det(100, 0, 10, 10, 0.9),
+            det(200, 0, 10, 10, 0.5),
+        ];
+        let kept = non_maximum_suppression(dets, 0.5);
+        let scores: Vec<f64> = kept.iter().map(|d| d.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn threshold_zero_suppresses_any_overlap() {
+        let dets = vec![det(0, 0, 10, 10, 1.0), det(9, 9, 10, 10, 0.9)];
+        let kept = non_maximum_suppression(dets, 0.0);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything_but_exact_duplicates_too() {
+        // IoU <= 1.0 is always true except... nothing exceeds 1.0, so all
+        // boxes are kept.
+        let dets = vec![det(0, 0, 10, 10, 1.0), det(0, 0, 10, 10, 0.9)];
+        let kept = non_maximum_suppression(dets, 1.0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(non_maximum_suppression(Vec::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "iou threshold must be in [0, 1]")]
+    fn invalid_threshold_panics() {
+        let _ = non_maximum_suppression(Vec::new(), 1.5);
+    }
+
+    #[test]
+    fn chain_of_overlaps_collapses_transitively() {
+        // A overlaps B, B overlaps C, but A and C are disjoint: greedy NMS
+        // keeps A (strongest) and C (disjoint from A), suppressing only B.
+        let dets = vec![
+            det(0, 0, 20, 20, 3.0),  // A
+            det(15, 0, 20, 20, 2.0), // B overlaps A and C
+            det(30, 0, 20, 20, 1.0), // C disjoint from A
+        ];
+        let kept = non_maximum_suppression(dets, 0.1);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 3.0);
+        assert_eq!(kept[1].score, 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sliding-window iteration over feature maps.
+//!
+//! "Sliding each window by one cell either in vertical or horizontal
+//! direction results in a new detection window" (paper Fig. 2) — the
+//! window slides with a one-cell stride over the cell grid, which is also
+//! exactly the schedule the hardware classifier follows (one window column
+//! per 36 cycles along a row strip).
+
+use rtped_hog::feature_map::FeatureMap;
+use rtped_hog::params::HogParams;
+
+/// Iterator over all window positions (in cells) of a feature map.
+///
+/// Yields `(cx, cy)` top-left cell coordinates in raster order — the same
+/// order the streaming hardware evaluates windows in.
+#[derive(Debug, Clone)]
+pub struct WindowPositions {
+    window_cells: (usize, usize),
+    grid_cells: (usize, usize),
+    stride: usize,
+    next: Option<(usize, usize)>,
+}
+
+impl WindowPositions {
+    /// Positions of `params`' window over `map` with a `stride`-cell step.
+    ///
+    /// Returns an empty iterator if the window does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    #[must_use]
+    pub fn over(map: &FeatureMap, params: &HogParams, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        let window_cells = params.window_cells();
+        let grid_cells = map.cells();
+        let fits = grid_cells.0 >= window_cells.0 && grid_cells.1 >= window_cells.1;
+        Self {
+            window_cells,
+            grid_cells,
+            stride,
+            next: fits.then_some((0, 0)),
+        }
+    }
+
+    /// Number of positions this iterator will yield.
+    #[must_use]
+    pub fn count_positions(&self) -> usize {
+        if self.grid_cells.0 < self.window_cells.0 || self.grid_cells.1 < self.window_cells.1 {
+            return 0;
+        }
+        let nx = (self.grid_cells.0 - self.window_cells.0) / self.stride + 1;
+        let ny = (self.grid_cells.1 - self.window_cells.1) / self.stride + 1;
+        nx * ny
+    }
+}
+
+impl Iterator for WindowPositions {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let (cx, cy) = self.next?;
+        let max_x = self.grid_cells.0 - self.window_cells.0;
+        let max_y = self.grid_cells.1 - self.window_cells.1;
+        // Advance in raster order.
+        self.next = if cx + self.stride <= max_x {
+            Some((cx + self.stride, cy))
+        } else if cy + self.stride <= max_y {
+            Some((0, cy + self.stride))
+        } else {
+            None
+        };
+        Some((cx, cy))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Exact count is cheap to compute only at construction; give a
+        // conservative hint.
+        (0, Some(self.count_positions()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtped_hog::feature_map::FeatureMap;
+
+    fn map(cx: usize, cy: usize) -> FeatureMap {
+        FeatureMap::from_raw(cx, cy, 9, vec![0.0; cx * cy * 36])
+    }
+
+    #[test]
+    fn position_count_matches_formula() {
+        let p = HogParams::pedestrian();
+        // HDTV cell grid: 240x135 cells; windows: (240-8+1) x (135-16+1).
+        let m = map(240, 135);
+        let w = WindowPositions::over(&m, &p, 1);
+        assert_eq!(w.count_positions(), 233 * 120);
+        assert_eq!(w.count(), 233 * 120);
+    }
+
+    #[test]
+    fn exact_fit_yields_single_position() {
+        let p = HogParams::pedestrian();
+        let m = map(8, 16);
+        let positions: Vec<_> = WindowPositions::over(&m, &p, 1).collect();
+        assert_eq!(positions, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn too_small_grid_yields_nothing() {
+        let p = HogParams::pedestrian();
+        let m = map(7, 16);
+        assert_eq!(WindowPositions::over(&m, &p, 1).count(), 0);
+        assert_eq!(WindowPositions::over(&m, &p, 1).count_positions(), 0);
+    }
+
+    #[test]
+    fn raster_order() {
+        let p = HogParams::pedestrian();
+        let m = map(10, 17);
+        let positions: Vec<_> = WindowPositions::over(&m, &p, 1).collect();
+        assert_eq!(
+            positions,
+            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn stride_two_skips_positions() {
+        let p = HogParams::pedestrian();
+        let m = map(12, 16);
+        let positions: Vec<_> = WindowPositions::over(&m, &p, 2).collect();
+        assert_eq!(positions, vec![(0, 0), (2, 0), (4, 0)]);
+        assert_eq!(WindowPositions::over(&m, &p, 2).count_positions(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be non-zero")]
+    fn zero_stride_panics() {
+        let p = HogParams::pedestrian();
+        let m = map(8, 16);
+        let _ = WindowPositions::over(&m, &p, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Bootstrap confidence intervals for classifier metrics.
+//!
+//! Table-1-style comparisons ("method A is 0.4 points above method B")
+//! need error bars before they mean anything. This module resamples the
+//! scored test set with replacement and reports percentile confidence
+//! intervals for accuracy, AUC, or any metric the caller supplies — plus
+//! a paired comparison that resamples *the same indices* for two methods,
+//! which is the right test when both methods score the same windows.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// The confidence level the bounds correspond to (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval excludes `value` — e.g. a paired-difference
+    /// interval excluding 0 indicates a significant difference.
+    #[must_use]
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lower || value > self.upper
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let idx = (q * (n - 1) as f64).round() as usize;
+    sorted[idx.min(n - 1)]
+}
+
+/// Bootstraps a metric over `samples` with `resamples` replicates at the
+/// given confidence `level`, seeded for reproducibility.
+///
+/// `metric` maps a resampled subset (as indices into `samples`) to a
+/// scalar. For metrics that need both classes (AUC), degenerate
+/// replicates (single-class resamples) are skipped; the caller's metric
+/// can return NaN to signal one, and NaN replicates are dropped.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `resamples == 0`, `level` is outside
+/// `(0, 1)`, or every replicate was degenerate.
+#[must_use]
+pub fn bootstrap_metric<T>(
+    samples: &[T],
+    metric: impl Fn(&[&T]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+
+    let full: Vec<&T> = samples.iter().collect();
+    let estimate = metric(&full);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = samples.len();
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let resample: Vec<&T> = (0..n).map(|_| &samples[rng.gen_range(0..n)]).collect();
+        let value = metric(&resample);
+        if value.is_finite() {
+            stats.push(value);
+        }
+    }
+    assert!(
+        !stats.is_empty(),
+        "every bootstrap replicate was degenerate"
+    );
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("metric must not be NaN here"));
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        estimate,
+        lower: percentile(&stats, alpha),
+        upper: percentile(&stats, 1.0 - alpha),
+        level,
+    }
+}
+
+/// Accuracy of `(score, is_positive)` pairs at threshold 0, as a metric
+/// closure for [`bootstrap_metric`].
+#[must_use]
+pub fn accuracy_metric(subset: &[&(f64, bool)]) -> f64 {
+    let correct = subset.iter().filter(|(s, p)| (*s > 0.0) == *p).count();
+    correct as f64 / subset.len() as f64
+}
+
+/// Bootstraps the **paired difference** `metric(a) - metric(b)` where
+/// `a[i]` and `b[i]` score the *same* window under two methods — the
+/// right significance test for Table-1-style comparisons.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or the inputs are degenerate as
+/// in [`bootstrap_metric`].
+#[must_use]
+pub fn bootstrap_paired_difference(
+    a: &[(f64, bool)],
+    b: &[(f64, bool)],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let paired: Vec<((f64, bool), (f64, bool))> =
+        a.iter().copied().zip(b.iter().copied()).collect();
+    bootstrap_metric(
+        &paired,
+        |subset| {
+            let sa: Vec<&(f64, bool)> = subset.iter().map(|p| &p.0).collect();
+            let sb: Vec<&(f64, bool)> = subset.iter().map(|p| &p.1).collect();
+            accuracy_metric(&sa) - accuracy_metric(&sb)
+        },
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(n: usize, accuracy: f64, seed: u64) -> Vec<(f64, bool)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let positive = rng.gen_bool(0.5);
+                let correct = rng.gen_bool(accuracy);
+                let score = if positive == correct { 1.0 } else { -1.0 };
+                (score, positive)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interval_contains_the_point_estimate() {
+        let data = scored(500, 0.9, 1);
+        let ci = bootstrap_metric(&data, accuracy_metric, 200, 0.95, 2);
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!((ci.estimate - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let small = scored(100, 0.85, 3);
+        let large = scored(4000, 0.85, 3);
+        let ci_small = bootstrap_metric(&small, accuracy_metric, 300, 0.95, 4);
+        let ci_large = bootstrap_metric(&large, accuracy_metric, 300, 0.95, 4);
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_in_seed() {
+        let data = scored(200, 0.8, 5);
+        let a = bootstrap_metric(&data, accuracy_metric, 100, 0.9, 6);
+        let b = bootstrap_metric(&data, accuracy_metric, 100, 0.9, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paired_difference_detects_a_real_gap() {
+        // Method A at ~95%, method B at ~75% on the same windows.
+        let n = 1000;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for _ in 0..n {
+            let positive = rng.gen_bool(0.5);
+            let a_correct = rng.gen_bool(0.95);
+            let b_correct = rng.gen_bool(0.75);
+            a.push((if positive == a_correct { 1.0 } else { -1.0 }, positive));
+            b.push((if positive == b_correct { 1.0 } else { -1.0 }, positive));
+        }
+        let ci = bootstrap_paired_difference(&a, &b, 300, 0.95, 8);
+        assert!(ci.estimate > 0.1);
+        assert!(
+            ci.excludes(0.0),
+            "a 20-point gap must be significant: {ci:?}"
+        );
+    }
+
+    #[test]
+    fn paired_difference_of_identical_methods_includes_zero() {
+        let data = scored(500, 0.9, 9);
+        let ci = bootstrap_paired_difference(&data, &data, 300, 0.95, 10);
+        assert_eq!(ci.estimate, 0.0);
+        assert!(!ci.excludes(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples must align")]
+    fn paired_lengths_checked() {
+        let a = scored(10, 0.9, 11);
+        let b = scored(11, 0.9, 11);
+        let _ = bootstrap_paired_difference(&a, &b, 10, 0.9, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be in (0, 1)")]
+    fn level_is_validated() {
+        let data = scored(10, 0.9, 13);
+        let _ = bootstrap_metric(&data, accuracy_metric, 10, 1.0, 14);
+    }
+}

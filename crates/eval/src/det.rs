@@ -1,0 +1,156 @@
+//! DET-style evaluation: miss rate versus false positives per window
+//! (FPPW), the per-window metric Dalal & Triggs popularized for pedestrian
+//! classifiers and the natural companion to the paper's ROC analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a DET curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetPoint {
+    /// Classifier threshold producing this point.
+    pub threshold: f64,
+    /// False positives per window (equals the false-positive rate for
+    /// per-window evaluation).
+    pub fppw: f64,
+    /// Miss rate `FN / (TP + FN)`.
+    pub miss_rate: f64,
+}
+
+/// A DET curve built from raw decision scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetCurve {
+    points: Vec<DetPoint>,
+}
+
+impl DetCurve {
+    /// Builds the curve from `(score, is_positive)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no positives or no negatives.
+    #[must_use]
+    pub fn from_scores(scored: &[(f64, bool)]) -> Self {
+        let roc = crate::roc::RocCurve::from_scores(scored);
+        let points = roc
+            .points()
+            .iter()
+            .map(|p| DetPoint {
+                threshold: p.threshold,
+                fppw: p.fpr,
+                miss_rate: 1.0 - p.tpr,
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// The operating points, ordered by increasing FPPW.
+    #[must_use]
+    pub fn points(&self) -> &[DetPoint] {
+        &self.points
+    }
+
+    /// Miss rate at a reference FPPW (Dalal reports miss rate at 1e-4
+    /// FPPW), linearly interpolated.
+    #[must_use]
+    pub fn miss_rate_at(&self, fppw: f64) -> f64 {
+        let fppw = fppw.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        for &point in &self.points[1..] {
+            if point.fppw >= fppw {
+                if (point.fppw - prev.fppw).abs() < 1e-15 {
+                    return point.miss_rate.min(prev.miss_rate);
+                }
+                let t = (fppw - prev.fppw) / (point.fppw - prev.fppw);
+                return prev.miss_rate + t * (point.miss_rate - prev.miss_rate);
+            }
+            prev = point;
+        }
+        self.points[self.points.len() - 1].miss_rate
+    }
+
+    /// Log-average miss rate over FPPW values log-spaced in
+    /// `[lo, hi]` — the scalar summary used by the Caltech benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi <= 1`.
+    #[must_use]
+    pub fn log_average_miss_rate(&self, lo: f64, hi: f64, samples: usize) -> f64 {
+        assert!(lo > 0.0 && lo < hi && hi <= 1.0, "need 0 < lo < hi <= 1");
+        assert!(samples >= 2, "need at least two samples");
+        let log_lo = lo.ln();
+        let log_hi = hi.ln();
+        let sum: f64 = (0..samples)
+            .map(|i| {
+                let f = (log_lo + (log_hi - log_lo) * i as f64 / (samples - 1) as f64).exp();
+                self.miss_rate_at(f).max(1e-10).ln()
+            })
+            .sum();
+        (sum / samples as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_has_zero_miss_everywhere_positive() {
+        let scored = vec![(2.0, true), (1.5, true), (0.5, false), (0.0, false)];
+        let det = DetCurve::from_scores(&scored);
+        assert_eq!(det.miss_rate_at(0.5), 0.0);
+        assert_eq!(det.miss_rate_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_decreases_with_fppw() {
+        let scored: Vec<(f64, bool)> = (0..200)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                let score = if pos {
+                    i as f64 * 0.01 + 0.3
+                } else {
+                    i as f64 * 0.01
+                };
+                (score, pos)
+            })
+            .collect();
+        let det = DetCurve::from_scores(&scored);
+        let m_low = det.miss_rate_at(0.01);
+        let m_high = det.miss_rate_at(0.5);
+        assert!(m_high <= m_low);
+    }
+
+    #[test]
+    fn log_average_summarizes_between_extremes() {
+        let scored = vec![
+            (3.0, true),
+            (2.0, false),
+            (1.5, true),
+            (1.0, false),
+            (0.5, true),
+            (0.0, false),
+        ];
+        let det = DetCurve::from_scores(&scored);
+        let lamr = det.log_average_miss_rate(0.01, 1.0, 9);
+        assert!((0.0..=1.0).contains(&lamr));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi <= 1")]
+    fn log_average_validates_range() {
+        let scored = vec![(1.0, true), (0.0, false)];
+        let det = DetCurve::from_scores(&scored);
+        let _ = det.log_average_miss_rate(0.5, 0.1, 5);
+    }
+
+    #[test]
+    fn points_mirror_roc() {
+        let scored = vec![(1.0, true), (0.6, false), (0.4, true), (0.0, false)];
+        let det = DetCurve::from_scores(&scored);
+        for pair in det.points().windows(2) {
+            assert!(pair[1].fppw >= pair[0].fppw);
+            assert!(pair[1].miss_rate <= pair[0].miss_rate + 1e-12);
+        }
+    }
+}

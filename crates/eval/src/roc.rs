@@ -1,0 +1,323 @@
+//! ROC curves, AUC and equal-error rate (paper Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Classifier threshold producing this point.
+    pub threshold: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+}
+
+/// A receiver-operating-characteristic curve built from raw decision
+/// scores.
+///
+/// Points are ordered by increasing FPR (threshold from `+inf` down to
+/// `-inf`), always starting at `(0, 0)` and ending at `(1, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use rtped_eval::RocCurve;
+///
+/// let scored = vec![(0.9, true), (0.3, true), (0.4, false), (-0.5, false)];
+/// let roc = RocCurve::from_scores(&scored);
+/// assert!(roc.auc() > 0.5); // better than chance
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    positives: u64,
+    negatives: u64,
+}
+
+impl RocCurve {
+    /// Builds the curve from `(score, is_positive)` pairs by sweeping the
+    /// threshold over every distinct score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no positives or no negatives (both rates would
+    /// be undefined).
+    #[must_use]
+    pub fn from_scores(scored: &[(f64, bool)]) -> Self {
+        let positives = scored.iter().filter(|(_, p)| *p).count() as u64;
+        let negatives = scored.len() as u64 - positives;
+        assert!(
+            positives > 0 && negatives > 0,
+            "ROC needs both positive and negative samples"
+        );
+
+        // Sort by descending score; sweep thresholds between runs of equal
+        // scores so ties are handled exactly.
+        let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores must not be NaN"));
+
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
+        let mut tp = 0u64;
+        let mut fp = 0u64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let score = sorted[i].0;
+            // Consume the whole tie group.
+            while i < sorted.len() && sorted[i].0 == score {
+                if sorted[i].1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                // Classifying positive iff decision > t captures exactly
+                // the samples with score >= this group when t is just
+                // below the group's score.
+                threshold: score,
+                fpr: fp as f64 / negatives as f64,
+                tpr: tp as f64 / positives as f64,
+            });
+        }
+        Self {
+            points,
+            positives,
+            negatives,
+        }
+    }
+
+    /// The operating points, ordered by increasing FPR.
+    #[must_use]
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Number of positive samples behind the curve.
+    #[must_use]
+    pub fn positives(&self) -> u64 {
+        self.positives
+    }
+
+    /// Number of negative samples behind the curve.
+    #[must_use]
+    pub fn negatives(&self) -> u64 {
+        self.negatives
+    }
+
+    /// Area under the curve by trapezoidal integration; 1.0 is a perfect
+    /// classifier, 0.5 is chance (paper: "AUC which in ideal case is equal
+    /// to one is considered as an indicator of the overall quality").
+    #[must_use]
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            let dx = pair[1].fpr - pair[0].fpr;
+            area += dx * (pair[0].tpr + pair[1].tpr) / 2.0;
+        }
+        area
+    }
+
+    /// Equal-error rate: the error value where the false-positive rate
+    /// equals the false-negative rate (`1 - TPR`), found by linear
+    /// interpolation along the curve.
+    #[must_use]
+    pub fn eer(&self) -> f64 {
+        // f(p) = fpr - (1 - tpr) is monotone non-decreasing along the
+        // sweep; find its zero crossing.
+        let mut prev = self.points[0];
+        for &point in &self.points[1..] {
+            let f_prev = prev.fpr - (1.0 - prev.tpr);
+            let f_cur = point.fpr - (1.0 - point.tpr);
+            if f_cur >= 0.0 {
+                if (f_cur - f_prev).abs() < 1e-15 {
+                    return point.fpr;
+                }
+                // Interpolate the crossing between prev and point.
+                let t = -f_prev / (f_cur - f_prev);
+                let fpr = prev.fpr + t * (point.fpr - prev.fpr);
+                let fnr = (1.0 - prev.tpr) + t * ((1.0 - point.tpr) - (1.0 - prev.tpr));
+                return (fpr + fnr) / 2.0;
+            }
+            prev = point;
+        }
+        // No crossing (degenerate curve): the last point's average error.
+        let last = self.points[self.points.len() - 1];
+        (last.fpr + (1.0 - last.tpr)) / 2.0
+    }
+
+    /// Samples the curve as `(fpr, tpr)` pairs at `n` evenly spaced FPR
+    /// values — the series the `figure4` harness prints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn sampled(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        (0..n)
+            .map(|i| {
+                let fpr = i as f64 / (n - 1) as f64;
+                (fpr, self.tpr_at_fpr(fpr))
+            })
+            .collect()
+    }
+
+    /// TPR at the given FPR, linearly interpolated.
+    #[must_use]
+    pub fn tpr_at_fpr(&self, fpr: f64) -> f64 {
+        let fpr = fpr.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        for &point in &self.points[1..] {
+            if point.fpr >= fpr {
+                if (point.fpr - prev.fpr).abs() < 1e-15 {
+                    return point.tpr.max(prev.tpr);
+                }
+                let t = (fpr - prev.fpr) / (point.fpr - prev.fpr);
+                return prev.tpr + t * (point.tpr - prev.tpr);
+            }
+            prev = point;
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_has_auc_one_and_zero_eer() {
+        let scored = vec![(3.0, true), (2.0, true), (1.0, false), (0.0, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+        assert!(roc.eer() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_has_auc_zero() {
+        let scored = vec![(0.0, true), (1.0, true), (2.0, false), (3.0, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!(roc.auc() < 1e-12);
+        assert!((roc.eer() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_scores_give_auc_near_half() {
+        // Deterministic interleaving = exactly chance performance.
+        let scored: Vec<(f64, bool)> = (0..1000).map(|i| (i as f64, i % 2 == 0)).collect();
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.auc() - 0.5).abs() < 0.01, "auc = {}", roc.auc());
+        assert!((roc.eer() - 0.5).abs() < 0.02, "eer = {}", roc.eer());
+    }
+
+    #[test]
+    fn curve_is_monotone_and_anchored() {
+        let scored = vec![
+            (0.9, true),
+            (0.8, false),
+            (0.7, true),
+            (0.6, true),
+            (0.5, false),
+            (0.4, false),
+        ];
+        let roc = RocCurve::from_scores(&scored);
+        let pts = roc.points();
+        assert_eq!((pts[0].fpr, pts[0].tpr), (0.0, 0.0));
+        let last = pts[pts.len() - 1];
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+        for pair in pts.windows(2) {
+            assert!(pair[1].fpr >= pair[0].fpr);
+            assert!(pair[1].tpr >= pair[0].tpr);
+        }
+    }
+
+    #[test]
+    fn tied_scores_are_handled_as_one_group() {
+        let scored = vec![(1.0, true), (1.0, false), (0.0, true), (0.0, false)];
+        let roc = RocCurve::from_scores(&scored);
+        // Thresholds: inf, 1.0, 0.0 -> 3 points.
+        assert_eq!(roc.points().len(), 3);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_matches_mann_whitney_statistic() {
+        // AUC equals P(score_pos > score_neg) + 0.5 P(tie).
+        let scored = vec![
+            (5.0, true),
+            (3.0, true),
+            (3.0, false),
+            (1.0, true),
+            (0.0, false),
+            (-1.0, false),
+        ];
+        let roc = RocCurve::from_scores(&scored);
+        let pos: Vec<f64> = scored.iter().filter(|(_, p)| *p).map(|(s, _)| *s).collect();
+        let neg: Vec<f64> = scored.iter().filter(|(_, p)| !p).map(|(s, _)| *s).collect();
+        let mut stat = 0.0;
+        for &p in &pos {
+            for &n in &neg {
+                stat += if p > n {
+                    1.0
+                } else if p == n {
+                    0.5
+                } else {
+                    0.0
+                };
+            }
+        }
+        stat /= (pos.len() * neg.len()) as f64;
+        assert!((roc.auc() - stat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eer_of_symmetric_overlap_is_half_at_crossing() {
+        // Two positives and two negatives interleaved symmetrically:
+        // scores P:{3,1}, N:{2,0}. At threshold 2 the curve passes through
+        // FPR = 0.5, FNR = 0.5 — that point *is* the equal-error point.
+        let scored = vec![(3.0, true), (2.0, false), (1.0, true), (0.0, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.eer() - 0.5).abs() < 1e-12, "eer = {}", roc.eer());
+    }
+
+    #[test]
+    fn sampled_series_is_monotone() {
+        let scored: Vec<(f64, bool)> = (0..100)
+            .map(|i| {
+                (
+                    (i % 17) as f64 + if i % 3 == 0 { 5.0 } else { 0.0 },
+                    i % 3 == 0,
+                )
+            })
+            .collect();
+        let roc = RocCurve::from_scores(&scored);
+        let series = roc.sampled(21);
+        assert_eq!(series.len(), 21);
+        for pair in series.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-12);
+        }
+        assert_eq!(series[0].0, 0.0);
+        assert_eq!(series[20].0, 1.0);
+        assert!((series[20].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both positive and negative")]
+    fn rejects_single_class() {
+        let _ = RocCurve::from_scores(&[(1.0, true), (0.5, true)]);
+    }
+
+    #[test]
+    fn counts_are_exposed() {
+        let scored = vec![(1.0, true), (0.5, false), (0.2, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert_eq!(roc.positives(), 1);
+        assert_eq!(roc.negatives(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-cell orientation histograms with bilinear bin voting.
+//!
+//! Each gradient pixel votes its magnitude into the two orientation bins
+//! nearest its angle, weighted by the angular distance to each bin center
+//! (paper §3.1: "Two nearest bins to each gradient direction would be
+//! updated each by a score which is based on the magnitude of gradient as
+//! well as the distance of gradient angle to the edge angle of each bin").
+
+/// Splits one gradient vote between the two nearest orientation bins.
+///
+/// Bin `i` is centered at `(i + 0.5) * bin_width`. Returns
+/// `((bin_a, weight_a), (bin_b, weight_b))` with `weight_a + weight_b ==
+/// magnitude`. For the unsigned convention the bins wrap around `π` (bin 8
+/// is adjacent to bin 0).
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `bin_width` is not positive.
+#[must_use]
+pub fn split_vote(
+    angle: f32,
+    magnitude: f32,
+    bins: usize,
+    bin_width: f32,
+) -> ((usize, f32), (usize, f32)) {
+    assert!(bins > 0, "bin count must be non-zero");
+    assert!(bin_width > 0.0, "bin width must be positive");
+    // Continuous bin coordinate: angle in units of bins, shifted so that
+    // bin centers sit at integers.
+    let pos = angle / bin_width - 0.5;
+    let lower = pos.floor();
+    let frac = pos - lower;
+    let lower_idx = wrap_bin(lower as isize, bins);
+    let upper_idx = wrap_bin(lower as isize + 1, bins);
+    (
+        (lower_idx, magnitude * (1.0 - frac)),
+        (upper_idx, magnitude * frac),
+    )
+}
+
+fn wrap_bin(idx: isize, bins: usize) -> usize {
+    idx.rem_euclid(bins as isize) as usize
+}
+
+/// Accumulates a vote into `histogram` via [`split_vote`].
+pub fn vote(histogram: &mut [f32], angle: f32, magnitude: f32, bin_width: f32) {
+    let bins = histogram.len();
+    let ((a, wa), (b, wb)) = split_vote(angle, magnitude, bins, bin_width);
+    histogram[a] += wa;
+    histogram[b] += wb;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::PI;
+
+    const BIN_WIDTH: f32 = PI / 9.0;
+
+    #[test]
+    fn vote_at_bin_center_goes_entirely_to_that_bin() {
+        // Center of bin 3: (3 + 0.5) * width.
+        let angle = 3.5 * BIN_WIDTH;
+        let ((a, wa), (_b, wb)) = split_vote(angle, 2.0, 9, BIN_WIDTH);
+        assert_eq!(a, 3);
+        assert!((wa - 2.0).abs() < 1e-5);
+        assert!(wb.abs() < 1e-5);
+    }
+
+    #[test]
+    fn vote_at_bin_edge_splits_evenly() {
+        // The boundary between bins 2 and 3 is at 3 * width.
+        let angle = 3.0 * BIN_WIDTH;
+        let ((a, wa), (b, wb)) = split_vote(angle, 1.0, 9, BIN_WIDTH);
+        assert_eq!((a, b), (2, 3));
+        assert!((wa - 0.5).abs() < 1e-5);
+        assert!((wb - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weights_always_sum_to_magnitude() {
+        for i in 0..180 {
+            let angle = i as f32 * PI / 180.0 * 0.999;
+            let ((_, wa), (_, wb)) = split_vote(angle, 3.0, 9, BIN_WIDTH);
+            assert!((wa + wb - 3.0).abs() < 1e-4, "angle {angle}");
+            assert!(wa >= -1e-6 && wb >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn angle_near_zero_wraps_to_last_bin() {
+        // θ slightly above 0 sits below the center of bin 0, so part of the
+        // vote wraps to bin 8 (unsigned orientation is circular over π).
+        let ((a, wa), (b, wb)) = split_vote(0.01, 1.0, 9, BIN_WIDTH);
+        assert_eq!((a, b), (8, 0));
+        assert!(wa > 0.0 && wb > 0.0);
+        assert!(wb > wa, "most weight should stay in bin 0");
+    }
+
+    #[test]
+    fn angle_near_pi_wraps_to_first_bin() {
+        let ((a, wa), (b, wb)) = split_vote(PI - 0.01, 1.0, 9, BIN_WIDTH);
+        assert_eq!((a, b), (8, 0));
+        assert!(wa > wb, "most weight should stay in bin 8");
+        assert!((wa + wb - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vote_accumulates_into_histogram() {
+        let mut hist = vec![0.0f32; 9];
+        vote(&mut hist, 3.5 * BIN_WIDTH, 2.0, BIN_WIDTH);
+        vote(&mut hist, 3.5 * BIN_WIDTH, 1.0, BIN_WIDTH);
+        assert!((hist[3] - 3.0).abs() < 1e-5);
+        let total: f32 = hist.iter().sum();
+        assert!((total - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_magnitude_votes_are_harmless() {
+        let mut hist = vec![0.0f32; 9];
+        vote(&mut hist, 1.0, 0.0, BIN_WIDTH);
+        assert!(hist.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count must be non-zero")]
+    fn zero_bins_panics() {
+        let _ = split_vote(0.5, 1.0, 0, BIN_WIDTH);
+    }
+}

@@ -1,0 +1,240 @@
+//! Classic Dalal–Triggs window descriptors (overlapping blocks) and
+//! conversions between descriptor layouts.
+//!
+//! Two layouts coexist in this workspace:
+//!
+//! - **classic**: all overlapping 2×2-cell blocks of the window, each
+//!   normalized as a unit — 7×15 blocks × 36 = 3780 values for 64×128.
+//!   This is what software HOG implementations and LibLinear-trained
+//!   models typically use.
+//! - **cell-major**: per-cell 4-role normalized features
+//!   ([`crate::feature_map::FeatureMap`]) — 8×16 cells × 36 = 4608 values.
+//!   This is the hardware layout; it contains the same information as the
+//!   classic layout for interior cells plus replicated borders.
+
+use rtped_image::GrayImage;
+
+use crate::block::{block_feature, NormKind};
+use crate::feature_map::{CellRole, FeatureMap};
+use crate::grid::CellGrid;
+use crate::params::HogParams;
+
+/// Extracts the classic overlapping-block descriptor of an image whose size
+/// equals the detection window (the Fig. 3 test-bench path).
+///
+/// # Panics
+///
+/// Panics if `img` dimensions differ from `params.window_size()`.
+#[must_use]
+pub fn window_descriptor(img: &GrayImage, params: &HogParams) -> Vec<f32> {
+    let (ww, wh) = params.window_size();
+    assert_eq!(
+        img.dimensions(),
+        (ww, wh),
+        "image must match the detection window size"
+    );
+    let grid = CellGrid::compute(img, params);
+    descriptor_from_grid(&grid, 0, 0, params)
+}
+
+/// Extracts the classic descriptor for the window with top-left cell
+/// `(cx, cy)` from a precomputed [`CellGrid`].
+///
+/// # Panics
+///
+/// Panics if the window extends past the grid.
+#[must_use]
+pub fn descriptor_from_grid(grid: &CellGrid, cx: usize, cy: usize, params: &HogParams) -> Vec<f32> {
+    let (cells_x, cells_y) = grid.cells();
+    let (wc, hc) = params.window_cells();
+    assert!(
+        cx + wc <= cells_x && cy + hc <= cells_y,
+        "window out of bounds"
+    );
+    let (bx_count, by_count) = params.window_blocks();
+    let stride = params.block_stride_cells();
+    let bc = params.block_cells();
+    let mut out = Vec::with_capacity(params.descriptor_len());
+    for by in 0..by_count {
+        for bx in 0..bx_count {
+            let block = block_feature(
+                grid.as_raw(),
+                cells_x,
+                cells_y,
+                grid.bins(),
+                cx + bx * stride,
+                cy + by * stride,
+                bc,
+                params.norm(),
+            );
+            out.extend_from_slice(&block);
+        }
+    }
+    out
+}
+
+/// Rebuilds a classic descriptor from the cell-major [`FeatureMap`] layout.
+///
+/// Block `(bx, by)` of the window is reassembled from the role slots of its
+/// four cells: the LU slot of cell `(bx, by)`, the RU slot of
+/// `(bx + 1, by)`, the LB slot of `(bx, by + 1)` and the RB slot of
+/// `(bx + 1, by + 1)` — all four reference the *same* physical block, so
+/// the reconstruction is exact for interior blocks.
+///
+/// This only holds for the canonical geometry (`block_cells == 2`,
+/// `block_stride_cells == 1`).
+///
+/// # Panics
+///
+/// Panics if the window extends past the map or the geometry is not
+/// canonical.
+#[must_use]
+pub fn classic_from_cell_major(
+    map: &FeatureMap,
+    cx: usize,
+    cy: usize,
+    params: &HogParams,
+) -> Vec<f32> {
+    assert_eq!(
+        params.block_cells(),
+        2,
+        "cell-major layout needs 2x2 blocks"
+    );
+    assert_eq!(
+        params.block_stride_cells(),
+        1,
+        "cell-major layout needs stride-1 blocks"
+    );
+    let (wc, hc) = params.window_cells();
+    let (cells_x, cells_y) = map.cells();
+    assert!(
+        cx + wc <= cells_x && cy + hc <= cells_y,
+        "window out of bounds"
+    );
+    let (bx_count, by_count) = params.window_blocks();
+    let mut out = Vec::with_capacity(params.descriptor_len());
+    for by in 0..by_count {
+        for bx in 0..bx_count {
+            // Gathered cell order within a block: (0,0), (1,0), (0,1), (1,1).
+            out.extend_from_slice(map.cell_role(cx + bx, cy + by, CellRole::Lu));
+            out.extend_from_slice(map.cell_role(cx + bx + 1, cy + by, CellRole::Ru));
+            out.extend_from_slice(map.cell_role(cx + bx, cy + by + 1, CellRole::Lb));
+            out.extend_from_slice(map.cell_role(cx + bx + 1, cy + by + 1, CellRole::Rb));
+        }
+    }
+    out
+}
+
+/// L2 distance between two descriptors (test/diagnostic helper).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn descriptor_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "descriptor lengths differ");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Returns `NormKind` actually used for classic extraction — re-exported
+/// here so downstream crates need not import `block` for the common case.
+#[must_use]
+pub fn default_norm() -> NormKind {
+    NormKind::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| ((x * 31 + y * 17 + (x * y) % 23) % 256) as u8)
+    }
+
+    #[test]
+    fn classic_descriptor_length() {
+        let p = HogParams::pedestrian();
+        let d = window_descriptor(&textured(64, 128), &p);
+        assert_eq!(d.len(), 3780);
+    }
+
+    #[test]
+    #[should_panic(expected = "image must match the detection window size")]
+    fn window_descriptor_checks_size() {
+        let p = HogParams::pedestrian();
+        let _ = window_descriptor(&textured(64, 64), &p);
+    }
+
+    #[test]
+    fn descriptor_values_bounded() {
+        let p = HogParams::pedestrian();
+        let d = window_descriptor(&textured(64, 128), &p);
+        for v in d {
+            assert!((-1e-6..=1.0 + 1e-4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn grid_offset_descriptor_matches_cropped_extraction() {
+        // Extracting at offset (1, 2) cells from a big grid equals
+        // extracting at (0, 0) from the corresponding 64x128 crop, because
+        // cell histograms are local (no spatial interpolation).
+        let p = HogParams::pedestrian();
+        let img = textured(96, 160);
+        let grid = CellGrid::compute(&img, &p);
+        let at_offset = descriptor_from_grid(&grid, 1, 2, &p);
+        let crop = img.crop(8, 16, 64, 128);
+        let direct = window_descriptor(&crop, &p);
+        // Gradients at crop borders differ (clamped borders vs real
+        // neighbours), so allow a small relative error.
+        let dist = descriptor_distance(&at_offset, &direct);
+        let norm: f32 = direct.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(
+            dist / norm < 0.25,
+            "offset extraction diverged: {dist} vs norm {norm}"
+        );
+    }
+
+    #[test]
+    fn cell_major_reconstruction_is_exact() {
+        let p = HogParams::pedestrian();
+        let img = textured(96, 160);
+        let grid = CellGrid::compute(&img, &p);
+        let map = FeatureMap::from_cell_grid(&grid, &p);
+        let classic = descriptor_from_grid(&grid, 1, 1, &p);
+        let rebuilt = classic_from_cell_major(&map, 1, 1, &p);
+        assert_eq!(classic.len(), rebuilt.len());
+        let dist = descriptor_distance(&classic, &rebuilt);
+        assert!(dist < 1e-4, "reconstruction distance {dist}");
+    }
+
+    #[test]
+    fn cell_major_reconstruction_exact_at_origin_window() {
+        // The window at the grid origin exercises the clamped border roles;
+        // interior blocks of the window must still be exact.
+        let p = HogParams::pedestrian();
+        let img = textured(64, 128);
+        let grid = CellGrid::compute(&img, &p);
+        let map = FeatureMap::from_cell_grid(&grid, &p);
+        let classic = descriptor_from_grid(&grid, 0, 0, &p);
+        let rebuilt = classic_from_cell_major(&map, 0, 0, &p);
+        let dist = descriptor_distance(&classic, &rebuilt);
+        assert!(dist < 1e-4, "reconstruction distance {dist}");
+    }
+
+    #[test]
+    fn descriptor_distance_zero_for_identical() {
+        let d = vec![0.5f32; 16];
+        assert_eq!(descriptor_distance(&d, &d), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "descriptor lengths differ")]
+    fn descriptor_distance_checks_length() {
+        let _ = descriptor_distance(&[0.0; 3], &[0.0; 4]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Integral histograms (Porikli 2005): O(1) orientation histograms for
+//! arbitrary rectangles.
+//!
+//! The streaming pipeline computes cell histograms in raster order, which
+//! is perfect for fixed 8×8 cells but cannot serve variable-geometry
+//! queries. An integral histogram — one summed-area table per orientation
+//! bin over the per-pixel votes — answers "histogram of any rectangle" in
+//! `O(bins)`, which is what variable-window detectors (e.g. the
+//! multi-model bank of `rtped-detect`) and region-proposal front-ends
+//! (paper ref. \[19\]) build on.
+
+use rtped_image::GrayImage;
+
+use crate::gradient::GradientField;
+use crate::grid::CellGrid;
+use crate::params::HogParams;
+
+/// Per-bin summed-area tables over orientation votes.
+///
+/// `table[bin][(y * (w+1) + x)]` holds the sum of that bin's votes over
+/// the rectangle `[0, x) × [0, y)`.
+///
+/// # Example
+///
+/// ```
+/// use rtped_hog::fast::IntegralHistogram;
+/// use rtped_hog::params::HogParams;
+/// use rtped_image::GrayImage;
+///
+/// let img = GrayImage::from_fn(32, 32, |x, y| ((x * 9 + y * 5) % 256) as u8);
+/// let params = HogParams::pedestrian();
+/// let ih = IntegralHistogram::new(&img, &params);
+/// let hist = ih.region_histogram(8, 8, 16, 16);
+/// assert_eq!(hist.len(), 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegralHistogram {
+    width: usize,
+    height: usize,
+    bins: usize,
+    tables: Vec<Vec<f64>>,
+}
+
+impl IntegralHistogram {
+    /// Builds the integral histogram of `img` under `params` (votes are
+    /// the same magnitude-weighted two-bin splits the standard extractor
+    /// uses; spatial interpolation is not supported).
+    #[must_use]
+    pub fn new(img: &GrayImage, params: &HogParams) -> Self {
+        let field = GradientField::compute(img, params.signed());
+        Self::from_gradients(&field, params)
+    }
+
+    /// Builds from a precomputed gradient field.
+    #[must_use]
+    pub fn from_gradients(field: &GradientField, params: &HogParams) -> Self {
+        let (w, h) = (field.width(), field.height());
+        let bins = params.bins();
+        let bin_width = params.bin_width();
+        let stride = w + 1;
+        let mut tables = vec![vec![0.0f64; stride * (h + 1)]; bins];
+
+        // Row-prefix accumulation per bin, like the scalar integral image.
+        let mut row_sums = vec![0.0f64; bins];
+        for y in 0..h {
+            row_sums.fill(0.0);
+            for x in 0..w {
+                let mag = field.magnitude(x, y);
+                if mag > 0.0 {
+                    let ((a, wa), (b, wb)) =
+                        crate::cell::split_vote(field.orientation(x, y), mag, bins, bin_width);
+                    row_sums[a] += f64::from(wa);
+                    row_sums[b] += f64::from(wb);
+                }
+                let idx = (y + 1) * stride + (x + 1);
+                for (bin, table) in tables.iter_mut().enumerate() {
+                    table[idx] = table[y * stride + (x + 1)] + row_sums[bin];
+                }
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            bins,
+            tables,
+        }
+    }
+
+    /// Source image width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of orientation bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Orientation histogram of the rectangle at `(x, y)` with size
+    /// `w × h`, in `O(bins)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle extends past the image.
+    #[must_use]
+    pub fn region_histogram(&self, x: usize, y: usize, w: usize, h: usize) -> Vec<f32> {
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "region out of bounds"
+        );
+        let stride = self.width + 1;
+        let (x1, y1) = (x + w, y + h);
+        self.tables
+            .iter()
+            .map(|t| {
+                (t[y1 * stride + x1] + t[y * stride + x] - t[y * stride + x1] - t[y1 * stride + x])
+                    as f32
+            })
+            .collect()
+    }
+
+    /// Materializes the standard cell grid from the tables — numerically
+    /// equivalent to [`CellGrid::compute`] without spatial interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image holds less than one cell.
+    #[must_use]
+    pub fn cell_grid(&self, params: &HogParams) -> CellGrid {
+        let cs = params.cell_size();
+        let cells_x = self.width / cs;
+        let cells_y = self.height / cs;
+        assert!(cells_x > 0 && cells_y > 0, "image smaller than one cell");
+        let mut data = Vec::with_capacity(cells_x * cells_y * self.bins);
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                data.extend(self.region_histogram(cx * cs, cy * cs, cs, cs));
+            }
+        }
+        CellGrid::from_raw(cells_x, cells_y, self.bins, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 37 + (x * y) % 11) % 256) as u8)
+    }
+
+    #[test]
+    fn cell_grid_matches_streaming_extractor() {
+        let img = textured(64, 128);
+        let params = HogParams::pedestrian();
+        let ih = IntegralHistogram::new(&img, &params);
+        let fast = ih.cell_grid(&params);
+        let reference = CellGrid::compute(&img, &params);
+        assert_eq!(fast.cells(), reference.cells());
+        for (a, b) in fast.as_raw().iter().zip(reference.as_raw()) {
+            assert!(
+                (a - b).abs() < 1e-2 * (1.0 + b.abs()),
+                "integral histogram diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_histogram_is_additive() {
+        // hist(A ∪ B) = hist(A) + hist(B) for adjacent disjoint regions.
+        let img = textured(48, 48);
+        let params = HogParams::pedestrian();
+        let ih = IntegralHistogram::new(&img, &params);
+        let whole = ih.region_histogram(8, 8, 32, 16);
+        let left = ih.region_histogram(8, 8, 16, 16);
+        let right = ih.region_histogram(24, 8, 16, 16);
+        for ((w, l), r) in whole.iter().zip(&left).zip(&right) {
+            assert!((w - (l + r)).abs() < 1e-2, "{w} vs {} + {}", l, r);
+        }
+    }
+
+    #[test]
+    fn empty_region_on_flat_image_is_zero() {
+        let mut img = GrayImage::new(32, 32);
+        img.fill(99);
+        let params = HogParams::pedestrian();
+        let ih = IntegralHistogram::new(&img, &params);
+        let hist = ih.region_histogram(0, 0, 32, 32);
+        assert!(hist.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn arbitrary_rectangles_work() {
+        // Odd offsets and sizes unavailable to the fixed cell grid.
+        let img = textured(40, 60);
+        let params = HogParams::pedestrian();
+        let ih = IntegralHistogram::new(&img, &params);
+        let hist = ih.region_histogram(3, 7, 13, 21);
+        assert_eq!(hist.len(), 9);
+        let total: f32 = hist.iter().sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "region out of bounds")]
+    fn out_of_bounds_region_panics() {
+        let img = textured(16, 16);
+        let params = HogParams::pedestrian();
+        let ih = IntegralHistogram::new(&img, &params);
+        let _ = ih.region_histogram(8, 8, 16, 8);
+    }
+
+    #[test]
+    fn total_energy_matches_gradient_sum() {
+        let img = textured(32, 32);
+        let params = HogParams::pedestrian();
+        let field = GradientField::compute(&img, false);
+        let ih = IntegralHistogram::from_gradients(&field, &params);
+        let hist = ih.region_histogram(0, 0, 32, 32);
+        let total: f64 = hist.iter().map(|&v| f64::from(v)).sum();
+        let expected: f64 = (0..32)
+            .flat_map(|y| (0..32).map(move |x| (x, y)))
+            .map(|(x, y)| f64::from(field.magnitude(x, y)))
+            .sum();
+        assert!(
+            (total - expected).abs() < expected * 1e-4,
+            "{total} vs {expected}"
+        );
+    }
+}

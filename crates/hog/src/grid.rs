@@ -1,0 +1,288 @@
+//! The cell-histogram plane of a whole image.
+
+use rtped_image::GrayImage;
+
+use crate::cell;
+use crate::gradient::GradientField;
+use crate::params::HogParams;
+
+/// Un-normalized orientation histograms for every cell of an image.
+///
+/// The grid covers `floor(width / cell) x floor(height / cell)` cells;
+/// right/bottom pixels that do not fill a whole cell are ignored, matching
+/// the streaming hardware which only emits complete cells.
+///
+/// # Example
+///
+/// ```
+/// use rtped_hog::{grid::CellGrid, params::HogParams};
+/// use rtped_image::GrayImage;
+///
+/// let img = GrayImage::from_fn(64, 128, |x, y| ((x ^ y) as u8).wrapping_mul(3));
+/// let grid = CellGrid::compute(&img, &HogParams::pedestrian());
+/// assert_eq!(grid.cells(), (8, 16));
+/// assert_eq!(grid.histogram(0, 0).len(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellGrid {
+    cells_x: usize,
+    cells_y: usize,
+    bins: usize,
+    data: Vec<f32>,
+}
+
+impl CellGrid {
+    /// Computes cell histograms for `img` under `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is smaller than one cell.
+    #[must_use]
+    pub fn compute(img: &GrayImage, params: &HogParams) -> Self {
+        let field = GradientField::compute(img, params.signed());
+        Self::from_gradients(&field, params)
+    }
+
+    /// Computes cell histograms from a precomputed gradient field
+    /// (exposed so multi-stage pipelines can reuse the gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is smaller than one cell.
+    #[must_use]
+    pub fn from_gradients(field: &GradientField, params: &HogParams) -> Self {
+        let cs = params.cell_size();
+        let cells_x = field.width() / cs;
+        let cells_y = field.height() / cs;
+        assert!(
+            cells_x > 0 && cells_y > 0,
+            "image smaller than one {cs}px cell"
+        );
+        let bins = params.bins();
+        let bin_width = params.bin_width();
+        let mut data = vec![0.0f32; cells_x * cells_y * bins];
+
+        if params.spatial_interpolation() {
+            // Dalal-style: each pixel's vote is shared bilinearly among the
+            // (up to) four cells whose centers surround it.
+            for y in 0..cells_y * cs {
+                for x in 0..cells_x * cs {
+                    let mag = field.magnitude(x, y);
+                    if mag == 0.0 {
+                        continue;
+                    }
+                    let angle = field.orientation(x, y);
+                    // Continuous cell coordinates of this pixel.
+                    let cxf = (x as f32 + 0.5) / cs as f32 - 0.5;
+                    let cyf = (y as f32 + 0.5) / cs as f32 - 0.5;
+                    let cx0 = cxf.floor() as isize;
+                    let cy0 = cyf.floor() as isize;
+                    let tx = cxf - cx0 as f32;
+                    let ty = cyf - cy0 as f32;
+                    for (dcx, dcy, w) in [
+                        (0isize, 0isize, (1.0 - tx) * (1.0 - ty)),
+                        (1, 0, tx * (1.0 - ty)),
+                        (0, 1, (1.0 - tx) * ty),
+                        (1, 1, tx * ty),
+                    ] {
+                        let cx = cx0 + dcx;
+                        let cy = cy0 + dcy;
+                        if cx < 0 || cy < 0 || cx >= cells_x as isize || cy >= cells_y as isize {
+                            continue;
+                        }
+                        let base = (cy as usize * cells_x + cx as usize) * bins;
+                        cell::vote(&mut data[base..base + bins], angle, mag * w, bin_width);
+                    }
+                }
+            }
+        } else {
+            // Hardware-style: each pixel votes only into its owning cell.
+            for cy in 0..cells_y {
+                for cx in 0..cells_x {
+                    let base = (cy * cells_x + cx) * bins;
+                    for py in cy * cs..(cy + 1) * cs {
+                        for px in cx * cs..(cx + 1) * cs {
+                            let mag = field.magnitude(px, py);
+                            if mag == 0.0 {
+                                continue;
+                            }
+                            cell::vote(
+                                &mut data[base..base + bins],
+                                field.orientation(px, py),
+                                mag,
+                                bin_width,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            cells_x,
+            cells_y,
+            bins,
+            data,
+        }
+    }
+
+    /// Grid size `(cells_x, cells_y)`.
+    #[must_use]
+    pub fn cells(&self) -> (usize, usize) {
+        (self.cells_x, self.cells_y)
+    }
+
+    /// Orientation bin count.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Borrows the histogram of cell `(cx, cy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of bounds.
+    #[must_use]
+    pub fn histogram(&self, cx: usize, cy: usize) -> &[f32] {
+        assert!(cx < self.cells_x && cy < self.cells_y, "cell out of bounds");
+        let base = (cy * self.cells_x + cx) * self.bins;
+        &self.data[base..base + self.bins]
+    }
+
+    /// Total gradient energy (sum of all histogram entries).
+    #[must_use]
+    pub fn total_energy(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Builds a grid directly from histogram data (for tests and the
+    /// hardware model's golden comparisons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != cells_x * cells_y * bins` or any dimension
+    /// is zero.
+    #[must_use]
+    pub fn from_raw(cells_x: usize, cells_y: usize, bins: usize, data: Vec<f32>) -> Self {
+        assert!(cells_x > 0 && cells_y > 0 && bins > 0, "empty grid");
+        assert_eq!(data.len(), cells_x * cells_y * bins, "data length mismatch");
+        Self {
+            cells_x,
+            cells_y,
+            bins,
+            data,
+        }
+    }
+
+    /// Borrows the raw histogram buffer (cell-major, `bins` per cell).
+    #[must_use]
+    pub fn as_raw(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HogParams {
+        HogParams::pedestrian()
+    }
+
+    #[test]
+    fn grid_dimensions_floor_partial_cells() {
+        let img = GrayImage::new(70, 130);
+        let grid = CellGrid::compute(&img, &params());
+        assert_eq!(grid.cells(), (8, 16));
+    }
+
+    #[test]
+    fn flat_image_yields_zero_histograms() {
+        let mut img = GrayImage::new(64, 64);
+        img.fill(50);
+        let grid = CellGrid::compute(&img, &params());
+        assert_eq!(grid.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn vertical_edge_energy_lands_in_horizontal_bin() {
+        // Vertical step edge at x=32: horizontal gradient, θ=0, which votes
+        // (half-and-half) into bins 8 and 0.
+        let img = GrayImage::from_fn(64, 64, |x, _| if x < 32 { 0 } else { 200 });
+        let grid = CellGrid::compute(&img, &params());
+        // The edge crosses cells with cx = 3 and 4.
+        let hist = grid.histogram(4, 3);
+        let edge_energy = hist[0] + hist[8];
+        let other: f32 = hist[1..8].iter().sum();
+        assert!(edge_energy > 0.0);
+        assert!(other.abs() < 1e-3, "energy leaked into other bins: {other}");
+    }
+
+    #[test]
+    fn energy_is_conserved_across_cells() {
+        // Without spatial interpolation, the sum over all cell histograms
+        // equals the sum of magnitudes over all covered pixels.
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        let p = HogParams::builder().window(32, 32).build().unwrap();
+        let field = GradientField::compute(&img, false);
+        let grid = CellGrid::from_gradients(&field, &p);
+        let total_mag: f32 = (0..32)
+            .flat_map(|y| (0..32).map(move |x| (x, y)))
+            .map(|(x, y)| field.magnitude(x, y))
+            .sum();
+        assert!((grid.total_energy() - total_mag).abs() / total_mag < 1e-4);
+    }
+
+    #[test]
+    fn spatial_interpolation_conserves_interior_energy() {
+        // With bilinear sharing, votes near borders are partially clipped,
+        // so total energy is <= the plain sum but > half of it.
+        let img = GrayImage::from_fn(64, 64, |x, y| ((x * 3 + y * 5) % 256) as u8);
+        let p_plain = HogParams::builder().window(64, 64).build().unwrap();
+        let p_interp = HogParams::builder()
+            .window(64, 64)
+            .spatial_interpolation(true)
+            .build()
+            .unwrap();
+        let plain = CellGrid::compute(&img, &p_plain);
+        let interp = CellGrid::compute(&img, &p_interp);
+        assert!(interp.total_energy() <= plain.total_energy() + 1e-3);
+        assert!(interp.total_energy() > 0.5 * plain.total_energy());
+    }
+
+    #[test]
+    fn histograms_are_nonnegative() {
+        let img = GrayImage::from_fn(64, 128, |x, y| ((x * x + y * 3) % 256) as u8);
+        for interp in [false, true] {
+            let p = HogParams::builder()
+                .spatial_interpolation(interp)
+                .build()
+                .unwrap();
+            let grid = CellGrid::compute(&img, &p);
+            assert!(grid.as_raw().iter().all(|&v| v >= -1e-6));
+        }
+    }
+
+    #[test]
+    fn from_raw_roundtrips() {
+        let data = vec![1.0f32; 2 * 3 * 9];
+        let grid = CellGrid::from_raw(2, 3, 9, data.clone());
+        assert_eq!(grid.cells(), (2, 3));
+        assert_eq!(grid.as_raw(), data.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_raw_checks_length() {
+        let _ = CellGrid::from_raw(2, 2, 9, vec![0.0; 35]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of bounds")]
+    fn histogram_out_of_bounds_panics() {
+        let img = GrayImage::new(64, 64);
+        let grid = CellGrid::compute(&img, &params());
+        let _ = grid.histogram(8, 0);
+    }
+}

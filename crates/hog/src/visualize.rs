@@ -1,0 +1,105 @@
+//! HOG glyph visualization — renders a cell grid as oriented line strokes.
+//!
+//! Useful for debugging extraction and for the examples: each cell is drawn
+//! as a star of strokes, one per orientation bin, with stroke intensity
+//! proportional to the bin's share of the cell energy.
+
+use rtped_image::draw::draw_capsule;
+use rtped_image::GrayImage;
+
+use crate::grid::CellGrid;
+
+/// Renders `grid` into an image with `cell_px`-pixel cells.
+///
+/// Strokes are drawn perpendicular to the gradient orientation (i.e. along
+/// the edge direction), which is how HOG glyphs are conventionally shown.
+///
+/// # Panics
+///
+/// Panics if `cell_px == 0`.
+#[must_use]
+pub fn render_glyphs(grid: &CellGrid, cell_px: usize) -> GrayImage {
+    assert!(cell_px > 0, "cell_px must be non-zero");
+    let (cx, cy) = grid.cells();
+    let bins = grid.bins();
+    let mut img = GrayImage::new(cx * cell_px, cy * cell_px);
+    let max = grid
+        .as_raw()
+        .iter()
+        .cloned()
+        .fold(f32::MIN, f32::max)
+        .max(1e-6);
+    let half = cell_px as f64 / 2.0;
+    for gy in 0..cy {
+        for gx in 0..cx {
+            let hist = grid.histogram(gx, gy);
+            let center_x = gx as f64 * cell_px as f64 + half;
+            let center_y = gy as f64 * cell_px as f64 + half;
+            for (bin, &value) in hist.iter().enumerate() {
+                if value <= 0.0 {
+                    continue;
+                }
+                let intensity = ((value / max) * 255.0).round().clamp(0.0, 255.0) as u8;
+                // Bin center angle; stroke along the edge = gradient + 90°.
+                let theta = (bin as f64 + 0.5) * std::f64::consts::PI / bins as f64
+                    + std::f64::consts::FRAC_PI_2;
+                let dx = theta.cos() * (half - 1.0);
+                let dy = theta.sin() * (half - 1.0);
+                draw_capsule(
+                    &mut img,
+                    center_x - dx,
+                    center_y - dy,
+                    center_x + dx,
+                    center_y + dy,
+                    1.0,
+                    intensity,
+                    f64::from(intensity) / 255.0,
+                );
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HogParams;
+
+    #[test]
+    fn render_dimensions_match_grid() {
+        let img = GrayImage::from_fn(64, 64, |x, y| ((x * 5 + y * 9) % 256) as u8);
+        let p = HogParams::builder().window(64, 64).build().unwrap();
+        let grid = CellGrid::compute(&img, &p);
+        let glyphs = render_glyphs(&grid, 16);
+        assert_eq!(glyphs.dimensions(), (8 * 16, 8 * 16));
+    }
+
+    #[test]
+    fn empty_grid_renders_black() {
+        let mut img = GrayImage::new(64, 64);
+        img.fill(128);
+        let p = HogParams::builder().window(64, 64).build().unwrap();
+        let grid = CellGrid::compute(&img, &p);
+        let glyphs = render_glyphs(&grid, 8);
+        assert!(glyphs.as_raw().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn edge_produces_visible_strokes() {
+        let img = GrayImage::from_fn(64, 64, |x, _| if x < 32 { 0 } else { 255 });
+        let p = HogParams::builder().window(64, 64).build().unwrap();
+        let grid = CellGrid::compute(&img, &p);
+        let glyphs = render_glyphs(&grid, 12);
+        assert!(glyphs.as_raw().iter().any(|&v| v > 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_px must be non-zero")]
+    fn zero_cell_px_panics() {
+        let img = GrayImage::new(64, 64);
+        let p = HogParams::builder().window(64, 64).build().unwrap();
+        let grid = CellGrid::compute(&img, &p);
+        let _ = render_glyphs(&grid, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Q-format fixed-point arithmetic for the hardware datapath.
+//!
+//! The accelerator's feature datapath uses a signed Q-format with a
+//! compile-time fractional width. Arithmetic saturates instead of wrapping
+//! (the safe synthesis choice for accumulating datapaths) and
+//! multiplication rounds to nearest, which is what a DSP48 post-adder with
+//! a carry-in rounding constant produces.
+
+/// A signed fixed-point number with `FRAC` fractional bits in an `i32`.
+///
+/// `Q0.15` (features), `Q4.12` (weights), etc. are all instances of this
+/// one generic type.
+///
+/// # Example
+///
+/// ```
+/// use rtped_hw::fixed::Fx;
+///
+/// let a = Fx::<15>::from_f32(0.5);
+/// let b = Fx::<15>::from_f32(0.25);
+/// assert!((a.mul(b).to_f32() - 0.125).abs() < 1e-4);
+/// assert!((a.add(b).to_f32() - 0.75).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx<const FRAC: u32>(i32);
+
+// The arithmetic methods intentionally shadow the std::ops names: they
+// are *saturating*, so implementing the `Add`/`Mul`/... traits (whose
+// contract is plain arithmetic) would be misleading at call sites.
+#[allow(clippy::should_implement_trait)]
+impl<const FRAC: u32> Fx<FRAC> {
+    /// The representable maximum.
+    pub const MAX: Self = Self(i32::MAX);
+    /// The representable minimum.
+    pub const MIN: Self = Self(i32::MIN);
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+    /// One (`1 << FRAC`).
+    pub const ONE: Self = Self(1 << FRAC);
+
+    /// Wraps a raw register value.
+    #[must_use]
+    pub fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw register value.
+    #[must_use]
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Quantizes a float (round-to-nearest, saturating).
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        let scaled = (f64::from(value) * (1u64 << FRAC) as f64).round();
+        Self(scaled.clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32)
+    }
+
+    /// Converts back to float (exact).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        (f64::from(self.0) / (1u64 << FRAC) as f64) as f32
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication with round-to-nearest.
+    #[must_use]
+    pub fn mul(self, rhs: Self) -> Self {
+        let wide = i64::from(self.0) * i64::from(rhs.0);
+        let rounded = (wide + (1i64 << (FRAC - 1))) >> FRAC;
+        Self(rounded.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
+    }
+
+    /// Saturating division (`self / rhs`), round toward zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[must_use]
+    pub fn div(self, rhs: Self) -> Self {
+        assert!(rhs.0 != 0, "fixed-point division by zero");
+        let wide = (i64::from(self.0) << FRAC) / i64::from(rhs.0);
+        Self(wide.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
+    }
+
+    /// Arithmetic shift right (divide by a power of two, floor).
+    #[must_use]
+    pub fn shr(self, bits: u32) -> Self {
+        Self(self.0 >> bits)
+    }
+
+    /// Saturating shift left (multiply by a power of two).
+    #[must_use]
+    pub fn shl(self, bits: u32) -> Self {
+        Self(
+            self.0
+                .checked_shl(bits)
+                .map_or(if self.0 >= 0 { i32::MAX } else { i32::MIN }, |v| {
+                    // Detect overflow: shifting back must recover the value.
+                    if (v >> bits) == self.0 {
+                        v
+                    } else if self.0 >= 0 {
+                        i32::MAX
+                    } else {
+                        i32::MIN
+                    }
+                }),
+        )
+    }
+
+    /// Clamps to `[lo, hi]`.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Minimum of two values.
+    #[must_use]
+    pub fn min(self, rhs: Self) -> Self {
+        Self(self.0.min(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> std::fmt::Display for Fx<FRAC> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Integer square root of a `u64` (the largest `r` with `r² <= value`) —
+/// the bit-serial restoring algorithm hardware magnitude units implement.
+#[must_use]
+pub fn isqrt_u64(value: u64) -> u64 {
+    if value == 0 {
+        return 0;
+    }
+    let mut rem = value;
+    let mut root = 0u64;
+    // Start at the highest even bit position.
+    let mut bit = 1u64 << ((63 - value.leading_zeros() as u64) & !1);
+    while bit != 0 {
+        if rem >= root + bit {
+            rem -= root + bit;
+            root = (root >> 1) + bit;
+        } else {
+            root >>= 1;
+        }
+        bit >>= 2;
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q15 = Fx<15>;
+    type Q12 = Fx<12>;
+
+    #[test]
+    fn roundtrip_is_tight() {
+        for v in [-1.0f32, -0.5, 0.0, 0.125, 0.2, 0.999, 1.0] {
+            let q = Q15::from_f32(v);
+            assert!((q.to_f32() - v).abs() < 1.0 / 32768.0 + 1e-7, "{v}");
+        }
+    }
+
+    #[test]
+    fn one_is_exact() {
+        assert_eq!(Q15::ONE.to_f32(), 1.0);
+        assert_eq!(Q12::ONE.raw(), 1 << 12);
+    }
+
+    #[test]
+    fn mul_rounds_to_nearest() {
+        // 3/32768 * 1/2 = 1.5/32768 -> rounds to 2/32768.
+        let a = Q15::from_raw(3);
+        let half = Q15::from_f32(0.5);
+        assert_eq!(a.mul(half).raw(), 2);
+    }
+
+    #[test]
+    fn mul_matches_float_within_one_ulp() {
+        for i in -50..50 {
+            for j in -50..50 {
+                let a = i as f32 * 0.013;
+                let b = j as f32 * 0.017;
+                let q = Q12::from_f32(a).mul(Q12::from_f32(b)).to_f32();
+                assert!(
+                    (q - a * b).abs() < 3.0 / 4096.0,
+                    "{a} * {b}: {q} vs {}",
+                    a * b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_saturates() {
+        let big = Q15::from_raw(i32::MAX - 1);
+        assert_eq!(big.add(big), Q15::MAX);
+        let small = Q15::from_raw(i32::MIN + 1);
+        assert_eq!(small.add(small), Q15::MIN);
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let a = Q12::from_f32(0.75);
+        let b = Q12::from_f32(0.25);
+        assert!((a.div(b).to_f32() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Q12::ONE.div(Q12::ZERO);
+    }
+
+    #[test]
+    fn shifts_are_powers_of_two() {
+        let v = Q12::from_f32(0.5);
+        assert!((v.shr(1).to_f32() - 0.25).abs() < 1e-6);
+        assert!((v.shl(1).to_f32() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shl_saturates_on_overflow() {
+        let v = Q15::from_raw(1 << 30);
+        assert_eq!(v.shl(4), Q15::MAX);
+        let v = Q15::from_raw(-(1 << 30));
+        assert_eq!(v.shl(4), Q15::MIN);
+    }
+
+    #[test]
+    fn clamp_and_min() {
+        let v = Q15::from_f32(0.9);
+        let clip = Q15::from_f32(0.2);
+        assert_eq!(v.min(clip), clip);
+        assert_eq!(v.clamp(Q15::ZERO, clip), clip);
+        assert_eq!(Q15::from_f32(-0.5).clamp(Q15::ZERO, clip), Q15::ZERO);
+    }
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for r in [0u64, 1, 2, 3, 255, 361, 65535, 1 << 20] {
+            assert_eq!(isqrt_u64(r * r), r);
+        }
+    }
+
+    #[test]
+    fn isqrt_is_floor() {
+        assert_eq!(isqrt_u64(2), 1);
+        assert_eq!(isqrt_u64(3), 1);
+        assert_eq!(isqrt_u64(8), 2);
+        assert_eq!(isqrt_u64(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn isqrt_brute_check_small_range() {
+        for v in 0u64..10_000 {
+            let r = isqrt_u64(v);
+            assert!(r * r <= v);
+            assert!((r + 1) * (r + 1) > v);
+        }
+    }
+
+    #[test]
+    fn display_prints_float_value() {
+        assert_eq!(format!("{}", Q12::from_f32(0.25)), "0.25");
+    }
+}

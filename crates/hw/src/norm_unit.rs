@@ -1,0 +1,295 @@
+//! The block-normalization stage: integer L2-Hys over 2×2-cell blocks,
+//! emitting the cell-major normalized feature map stored in `NHOGMem`.
+//!
+//! The datapath is all-integer: sums of squares in u64, magnitudes via the
+//! bit-serial integer square root, features in Q0.15 with the 0.2 clip of
+//! L2-Hys applied as a fixed-point constant.
+
+use crate::fixed::isqrt_u64;
+use crate::gradient_unit::BINS;
+use crate::hist_unit::HwCellGrid;
+
+/// Q0.15 representation of the L2-Hys clip constant 0.2.
+pub const CLIP_Q15: i32 = 6554; // round(0.2 * 32768)
+
+/// Features per cell in the cell-major layout (4 roles × 9 bins).
+pub const CELL_FEATURES: usize = 4 * BINS;
+
+/// The fixed-point normalized feature map (cell-major, Q0.15).
+///
+/// Same layout as [`rtped_hog::feature_map::FeatureMap`]:
+/// `data[(cy * cells_x + cx) * 36 + role * 9 + bin]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwFeatureMap {
+    cells_x: usize,
+    cells_y: usize,
+    data: Vec<i32>,
+}
+
+impl HwFeatureMap {
+    /// Builds a map from raw Q0.15 data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != cells_x * cells_y * 36` or a dimension is
+    /// zero.
+    #[must_use]
+    pub fn from_raw(cells_x: usize, cells_y: usize, data: Vec<i32>) -> Self {
+        assert!(cells_x > 0 && cells_y > 0, "empty feature map");
+        assert_eq!(
+            data.len(),
+            cells_x * cells_y * CELL_FEATURES,
+            "data length mismatch"
+        );
+        Self {
+            cells_x,
+            cells_y,
+            data,
+        }
+    }
+
+    /// Grid size `(cells_x, cells_y)`.
+    #[must_use]
+    pub fn cells(&self) -> (usize, usize) {
+        (self.cells_x, self.cells_y)
+    }
+
+    /// Borrows the 36 Q0.15 features of cell `(cx, cy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn cell(&self, cx: usize, cy: usize) -> &[i32] {
+        assert!(cx < self.cells_x && cy < self.cells_y, "cell out of bounds");
+        let base = (cy * self.cells_x + cx) * CELL_FEATURES;
+        &self.data[base..base + CELL_FEATURES]
+    }
+
+    /// Borrows the raw Q0.15 buffer.
+    #[must_use]
+    pub fn as_raw(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Converts to the float reference type for golden comparisons.
+    #[must_use]
+    pub fn to_float(&self) -> rtped_hog::feature_map::FeatureMap {
+        let data: Vec<f32> = self.data.iter().map(|&v| v as f32 / 32768.0).collect();
+        rtped_hog::feature_map::FeatureMap::from_raw(self.cells_x, self.cells_y, BINS, data)
+    }
+}
+
+/// The streaming normalizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizerUnit;
+
+impl NormalizerUnit {
+    /// Creates the unit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Normalizes one 2×2-cell block (`block[quadrant * 9 + bin]` of raw
+    /// u32 histogram values) into Q0.15 L2-Hys features.
+    ///
+    /// Steps (all integer):
+    /// 1. `norm1 = isqrt(Σ v²)` (u64).
+    /// 2. `q = min((v << 15) / max(norm1, 1), CLIP)`.
+    /// 3. `norm2 = isqrt(Σ q²)` (Q0.15).
+    /// 4. `out = (q << 15) / max(norm2, 1)`.
+    #[must_use]
+    pub fn normalize_block(&self, block: &[u32; 4 * BINS]) -> [i32; 4 * BINS] {
+        let sum_sq: u64 = block.iter().map(|&v| u64::from(v) * u64::from(v)).sum();
+        let mut out = [0i32; 4 * BINS];
+        if sum_sq == 0 {
+            return out;
+        }
+        let norm1 = isqrt_u64(sum_sq).max(1);
+        let mut clipped = [0i64; 4 * BINS];
+        for (c, &v) in clipped.iter_mut().zip(block.iter()) {
+            let q = (u64::from(v) << 15) / norm1;
+            *c = (q as i64).min(i64::from(CLIP_Q15));
+        }
+        let sum_sq2: u64 = clipped.iter().map(|&v| (v * v) as u64).sum();
+        let norm2 = isqrt_u64(sum_sq2).max(1);
+        for (o, &c) in out.iter_mut().zip(clipped.iter()) {
+            *o = (((c as u64) << 15) / norm2) as i32;
+        }
+        out
+    }
+
+    /// Normalizes a whole cell grid into the cell-major feature map,
+    /// filling edge-cell roles from clamped block origins exactly like the
+    /// float reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid holds fewer than 2×2 cells.
+    #[must_use]
+    pub fn process(&self, grid: &HwCellGrid) -> HwFeatureMap {
+        let (cells_x, cells_y) = grid.cells();
+        assert!(
+            cells_x >= 2 && cells_y >= 2,
+            "feature map needs at least 2x2 cells"
+        );
+        let max_bx = cells_x - 2;
+        let max_by = cells_y - 2;
+        let mut data = vec![0i32; cells_x * cells_y * CELL_FEATURES];
+        // Role block offsets in storage order LU, RU, LB, RB.
+        const OFFSETS: [(isize, isize); 4] = [(0, 0), (-1, 0), (0, -1), (-1, -1)];
+        let mut block = [0u32; 4 * BINS];
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                for (role, (dx, dy)) in OFFSETS.into_iter().enumerate() {
+                    let bx = (cx as isize + dx).clamp(0, max_bx as isize) as usize;
+                    let by = (cy as isize + dy).clamp(0, max_by as isize) as usize;
+                    for (ci, (ox, oy)) in [(0, 0), (1, 0), (0, 1), (1, 1)].into_iter().enumerate() {
+                        let h = grid.histogram(bx + ox, by + oy);
+                        block[ci * BINS..(ci + 1) * BINS].copy_from_slice(h);
+                    }
+                    let normalized = self.normalize_block(&block);
+                    let qx = (cx as isize - bx as isize).clamp(0, 1) as usize;
+                    let qy = (cy as isize - by as isize).clamp(0, 1) as usize;
+                    let quadrant = qy * 2 + qx;
+                    let dst = ((cy * cells_x + cx) * 4 + role) * BINS;
+                    data[dst..dst + BINS]
+                        .copy_from_slice(&normalized[quadrant * BINS..(quadrant + 1) * BINS]);
+                }
+            }
+        }
+        HwFeatureMap {
+            cells_x,
+            cells_y,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist_unit::HistogramUnit;
+    use rtped_hog::params::HogParams;
+    use rtped_image::GrayImage;
+
+    fn textured(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 29 + (x * y) % 17) % 256) as u8)
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let unit = NormalizerUnit::new();
+        let out = unit.normalize_block(&[0; 36]);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn normalized_block_has_near_unit_energy() {
+        let unit = NormalizerUnit::new();
+        let mut block = [0u32; 36];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u32 + 1) * 1000;
+        }
+        let out = unit.normalize_block(&block);
+        let energy: f64 = out.iter().map(|&v| (f64::from(v) / 32768.0).powi(2)).sum();
+        assert!(
+            (energy.sqrt() - 1.0).abs() < 0.01,
+            "block norm {}",
+            energy.sqrt()
+        );
+    }
+
+    #[test]
+    fn clipping_limits_dominant_components() {
+        let unit = NormalizerUnit::new();
+        // One component 20x the rest (both representable in Q0.15 after
+        // the first normalization; sub-quantization ratios like 1e-6
+        // correctly flush to zero in hardware).
+        let mut block = [500u32; 36];
+        block[0] = 10_000;
+        let out = unit.normalize_block(&block);
+        let max = *out.iter().max().unwrap();
+        let second = out[1];
+        assert!(second > 0, "small components must survive clipping");
+        // Plain L2 would leave the ratio at 500/10000 = 0.05; the 0.2
+        // clip on the dominant component must raise it.
+        assert!(
+            f64::from(second) / f64::from(max) > 0.05,
+            "clip did not boost small components: {second}/{max}"
+        );
+    }
+
+    #[test]
+    fn sub_quantization_components_flush_to_zero() {
+        // Values below the Q0.15 resolution of the block norm vanish —
+        // the faithful hardware behaviour.
+        let unit = NormalizerUnit::new();
+        let mut block = [1u32; 36];
+        block[0] = 1_000_000;
+        let out = unit.normalize_block(&block);
+        assert_eq!(out[1], 0);
+        assert!(out[0] > 0);
+    }
+
+    #[test]
+    fn scale_invariance_of_large_blocks() {
+        let unit = NormalizerUnit::new();
+        let mut a = [0u32; 36];
+        let mut b = [0u32; 36];
+        for i in 0..36 {
+            a[i] = (i as u32 + 3) * 10_000;
+            b[i] = (i as u32 + 3) * 40_000;
+        }
+        let na = unit.normalize_block(&a);
+        let nb = unit.normalize_block(&b);
+        for (x, y) in na.iter().zip(&nb) {
+            assert!((x - y).abs() <= 2, "not scale invariant: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn full_map_matches_float_reference() {
+        let img = textured(64, 128);
+        let hw_grid = HistogramUnit::new().process_frame(&img);
+        let hw_map = NormalizerUnit::new().process(&hw_grid).to_float();
+        let params = HogParams::pedestrian();
+        let float_map = rtped_hog::feature_map::FeatureMap::extract(&img, &params);
+        assert_eq!(hw_map.cells(), float_map.cells());
+        let mut err = 0.0f64;
+        let mut n = 0usize;
+        for (&a, &b) in hw_map.as_raw().iter().zip(float_map.as_raw()) {
+            err += f64::from((a - b).abs());
+            n += 1;
+        }
+        let mae = err / n as f64;
+        // Q0.15 quantization + integer sqrt vs float: mean error well
+        // under 2 quantization steps of the 0.2-clip scale.
+        assert!(mae < 0.01, "mean abs error vs float reference: {mae}");
+    }
+
+    #[test]
+    fn features_are_in_q15_unit_range() {
+        let img = textured(96, 96);
+        let hw_grid = HistogramUnit::new().process_frame(&img);
+        let map = NormalizerUnit::new().process(&hw_grid);
+        for &v in map.as_raw() {
+            assert!((0..=32768).contains(&v), "feature {v} out of Q0.15 range");
+        }
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let ok = HwFeatureMap::from_raw(2, 2, vec![0; 2 * 2 * 36]);
+        assert_eq!(ok.cells(), (2, 2));
+        assert!(std::panic::catch_unwind(|| HwFeatureMap::from_raw(2, 2, vec![0; 10])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of bounds")]
+    fn cell_access_checked() {
+        let map = HwFeatureMap::from_raw(2, 2, vec![0; 2 * 2 * 36]);
+        let _ = map.cell(2, 0);
+    }
+}

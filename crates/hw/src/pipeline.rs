@@ -1,0 +1,405 @@
+//! The full accelerator: frame in → multi-scale detections + cycle
+//! accounting out (paper Fig. 5 / Fig. 6).
+//!
+//! Dataflow:
+//!
+//! ```text
+//! pixels ─▶ GradientUnit ─▶ HistogramUnit ─▶ NormalizerUnit ─▶ NHOGMem
+//!                                                 │               │
+//!                                                 ▼               ▼
+//!                                         FeatureScaler ─▶ SVM engine (scale 1.5)
+//!                                                           SVM engine (scale 1.0)
+//! ```
+//!
+//! The extractor ingests one pixel per cycle, so the frame period of an
+//! HDTV stream is 2,073,600 cycles (16.6 ms @ 125 MHz = 60 fps). The
+//! classifier instances run in parallel — one per scale, sharing the model
+//! memory (§5) — and each finishes its map in under the frame period, so
+//! the design sustains the stream rate.
+
+use rtped_detect::bbox::BoundingBox;
+use rtped_detect::detector::Detection;
+use rtped_detect::nms::non_maximum_suppression;
+use rtped_image::GrayImage;
+use rtped_svm::LinearSvm;
+
+use crate::hist_unit::HistogramUnit;
+use crate::norm_unit::{HwFeatureMap, NormalizerUnit};
+use crate::scaler::FeatureScaler;
+use crate::svm_engine::{QuantizedModel, SvmEngine, WINDOW_CELLS};
+use crate::timing::{pixel_stream_cycles, ClockDomain};
+
+/// Accelerator configuration.
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfig {
+    /// Design clock (125 MHz in the paper).
+    pub clock: ClockDomain,
+    /// Detection scales; the first must be 1.0 (the native map). The
+    /// paper implements two (§5: "only two scales ... have been
+    /// considered" on the ZC7020).
+    pub scales: Vec<f64>,
+    /// Decision threshold in the float score domain.
+    pub threshold: f64,
+    /// IoU for the (off-chip) NMS post-process; `None` disables it.
+    pub nms_iou: Option<f64>,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self {
+            clock: ClockDomain::MHZ_125,
+            scales: vec![1.0, 1.5],
+            threshold: 0.0,
+            nms_iou: Some(0.3),
+        }
+    }
+}
+
+/// Per-scale classification accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// The scale factor.
+    pub scale: f64,
+    /// Cell-grid size the engine saw at this scale.
+    pub cells: (usize, usize),
+    /// Windows classified.
+    pub windows: usize,
+    /// Engine cycles for this scale's map.
+    pub classifier_cycles: u64,
+    /// Scaler cycles spent producing this map (0 for the native scale).
+    pub scaler_cycles: u64,
+}
+
+/// The result of running one frame through the accelerator model.
+#[derive(Debug, Clone)]
+pub struct AcceleratorReport {
+    /// Thresholded (and optionally NMS-filtered) detections in native
+    /// frame coordinates.
+    pub detections: Vec<Detection>,
+    /// Cycles for the extractor to ingest the frame (= pixel count).
+    pub extractor_cycles: u64,
+    /// Per-scale classification reports.
+    pub scale_reports: Vec<ScaleReport>,
+}
+
+impl AcceleratorReport {
+    /// The longest classifier latency across the parallel scale engines.
+    #[must_use]
+    pub fn classifier_cycles(&self) -> u64 {
+        self.scale_reports
+            .iter()
+            .map(|r| r.classifier_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The frame period the design sustains: extraction and classification
+    /// overlap, so throughput is bounded by the slower of the two.
+    #[must_use]
+    pub fn frame_cycles(&self) -> u64 {
+        self.extractor_cycles.max(self.classifier_cycles())
+    }
+
+    /// Sustained frames per second at `clock`.
+    #[must_use]
+    pub fn fps(&self, clock: ClockDomain) -> f64 {
+        clock.fps(self.frame_cycles())
+    }
+}
+
+/// The accelerator model.
+#[derive(Debug, Clone)]
+pub struct HogAccelerator {
+    config: AcceleratorConfig,
+    model: QuantizedModel,
+    threshold_raw: i64,
+}
+
+impl HogAccelerator {
+    /// Builds the accelerator around an offline-trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not 4608-dimensional (the 8×16-cell
+    /// window), `scales` is empty, or the first scale is not 1.0.
+    #[must_use]
+    pub fn new(model: &LinearSvm, config: AcceleratorConfig) -> Self {
+        let (wc, hc) = WINDOW_CELLS;
+        assert_eq!(
+            model.dim(),
+            wc * hc * crate::norm_unit::CELL_FEATURES,
+            "model does not match the 8x16-cell window descriptor"
+        );
+        assert!(!config.scales.is_empty(), "need at least one scale");
+        assert!(
+            (config.scales[0] - 1.0).abs() < 1e-9,
+            "the first scale must be the native 1.0"
+        );
+        let threshold_raw = QuantizedModel::threshold_to_raw(config.threshold);
+        Self {
+            config,
+            model: QuantizedModel::from_svm(model),
+            threshold_raw,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Extracts the fixed-point feature map of a frame (the shared front
+    /// half of the pipeline), exposed for golden-model comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is smaller than 2×2 cells.
+    #[must_use]
+    pub fn extract_features(&self, frame: &GrayImage) -> HwFeatureMap {
+        let grid = HistogramUnit::new().process_frame(frame);
+        NormalizerUnit::new().process(&grid)
+    }
+
+    /// Runs one frame through the full pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is smaller than 2×2 cells.
+    #[must_use]
+    pub fn process(&self, frame: &GrayImage) -> AcceleratorReport {
+        let base = self.extract_features(frame);
+        let extractor_cycles = pixel_stream_cycles(frame.width(), frame.height());
+        let engine = SvmEngine::new();
+        let scaler = FeatureScaler::new();
+        let (wc, hc) = WINDOW_CELLS;
+        let cell = 8usize;
+        let mut detections = Vec::new();
+        let mut scale_reports = Vec::new();
+
+        for &scale in &self.config.scales {
+            let (map, scaler_cycles) = if (scale - 1.0).abs() < 1e-9 {
+                (base.clone(), 0u64)
+            } else {
+                let scaled = scaler.scale_by(&base, scale);
+                let (nx, ny) = scaled.cells();
+                (scaled, scaler.cycles(nx, ny))
+            };
+            let (cx_cells, cy_cells) = map.cells();
+            if cx_cells < wc || cy_cells < hc {
+                scale_reports.push(ScaleReport {
+                    scale,
+                    cells: map.cells(),
+                    windows: 0,
+                    classifier_cycles: 0,
+                    scaler_cycles,
+                });
+                continue;
+            }
+            let scores = engine.classify_map(&map, &self.model);
+            let windows = scores.len();
+            for s in scores {
+                if s.raw > self.threshold_raw {
+                    let bbox = BoundingBox::new(
+                        (s.cx * cell) as i64,
+                        (s.cy * cell) as i64,
+                        (wc * cell) as u64,
+                        (hc * cell) as u64,
+                    )
+                    .scaled(scale);
+                    detections.push(Detection {
+                        bbox,
+                        score: QuantizedModel::score_to_f64(s.raw),
+                        scale,
+                    });
+                }
+            }
+            scale_reports.push(ScaleReport {
+                scale,
+                cells: map.cells(),
+                windows,
+                classifier_cycles: engine.cycles_per_frame(cx_cells, cy_cells),
+                scaler_cycles,
+            });
+        }
+
+        let detections = match self.config.nms_iou {
+            Some(iou) => non_maximum_suppression(detections, iou),
+            None => detections,
+        };
+
+        AcceleratorReport {
+            detections,
+            extractor_cycles,
+            scale_reports,
+        }
+    }
+
+    /// A textual stage graph of the implemented architecture (the harness
+    /// prints this next to the throughput table; it corresponds to the
+    /// paper's Figs. 5–8).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let scales = self
+            .config
+            .scales
+            .iter()
+            .map(|s| format!("{s:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "pixels -> GradientUnit (1 px/cycle, isqrt magnitude, tan-compare bins)\n\
+             \x20      -> HistogramUnit (8x8 cells, 9 bins, Q0.8 split votes)\n\
+             \x20      -> NormalizerUnit (L2-Hys, integer isqrt, Q0.15 out)\n\
+             \x20      -> NHOGMem (16 banks, LU/RU/LB/RB groups, 18-row ring)\n\
+             \x20      -> FeatureScaler (shift-and-add bilinear, 1/16 weights)\n\
+             \x20      -> SvmEngine x{} (8 MACBAR x 16 MAC, 288-cycle fill, 36 cycles/column)\n\
+             scales: [{}]",
+            self.config.scales.len(),
+            scales
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtped_detect::detector::score_window;
+    use rtped_hog::params::HogParams;
+
+    fn textured(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| ((x * 29 + y * 13 + (x * y) % 31) % 256) as u8)
+    }
+
+    fn pseudo_model(bias: f64) -> LinearSvm {
+        let weights: Vec<f64> = (0..4608)
+            .map(|i| (((i * 2654435761usize) % 2001) as f64 / 1000.0 - 1.0) * 0.02)
+            .collect();
+        LinearSvm::new(weights, bias)
+    }
+
+    #[test]
+    fn report_has_one_entry_per_scale() {
+        let model = pseudo_model(-10.0);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let report = acc.process(&textured(256, 256));
+        assert_eq!(report.scale_reports.len(), 2);
+        assert_eq!(report.extractor_cycles, 256 * 256);
+    }
+
+    #[test]
+    fn strongly_negative_bias_detects_nothing() {
+        let model = pseudo_model(-10.0);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let report = acc.process(&textured(192, 256));
+        assert!(report.detections.is_empty());
+    }
+
+    #[test]
+    fn positive_bias_fires_and_boxes_are_scaled() {
+        let model = LinearSvm::new(vec![0.0; 4608], 2.0);
+        let mut config = AcceleratorConfig::default();
+        config.nms_iou = None;
+        let acc = HogAccelerator::new(&model, config);
+        let report = acc.process(&textured(256, 512));
+        // Base scale 32x64 cells: 25x49 windows; scale 1.5: 21x43 cells ->
+        // 14x28 windows.
+        let base = &report.scale_reports[0];
+        assert_eq!(base.windows, 25 * 49);
+        let scaled = &report.scale_reports[1];
+        assert_eq!(scaled.cells, (21, 43));
+        assert_eq!(scaled.windows, 14 * 28);
+        // Every window fired (bias 2.0, zero weights).
+        assert_eq!(report.detections.len(), base.windows + scaled.windows);
+        // Scaled boxes are 1.5x window size.
+        let any_scaled = report
+            .detections
+            .iter()
+            .find(|d| (d.scale - 1.5).abs() < 1e-9)
+            .unwrap();
+        assert_eq!(any_scaled.bbox.width, 96);
+        assert_eq!(any_scaled.bbox.height, 192);
+    }
+
+    #[test]
+    fn classifier_cycles_match_schedule_formula() {
+        let model = pseudo_model(0.0);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let report = acc.process(&textured(256, 256));
+        // 32x32 cells -> 32 * (288 + 31*36) = 32 * 1404 = 44,928.
+        assert_eq!(report.scale_reports[0].classifier_cycles, 44_928);
+    }
+
+    #[test]
+    fn frame_rate_is_bounded_by_slower_stage() {
+        let model = pseudo_model(0.0);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let report = acc.process(&textured(256, 256));
+        assert_eq!(
+            report.frame_cycles(),
+            report.extractor_cycles.max(report.classifier_cycles())
+        );
+        assert!(report.fps(ClockDomain::MHZ_125) > 0.0);
+    }
+
+    #[test]
+    fn hw_scores_agree_with_float_reference_detector() {
+        // End-to-end agreement: the fixed-point pipeline's window scores
+        // must track the float pipeline's within quantization error.
+        let params = HogParams::pedestrian();
+        let frame = textured(96, 160);
+        let model = pseudo_model(0.1);
+        let mut config = AcceleratorConfig::default();
+        config.scales = vec![1.0];
+        config.nms_iou = None;
+        config.threshold = -1e9; // keep every window
+        let acc = HogAccelerator::new(&model, config);
+        let report = acc.process(&frame);
+        let float_map = rtped_hog::feature_map::FeatureMap::extract(&frame, &params);
+        for det in &report.detections {
+            let cx = det.bbox.x as usize / 8;
+            let cy = det.bbox.y as usize / 8;
+            let float_score = score_window(&float_map, cx, cy, &params, &model);
+            assert!(
+                (det.score - float_score).abs() < 0.08,
+                "window ({cx},{cy}): hw {} vs float {float_score}",
+                det.score
+            );
+        }
+    }
+
+    #[test]
+    fn describe_names_every_stage() {
+        let model = pseudo_model(0.0);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let desc = acc.describe();
+        for stage in [
+            "GradientUnit",
+            "HistogramUnit",
+            "NormalizerUnit",
+            "NHOGMem",
+            "FeatureScaler",
+            "SvmEngine",
+        ] {
+            assert!(desc.contains(stage), "missing stage {stage}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "the first scale must be the native 1.0")]
+    fn non_native_first_scale_rejected() {
+        let model = pseudo_model(0.0);
+        let config = AcceleratorConfig {
+            scales: vec![1.5],
+            ..AcceleratorConfig::default()
+        };
+        let _ = HogAccelerator::new(&model, config);
+    }
+
+    #[test]
+    #[should_panic(expected = "model does not match")]
+    fn wrong_model_dim_rejected() {
+        let model = LinearSvm::new(vec![0.0; 3780], 0.0);
+        let _ = HogAccelerator::new(&model, AcceleratorConfig::default());
+    }
+}

@@ -1,0 +1,212 @@
+//! The shift-and-add feature down-scaler (paper §5, Fig. 6).
+//!
+//! "Scaling modules are implemented by shift-and-add instead of multiplier
+//! to keep resource utilization as low as possible." The scaler resamples
+//! the Q0.15 feature map bilinearly with interpolation weights quantized
+//! to 1/16ths, so every weight multiplication decomposes into at most four
+//! shifted adds and the module needs zero DSP blocks.
+
+use crate::norm_unit::{HwFeatureMap, CELL_FEATURES};
+
+/// Weight denominator: weights are quantized to `k / 16`, `k ∈ 0..=16`.
+pub const WEIGHT_DENOM: u32 = 16;
+
+/// Multiplies `value` by `k / 16` using only shifts and adds.
+///
+/// The decomposition mirrors the hardware adder tree: one shifted partial
+/// product per set bit of `k`, summed, then an arithmetic shift right by 4
+/// (with round-to-nearest via a +8 carry-in).
+///
+/// # Panics
+///
+/// Panics if `k > 16`.
+#[must_use]
+pub fn shift_add_mul(value: i32, k: u8) -> i32 {
+    assert!(u32::from(k) <= WEIGHT_DENOM, "weight numerator exceeds 16");
+    let v = i64::from(value);
+    let mut acc = 0i64;
+    for bit in 0..5u32 {
+        if k & (1 << bit) != 0 {
+            acc += v << bit;
+        }
+    }
+    ((acc + 8) >> 4) as i32
+}
+
+/// Cycle cost of the pipelined scaler per output feature: the unit
+/// produces one interpolated feature per cycle once its 3-stage adder
+/// pipeline is full.
+pub const CYCLES_PER_FEATURE: u64 = 1;
+
+/// The down-scaling module.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeatureScaler;
+
+impl FeatureScaler {
+    /// Creates the unit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Bilinearly resamples `map` to `new_x * new_y` cells with 1/16-
+    /// quantized weights and shift-add arithmetic only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    #[must_use]
+    pub fn scale_to(&self, map: &HwFeatureMap, new_x: usize, new_y: usize) -> HwFeatureMap {
+        assert!(new_x > 0 && new_y > 0, "scaled map must be non-empty");
+        let (cells_x, cells_y) = map.cells();
+        if (new_x, new_y) == (cells_x, cells_y) {
+            return map.clone();
+        }
+        let rx = cells_x as f64 / new_x as f64;
+        let ry = cells_y as f64 / new_y as f64;
+        let mut data = vec![0i32; new_x * new_y * CELL_FEATURES];
+        for oy in 0..new_y {
+            let fy = (oy as f64 + 0.5) * ry - 0.5;
+            let y0 = fy.floor();
+            // Quantize the fractional weight to 1/16ths (the hardware's
+            // weight ROM resolution).
+            let ty = ((fy - y0) * f64::from(WEIGHT_DENOM)).round() as u8;
+            let y0i = (y0 as isize).clamp(0, cells_y as isize - 1) as usize;
+            let y1i = (y0 as isize + 1).clamp(0, cells_y as isize - 1) as usize;
+            for ox in 0..new_x {
+                let fx = (ox as f64 + 0.5) * rx - 0.5;
+                let x0 = fx.floor();
+                let tx = ((fx - x0) * f64::from(WEIGHT_DENOM)).round() as u8;
+                let x0i = (x0 as isize).clamp(0, cells_x as isize - 1) as usize;
+                let x1i = (x0 as isize + 1).clamp(0, cells_x as isize - 1) as usize;
+                let c00 = map.cell(x0i, y0i);
+                let c10 = map.cell(x1i, y0i);
+                let c01 = map.cell(x0i, y1i);
+                let c11 = map.cell(x1i, y1i);
+                let base = (oy * new_x + ox) * CELL_FEATURES;
+                for k in 0..CELL_FEATURES {
+                    let top = shift_add_mul(c00[k], 16 - tx) + shift_add_mul(c10[k], tx);
+                    let bottom = shift_add_mul(c01[k], 16 - tx) + shift_add_mul(c11[k], tx);
+                    data[base + k] = shift_add_mul(top, 16 - ty) + shift_add_mul(bottom, ty);
+                }
+            }
+        }
+        HwFeatureMap::from_raw(new_x, new_y, data)
+    }
+
+    /// Resamples by factor `s > 1` (shrinks the map, detecting larger
+    /// objects), rounding the output grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not finite/positive.
+    #[must_use]
+    pub fn scale_by(&self, map: &HwFeatureMap, s: f64) -> HwFeatureMap {
+        assert!(s.is_finite() && s > 0.0, "scale must be positive");
+        let (cx, cy) = map.cells();
+        let nx = ((cx as f64 / s).round() as usize).max(1);
+        let ny = ((cy as f64 / s).round() as usize).max(1);
+        self.scale_to(map, nx, ny)
+    }
+
+    /// Cycles to produce the scaled map: one output feature per cycle,
+    /// pipelined behind the normalizer.
+    #[must_use]
+    pub fn cycles(&self, new_x: usize, new_y: usize) -> u64 {
+        (new_x * new_y * CELL_FEATURES) as u64 * CYCLES_PER_FEATURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_map(cx: usize, cy: usize) -> HwFeatureMap {
+        let mut data = vec![0i32; cx * cy * CELL_FEATURES];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = ((i * 7) % 32768) as i32;
+        }
+        HwFeatureMap::from_raw(cx, cy, data)
+    }
+
+    #[test]
+    fn shift_add_mul_matches_exact_arithmetic() {
+        for value in [-32768, -1000, -1, 0, 1, 777, 32767] {
+            for k in 0..=16u8 {
+                let exact = ((i64::from(value) * i64::from(k) + 8) >> 4) as i32;
+                assert_eq!(shift_add_mul(value, k), exact, "{value} * {k}/16");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_add_identity_and_zero() {
+        assert_eq!(shift_add_mul(12345, 16), 12345);
+        assert_eq!(shift_add_mul(12345, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight numerator exceeds 16")]
+    fn shift_add_rejects_large_weight() {
+        let _ = shift_add_mul(1, 17);
+    }
+
+    #[test]
+    fn identity_scale_is_clone() {
+        let map = ramp_map(8, 16);
+        let scaler = FeatureScaler::new();
+        assert_eq!(scaler.scale_to(&map, 8, 16), map);
+    }
+
+    #[test]
+    fn constant_map_scales_to_constant() {
+        let map = HwFeatureMap::from_raw(8, 8, vec![10_000; 8 * 8 * CELL_FEATURES]);
+        let out = FeatureScaler::new().scale_to(&map, 5, 5);
+        for &v in out.as_raw() {
+            assert!((v - 10_000).abs() <= 2, "constant drifted to {v}");
+        }
+    }
+
+    #[test]
+    fn downscale_dimensions_round() {
+        let map = ramp_map(20, 40);
+        let scaler = FeatureScaler::new();
+        let half = scaler.scale_by(&map, 2.0);
+        assert_eq!(half.cells(), (10, 20));
+        let odd = scaler.scale_by(&map, 1.5);
+        assert_eq!(odd.cells(), (13, 27));
+    }
+
+    #[test]
+    fn tracks_float_reference_scaler() {
+        // The shift-add scaler must track the float bilinear resample of
+        // rtped-hog within the 1/16-weight quantization error.
+        let map = ramp_map(16, 32);
+        let float_map = map.to_float();
+        let hw_out = FeatureScaler::new().scale_by(&map, 1.5);
+        let float_out = float_map.scaled_by(1.5);
+        assert_eq!(hw_out.cells(), float_out.cells(), "grids disagree in shape");
+        let mut max_err = 0.0f32;
+        for (&q, &f) in hw_out.as_raw().iter().zip(float_out.as_raw()) {
+            let err = (q as f32 / 32768.0 - f).abs();
+            max_err = max_err.max(err);
+        }
+        // 1/16 weight quantization on values <= 1.0: error bound ~ 2/16.
+        assert!(max_err < 0.13, "max error vs float scaler: {max_err}");
+    }
+
+    #[test]
+    fn output_range_is_preserved() {
+        let map = ramp_map(12, 24);
+        let out = FeatureScaler::new().scale_by(&map, 1.3);
+        for &v in out.as_raw() {
+            assert!((0..=32768 + 2048).contains(&v), "value {v} escaped range");
+        }
+    }
+
+    #[test]
+    fn cycle_cost_counts_output_features() {
+        let scaler = FeatureScaler::new();
+        assert_eq!(scaler.cycles(10, 20), (10 * 20 * 36) as u64);
+    }
+}

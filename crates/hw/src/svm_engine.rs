@@ -1,0 +1,321 @@
+//! The pipelined SVM classification engine (paper §5, Fig. 8).
+//!
+//! Eight MACBAR units process the eight cell columns of a detection
+//! window. After an initial **288-cycle** buffer fill per cell row
+//! (8 columns × 36 cycles), one window column is read from `NHOGMem`
+//! every **36 cycles** (two block columns per 72 cycles through the four
+//! LU/RU/LB/RB feature groups), so a fully pipelined window result
+//! retires every 36 cycles. For an HDTV frame (240×135 cells):
+//!
+//! ```text
+//! cycles = 135 rows × (288 + 239 × 36) = 1,200,420
+//! ```
+//!
+//! — the paper's exact per-frame count, under 10 ms at 125 MHz.
+
+use rtped_svm::LinearSvm;
+
+use crate::macbar::{MacBar, LANES};
+use crate::nhog_mem::NhogMem;
+use crate::norm_unit::{HwFeatureMap, CELL_FEATURES};
+
+/// Buffer-fill cycles per cell row (8 columns × 36).
+pub const FILL_CYCLES: u64 = 288;
+/// Cycles per additional window column.
+pub const COLUMN_CYCLES: u64 = 36;
+/// Number of pipelined MACBAR units (one per window cell column).
+pub const MACBARS: usize = 8;
+/// Window size in cells (width, height).
+pub const WINDOW_CELLS: (usize, usize) = (8, 16);
+
+/// Fractional bits of the quantized weights (Q4.12).
+pub const WEIGHT_FRAC: u32 = 12;
+/// Fractional bits of a raw engine score (Q0.15 features × Q4.12 weights).
+pub const SCORE_FRAC: u32 = 15 + WEIGHT_FRAC;
+
+/// The SVM model quantized for the hardware model memory.
+///
+/// Weights are Q4.12 (saturated to ±16), the bias is pre-scaled to the
+/// accumulator format Q4.27 so it adds directly onto the MACBAR output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedModel {
+    weights: Vec<i32>,
+    bias: i64,
+}
+
+impl QuantizedModel {
+    /// Quantizes a trained float model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has zero dimensionality.
+    #[must_use]
+    pub fn from_svm(model: &LinearSvm) -> Self {
+        let scale = f64::from(1u32 << WEIGHT_FRAC);
+        let limit = f64::from(i32::from(i16::MAX));
+        let weights = model
+            .weights()
+            .iter()
+            .map(|&w| (w * scale).round().clamp(-limit - 1.0, limit) as i32)
+            .collect();
+        let bias = (model.bias() * (1u64 << SCORE_FRAC) as f64).round() as i64;
+        Self { weights, bias }
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The Q4.12 weights.
+    #[must_use]
+    pub fn weights(&self) -> &[i32] {
+        &self.weights
+    }
+
+    /// The Q4.27 bias.
+    #[must_use]
+    pub fn bias(&self) -> i64 {
+        self.bias
+    }
+
+    /// Converts a raw engine score to float.
+    #[must_use]
+    pub fn score_to_f64(raw: i64) -> f64 {
+        raw as f64 / (1u64 << SCORE_FRAC) as f64
+    }
+
+    /// Converts a float threshold to the raw score domain.
+    #[must_use]
+    pub fn threshold_to_raw(threshold: f64) -> i64 {
+        (threshold * (1u64 << SCORE_FRAC) as f64).round() as i64
+    }
+}
+
+/// One classified window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowScore {
+    /// Top-left cell x of the window.
+    pub cx: usize,
+    /// Top-left cell y of the window.
+    pub cy: usize,
+    /// Raw Q4.27 decision value (`w·x + b`).
+    pub raw: i64,
+}
+
+/// The classification engine.
+#[derive(Debug, Clone, Default)]
+pub struct SvmEngine;
+
+impl SvmEngine {
+    /// Creates the engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The paper's per-frame cycle count for a `cells_x * cells_y` cell
+    /// grid: every cell row pays the 288-cycle fill plus 36 cycles per
+    /// remaining column.
+    ///
+    /// For HDTV (240×135) this is exactly 1,200,420.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn cycles_per_frame(&self, cells_x: usize, cells_y: usize) -> u64 {
+        assert!(cells_x > 0 && cells_y > 0, "empty cell grid");
+        cells_y as u64 * (FILL_CYCLES + (cells_x as u64 - 1) * COLUMN_CYCLES)
+    }
+
+    /// Classifies every window position of `map`, streaming the feature
+    /// rows through an 18-row [`NhogMem`] and the 8 MACBAR pipeline.
+    ///
+    /// Returns the raw score of every window in raster order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.dim() != 4608` (the 8×16-cell window).
+    #[must_use]
+    pub fn classify_map(&self, map: &HwFeatureMap, model: &QuantizedModel) -> Vec<WindowScore> {
+        let (wc, hc) = WINDOW_CELLS;
+        assert_eq!(
+            model.dim(),
+            wc * hc * CELL_FEATURES,
+            "model does not match the 8x16-cell window"
+        );
+        let (cells_x, cells_y) = map.cells();
+        if cells_x < wc || cells_y < hc {
+            return Vec::new();
+        }
+
+        // Per-window-column weight slices: column j of the window covers
+        // cells (j, 0..16); its weights are the model entries of those
+        // cells. Feature order inside a column matches
+        // NhogMem::read_window_column: cell-major top to bottom.
+        let col_weights: Vec<Vec<i32>> = (0..wc)
+            .map(|j| {
+                let mut w = Vec::with_capacity(hc * CELL_FEATURES);
+                for row in 0..hc {
+                    let base = (row * wc + j) * CELL_FEATURES;
+                    w.extend_from_slice(&model.weights()[base..base + CELL_FEATURES]);
+                }
+                w
+            })
+            .collect();
+
+        let mut mem = NhogMem::new(cells_x);
+        let mut scores = Vec::new();
+        let mut bars: Vec<MacBar> = (0..MACBARS).map(|_| MacBar::new()).collect();
+
+        for strip in 0..=cells_y - hc {
+            // Producer keeps the ring 2 rows ahead, as the schedule allows.
+            let through = (strip + hc + 1).min(cells_y - 1);
+            mem.load_rows_through(map, through);
+
+            // Read each cell column of the strip once (the pipeline reuses
+            // a column for the 8 successive windows it participates in).
+            let columns: Vec<Vec<i32>> = (0..cells_x)
+                .map(|cx| mem.read_window_column(cx, strip, hc))
+                .collect();
+
+            for cx in 0..=cells_x - wc {
+                let mut raw = model.bias();
+                for (j, bar) in bars.iter_mut().enumerate() {
+                    bar.clear();
+                    // Each MACBAR's 16 lanes each own one cell of the
+                    // column and walk its 36 features in 36 cycles; the
+                    // per-lane stride below is that layout.
+                    bar.process_column(
+                        &columns[cx + j],
+                        &col_weights[j],
+                        CELL_FEATURES * hc / LANES,
+                    );
+                    raw += bar.reduce();
+                }
+                scores.push(WindowScore { cx, cy: strip, raw });
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtped_hog::params::HogParams;
+
+    fn ramp_map(cx: usize, cy: usize) -> HwFeatureMap {
+        let mut data = vec![0i32; cx * cy * CELL_FEATURES];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = ((i * 11) % 20000) as i32;
+        }
+        HwFeatureMap::from_raw(cx, cy, data)
+    }
+
+    #[test]
+    fn hdtv_frame_matches_paper_cycle_count() {
+        let engine = SvmEngine::new();
+        // 1920x1080 -> 240x135 cells.
+        assert_eq!(engine.cycles_per_frame(240, 135), 1_200_420);
+    }
+
+    #[test]
+    fn cycle_count_is_under_10ms_at_125mhz() {
+        let engine = SvmEngine::new();
+        let cycles = engine.cycles_per_frame(240, 135);
+        let ms = crate::timing::ClockDomain::MHZ_125.millis(cycles);
+        assert!(ms < 10.0, "{ms} ms");
+    }
+
+    #[test]
+    fn quantized_model_roundtrips_weights() {
+        let model = LinearSvm::new(vec![0.5, -1.25, 3.0, 0.0], 0.125);
+        let q = QuantizedModel::from_svm(&model);
+        assert_eq!(q.weights()[0], 2048); // 0.5 * 4096
+        assert_eq!(q.weights()[1], -5120);
+        assert_eq!(q.weights()[2], 12288);
+        assert_eq!(q.weights()[3], 0);
+        assert_eq!(q.bias(), (0.125 * (1u64 << SCORE_FRAC) as f64) as i64);
+    }
+
+    #[test]
+    fn quantized_weights_saturate() {
+        let model = LinearSvm::new(vec![100.0, -100.0], 0.0);
+        let q = QuantizedModel::from_svm(&model);
+        assert_eq!(q.weights()[0], i32::from(i16::MAX));
+        assert_eq!(q.weights()[1], i32::from(i16::MIN));
+    }
+
+    #[test]
+    fn score_conversion_roundtrips() {
+        let raw = QuantizedModel::threshold_to_raw(1.5);
+        assert!((QuantizedModel::score_to_f64(raw) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classify_matches_float_decision() {
+        let params = HogParams::pedestrian();
+        let map = ramp_map(12, 20);
+        // Deterministic pseudo-random weights in a DSP-friendly range.
+        let weights: Vec<f64> = (0..params.cell_descriptor_len())
+            .map(|i| (((i * 2654435761) % 2001) as f64 / 1000.0) - 1.0)
+            .collect();
+        let model = LinearSvm::new(weights, 0.375);
+        let q = QuantizedModel::from_svm(&model);
+        let engine = SvmEngine::new();
+        let scores = engine.classify_map(&map, &q);
+        // Window grid: (12-8+1) x (20-16+1) = 5 x 5.
+        assert_eq!(scores.len(), 25);
+        let float_map = map.to_float();
+        for s in &scores {
+            let descriptor = float_map.window_descriptor(s.cx, s.cy, &params);
+            let float_score = model.decision(&descriptor);
+            let hw_score = QuantizedModel::score_to_f64(s.raw);
+            assert!(
+                (hw_score - float_score).abs() < 0.05,
+                "window ({},{}) hw {hw_score} vs float {float_score}",
+                s.cx,
+                s.cy
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_raster_ordered() {
+        let map = ramp_map(10, 17);
+        let model = LinearSvm::new(vec![0.0; 4608], 1.0);
+        let q = QuantizedModel::from_svm(&model);
+        let scores = SvmEngine::new().classify_map(&map, &q);
+        let coords: Vec<(usize, usize)> = scores.iter().map(|s| (s.cx, s.cy)).collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+        // Zero weights: every score is exactly the bias.
+        for s in &scores {
+            assert_eq!(s.raw, q.bias());
+        }
+    }
+
+    #[test]
+    fn too_small_map_yields_no_windows() {
+        let map = ramp_map(7, 16);
+        let model = LinearSvm::new(vec![0.0; 4608], 0.0);
+        let q = QuantizedModel::from_svm(&model);
+        assert!(SvmEngine::new().classify_map(&map, &q).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "model does not match")]
+    fn wrong_model_size_rejected() {
+        let map = ramp_map(8, 16);
+        let model = LinearSvm::new(vec![0.0; 100], 0.0);
+        let q = QuantizedModel::from_svm(&model);
+        let _ = SvmEngine::new().classify_map(&map, &q);
+    }
+
+    #[test]
+    fn fill_cycles_are_eight_columns() {
+        assert_eq!(FILL_CYCLES, MACBARS as u64 * COLUMN_CYCLES);
+    }
+}

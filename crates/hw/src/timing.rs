@@ -1,0 +1,126 @@
+//! Clock-domain arithmetic: cycles to wall-clock time and frame rates.
+
+/// A clock domain with a fixed frequency.
+///
+/// # Example
+///
+/// ```
+/// use rtped_hw::ClockDomain;
+///
+/// let clk = ClockDomain::MHZ_125;
+/// // The paper's classifier latency: 1,200,420 cycles < 10 ms.
+/// assert!(clk.millis(1_200_420) < 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDomain {
+    hz: f64,
+}
+
+impl ClockDomain {
+    /// The paper's design clock: 125 MHz.
+    pub const MHZ_125: ClockDomain = ClockDomain { hz: 125.0e6 };
+
+    /// Creates a clock domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not finite and positive.
+    #[must_use]
+    pub fn new(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "clock must be positive");
+        Self { hz }
+    }
+
+    /// Frequency in hertz.
+    #[must_use]
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Converts a cycle count to seconds.
+    #[must_use]
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz
+    }
+
+    /// Converts a cycle count to milliseconds.
+    #[must_use]
+    pub fn millis(&self, cycles: u64) -> f64 {
+        self.seconds(cycles) * 1e3
+    }
+
+    /// Frames per second when each frame takes `cycles_per_frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_frame == 0`.
+    #[must_use]
+    pub fn fps(&self, cycles_per_frame: u64) -> f64 {
+        assert!(cycles_per_frame > 0, "frame must take at least one cycle");
+        self.hz / cycles_per_frame as f64
+    }
+
+    /// Cycles available inside one frame period of a `target_fps` stream.
+    #[must_use]
+    pub fn cycles_per_frame_at(&self, target_fps: f64) -> u64 {
+        assert!(target_fps > 0.0, "fps must be positive");
+        (self.hz / target_fps).floor() as u64
+    }
+}
+
+/// Cycles needed to ingest a `width * height` pixel stream at one pixel
+/// per cycle — the HOG extractor's frame period.
+#[must_use]
+pub fn pixel_stream_cycles(width: usize, height: usize) -> u64 {
+    (width as u64) * (height as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_classifier_latency_is_under_10ms() {
+        let clk = ClockDomain::MHZ_125;
+        let ms = clk.millis(1_200_420);
+        assert!((ms - 9.6034).abs() < 0.01, "{ms}");
+        assert!(ms < 10.0);
+    }
+
+    #[test]
+    fn hdtv_pixel_stream_sustains_60fps() {
+        let clk = ClockDomain::MHZ_125;
+        let frame_cycles = pixel_stream_cycles(1920, 1080);
+        assert_eq!(frame_cycles, 2_073_600);
+        let fps = clk.fps(frame_cycles);
+        assert!(fps >= 60.0, "only {fps} fps");
+        assert!((clk.millis(frame_cycles) - 16.589).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_per_frame_at_inverts_fps() {
+        let clk = ClockDomain::MHZ_125;
+        let budget = clk.cycles_per_frame_at(60.0);
+        assert!(clk.fps(budget) >= 60.0);
+        assert!(clk.fps(budget + 2) < 60.0 + 0.1);
+    }
+
+    #[test]
+    fn seconds_and_millis_agree() {
+        let clk = ClockDomain::new(1e6);
+        assert!((clk.seconds(1_000_000) - 1.0).abs() < 1e-12);
+        assert!((clk.millis(1_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn zero_clock_rejected() {
+        let _ = ClockDomain::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_frame_cycles_rejected() {
+        let _ = ClockDomain::MHZ_125.fps(0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Rasterization primitives used by the synthetic pedestrian renderer.
+//!
+//! Everything draws into a [`GrayImage`] with optional alpha blending, which
+//! lets the dataset generator composite soft-edged body parts over textured
+//! backgrounds. Coordinates are `f64` so limb joints can sit between pixels.
+
+use crate::gray::GrayImage;
+
+/// Blends `value` over the pixel at `(x, y)` with opacity `alpha` in `[0,1]`.
+///
+/// Out-of-bounds writes are silently clipped.
+pub fn blend_pixel(img: &mut GrayImage, x: isize, y: isize, value: u8, alpha: f64) {
+    if x < 0 || y < 0 || x >= img.width() as isize || y >= img.height() as isize {
+        return;
+    }
+    let alpha = alpha.clamp(0.0, 1.0);
+    let (ux, uy) = (x as usize, y as usize);
+    let old = f64::from(img.get(ux, uy));
+    let new = old + (f64::from(value) - old) * alpha;
+    img.put(ux, uy, new.round().clamp(0.0, 255.0) as u8);
+}
+
+/// Fills the axis-aligned rectangle `[x, x+w) x [y, y+h)`, clipped to the
+/// image, with opacity `alpha`.
+pub fn fill_rect(
+    img: &mut GrayImage,
+    x: isize,
+    y: isize,
+    w: usize,
+    h: usize,
+    value: u8,
+    alpha: f64,
+) {
+    for dy in 0..h as isize {
+        for dx in 0..w as isize {
+            blend_pixel(img, x + dx, y + dy, value, alpha);
+        }
+    }
+}
+
+/// Draws the 1-pixel outline of a rectangle (used to visualize detections).
+pub fn draw_rect_outline(img: &mut GrayImage, x: isize, y: isize, w: usize, h: usize, value: u8) {
+    if w == 0 || h == 0 {
+        return;
+    }
+    for dx in 0..w as isize {
+        blend_pixel(img, x + dx, y, value, 1.0);
+        blend_pixel(img, x + dx, y + h as isize - 1, value, 1.0);
+    }
+    for dy in 0..h as isize {
+        blend_pixel(img, x, y + dy, value, 1.0);
+        blend_pixel(img, x + w as isize - 1, y + dy, value, 1.0);
+    }
+}
+
+/// Fills an axis-aligned ellipse centered at `(cx, cy)` with radii
+/// `(rx, ry)`, anti-aliased at the boundary.
+pub fn fill_ellipse(
+    img: &mut GrayImage,
+    cx: f64,
+    cy: f64,
+    rx: f64,
+    ry: f64,
+    value: u8,
+    alpha: f64,
+) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let x0 = (cx - rx - 1.0).floor() as isize;
+    let x1 = (cx + rx + 1.0).ceil() as isize;
+    let y0 = (cy - ry - 1.0).floor() as isize;
+    let y1 = (cy + ry + 1.0).ceil() as isize;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let nx = (x as f64 + 0.5 - cx) / rx;
+            let ny = (y as f64 + 0.5 - cy) / ry;
+            let d = (nx * nx + ny * ny).sqrt();
+            // Anti-aliased coverage ramp ~1 pixel wide at the rim.
+            let edge = 1.0 / rx.min(ry).max(1.0);
+            let coverage = ((1.0 - d) / edge + 0.5).clamp(0.0, 1.0);
+            if coverage > 0.0 {
+                blend_pixel(img, x, y, value, alpha * coverage);
+            }
+        }
+    }
+}
+
+/// Draws a thick anti-aliased line segment (a "capsule"): every pixel within
+/// `thickness / 2` of the segment `(x0,y0)-(x1,y1)` is painted. Used for
+/// limbs of the procedural pedestrian.
+#[allow(clippy::too_many_arguments)] // a rasterizer signature: two endpoints + style
+pub fn draw_capsule(
+    img: &mut GrayImage,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+    thickness: f64,
+    value: u8,
+    alpha: f64,
+) {
+    let r = (thickness / 2.0).max(0.5);
+    let min_x = (x0.min(x1) - r - 1.0).floor() as isize;
+    let max_x = (x0.max(x1) + r + 1.0).ceil() as isize;
+    let min_y = (y0.min(y1) - r - 1.0).floor() as isize;
+    let max_y = (y0.max(y1) + r + 1.0).ceil() as isize;
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let len_sq = dx * dx + dy * dy;
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let px = x as f64 + 0.5;
+            let py = y as f64 + 0.5;
+            // Distance from pixel center to the segment.
+            let t = if len_sq == 0.0 {
+                0.0
+            } else {
+                (((px - x0) * dx + (py - y0) * dy) / len_sq).clamp(0.0, 1.0)
+            };
+            let cx = x0 + t * dx;
+            let cy = y0 + t * dy;
+            let dist = ((px - cx).powi(2) + (py - cy).powi(2)).sqrt();
+            let coverage = (r - dist + 0.5).clamp(0.0, 1.0);
+            if coverage > 0.0 {
+                blend_pixel(img, x, y, value, alpha * coverage);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_full_alpha_overwrites() {
+        let mut img = GrayImage::new(3, 3);
+        blend_pixel(&mut img, 1, 1, 200, 1.0);
+        assert_eq!(img.get(1, 1), 200);
+    }
+
+    #[test]
+    fn blend_half_alpha_mixes() {
+        let mut img = GrayImage::new(1, 1);
+        img.put(0, 0, 100);
+        blend_pixel(&mut img, 0, 0, 200, 0.5);
+        assert_eq!(img.get(0, 0), 150);
+    }
+
+    #[test]
+    fn blend_out_of_bounds_is_noop() {
+        let mut img = GrayImage::new(2, 2);
+        blend_pixel(&mut img, -1, 0, 255, 1.0);
+        blend_pixel(&mut img, 0, 5, 255, 1.0);
+        assert!(img.as_raw().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = GrayImage::new(4, 4);
+        fill_rect(&mut img, 2, 2, 10, 10, 50, 1.0);
+        assert_eq!(img.get(3, 3), 50);
+        assert_eq!(img.get(1, 1), 0);
+    }
+
+    #[test]
+    fn rect_outline_only_touches_border() {
+        let mut img = GrayImage::new(8, 8);
+        draw_rect_outline(&mut img, 1, 1, 5, 5, 255);
+        assert_eq!(img.get(1, 1), 255);
+        assert_eq!(img.get(5, 1), 255);
+        assert_eq!(img.get(3, 3), 0); // interior untouched
+    }
+
+    #[test]
+    fn ellipse_center_is_solid_and_outside_is_clear() {
+        let mut img = GrayImage::new(32, 32);
+        fill_ellipse(&mut img, 16.0, 16.0, 8.0, 12.0, 255, 1.0);
+        assert_eq!(img.get(16, 16), 255);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(31, 16), 0);
+    }
+
+    #[test]
+    fn capsule_covers_segment_interior() {
+        let mut img = GrayImage::new(32, 32);
+        draw_capsule(&mut img, 4.0, 16.0, 28.0, 16.0, 4.0, 255, 1.0);
+        // Pixels on the center line are fully painted.
+        assert_eq!(img.get(16, 16), 255);
+        assert_eq!(img.get(8, 16), 255);
+        // Far from the line: untouched.
+        assert_eq!(img.get(16, 2), 0);
+    }
+
+    #[test]
+    fn degenerate_capsule_is_a_dot() {
+        let mut img = GrayImage::new(16, 16);
+        draw_capsule(&mut img, 8.0, 8.0, 8.0, 8.0, 3.0, 255, 1.0);
+        assert!(img.get(8, 8) > 0);
+        assert_eq!(img.get(0, 0), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for image construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by image construction, access, and PNM I/O.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Width or height is zero, or `width * height` does not match the
+    /// supplied buffer length.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+        /// Length of the pixel buffer that was supplied, if any.
+        buffer_len: Option<usize>,
+    },
+    /// The PNM stream is malformed (bad magic, truncated data, bad token).
+    MalformedPnm(String),
+    /// The PNM `maxval` is unsupported (only 1..=255 is accepted).
+    UnsupportedMaxval(u32),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions {
+                width,
+                height,
+                buffer_len,
+            } => match buffer_len {
+                Some(len) => write!(
+                    f,
+                    "invalid image dimensions {width}x{height} for buffer of length {len}"
+                ),
+                None => write!(f, "invalid image dimensions {width}x{height}"),
+            },
+            ImageError::MalformedPnm(msg) => write!(f, "malformed PNM stream: {msg}"),
+            ImageError::UnsupportedMaxval(maxval) => {
+                write!(f, "unsupported PNM maxval {maxval} (expected 1..=255)")
+            }
+            ImageError::Io(err) => write!(f, "image i/o error: {err}"),
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageError {
+    fn from(err: io::Error) -> Self {
+        ImageError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_dimensions_with_buffer() {
+        let err = ImageError::InvalidDimensions {
+            width: 3,
+            height: 4,
+            buffer_len: Some(5),
+        };
+        assert_eq!(
+            err.to_string(),
+            "invalid image dimensions 3x4 for buffer of length 5"
+        );
+    }
+
+    #[test]
+    fn display_invalid_dimensions_without_buffer() {
+        let err = ImageError::InvalidDimensions {
+            width: 0,
+            height: 7,
+            buffer_len: None,
+        };
+        assert_eq!(err.to_string(), "invalid image dimensions 0x7");
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io_err = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let err: ImageError = io_err.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImageError>();
+    }
+}

@@ -1,0 +1,193 @@
+//! Integral images (summed-area tables) for O(1) window statistics.
+//!
+//! The negative-window sampler in `rtped-dataset` uses these to reject
+//! texture-free regions quickly, and they are a generally useful substrate
+//! for sliding-window vision pipelines.
+
+use crate::gray::GrayImage;
+
+/// Summed-area table over an image, with a squared-value companion table so
+/// that window mean *and* variance are O(1).
+///
+/// `sum(x, y)` holds the sum of all pixels in the rectangle
+/// `[0, x) x [0, y)`, i.e. the table is one element wider/taller than the
+/// source image.
+///
+/// # Example
+///
+/// ```
+/// use rtped_image::{GrayImage, IntegralImage};
+///
+/// let img = GrayImage::from_fn(4, 4, |_, _| 10);
+/// let integral = IntegralImage::new(&img);
+/// assert_eq!(integral.window_sum(1, 1, 2, 2), 40);
+/// assert!((integral.window_mean(0, 0, 4, 4) - 10.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    sum: Vec<u64>,
+    sum_sq: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of `src` in a single pass.
+    #[must_use]
+    pub fn new(src: &GrayImage) -> Self {
+        let (w, h) = src.dimensions();
+        let stride = w + 1;
+        let mut sum = vec![0u64; stride * (h + 1)];
+        let mut sum_sq = vec![0u64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0u64;
+            let mut row_sum_sq = 0u64;
+            for x in 0..w {
+                let v = u64::from(src.get(x, y));
+                row_sum += v;
+                row_sum_sq += v * v;
+                let idx = (y + 1) * stride + (x + 1);
+                sum[idx] = sum[y * stride + (x + 1)] + row_sum;
+                sum_sq[idx] = sum_sq[y * stride + (x + 1)] + row_sum_sq;
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            sum,
+            sum_sq,
+        }
+    }
+
+    /// Width of the source image.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the source image.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn at(&self, table: &[u64], x: usize, y: usize) -> u64 {
+        table[y * (self.width + 1) + x]
+    }
+
+    /// Sum of pixel values in the window with top-left `(x, y)`, size `w*h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past the source image.
+    #[must_use]
+    pub fn window_sum(&self, x: usize, y: usize, w: usize, h: usize) -> u64 {
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "integral window out of bounds"
+        );
+        self.at(&self.sum, x + w, y + h) + self.at(&self.sum, x, y)
+            - self.at(&self.sum, x + w, y)
+            - self.at(&self.sum, x, y + h)
+    }
+
+    /// Sum of squared pixel values in the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window extends past the source image.
+    #[must_use]
+    pub fn window_sum_sq(&self, x: usize, y: usize, w: usize, h: usize) -> u64 {
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "integral window out of bounds"
+        );
+        self.at(&self.sum_sq, x + w, y + h) + self.at(&self.sum_sq, x, y)
+            - self.at(&self.sum_sq, x + w, y)
+            - self.at(&self.sum_sq, x, y + h)
+    }
+
+    /// Mean pixel value inside the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or out of bounds.
+    #[must_use]
+    pub fn window_mean(&self, x: usize, y: usize, w: usize, h: usize) -> f64 {
+        assert!(w > 0 && h > 0, "window must be non-empty");
+        self.window_sum(x, y, w, h) as f64 / (w * h) as f64
+    }
+
+    /// Population variance of pixel values inside the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or out of bounds.
+    #[must_use]
+    pub fn window_variance(&self, x: usize, y: usize, w: usize, h: usize) -> f64 {
+        let n = (w * h) as f64;
+        let mean = self.window_mean(x, y, w, h);
+        let ss = self.window_sum_sq(x, y, w, h) as f64;
+        (ss / n - mean * mean).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_sum(img: &GrayImage, x: usize, y: usize, w: usize, h: usize) -> u64 {
+        let mut acc = 0u64;
+        for yy in y..y + h {
+            for xx in x..x + w {
+                acc += u64::from(img.get(xx, yy));
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_brute_force_sums() {
+        let img = GrayImage::from_fn(13, 9, |x, y| ((x * 37 + y * 101) % 251) as u8);
+        let ii = IntegralImage::new(&img);
+        for (x, y, w, h) in [(0, 0, 13, 9), (1, 2, 5, 4), (12, 8, 1, 1), (3, 0, 10, 9)] {
+            assert_eq!(ii.window_sum(x, y, w, h), brute_sum(&img, x, y, w, h));
+        }
+    }
+
+    #[test]
+    fn window_variance_matches_direct() {
+        let img = GrayImage::from_fn(8, 8, |x, y| ((x * x + 3 * y) % 256) as u8);
+        let ii = IntegralImage::new(&img);
+        let crop = img.crop(2, 1, 4, 5);
+        let direct = crop.variance();
+        let fast = ii.window_variance(2, 1, 4, 5);
+        assert!((direct - fast).abs() < 1e-9, "{direct} vs {fast}");
+    }
+
+    #[test]
+    fn constant_window_has_zero_variance() {
+        let mut img = GrayImage::new(6, 6);
+        img.fill(123);
+        let ii = IntegralImage::new(&img);
+        assert_eq!(ii.window_variance(0, 0, 6, 6), 0.0);
+        assert!((ii.window_mean(1, 1, 3, 3) - 123.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "integral window out of bounds")]
+    fn out_of_bounds_window_panics() {
+        let img = GrayImage::new(4, 4);
+        let ii = IntegralImage::new(&img);
+        let _ = ii.window_sum(2, 2, 3, 1);
+    }
+
+    #[test]
+    fn saturated_image_does_not_overflow() {
+        let mut img = GrayImage::new(64, 64);
+        img.fill(255);
+        let ii = IntegralImage::new(&img);
+        assert_eq!(ii.window_sum(0, 0, 64, 64), 255 * 64 * 64);
+        assert_eq!(ii.window_sum_sq(0, 0, 64, 64), 255 * 255 * 64 * 64);
+    }
+}

@@ -1,0 +1,309 @@
+//! PNM (PGM/PPM) image I/O.
+//!
+//! Supports the four classic NetPBM variants that cover grayscale and RGB:
+//!
+//! | Magic | Format            | Encoding |
+//! |-------|-------------------|----------|
+//! | `P2`  | grayscale (PGM)   | ASCII    |
+//! | `P5`  | grayscale (PGM)   | binary   |
+//! | `P3`  | RGB (PPM)         | ASCII    |
+//! | `P6`  | RGB (PPM)         | binary   |
+//!
+//! Color inputs are converted to luma with the BT.601 weights the original
+//! HOG work used (`0.299 R + 0.587 G + 0.114 B`). Only `maxval <= 255` is
+//! supported; comments (`#`) are accepted anywhere whitespace is.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::ImageError;
+use crate::gray::GrayImage;
+
+/// Reads a PGM or PPM image from `reader`, converting color to grayscale.
+///
+/// A `&mut` reference may be passed for `reader` when the caller wants to
+/// keep using the reader afterwards.
+///
+/// # Errors
+///
+/// Returns [`ImageError::MalformedPnm`] on syntax errors or truncation,
+/// [`ImageError::UnsupportedMaxval`] for `maxval > 255`, and
+/// [`ImageError::Io`] on read failures.
+pub fn read_pnm<R: Read>(mut reader: R) -> Result<GrayImage, ImageError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_pnm(&bytes)
+}
+
+/// Reads a PGM/PPM file from disk. See [`read_pnm`].
+///
+/// # Errors
+///
+/// Propagates the errors of [`read_pnm`] plus file-open failures.
+pub fn load_pnm(path: impl AsRef<Path>) -> Result<GrayImage, ImageError> {
+    read_pnm(BufReader::new(File::open(path)?))
+}
+
+/// Writes `img` as a binary PGM (`P5`) to `writer`.
+///
+/// A `&mut` reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on write failures.
+pub fn write_pgm<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), ImageError> {
+    write!(writer, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    writer.write_all(img.as_raw())?;
+    Ok(())
+}
+
+/// Writes `img` as a binary PGM file on disk. See [`write_pgm`].
+///
+/// # Errors
+///
+/// Propagates the errors of [`write_pgm`] plus file-create failures.
+pub fn save_pgm(path: impl AsRef<Path>, img: &GrayImage) -> Result<(), ImageError> {
+    write_pgm(BufWriter::new(File::create(path)?), img)
+}
+
+/// Writes `img` as an ASCII PGM (`P2`) — human-inspectable golden files.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on write failures.
+pub fn write_pgm_ascii<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), ImageError> {
+    write!(writer, "P2\n{} {}\n255\n", img.width(), img.height())?;
+    for y in 0..img.height() {
+        let row: Vec<String> = img.row(y).iter().map(|v| v.to_string()).collect();
+        writeln!(writer, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+struct Tokenizer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Skips whitespace and `#` comments.
+    fn skip_separators(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn token(&mut self) -> Result<&'a [u8], ImageError> {
+        self.skip_separators();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ImageError::MalformedPnm("unexpected end of header".into()));
+        }
+        Ok(&self.bytes[start..self.pos])
+    }
+
+    fn number(&mut self) -> Result<u32, ImageError> {
+        let tok = self.token()?;
+        std::str::from_utf8(tok)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                ImageError::MalformedPnm(format!(
+                    "expected number, found {:?}",
+                    String::from_utf8_lossy(tok)
+                ))
+            })
+    }
+}
+
+fn luma(r: u8, g: u8, b: u8) -> u8 {
+    let y = 0.299 * f64::from(r) + 0.587 * f64::from(g) + 0.114 * f64::from(b);
+    y.round().clamp(0.0, 255.0) as u8
+}
+
+fn rescale(v: u32, maxval: u32) -> u8 {
+    if maxval == 255 {
+        v.min(255) as u8
+    } else {
+        ((v * 255 + maxval / 2) / maxval).min(255) as u8
+    }
+}
+
+fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
+    let mut tok = Tokenizer::new(bytes);
+    let magic = tok.token()?;
+    let (channels, ascii) = match magic {
+        b"P2" => (1usize, true),
+        b"P5" => (1, false),
+        b"P3" => (3, true),
+        b"P6" => (3, false),
+        other => {
+            return Err(ImageError::MalformedPnm(format!(
+                "unknown magic {:?}",
+                String::from_utf8_lossy(other)
+            )))
+        }
+    };
+    let width = tok.number()? as usize;
+    let height = tok.number()? as usize;
+    let maxval = tok.number()?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageError::UnsupportedMaxval(maxval));
+    }
+    if width == 0 || height == 0 {
+        return Err(ImageError::InvalidDimensions {
+            width,
+            height,
+            buffer_len: None,
+        });
+    }
+
+    let samples = width * height * channels;
+    let raw: Vec<u8> = if ascii {
+        let mut vals = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            vals.push(rescale(tok.number()?, maxval));
+        }
+        vals
+    } else {
+        // Exactly one whitespace byte separates the header from binary data.
+        let start = tok.pos + 1;
+        let end = start + samples;
+        if end > bytes.len() {
+            return Err(ImageError::MalformedPnm(format!(
+                "truncated raster: need {samples} bytes, have {}",
+                bytes.len().saturating_sub(start)
+            )));
+        }
+        bytes[start..end]
+            .iter()
+            .map(|&v| rescale(u32::from(v), maxval))
+            .collect()
+    };
+
+    let gray: Vec<u8> = if channels == 1 {
+        raw
+    } else {
+        raw.chunks_exact(3)
+            .map(|c| luma(c[0], c[1], c[2]))
+            .collect()
+    };
+    GrayImage::from_vec(width, height, gray)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_pgm_roundtrip() {
+        let img = GrayImage::from_fn(5, 3, |x, y| (x * 13 + y * 7) as u8);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).unwrap();
+        let back = read_pnm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ascii_pgm_roundtrip() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x * 31 + y * 3) as u8);
+        let mut buf = Vec::new();
+        write_pgm_ascii(&mut buf, &img).unwrap();
+        let back = read_pnm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ascii_pgm_with_comments() {
+        let src = b"P2 # a comment\n# another\n2 2\n255\n0 64\n128 255\n";
+        let img = read_pnm(&src[..]).unwrap();
+        assert_eq!(img.get(1, 0), 64);
+        assert_eq!(img.get(1, 1), 255);
+    }
+
+    #[test]
+    fn ppm_converts_to_luma() {
+        // One pure-red pixel, binary P6.
+        let mut src = b"P6\n1 1\n255\n".to_vec();
+        src.extend_from_slice(&[255, 0, 0]);
+        let img = read_pnm(src.as_slice()).unwrap();
+        assert_eq!(img.get(0, 0), 76); // round(0.299 * 255)
+    }
+
+    #[test]
+    fn ascii_ppm_parses() {
+        let src = b"P3\n2 1\n255\n255 255 255  0 0 0\n";
+        let img = read_pnm(&src[..]).unwrap();
+        assert_eq!(img.get(0, 0), 255);
+        assert_eq!(img.get(1, 0), 0);
+    }
+
+    #[test]
+    fn maxval_rescaling() {
+        let src = b"P2\n1 1\n15\n15\n";
+        let img = read_pnm(&src[..]).unwrap();
+        assert_eq!(img.get(0, 0), 255);
+        let src = b"P2\n1 1\n15\n7\n";
+        let img = read_pnm(&src[..]).unwrap();
+        assert_eq!(img.get(0, 0), 119); // round(7*255/15)
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            read_pnm(&b"P9\n1 1\n255\n\0"[..]),
+            Err(ImageError::MalformedPnm(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_large_maxval() {
+        assert!(matches!(
+            read_pnm(&b"P2\n1 1\n65535\n0\n"[..]),
+            Err(ImageError::UnsupportedMaxval(65535))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        let src = b"P5\n4 4\n255\n\0\0".to_vec();
+        assert!(matches!(
+            read_pnm(src.as_slice()),
+            Err(ImageError::MalformedPnm(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(read_pnm(&b"P2\n0 4\n255\n"[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rtped_pnm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        let img = GrayImage::from_fn(8, 8, |x, y| (x ^ y) as u8 * 16);
+        save_pgm(&path, &img).unwrap();
+        let back = load_pnm(&path).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,241 @@
+//! Procedural textures and backgrounds for synthetic scene generation.
+//!
+//! The INRIA person dataset is not redistributable inside this repository,
+//! so `rtped-dataset` composes its training/test imagery from these
+//! primitives (see DESIGN.md §2 for the substitution rationale). All
+//! generators are deterministic given the caller-provided RNG.
+
+use rand::Rng;
+
+use crate::gray::GrayImage;
+
+/// Smoothstep interpolation used by the value-noise lattice.
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Deterministic lattice hash -> [0, 1).
+fn lattice(seed: u64, x: i64, y: i64) -> f64 {
+    // SplitMix64-style mixing of the lattice coordinates.
+    let mut z = seed
+        .wrapping_add((x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Single-octave value noise at `(x, y)` with the given lattice `frequency`
+/// (lattice points per pixel). Output is in `[0, 1)`.
+#[must_use]
+pub fn value_noise(seed: u64, x: f64, y: f64, frequency: f64) -> f64 {
+    let fx = x * frequency;
+    let fy = y * frequency;
+    let x0 = fx.floor() as i64;
+    let y0 = fy.floor() as i64;
+    let tx = smoothstep(fx - x0 as f64);
+    let ty = smoothstep(fy - y0 as f64);
+    let v00 = lattice(seed, x0, y0);
+    let v10 = lattice(seed, x0 + 1, y0);
+    let v01 = lattice(seed, x0, y0 + 1);
+    let v11 = lattice(seed, x0 + 1, y0 + 1);
+    let top = v00 + (v10 - v00) * tx;
+    let bottom = v01 + (v11 - v01) * tx;
+    top + (bottom - top) * ty
+}
+
+/// Multi-octave (fractal) value noise in `[0, 1)`.
+#[must_use]
+pub fn fractal_noise(seed: u64, x: f64, y: f64, base_frequency: f64, octaves: u32) -> f64 {
+    let mut acc = 0.0;
+    let mut amplitude = 1.0;
+    let mut total = 0.0;
+    let mut freq = base_frequency;
+    for octave in 0..octaves {
+        acc += amplitude * value_noise(seed.wrapping_add(u64::from(octave)), x, y, freq);
+        total += amplitude;
+        amplitude *= 0.5;
+        freq *= 2.0;
+    }
+    acc / total
+}
+
+/// Renders a fractal-noise texture image with intensities in
+/// `[base - spread, base + spread]`.
+#[must_use]
+pub fn noise_texture(
+    seed: u64,
+    width: usize,
+    height: usize,
+    base: u8,
+    spread: u8,
+    base_frequency: f64,
+) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, y| {
+        let n = fractal_noise(seed, x as f64, y as f64, base_frequency, 3);
+        let v = f64::from(base) + (n * 2.0 - 1.0) * f64::from(spread);
+        v.round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Renders a vertical intensity gradient from `top` to `bottom` — a cheap
+/// sky-to-road backdrop.
+#[must_use]
+pub fn vertical_gradient(width: usize, height: usize, top: u8, bottom: u8) -> GrayImage {
+    GrayImage::from_fn(width, height, |_, y| {
+        let t = if height <= 1 {
+            0.0
+        } else {
+            y as f64 / (height - 1) as f64
+        };
+        (f64::from(top) + (f64::from(bottom) - f64::from(top)) * t).round() as u8
+    })
+}
+
+/// Adds zero-mean uniform noise of amplitude `±amplitude` to every pixel
+/// (sensor-noise model), clamping to `[0, 255]`.
+pub fn add_uniform_noise<R: Rng + ?Sized>(img: &mut GrayImage, rng: &mut R, amplitude: u8) {
+    if amplitude == 0 {
+        return;
+    }
+    let amp = i16::from(amplitude);
+    for v in img.as_raw_mut() {
+        let noise = rng.gen_range(-amp..=amp);
+        *v = (i16::from(*v) + noise).clamp(0, 255) as u8;
+    }
+}
+
+/// A synthetic "urban clutter" background: gradient sky over a noisy road,
+/// with a few random high-contrast rectangles (building edges, poles, signs)
+/// so negatives contain hard HOG structure, not just smooth noise.
+#[must_use]
+pub fn clutter_background<R: Rng + ?Sized>(rng: &mut R, width: usize, height: usize) -> GrayImage {
+    let seed = rng.gen::<u64>();
+    let sky_top = rng.gen_range(140..=200);
+    let road = rng.gen_range(60..=110);
+    let mut img = vertical_gradient(width, height, sky_top, road);
+
+    // Blend a noise layer over everything.
+    let tex = noise_texture(seed, width, height, 128, 40, 0.05);
+    for y in 0..height {
+        for x in 0..width {
+            let base = f64::from(img.get(x, y));
+            let noise = f64::from(tex.get(x, y)) - 128.0;
+            let v = (base + 0.4 * noise).round().clamp(0.0, 255.0) as u8;
+            img.put(x, y, v);
+        }
+    }
+
+    // Hard structural clutter: vertical/horizontal bars and blocks.
+    let n_shapes = rng.gen_range(3..=8);
+    for _ in 0..n_shapes {
+        let value = rng.gen_range(0..=255);
+        let x = rng.gen_range(0..width) as isize;
+        let y = rng.gen_range(0..height) as isize;
+        if rng.gen_bool(0.5) {
+            // Vertical bar (pole / building edge).
+            let w = rng.gen_range(1..=width.div_ceil(16).max(2));
+            let h = rng.gen_range(height / 4..=height);
+            crate::draw::fill_rect(&mut img, x, y, w, h, value, 0.9);
+        } else {
+            // Block (window / sign).
+            let w = rng.gen_range(4..=width.div_ceil(3).max(5));
+            let h = rng.gen_range(4..=height.div_ceil(4).max(5));
+            crate::draw::fill_rect(&mut img, x, y, w, h, value, 0.9);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn value_noise_is_deterministic() {
+        let a = value_noise(42, 10.5, 3.25, 0.1);
+        let b = value_noise(42, 10.5, 3.25, 0.1);
+        assert_eq!(a, b);
+        let c = value_noise(43, 10.5, 3.25, 0.1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn value_noise_in_unit_interval() {
+        for i in 0..200 {
+            let v = value_noise(7, i as f64 * 0.37, i as f64 * 0.91, 0.13);
+            assert!((0.0..1.0).contains(&v), "noise escaped unit interval: {v}");
+        }
+    }
+
+    #[test]
+    fn fractal_noise_in_unit_interval() {
+        for i in 0..100 {
+            let v = fractal_noise(9, i as f64 * 1.7, i as f64 * 0.3, 0.07, 4);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn noise_texture_respects_bounds() {
+        let tex = noise_texture(1, 32, 32, 100, 30, 0.1);
+        for (_, _, v) in tex.pixels() {
+            assert!((70..=130).contains(&v), "texture value out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn vertical_gradient_endpoints() {
+        let g = vertical_gradient(4, 10, 200, 50);
+        assert_eq!(g.get(0, 0), 200);
+        assert_eq!(g.get(3, 9), 50);
+        // Monotone down the column.
+        for y in 1..10 {
+            assert!(g.get(0, y) <= g.get(0, y - 1));
+        }
+    }
+
+    #[test]
+    fn uniform_noise_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut img = GrayImage::new(16, 16);
+        img.fill(128);
+        add_uniform_noise(&mut img, &mut rng, 10);
+        for (_, _, v) in img.pixels() {
+            assert!((118..=138).contains(&v));
+        }
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut img2 = GrayImage::new(16, 16);
+        img2.fill(128);
+        add_uniform_noise(&mut img2, &mut rng2, 10);
+        assert_eq!(img, img2);
+    }
+
+    #[test]
+    fn zero_amplitude_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut img = GrayImage::from_fn(8, 8, |x, y| (x * y) as u8);
+        let before = img.clone();
+        add_uniform_noise(&mut img, &mut rng, 0);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn clutter_background_is_seeded_and_textured() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let bg = clutter_background(&mut rng, 64, 128);
+        assert_eq!(bg.dimensions(), (64, 128));
+        // Must not be flat: HOG needs gradients in negatives.
+        assert!(
+            bg.variance() > 25.0,
+            "background too flat: {}",
+            bg.variance()
+        );
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let bg2 = clutter_background(&mut rng2, 64, 128);
+        assert_eq!(bg, bg2);
+    }
+}

@@ -1,0 +1,258 @@
+//! K-fold cross-validation for hyper-parameter selection.
+//!
+//! The paper trains its model offline with LibLinear; selecting `C` (and
+//! the class weight) is part of that offline flow. This module provides
+//! deterministic k-fold CV over labelled samples and a grid search that
+//! picks the best `C` by mean validation accuracy.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dcd::{train_dcd, DcdParams};
+use crate::model::Label;
+
+/// The outcome of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Per-fold validation accuracy.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean accuracy over folds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no folds.
+    #[must_use]
+    pub fn mean_accuracy(&self) -> f64 {
+        assert!(!self.fold_accuracies.is_empty(), "no folds");
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+
+    /// Sample standard deviation over folds (0 for a single fold).
+    #[must_use]
+    pub fn std_accuracy(&self) -> f64 {
+        let n = self.fold_accuracies.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_accuracy();
+        let var = self
+            .fold_accuracies
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Runs stratified k-fold cross-validation of [`train_dcd`] under
+/// `params`.
+///
+/// Folds are stratified per class so each holds both labels, and the
+/// shuffle is seeded by `seed` for reproducibility.
+///
+/// # Panics
+///
+/// Panics if `folds < 2`, a class has fewer samples than `folds`, or the
+/// samples are otherwise untrainable.
+#[must_use]
+pub fn cross_validate(
+    samples: &[(Vec<f32>, Label)],
+    params: &DcdParams,
+    folds: usize,
+    seed: u64,
+) -> CvResult {
+    assert!(folds >= 2, "need at least two folds");
+    let mut positives: Vec<usize> = Vec::new();
+    let mut negatives: Vec<usize> = Vec::new();
+    for (i, (_, y)) in samples.iter().enumerate() {
+        match y {
+            Label::Positive => positives.push(i),
+            Label::Negative => negatives.push(i),
+        }
+    }
+    assert!(
+        positives.len() >= folds && negatives.len() >= folds,
+        "each class needs at least `folds` samples"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    positives.shuffle(&mut rng);
+    negatives.shuffle(&mut rng);
+
+    // Round-robin assignment keeps folds balanced.
+    let fold_of = |rank: usize| rank % folds;
+    let mut fold_assignment = vec![0usize; samples.len()];
+    for (rank, &i) in positives.iter().enumerate() {
+        fold_assignment[i] = fold_of(rank);
+    }
+    for (rank, &i) in negatives.iter().enumerate() {
+        fold_assignment[i] = fold_of(rank);
+    }
+
+    let mut fold_accuracies = Vec::with_capacity(folds);
+    for fold in 0..folds {
+        let train: Vec<(Vec<f32>, Label)> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| fold_assignment[*i] != fold)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let validate: Vec<&(Vec<f32>, Label)> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| fold_assignment[*i] == fold)
+            .map(|(_, s)| s)
+            .collect();
+        let model = train_dcd(&train, params);
+        let correct = validate
+            .iter()
+            .filter(|(x, y)| model.classify(x) == *y)
+            .count();
+        fold_accuracies.push(correct as f64 / validate.len() as f64);
+    }
+    CvResult { fold_accuracies }
+}
+
+/// Grid-searches `C` by k-fold CV, returning `(best_c, best_result)`.
+///
+/// Ties go to the smaller `C` (stronger regularization).
+///
+/// # Panics
+///
+/// Panics if `c_grid` is empty or any CV run panics.
+#[must_use]
+pub fn select_c(
+    samples: &[(Vec<f32>, Label)],
+    base: &DcdParams,
+    c_grid: &[f64],
+    folds: usize,
+    seed: u64,
+) -> (f64, CvResult) {
+    assert!(!c_grid.is_empty(), "need at least one C candidate");
+    let mut best: Option<(f64, CvResult)> = None;
+    for &c in c_grid {
+        let params = DcdParams { c, ..base.clone() };
+        let result = cross_validate(samples, &params, folds, seed);
+        let better = match &best {
+            None => true,
+            Some((best_c, best_result)) => {
+                let acc = result.mean_accuracy();
+                let best_acc = best_result.mean_accuracy();
+                acc > best_acc + 1e-12 || ((acc - best_acc).abs() <= 1e-12 && c < *best_c)
+            }
+        };
+        if better {
+            best = Some((c, result));
+        }
+    }
+    best.expect("grid was non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobbed(n_per_class: usize, separation: f32) -> Vec<(Vec<f32>, Label)> {
+        let mut out = Vec::new();
+        for i in 0..n_per_class {
+            let jitter = ((i * 37) % 100) as f32 / 100.0 - 0.5;
+            out.push((vec![separation + jitter, jitter * 0.5], Label::Positive));
+            out.push((vec![-separation + jitter, -jitter * 0.5], Label::Negative));
+        }
+        out
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_accurate() {
+        let samples = blobbed(30, 2.0);
+        let result = cross_validate(&samples, &DcdParams::default(), 5, 1);
+        assert_eq!(result.fold_accuracies.len(), 5);
+        assert!(result.mean_accuracy() > 0.95, "{}", result.mean_accuracy());
+    }
+
+    #[test]
+    fn cv_is_deterministic_in_seed() {
+        let samples = blobbed(20, 0.6);
+        let a = cross_validate(&samples, &DcdParams::default(), 4, 7);
+        let b = cross_validate(&samples, &DcdParams::default(), 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn std_is_zero_for_constant_folds() {
+        let r = CvResult {
+            fold_accuracies: vec![0.9, 0.9, 0.9],
+        };
+        assert_eq!(r.std_accuracy(), 0.0);
+        assert!((r.mean_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_c_prefers_better_mean_accuracy() {
+        // A boundary far from the origin needs a trained bias; with a
+        // degenerate C the dual variables cannot push the bias out and
+        // everything lands on one side.
+        let samples: Vec<(Vec<f32>, Label)> = (0..60)
+            .map(|i| {
+                let x = i as f32 * 0.2;
+                (
+                    vec![x],
+                    if x > 6.0 {
+                        Label::Positive
+                    } else {
+                        Label::Negative
+                    },
+                )
+            })
+            .collect();
+        let base = DcdParams {
+            bias_scale: 10.0,
+            max_iterations: 2000,
+            ..DcdParams::default()
+        };
+        let degenerate = cross_validate(
+            &samples,
+            &DcdParams {
+                c: 1e-9,
+                ..base.clone()
+            },
+            4,
+            3,
+        );
+        let (best_c, result) = select_c(&samples, &base, &[1e-9, 0.5, 5.0], 4, 3);
+        assert!(best_c > 1e-9, "picked the degenerate C");
+        assert!(result.mean_accuracy() > degenerate.mean_accuracy());
+    }
+
+    #[test]
+    fn select_c_breaks_ties_toward_regularization() {
+        // Fully separable: all reasonable C values reach 100%; the
+        // smallest such C must win.
+        let samples = blobbed(30, 3.0);
+        let (best_c, result) = select_c(&samples, &DcdParams::default(), &[10.0, 1.0, 0.1], 3, 5);
+        assert!((result.mean_accuracy() - 1.0).abs() < 1e-9);
+        assert!((best_c - 0.1).abs() < 1e-12, "picked {best_c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two folds")]
+    fn single_fold_rejected() {
+        let samples = blobbed(10, 1.0);
+        let _ = cross_validate(&samples, &DcdParams::default(), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "each class needs at least")]
+    fn too_few_samples_per_class_rejected() {
+        let samples = vec![
+            (vec![1.0f32], Label::Positive),
+            (vec![-1.0], Label::Negative),
+            (vec![-1.1], Label::Negative),
+        ];
+        let _ = cross_validate(&samples, &DcdParams::default(), 2, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Model persistence.
+//!
+//! The paper's flow trains the pedestrian model offline and loads the
+//! weight vector into a dedicated model memory on the FPGA ("Pedestrian
+//! model is the weight vector resulted from off-line training process ...
+//! stored in a separate memory", §5). This module provides the offline
+//! half: serializing trained models to JSON and back.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::model::LinearSvm;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying file/stream failure.
+    Io(std::io::Error),
+    /// The stream is not a valid serialized model.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model i/o error: {e}"),
+            ModelIoError::Format(e) => write!(f, "malformed model file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            ModelIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ModelIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelIoError::Format(e)
+    }
+}
+
+/// Serializes `model` as JSON to `writer` (a `&mut` reference is fine).
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Io`] on write failure.
+pub fn write_model<W: Write>(writer: W, model: &LinearSvm) -> Result<(), ModelIoError> {
+    serde_json::to_writer(writer, model)?;
+    Ok(())
+}
+
+/// Deserializes a model from `reader` (a `&mut` reference is fine).
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Format`] if the stream is not a valid model, or
+/// [`ModelIoError::Io`] on read failure.
+pub fn read_model<R: Read>(reader: R) -> Result<LinearSvm, ModelIoError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Saves `model` to a JSON file.
+///
+/// # Errors
+///
+/// Propagates [`write_model`] errors plus file-create failures.
+pub fn save_model(path: impl AsRef<Path>, model: &LinearSvm) -> Result<(), ModelIoError> {
+    write_model(BufWriter::new(File::create(path)?), model)
+}
+
+/// Loads a model from a JSON file.
+///
+/// # Errors
+///
+/// Propagates [`read_model`] errors plus file-open failures.
+pub fn load_model(path: impl AsRef<Path>) -> Result<LinearSvm, ModelIoError> {
+    read_model(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_roundtrip() {
+        let model = LinearSvm::new(vec![1.5, -2.25, 0.0], 0.75);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        let back = read_model(buf.as_slice()).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rtped_svm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = LinearSvm::new(vec![0.125; 3780], -1.0);
+        save_model(&path, &model).unwrap();
+        let back = load_model(&path).unwrap();
+        assert_eq!(back, model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_stream_is_a_format_error() {
+        let err = read_model(&b"not json"[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)));
+        assert!(err.to_string().contains("malformed model file"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_model("/nonexistent/rtped/model.json").unwrap_err();
+        assert!(matches!(err, ModelIoError::Io(_)));
+    }
+}

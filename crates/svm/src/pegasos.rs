@@ -1,0 +1,193 @@
+//! Pegasos: primal estimated sub-gradient solver for the SVM objective
+//! (Shalev-Shwartz, Singer, Srebro, ICML 2007).
+//!
+//! Minimizes exactly the objective of paper eq. 3,
+//! `λ/2 ||w||² + (1/n) Σ max(0, 1 - yᵢ w·xᵢ)`, by stochastic sub-gradient
+//! steps with learning rate `1/(λ t)` followed by projection onto the ball
+//! of radius `1/√λ`. It converges more slowly than [`crate::dcd`] but
+//! costs O(dim) memory and is used in the training-cost ablation bench.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::model::{Label, LinearSvm};
+
+/// Hyper-parameters for [`train_pegasos`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PegasosParams {
+    /// Regularization strength λ of eq. 3.
+    pub lambda: f64,
+    /// Total number of stochastic steps.
+    pub iterations: usize,
+    /// Value of the augmented bias feature.
+    pub bias_scale: f64,
+    /// RNG seed for sample selection.
+    pub seed: u64,
+}
+
+impl Default for PegasosParams {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-3,
+            iterations: 50_000,
+            bias_scale: 1.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Trains a linear SVM with the Pegasos algorithm.
+///
+/// Deterministic for a fixed [`PegasosParams::seed`].
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, dimensions are inconsistent, λ is not
+/// positive, or both classes are not present.
+#[must_use]
+pub fn train_pegasos(samples: &[(Vec<f32>, Label)], params: &PegasosParams) -> LinearSvm {
+    assert!(!samples.is_empty(), "need at least one training sample");
+    assert!(params.lambda > 0.0, "lambda must be positive");
+    let dim = samples[0].0.len();
+    assert!(dim > 0, "samples must have at least one feature");
+    assert!(
+        samples.iter().all(|(x, _)| x.len() == dim),
+        "inconsistent feature dimensions"
+    );
+    assert!(
+        samples.iter().any(|(_, y)| *y == Label::Positive)
+            && samples.iter().any(|(_, y)| *y == Label::Negative),
+        "training set must contain both classes"
+    );
+
+    let aug = dim + 1;
+    let mut w = vec![0.0f64; aug];
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let radius = 1.0 / params.lambda.sqrt();
+
+    for t in 1..=params.iterations {
+        let i = rng.gen_range(0..samples.len());
+        let (x, y) = &samples[i];
+        let yi = y.sign();
+        let eta = 1.0 / (params.lambda * t as f64);
+
+        let mut dot = w[dim] * params.bias_scale;
+        for (wj, &xj) in w[..dim].iter().zip(x.iter()) {
+            dot += wj * f64::from(xj);
+        }
+
+        // w <- (1 - eta * lambda) w  [+ eta * y * x if margin violated]
+        let shrink = 1.0 - eta * params.lambda;
+        for wj in w.iter_mut() {
+            *wj *= shrink;
+        }
+        if yi * dot < 1.0 {
+            for (wj, &xj) in w[..dim].iter_mut().zip(x.iter()) {
+                *wj += eta * yi * f64::from(xj);
+            }
+            w[dim] += eta * yi * params.bias_scale;
+        }
+
+        // Project onto the ball of radius 1/sqrt(lambda).
+        let norm = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > radius {
+            let scale = radius / norm;
+            for wj in w.iter_mut() {
+                *wj *= scale;
+            }
+        }
+    }
+
+    let bias = w[dim] * params.bias_scale;
+    w.truncate(dim);
+    LinearSvm::new(w, bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcd::{train_dcd, DcdParams};
+
+    fn separable_2d() -> Vec<(Vec<f32>, Label)> {
+        vec![
+            (vec![2.0, 1.0], Label::Positive),
+            (vec![3.0, 2.0], Label::Positive),
+            (vec![2.5, -0.5], Label::Positive),
+            (vec![-2.0, -1.0], Label::Negative),
+            (vec![-3.0, 0.5], Label::Negative),
+            (vec![-2.5, -2.0], Label::Negative),
+        ]
+    }
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let model = train_pegasos(&separable_2d(), &PegasosParams::default());
+        for (x, y) in separable_2d() {
+            assert_eq!(model.classify(&x), y, "misclassified {x:?}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = train_pegasos(&separable_2d(), &PegasosParams::default());
+        let b = train_pegasos(&separable_2d(), &PegasosParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_norm_respects_projection_radius() {
+        let params = PegasosParams::default();
+        let model = train_pegasos(&separable_2d(), &params);
+        let full_norm =
+            (model.weight_norm().powi(2) + (model.bias() / params.bias_scale).powi(2)).sqrt();
+        assert!(full_norm <= 1.0 / params.lambda.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn approaches_dcd_objective() {
+        // Pegasos should land within a modest factor of the DCD optimum
+        // on the same objective.
+        let samples = separable_2d();
+        let lambda = 1e-2;
+        let pegasos = train_pegasos(
+            &samples,
+            &PegasosParams {
+                lambda,
+                iterations: 200_000,
+                ..PegasosParams::default()
+            },
+        );
+        let dcd = train_dcd(
+            &samples,
+            &DcdParams {
+                c: 1.0 / (lambda * samples.len() as f64),
+                max_iterations: 2000,
+                ..DcdParams::default()
+            },
+        );
+        let obj_p = pegasos.objective(&samples, lambda);
+        let obj_d = dcd.objective(&samples, lambda);
+        assert!(
+            obj_p <= obj_d * 1.5 + 0.05,
+            "pegasos objective {obj_p} far above dcd {obj_d}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_zero_lambda() {
+        let params = PegasosParams {
+            lambda: 0.0,
+            ..PegasosParams::default()
+        };
+        let _ = train_pegasos(&separable_2d(), &params);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class() {
+        let samples = vec![(vec![1.0f32], Label::Positive)];
+        let _ = train_pegasos(&samples, &PegasosParams::default());
+    }
+}

@@ -1,0 +1,313 @@
+//! Platt scaling: calibrating SVM decision values into probabilities.
+//!
+//! The paper notes that "the trade-off between the false positives and
+//! false negatives could be handled by varying the threshold in the
+//! classifier" (§4). Thresholds on raw margins are hard to interpret;
+//! Platt's method (Platt, 1999) fits a sigmoid
+//! `P(y=+1 | x) = 1 / (1 + exp(A·f(x) + B))` over held-out decision
+//! values so the threshold becomes a probability. Implemented with the
+//! Lin–Weng–Keerthi (2007) robust Newton iteration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Label, LinearSvm};
+
+/// A fitted sigmoid calibration `P = 1 / (1 + exp(A·score + B))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlattCalibration {
+    a: f64,
+    b: f64,
+}
+
+impl PlattCalibration {
+    /// Fits the sigmoid on `(decision_value, is_positive)` pairs by
+    /// regularized maximum likelihood (Newton with backtracking, after
+    /// Lin, Weng & Keerthi 2007).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scored` lacks positives or negatives.
+    #[must_use]
+    pub fn fit(scored: &[(f64, bool)]) -> Self {
+        let n_pos = scored.iter().filter(|(_, p)| *p).count() as f64;
+        let n_neg = scored.len() as f64 - n_pos;
+        assert!(n_pos > 0.0 && n_neg > 0.0, "calibration needs both classes");
+
+        // Regularized targets.
+        let hi = (n_pos + 1.0) / (n_pos + 2.0);
+        let lo = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = scored
+            .iter()
+            .map(|(_, p)| if *p { hi } else { lo })
+            .collect();
+
+        let mut a = 0.0f64;
+        let mut b = ((n_neg + 1.0) / (n_pos + 1.0)).ln();
+        let min_step = 1e-10;
+        let sigma = 1e-12;
+
+        let fval = |a: f64, b: f64| -> f64 {
+            scored
+                .iter()
+                .zip(&targets)
+                .map(|(&(s, _), &t)| {
+                    let fapb = s * a + b;
+                    if fapb >= 0.0 {
+                        t * fapb + (1.0 + (-fapb).exp()).ln()
+                    } else {
+                        (t - 1.0) * fapb + (1.0 + fapb.exp()).ln()
+                    }
+                })
+                .sum()
+        };
+
+        let mut f = fval(a, b);
+        for _ in 0..100 {
+            // Gradient and Hessian.
+            let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0);
+            let (mut g1, mut g2) = (0.0, 0.0);
+            for (&(s, _), &t) in scored.iter().zip(&targets) {
+                let fapb = s * a + b;
+                let (p, q) = if fapb >= 0.0 {
+                    let e = (-fapb).exp();
+                    (e / (1.0 + e), 1.0 / (1.0 + e))
+                } else {
+                    let e = fapb.exp();
+                    (1.0 / (1.0 + e), e / (1.0 + e))
+                };
+                let d2 = p * q;
+                h11 += s * s * d2;
+                h22 += d2;
+                h21 += s * d2;
+                let d1 = t - p;
+                g1 += s * d1;
+                g2 += d1;
+            }
+            if g1.abs() < 1e-5 && g2.abs() < 1e-5 {
+                break;
+            }
+            // Newton direction.
+            let det = h11 * h22 - h21 * h21;
+            let da = -(h22 * g1 - h21 * g2) / det;
+            let db = -(-h21 * g1 + h11 * g2) / det;
+            let gd = g1 * da + g2 * db;
+            // Backtracking line search.
+            let mut step = 1.0;
+            loop {
+                let na = a + step * da;
+                let nb = b + step * db;
+                let nf = fval(na, nb);
+                if nf < f + 1e-4 * step * gd {
+                    a = na;
+                    b = nb;
+                    f = nf;
+                    break;
+                }
+                step /= 2.0;
+                if step < min_step {
+                    return Self { a, b };
+                }
+            }
+        }
+        Self { a, b }
+    }
+
+    /// The sigmoid slope `A` (negative for a well-oriented classifier).
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        self.a
+    }
+
+    /// The sigmoid offset `B`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.b
+    }
+
+    /// Maps a raw decision value to `P(pedestrian)`.
+    #[must_use]
+    pub fn probability(&self, decision: f64) -> f64 {
+        let fapb = decision * self.a + self.b;
+        if fapb >= 0.0 {
+            (-fapb).exp() / (1.0 + (-fapb).exp())
+        } else {
+            1.0 / (1.0 + fapb.exp())
+        }
+    }
+
+    /// The raw-decision threshold corresponding to probability `p` —
+    /// lets callers express the paper's FP/FN trade-off as "fire above
+    /// 90% confidence".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` and the slope is non-zero.
+    #[must_use]
+    pub fn threshold_for_probability(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p) && p > 0.0, "need 0 < p < 1");
+        assert!(self.a.abs() > 1e-15, "degenerate calibration slope");
+        // p = 1/(1+exp(A t + B))  =>  t = (ln((1-p)/p) - B) / A
+        (((1.0 - p) / p).ln() - self.b) / self.a
+    }
+}
+
+/// A classifier with calibrated probabilistic output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedSvm {
+    model: LinearSvm,
+    calibration: PlattCalibration,
+}
+
+impl CalibratedSvm {
+    /// Wraps a trained model with a calibration fitted on held-out
+    /// `(sample, label)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the held-out set lacks a class or dimensions mismatch.
+    #[must_use]
+    pub fn fit(model: LinearSvm, holdout: &[(Vec<f32>, Label)]) -> Self {
+        let scored: Vec<(f64, bool)> = holdout
+            .iter()
+            .map(|(x, y)| (model.decision(x), *y == Label::Positive))
+            .collect();
+        let calibration = PlattCalibration::fit(&scored);
+        Self { model, calibration }
+    }
+
+    /// The underlying margin classifier.
+    #[must_use]
+    pub fn model(&self) -> &LinearSvm {
+        &self.model
+    }
+
+    /// The fitted sigmoid.
+    #[must_use]
+    pub fn calibration(&self) -> &PlattCalibration {
+        &self.calibration
+    }
+
+    /// `P(pedestrian | x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    #[must_use]
+    pub fn probability(&self, x: &[f32]) -> f64 {
+        self.calibration.probability(self.model.decision(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_scores() -> Vec<(f64, bool)> {
+        (0..50)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                let s = if pos {
+                    1.0 + (i as f64) * 0.05
+                } else {
+                    -1.0 - (i as f64) * 0.05
+                };
+                (s, pos)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_orients_correctly() {
+        let cal = PlattCalibration::fit(&separable_scores());
+        assert!(
+            cal.slope() < 0.0,
+            "slope should be negative: {}",
+            cal.slope()
+        );
+        assert!(cal.probability(3.0) > 0.9);
+        assert!(cal.probability(-3.0) < 0.1);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_decision() {
+        let cal = PlattCalibration::fit(&separable_scores());
+        let mut prev = cal.probability(-5.0);
+        for i in -49..=50 {
+            let p = cal.probability(f64::from(i) * 0.1);
+            assert!(p >= prev - 1e-12, "non-monotone at {i}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let cal = PlattCalibration::fit(&separable_scores());
+        for i in -100..=100 {
+            let p = cal.probability(f64::from(i) * 0.3);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn threshold_for_probability_inverts_sigmoid() {
+        let cal = PlattCalibration::fit(&separable_scores());
+        for p in [0.1, 0.5, 0.9] {
+            let t = cal.threshold_for_probability(p);
+            assert!((cal.probability(t) - p).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn higher_probability_threshold_means_higher_margin() {
+        let cal = PlattCalibration::fit(&separable_scores());
+        assert!(cal.threshold_for_probability(0.9) > cal.threshold_for_probability(0.5));
+    }
+
+    #[test]
+    fn noisy_overlap_gives_soft_probabilities() {
+        // Overlapping scores: mid-range decisions get mid probabilities.
+        let scored: Vec<(f64, bool)> = (0..200)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                let jitter = ((i * 37) % 100) as f64 / 50.0 - 1.0;
+                (if pos { 0.5 } else { -0.5 } + jitter, pos)
+            })
+            .collect();
+        let cal = PlattCalibration::fit(&scored);
+        let mid = cal.probability(0.0);
+        assert!((0.3..0.7).contains(&mid), "P at margin 0 was {mid}");
+    }
+
+    #[test]
+    fn calibrated_svm_end_to_end() {
+        use crate::dcd::{train_dcd, DcdParams};
+        let train: Vec<(Vec<f32>, Label)> = (0..40)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                let x = if pos {
+                    1.0 + (i as f32) * 0.01
+                } else {
+                    -1.0 - (i as f32) * 0.01
+                };
+                (
+                    vec![x, -x * 0.5],
+                    if pos {
+                        Label::Positive
+                    } else {
+                        Label::Negative
+                    },
+                )
+            })
+            .collect();
+        let model = train_dcd(&train, &DcdParams::default());
+        let calibrated = CalibratedSvm::fit(model, &train);
+        assert!(calibrated.probability(&[2.0, -1.0]) > 0.8);
+        assert!(calibrated.probability(&[-2.0, 1.0]) < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration needs both classes")]
+    fn rejects_single_class() {
+        let _ = PlattCalibration::fit(&[(1.0, true), (2.0, true)]);
+    }
+}

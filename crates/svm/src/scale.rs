@@ -1,0 +1,158 @@
+//! Feature standardization (zero mean, unit variance per dimension).
+//!
+//! HOG features are already normalized per block, but standardization
+//! still speeds up SVM convergence and is exposed for users training on
+//! other feature families.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension affine feature transform `x' = (x - mean) / std`.
+///
+/// # Example
+///
+/// ```
+/// use rtped_svm::scale::Standardizer;
+///
+/// let data = vec![vec![0.0f32, 10.0], vec![2.0, 30.0]];
+/// let std = Standardizer::fit(&data);
+/// let t = std.transform(&data[0]);
+/// let u = std.transform(&data[1]);
+/// assert!((t[0] + u[0]).abs() < 1e-5); // symmetric around 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations over `data`.
+    ///
+    /// Dimensions with zero variance get `std = 1` so the transform stays
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    #[must_use]
+    pub fn fit(data: &[Vec<f32>]) -> Self {
+        assert!(!data.is_empty(), "need at least one sample to fit");
+        let dim = data[0].len();
+        assert!(
+            data.iter().all(|row| row.len() == dim),
+            "inconsistent feature dimensions"
+        );
+        let n = data.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for row in data {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += f64::from(v);
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; dim];
+        for row in data {
+            for ((s, &v), m) in var.iter_mut().zip(row).zip(&mean) {
+                let d = f64::from(v) - m;
+                *s += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd > 1e-12 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Transforms one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    #[must_use]
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim(), "feature dimensionality mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&v, (m, s))| ((f64::from(v) - m) / s) as f32)
+            .collect()
+    }
+
+    /// Transforms a batch of feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong dimensionality.
+    #[must_use]
+    pub fn transform_batch(&self, data: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        data.iter().map(|row| self.transform(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_variance() {
+        let data: Vec<Vec<f32>> = (0..50)
+            .map(|i| vec![i as f32, (i * i) as f32 * 0.1, 5.0])
+            .collect();
+        let std = Standardizer::fit(&data);
+        let t = std.transform_batch(&data);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| f64::from(r[d])).sum::<f64>() / t.len() as f64;
+            let var: f64 = t
+                .iter()
+                .map(|r| (f64::from(r[d]) - mean).powi(2))
+                .sum::<f64>()
+                / t.len() as f64;
+            assert!(mean.abs() < 1e-4, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_left_finite() {
+        let data = vec![vec![7.0f32], vec![7.0], vec![7.0]];
+        let std = Standardizer::fit(&data);
+        let t = std.transform(&[7.0]);
+        assert_eq!(t[0], 0.0);
+        let t = std.transform(&[8.0]);
+        assert!(t[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sample")]
+    fn fit_rejects_empty() {
+        let _ = Standardizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimensions")]
+    fn fit_rejects_ragged() {
+        let _ = Standardizer::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimensionality mismatch")]
+    fn transform_checks_dim() {
+        let std = Standardizer::fit(&[vec![1.0f32, 2.0]]);
+        let _ = std.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Driver-assistance planning (paper §1): stopping distances, the 20–60 m
+//! detection-range requirement, and how that range maps to the detector's
+//! scale ladder through a pinhole camera model.
+//!
+//! ```text
+//! cargo run --release --example das_planning
+//! ```
+
+use rtped::detect::das::{CameraModel, DasParams};
+
+fn main() {
+    let das = DasParams::default();
+    println!(
+        "perception-brake reaction time: {} s, deceleration: {} m/s²\n",
+        das.reaction_time_s, das.deceleration_mps2
+    );
+
+    println!("speed (km/h) | reaction (m) | braking (m) | total stop (m)");
+    for speed in [30.0, 50.0, 70.0, 90.0, 110.0] {
+        println!(
+            "{:>12} | {:>12.2} | {:>11.2} | {:>14.2}",
+            speed,
+            das.reaction_distance_m(speed),
+            das.braking_distance_m(speed),
+            das.stopping_distance_m(speed),
+        );
+    }
+    println!("\npaper §1: 35.68 m at 50 km/h, ~58.3 m at 70 km/h => detect at 20-60 m\n");
+
+    // What speed is safe if the detector only guarantees 40 m?
+    for range in [20.0, 40.0, 60.0] {
+        println!(
+            "a detector reliable to {:>2.0} m supports at most {:>5.1} km/h",
+            range,
+            das.max_safe_speed_kmh(range)
+        );
+    }
+
+    let cam = CameraModel::default();
+    println!(
+        "\ncamera: f = {} px, pedestrian {} m, base figure {} px",
+        cam.focal_px, cam.pedestrian_height_m, cam.figure_px
+    );
+    println!("distance (m) | apparent height (px) | required scale");
+    for d in [15.0, 20.0, 30.0, 45.0, 60.0] {
+        println!(
+            "{:>12} | {:>20.1} | {:>14.3}",
+            d,
+            cam.apparent_height_px(d),
+            cam.scale_for_distance(d)
+        );
+    }
+    let ladder = cam.scales_for_range(20.0, 60.0, 1.3);
+    println!(
+        "\nscale ladder covering 20-60 m (geometric step 1.3): {:?}",
+        ladder
+            .iter()
+            .map(|s| (s * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "the implemented two scales (1.0, 1.5) cover {:.1}-{:.1} m; more scales need\n\
+         a larger device (paper §5)",
+        cam.distance_for_scale(1.5),
+        cam.distance_for_scale(1.0)
+    );
+}

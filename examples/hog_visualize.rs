@@ -1,0 +1,57 @@
+//! Visualize HOG features: render a synthetic pedestrian, extract its
+//! cell histograms, and write both the window and its HOG glyphs as PGM
+//! files you can open in any image viewer.
+//!
+//! ```text
+//! cargo run --release --example hog_visualize
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rtped::dataset::pedestrian::render_pedestrian;
+use rtped::hog::grid::CellGrid;
+use rtped::hog::params::HogParams;
+use rtped::hog::visualize::render_glyphs;
+use rtped::image::pnm::save_pgm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let window = render_pedestrian(&mut rng, 64, 128, 5);
+
+    let params = HogParams::pedestrian();
+    let grid = CellGrid::compute(&window, &params);
+    let glyphs = render_glyphs(&grid, 24);
+
+    let dir = std::env::temp_dir();
+    let window_path = dir.join("rtped_pedestrian.pgm");
+    let glyph_path = dir.join("rtped_hog_glyphs.pgm");
+    save_pgm(&window_path, &window)?;
+    save_pgm(&glyph_path, &glyphs)?;
+
+    println!("pedestrian window: {}", window_path.display());
+    println!(
+        "HOG glyphs ({}x{} cells, 9 bins): {}",
+        grid.cells().0,
+        grid.cells().1,
+        glyph_path.display()
+    );
+
+    // Print the dominant orientation per cell as a rough ASCII preview.
+    let arrows = ['-', '/', '/', '|', '|', '|', '\\', '\\', '-'];
+    println!("\ndominant edge orientation per cell ('.' = no gradient):");
+    for cy in 0..grid.cells().1 {
+        let mut line = String::new();
+        for cx in 0..grid.cells().0 {
+            let hist = grid.histogram(cx, cy);
+            let (best, energy) =
+                hist.iter().enumerate().fold(
+                    (0, 0.0f32),
+                    |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc },
+                );
+            line.push(if energy < 1.0 { '.' } else { arrows[best] });
+        }
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Quickstart: generate a small synthetic dataset, train a linear SVM on
+//! HOG features, evaluate it, and persist the model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rtped::dataset::InriaProtocol;
+use rtped::eval::confusion::confusion_at_threshold;
+use rtped::eval::RocCurve;
+use rtped::hog::feature_map::FeatureMap;
+use rtped::hog::params::HogParams;
+use rtped::svm::dcd::{train_dcd, DcdParams};
+use rtped::svm::io::{load_model, save_model};
+use rtped::svm::model::Label;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A deterministic synthetic dataset following the paper's INRIA
+    //    protocol (64x128 windows; see DESIGN.md for the substitution).
+    let dataset = InriaProtocol::builder()
+        .train_positives(200)
+        .train_negatives(600)
+        .test_positives(100)
+        .test_negatives(400)
+        .seed(42)
+        .build()?;
+    println!(
+        "dataset: {} train / {} test windows",
+        dataset.train_positives().len() + dataset.train_negatives().len(),
+        dataset.test_positives().len() + dataset.test_negatives().len(),
+    );
+
+    // 2. Extract cell-major HOG descriptors (8x16 cells x 36 = 4608
+    //    features, the paper's hardware layout) and train the SVM.
+    let params = HogParams::pedestrian();
+    let samples: Vec<(Vec<f32>, Label)> = dataset
+        .labelled_train()
+        .map(|(img, positive)| {
+            let map = FeatureMap::extract(img, &params);
+            let descriptor = map.window_descriptor(0, 0, &params);
+            let label = if positive {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            (descriptor, label)
+        })
+        .collect();
+    println!("training linear SVM (dual coordinate descent) ...");
+    let model = train_dcd(
+        &samples,
+        &DcdParams {
+            c: 0.01,
+            ..DcdParams::default()
+        },
+    );
+
+    // 3. Evaluate on the held-out test windows.
+    let scored: Vec<(f64, bool)> = dataset
+        .labelled_test()
+        .map(|(img, positive)| {
+            let map = FeatureMap::extract(img, &params);
+            let d = map.window_descriptor(0, 0, &params);
+            (model.decision(&d), positive)
+        })
+        .collect();
+    let cm = confusion_at_threshold(&scored, 0.0);
+    let roc = RocCurve::from_scores(&scored);
+    println!(
+        "accuracy {:.2}%  (TP {}, TN {}, FP {}, FN {});  AUC {:.4}, EER {:.4}",
+        cm.accuracy() * 100.0,
+        cm.true_positives(),
+        cm.true_negatives(),
+        cm.false_positives(),
+        cm.false_negatives(),
+        roc.auc(),
+        roc.eer(),
+    );
+
+    // 4. Persist the model the way the paper's flow feeds its FPGA model
+    //    memory, and load it back.
+    let path = std::env::temp_dir().join("rtped_quickstart_model.json");
+    save_model(&path, &model)?;
+    let restored = load_model(&path)?;
+    assert_eq!(restored, model);
+    println!("model saved to {} and restored identically", path.display());
+    Ok(())
+}

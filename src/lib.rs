@@ -1,0 +1,59 @@
+//! # rtped — Real-Time Multi-Scale Pedestrian Detection
+//!
+//! A from-scratch Rust reproduction of:
+//!
+//! > Hemmati, Biglari-Abhari, Niar, Berber.
+//! > *Real-Time Multi-Scale Pedestrian Detection for Driver Assistance
+//! > Systems.* DAC 2017.
+//!
+//! The paper contributes (1) multi-scale HOG+SVM detection via a *HOG
+//! feature pyramid* (down-sampling normalized features instead of the image)
+//! and (2) a deeply pipelined FPGA accelerator reaching 60 fps on HDTV
+//! frames at two scales. This crate is a facade that re-exports the
+//! workspace sub-crates:
+//!
+//! - [`image`] — grayscale image substrate (containers, PNM I/O, resize,
+//!   drawing, synthetic textures, integral images).
+//! - [`hog`] — HOG feature extraction and the feature/image pyramids.
+//! - [`svm`] — linear SVM training (Pegasos, dual coordinate descent) and
+//!   inference.
+//! - [`dataset`] — the seeded synthetic INRIA-protocol dataset.
+//! - [`eval`] — ROC / AUC / EER / confusion-matrix evaluation.
+//! - [`detect`] — multi-scale detectors (conventional image pyramid and the
+//!   paper's feature pyramid), NMS, and the driver-assistance layer.
+//! - [`hw`] — a cycle-accurate fixed-point model of the DAC'17 accelerator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtped::dataset::protocol::InriaProtocol;
+//! use rtped::hog::params::HogParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny, seeded dataset and the standard 64x128 HOG geometry.
+//! let params = HogParams::pedestrian();
+//! let dataset = InriaProtocol::builder()
+//!     .train_positives(8)
+//!     .train_negatives(16)
+//!     .test_positives(4)
+//!     .test_negatives(8)
+//!     .seed(7)
+//!     .build()?;
+//! assert_eq!(dataset.train_positives().len(), 8);
+//! assert_eq!(params.window_cells(), (8, 16));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for full training / detection / hardware-simulation
+//! walkthroughs and `crates/bench` for the harnesses that regenerate every
+//! table and figure of the paper (documented in `DESIGN.md` and
+//! `EXPERIMENTS.md`).
+
+pub use rtped_dataset as dataset;
+pub use rtped_detect as detect;
+pub use rtped_eval as eval;
+pub use rtped_hog as hog;
+pub use rtped_hw as hw;
+pub use rtped_image as image;
+pub use rtped_svm as svm;

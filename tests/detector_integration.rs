@@ -1,0 +1,170 @@
+//! Integration: the two multi-scale detector configurations on composed
+//! scenes with ground truth (the Fig. 3 comparison at system level).
+
+use rtped::dataset::scene::SceneBuilder;
+use rtped::dataset::InriaProtocol;
+use rtped::detect::detector::{
+    Detect, DetectorConfig, FeaturePyramidDetector, ImagePyramidDetector,
+};
+use rtped::detect::BoundingBox;
+use rtped::hog::feature_map::FeatureMap;
+use rtped::hog::params::HogParams;
+use rtped::svm::dcd::{train_dcd, DcdParams};
+use rtped::svm::model::Label;
+use rtped::svm::LinearSvm;
+
+fn trained_model(seed: u64) -> LinearSvm {
+    let params = HogParams::pedestrian();
+    let dataset = InriaProtocol::builder()
+        .train_positives(100)
+        .train_negatives(300)
+        .test_positives(1)
+        .test_negatives(1)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let samples: Vec<(Vec<f32>, Label)> = dataset
+        .labelled_train()
+        .map(|(img, positive)| {
+            let d = FeatureMap::extract(img, &params).window_descriptor(0, 0, &params);
+            (
+                d,
+                if positive {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            )
+        })
+        .collect();
+    train_dcd(
+        &samples,
+        &DcdParams {
+            c: 0.01,
+            ..DcdParams::default()
+        },
+    )
+}
+
+fn gt_box(gt: &rtped::dataset::scene::GroundTruthBox) -> BoundingBox {
+    BoundingBox::new(gt.x as i64, gt.y as i64, gt.width as u64, gt.height as u64)
+}
+
+#[test]
+fn both_detectors_find_a_base_scale_pedestrian() {
+    let model = trained_model(11);
+    let scene = SceneBuilder::new(400, 300)
+        .seed(21)
+        .pedestrian_at(64, 128, 1.0, 160, 80)
+        .build();
+    let mut config = DetectorConfig::with_scales(vec![1.0]);
+    config.threshold = 0.25;
+    let detectors: Vec<Box<dyn Detect>> = vec![
+        Box::new(ImagePyramidDetector::new(model.clone(), config.clone())),
+        Box::new(FeaturePyramidDetector::new(model, config)),
+    ];
+    let gt = gt_box(&scene.ground_truth[0]);
+    for d in &detectors {
+        let dets = d.detect(&scene.frame);
+        assert!(
+            dets.iter().any(|det| det.bbox.iou(&gt) > 0.4),
+            "{} missed the pedestrian ({} detections)",
+            d.method_name(),
+            dets.len()
+        );
+    }
+}
+
+#[test]
+fn feature_pyramid_finds_scaled_pedestrian() {
+    // A pedestrian at 1.5x the window size requires the second pyramid
+    // level — the paper's two-scale configuration.
+    let model = trained_model(13);
+    let scene = SceneBuilder::new(480, 360)
+        .seed(23)
+        .pedestrian_at(64, 128, 1.5, 180, 100)
+        .build();
+    let mut config = DetectorConfig::two_scale();
+    config.threshold = 0.2;
+    // NMS can legitimately prefer a same-score base-scale box on the
+    // torso; this test asserts the 1.5x *level* fires, so inspect the raw
+    // (pre-NMS) detections.
+    config.nms_iou = None;
+    let detector = FeaturePyramidDetector::new(model, config);
+    let dets = detector.detect(&scene.frame);
+    let gt = gt_box(&scene.ground_truth[0]);
+    let best_iou = dets.iter().map(|d| d.bbox.iou(&gt)).fold(0.0f64, f64::max);
+    // A base-scale 64x128 box tops out at IoU = 8192/18432 ≈ 0.444 against
+    // the 96x192 ground truth, so IoU > 0.5 can only come from the 1.5x
+    // pyramid level — multi-scale detection is what makes the match.
+    assert!(
+        best_iou > 0.5,
+        "feature pyramid missed the 1.5x pedestrian (best IoU {best_iou}, {} dets)",
+        dets.len()
+    );
+    assert!(
+        dets.iter()
+            .any(|d| d.bbox.iou(&gt) > 0.5 && (d.scale - 1.5).abs() < 1e-9),
+        "the high-IoU match should fire at scale 1.5"
+    );
+}
+
+#[test]
+fn single_scale_detector_misses_large_pedestrian() {
+    // Negative control: without the second scale, the 1.5x pedestrian
+    // cannot be matched at the right size — multi-scale detection is
+    // load-bearing (the paper's whole premise).
+    let model = trained_model(13);
+    let scene = SceneBuilder::new(480, 360)
+        .seed(23)
+        .pedestrian_at(64, 128, 1.5, 180, 100)
+        .build();
+    let mut config = DetectorConfig::with_scales(vec![1.0]);
+    config.threshold = 0.2;
+    let detector = FeaturePyramidDetector::new(model, config);
+    let dets = detector.detect(&scene.frame);
+    let gt = gt_box(&scene.ground_truth[0]);
+    let best_iou = dets.iter().map(|d| d.bbox.iou(&gt)).fold(0.0f64, f64::max);
+    assert!(
+        best_iou < 0.5,
+        "a 64x128 window should not match a 96x192 pedestrian well (IoU {best_iou})"
+    );
+}
+
+#[test]
+fn clean_background_produces_no_detections() {
+    let model = trained_model(17);
+    let scene = SceneBuilder::new(400, 300).seed(29).build(); // no pedestrians
+    let mut config = DetectorConfig::two_scale();
+    config.threshold = 0.5;
+    let detector = FeaturePyramidDetector::new(model, config);
+    let dets = detector.detect(&scene.frame);
+    assert!(
+        dets.len() <= 1,
+        "too many false positives on empty scene: {}",
+        dets.len()
+    );
+}
+
+#[test]
+fn nms_produces_disjoint_boxes() {
+    let model = trained_model(19);
+    let scene = SceneBuilder::new(480, 360)
+        .seed(31)
+        .pedestrian_at(64, 128, 1.0, 100, 100)
+        .pedestrian_at(64, 128, 1.0, 300, 150)
+        .build();
+    let mut config = DetectorConfig::with_scales(vec![1.0]);
+    config.threshold = 0.1;
+    config.nms_iou = Some(0.3);
+    let detector = FeaturePyramidDetector::new(model, config);
+    let dets = detector.detect(&scene.frame);
+    for i in 0..dets.len() {
+        for j in i + 1..dets.len() {
+            assert!(
+                dets[i].bbox.iou(&dets[j].bbox) <= 0.3,
+                "NMS left overlapping boxes"
+            );
+        }
+    }
+}

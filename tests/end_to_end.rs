@@ -1,0 +1,154 @@
+//! End-to-end integration: dataset generation → HOG extraction → SVM
+//! training → evaluation of the paper's two scaling methods (the §4
+//! verification protocol at reduced size).
+
+use rtped::dataset::InriaProtocol;
+use rtped::eval::confusion::confusion_at_threshold;
+use rtped::eval::RocCurve;
+use rtped::hog::feature_map::FeatureMap;
+use rtped::hog::params::HogParams;
+use rtped::image::resize::{resize, Filter};
+use rtped::image::GrayImage;
+use rtped::svm::dcd::{train_dcd, DcdParams};
+use rtped::svm::model::Label;
+use rtped::svm::LinearSvm;
+
+struct Fixture {
+    dataset: InriaProtocol,
+    model: LinearSvm,
+    params: HogParams,
+}
+
+fn features(img: &GrayImage, params: &HogParams) -> Vec<f32> {
+    FeatureMap::extract(img, params).window_descriptor(0, 0, params)
+}
+
+fn fixture() -> Fixture {
+    let params = HogParams::pedestrian();
+    let dataset = InriaProtocol::builder()
+        .train_positives(120)
+        .train_negatives(360)
+        .test_positives(50)
+        .test_negatives(200)
+        .seed(2025)
+        .build()
+        .unwrap();
+    let samples: Vec<(Vec<f32>, Label)> = dataset
+        .labelled_train()
+        .map(|(img, positive)| {
+            (
+                features(img, &params),
+                if positive {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            )
+        })
+        .collect();
+    let model = train_dcd(
+        &samples,
+        &DcdParams {
+            c: 0.01,
+            ..DcdParams::default()
+        },
+    );
+    Fixture {
+        dataset,
+        model,
+        params,
+    }
+}
+
+fn score_scaled(fix: &Fixture, scale: f64, hog_path: bool) -> Vec<(f64, bool)> {
+    let pos = fix.dataset.upsampled_test_positives(scale);
+    let neg = fix.dataset.upsampled_test_negatives(scale);
+    pos.iter()
+        .map(|i| (i, true))
+        .chain(neg.iter().map(|i| (i, false)))
+        .map(|(img, label)| {
+            let d = if hog_path {
+                let map = FeatureMap::extract(img, &fix.params);
+                let (wc, hc) = fix.params.window_cells();
+                map.scaled_to(wc, hc).window_descriptor(0, 0, &fix.params)
+            } else {
+                let (ww, wh) = fix.params.window_size();
+                features(&resize(img, ww, wh, Filter::Bilinear), &fix.params)
+            };
+            (fix.model.decision(&d), label)
+        })
+        .collect()
+}
+
+#[test]
+fn base_scale_classifier_is_accurate() {
+    let fix = fixture();
+    let scored: Vec<(f64, bool)> = fix
+        .dataset
+        .labelled_test()
+        .map(|(img, label)| (fix.model.decision(&features(img, &fix.params)), label))
+        .collect();
+    let cm = confusion_at_threshold(&scored, 0.0);
+    assert!(
+        cm.accuracy() > 0.93,
+        "base accuracy too low: {}",
+        cm.accuracy()
+    );
+    let roc = RocCurve::from_scores(&scored);
+    assert!(roc.auc() > 0.97, "base AUC too low: {}", roc.auc());
+}
+
+#[test]
+fn both_scaling_methods_work_at_moderate_scale() {
+    // The paper's Table 1 regime: at small up-sampling factors both
+    // methods stay close to the base accuracy.
+    let fix = fixture();
+    for hog_path in [false, true] {
+        let scored = score_scaled(&fix, 1.2, hog_path);
+        let cm = confusion_at_threshold(&scored, 0.0);
+        assert!(
+            cm.accuracy() > 0.85,
+            "method (hog={hog_path}) collapsed at 1.2: {}",
+            cm.accuracy()
+        );
+    }
+}
+
+#[test]
+fn hog_scaling_decays_at_large_scales() {
+    // §4/§6: above ~1.5 the down-sampled HOG features are "not as
+    // promising as the resized image". The HOG path's accuracy at 2.0
+    // must fall below its own accuracy at 1.1.
+    let fix = fixture();
+    let small = confusion_at_threshold(&score_scaled(&fix, 1.1, true), 0.0);
+    let large = confusion_at_threshold(&score_scaled(&fix, 2.0, true), 0.0);
+    assert!(
+        large.accuracy() <= small.accuracy(),
+        "HOG path did not decay: {} at 1.1 vs {} at 2.0",
+        small.accuracy(),
+        large.accuracy()
+    );
+}
+
+#[test]
+fn image_scaling_is_stable_across_scales() {
+    // The conventional path re-extracts features from a properly resized
+    // window, so its accuracy stays near base across the ladder.
+    let fix = fixture();
+    let at_12 = confusion_at_threshold(&score_scaled(&fix, 1.2, false), 0.0);
+    let at_20 = confusion_at_threshold(&score_scaled(&fix, 2.0, false), 0.0);
+    assert!(
+        (at_12.accuracy() - at_20.accuracy()).abs() < 0.08,
+        "image path unstable: {} vs {}",
+        at_12.accuracy(),
+        at_20.accuracy()
+    );
+}
+
+#[test]
+fn scored_sets_have_paper_structure() {
+    let fix = fixture();
+    let scored = score_scaled(&fix, 1.1, true);
+    assert_eq!(scored.len(), 50 + 200);
+    assert_eq!(scored.iter().filter(|(_, p)| *p).count(), 50);
+}

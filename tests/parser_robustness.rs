@@ -1,0 +1,60 @@
+//! Fuzz-style robustness: every parser in the workspace must reject
+//! malformed input with an error — never panic — because harnesses feed
+//! them user-supplied files (PNM windows, model JSON, RTL vectors).
+
+use proptest::prelude::*;
+
+use rtped::hw::vectors::TestVectors;
+use rtped::image::pnm::read_pnm;
+use rtped::svm::io::read_model;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pnm_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_pnm(bytes.as_slice());
+    }
+
+    #[test]
+    fn pnm_parser_handles_hostile_headers(
+        magic in "P[0-9]",
+        w in any::<u32>(),
+        h in any::<u32>(),
+        maxval in any::<u32>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut data = format!("{magic}\n{w} {h}\n{maxval}\n").into_bytes();
+        data.extend(tail);
+        // Must either parse (tiny valid images) or error; never panic or
+        // allocate absurd buffers for huge claimed dimensions.
+        let _ = read_pnm(data.as_slice());
+    }
+
+    #[test]
+    fn model_parser_never_panics(text in ".{0,256}") {
+        let _ = read_model(text.as_bytes());
+    }
+
+    #[test]
+    fn vector_parsers_never_panic(text in ".{0,256}") {
+        let _ = TestVectors::parse_scores(&text);
+        let _ = TestVectors::parse_features(&text, (2, 2));
+    }
+}
+
+#[test]
+fn pnm_parser_rejects_overlong_dimension_claims_without_oom() {
+    // A header claiming a gigantic raster with a tiny body must error
+    // (truncation check) rather than attempt the allocation.
+    let data = b"P5\n1000000 1000000\n255\n\0\0\0";
+    assert!(read_pnm(&data[..]).is_err());
+}
+
+#[test]
+fn ascii_pnm_with_trailing_garbage_still_parses_raster() {
+    let data = b"P2\n2 1\n255\n10 20\nTRAILING GARBAGE";
+    let img = read_pnm(&data[..]).unwrap();
+    assert_eq!(img.get(0, 0), 10);
+    assert_eq!(img.get(1, 0), 20);
+}
