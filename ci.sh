@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate. The workspace has zero third-party dependencies, so
+# everything runs with --offline against an empty registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --release --offline (all targets) =="
+cargo build --workspace --all-targets --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test --workspace -q --offline
+
+echo "ci.sh: all green"

@@ -3,8 +3,7 @@
 //! path (what the hardware does, modeled bit-exactly) versus a full
 //! floating-point bilinear resample, and the scaling quality knobs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use rtped_core::timer::{black_box, Bench};
 
 use rtped_hw::norm_unit::{HwFeatureMap, CELL_FEATURES};
 use rtped_hw::scaler::{shift_add_mul, FeatureScaler};
@@ -17,49 +16,41 @@ fn ramp_map(cx: usize, cy: usize) -> HwFeatureMap {
     HwFeatureMap::from_raw(cx, cy, data)
 }
 
-fn bench_multiply_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("weight_multiply_kernel");
-    group.bench_function("shift_add_q4", |b| {
-        b.iter(|| {
-            let mut acc = 0i64;
-            for v in 0..1024i32 {
-                acc += i64::from(shift_add_mul(black_box(v * 13), (v % 17) as u8 % 17));
-            }
-            acc
-        });
+fn bench_multiply_kernels() {
+    let mut group = Bench::new("weight_multiply_kernel");
+    group.run("shift_add_q4", || {
+        let mut acc = 0i64;
+        for v in 0..1024i32 {
+            acc += i64::from(shift_add_mul(black_box(v * 13), (v % 17) as u8 % 17));
+        }
+        acc
     });
-    group.bench_function("float_multiply", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for v in 0..1024i32 {
-                acc += f64::from(black_box(v * 13)) * f64::from(v % 17) / 16.0;
-            }
-            acc
-        });
+    group.run("float_multiply", || {
+        let mut acc = 0.0f64;
+        for v in 0..1024i32 {
+            acc += f64::from(black_box(v * 13)) * f64::from(v % 17) / 16.0;
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_full_scalers(c: &mut Criterion) {
+fn bench_full_scalers() {
     let scaler = FeatureScaler::new();
-    let mut group = c.benchmark_group("feature_map_downscale");
-    group.sample_size(20);
+    let mut group = Bench::new("feature_map_downscale").batches(20);
     for cells in [(40usize, 30usize), (80, 60)] {
         let hw_map = ramp_map(cells.0, cells.1);
         let float_map = hw_map.to_float();
-        group.bench_with_input(
-            BenchmarkId::new("shift_add_fixed_point", format!("{}x{}", cells.0, cells.1)),
-            &hw_map,
-            |b, map| b.iter(|| scaler.scale_by(black_box(map), 1.5)),
+        group.run(
+            &format!("shift_add_fixed_point/{}x{}", cells.0, cells.1),
+            || scaler.scale_by(black_box(&hw_map), 1.5),
         );
-        group.bench_with_input(
-            BenchmarkId::new("float_bilinear", format!("{}x{}", cells.0, cells.1)),
-            &float_map,
-            |b, map| b.iter(|| black_box(map).scaled_by(1.5)),
-        );
+        group.run(&format!("float_bilinear/{}x{}", cells.0, cells.1), || {
+            black_box(&float_map).scaled_by(1.5)
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_multiply_kernels, bench_full_scalers);
-criterion_main!(benches);
+fn main() {
+    bench_multiply_kernels();
+    bench_full_scalers();
+}

@@ -3,8 +3,7 @@
 //! the detection chain" (§5), which is what makes skipping per-scale
 //! re-extraction worthwhile.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use rtped_core::timer::{black_box, Bench};
 
 use rtped_hog::feature_map::FeatureMap;
 use rtped_hog::gradient::GradientField;
@@ -16,42 +15,39 @@ fn textured(w: usize, h: usize) -> GrayImage {
     GrayImage::from_fn(w, h, |x, y| ((x * 31 + y * 17 + (x * y) % 23) % 256) as u8)
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn bench_stages() {
     let params = HogParams::pedestrian();
     let img = textured(320, 240);
     let field = GradientField::compute(&img, false);
     let grid = CellGrid::compute(&img, &params);
 
-    let mut group = c.benchmark_group("hog_stages_320x240");
-    group.bench_function("gradient", |b| {
-        b.iter(|| GradientField::compute(black_box(&img), false));
+    let mut group = Bench::new("hog_stages_320x240");
+    group.run("gradient", || {
+        GradientField::compute(black_box(&img), false)
     });
-    group.bench_function("cell_histograms", |b| {
-        b.iter(|| CellGrid::from_gradients(black_box(&field), &params));
+    group.run("cell_histograms", || {
+        CellGrid::from_gradients(black_box(&field), &params)
     });
-    group.bench_function("normalize", |b| {
-        b.iter(|| FeatureMap::from_cell_grid(black_box(&grid), &params));
+    group.run("normalize", || {
+        FeatureMap::from_cell_grid(black_box(&grid), &params)
     });
-    group.bench_function("full_extraction", |b| {
-        b.iter(|| FeatureMap::extract(black_box(&img), &params));
+    group.run("full_extraction", || {
+        FeatureMap::extract(black_box(&img), &params)
     });
-    group.finish();
 }
 
-fn bench_frame_sizes(c: &mut Criterion) {
+fn bench_frame_sizes() {
     let params = HogParams::pedestrian();
-    let mut group = c.benchmark_group("hog_extraction_by_size");
-    group.sample_size(10);
+    let mut group = Bench::new("hog_extraction_by_size").batches(10);
     for (w, h) in [(160, 120), (320, 240), (640, 480)] {
         let img = textured(w, h);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{w}x{h}")),
-            &img,
-            |b, img| b.iter(|| FeatureMap::extract(black_box(img), &params)),
-        );
+        group.run(&format!("{w}x{h}"), || {
+            FeatureMap::extract(black_box(&img), &params)
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_stages, bench_frame_sizes);
-criterion_main!(benches);
+fn main() {
+    bench_stages();
+    bench_frame_sizes();
+}

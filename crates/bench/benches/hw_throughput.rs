@@ -2,8 +2,7 @@
 //! frame sizes and scale counts — plus the schedule arithmetic itself
 //! (which is what the paper's 60 fps claim rests on).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use rtped_core::timer::{black_box, Bench};
 
 use rtped_hw::svm_engine::SvmEngine;
 use rtped_hw::{AcceleratorConfig, HogAccelerator};
@@ -21,17 +20,17 @@ fn pseudo_model() -> LinearSvm {
     LinearSvm::new(weights, -0.2)
 }
 
-fn bench_schedule_math(c: &mut Criterion) {
+fn bench_schedule_math() {
     let engine = SvmEngine::new();
-    c.bench_function("svm_engine_cycle_formula", |b| {
-        b.iter(|| engine.cycles_per_frame(black_box(240), black_box(135)));
+    let mut group = Bench::new("hw_schedule");
+    group.run("svm_engine_cycle_formula", || {
+        engine.cycles_per_frame(black_box(240), black_box(135))
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let model = pseudo_model();
-    let mut group = c.benchmark_group("hw_pipeline");
-    group.sample_size(10);
+    let mut group = Bench::new("hw_pipeline").batches(10);
     for (w, h) in [(160usize, 128usize), (320, 240)] {
         let frame = textured(w, h);
         for scales in [1usize, 2] {
@@ -44,29 +43,25 @@ fn bench_pipeline(c: &mut Criterion) {
                 ..AcceleratorConfig::default()
             };
             let acc = HogAccelerator::new(&model, config);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{w}x{h}"), scales),
-                &frame,
-                |b, frame| b.iter(|| acc.process(black_box(frame))),
-            );
+            group.run(&format!("{w}x{h}/{scales}"), || {
+                acc.process(black_box(&frame))
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_extraction_only(c: &mut Criterion) {
+fn bench_extraction_only() {
     let model = pseudo_model();
     let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
     let frame = textured(320, 240);
-    c.bench_function("hw_fixed_point_extraction_320x240", |b| {
-        b.iter(|| acc.extract_features(black_box(&frame)));
+    let mut group = Bench::new("hw_extraction");
+    group.run("fixed_point_extraction_320x240", || {
+        acc.extract_features(black_box(&frame))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_schedule_math,
-    bench_pipeline,
-    bench_extraction_only
-);
-criterion_main!(benches);
+fn main() {
+    bench_schedule_math();
+    bench_pipeline();
+    bench_extraction_only();
+}

@@ -3,8 +3,7 @@
 //! feature map once (§4–§5). The per-extra-scale cost of the feature
 //! pyramid should be a small fraction of the image pyramid's.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use rtped_core::timer::{black_box, Bench};
 
 use rtped_hog::feature_map::FeatureMap;
 use rtped_hog::params::HogParams;
@@ -15,51 +14,42 @@ fn textured(w: usize, h: usize) -> GrayImage {
     GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 29 + (x * y) % 17) % 256) as u8)
 }
 
-fn bench_pyramids(c: &mut Criterion) {
+fn bench_pyramids() {
     let params = HogParams::pedestrian();
     let img = textured(640, 480);
 
-    let mut group = c.benchmark_group("pyramid_640x480");
-    group.sample_size(10);
+    let mut group = Bench::new("pyramid_640x480").batches(10);
     for levels in [2usize, 4, 6] {
         let scales: Vec<f64> = (0..levels).map(|i| 1.2f64.powi(i as i32)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("image_pyramid", levels),
-            &scales,
-            |b, scales| b.iter(|| ImagePyramid::build(black_box(&img), scales, &params)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("feature_pyramid", levels),
-            &scales,
-            |b, scales| b.iter(|| FeaturePyramid::build(black_box(&img), scales, &params)),
-        );
+        group.run(&format!("image_pyramid/{levels}"), || {
+            ImagePyramid::build(black_box(&img), &scales, &params)
+        });
+        group.run(&format!("feature_pyramid/{levels}"), || {
+            FeaturePyramid::build(black_box(&img), &scales, &params)
+        });
     }
-    group.finish();
 }
 
-fn bench_per_level_cost(c: &mut Criterion) {
+fn bench_per_level_cost() {
     // Marginal cost of ONE extra scale: re-extract from a resized image
     // vs. resample the existing feature map.
     let params = HogParams::pedestrian();
     let img = textured(640, 480);
     let base = FeatureMap::extract(&img, &params);
 
-    let mut group = c.benchmark_group("marginal_scale_cost_640x480");
-    group.bench_function("image_path_resize_plus_extract", |b| {
-        b.iter(|| {
-            let small = rtped_image::resize::scale_by(
-                black_box(&img),
-                1.0 / 1.5,
-                rtped_image::resize::Filter::Bilinear,
-            );
-            FeatureMap::extract(&small, &params)
-        });
+    let mut group = Bench::new("marginal_scale_cost_640x480");
+    group.run("image_path_resize_plus_extract", || {
+        let small = rtped_image::resize::scale_by(
+            black_box(&img),
+            1.0 / 1.5,
+            rtped_image::resize::Filter::Bilinear,
+        );
+        FeatureMap::extract(&small, &params)
     });
-    group.bench_function("feature_path_resample", |b| {
-        b.iter(|| black_box(&base).scaled_by(1.5));
-    });
-    group.finish();
+    group.run("feature_path_resample", || black_box(&base).scaled_by(1.5));
 }
 
-criterion_group!(benches, bench_pyramids, bench_per_level_cost);
-criterion_main!(benches);
+fn main() {
+    bench_pyramids();
+    bench_per_level_cost();
+}

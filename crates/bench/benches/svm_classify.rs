@@ -2,10 +2,9 @@
 //! and without descriptor materialization, and full-frame sliding-window
 //! scans — the workload the paper's 8×16-MAC engine parallelizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use rtped_core::timer::{black_box, Bench};
 
-use rtped_detect::detector::{score_window, Detect, DetectorConfig, FeaturePyramidDetector};
+use rtped_detect::detector::{score_window, Detect, DetectorBuilder, FeaturePyramidDetector};
 use rtped_hog::feature_map::FeatureMap;
 use rtped_hog::params::HogParams;
 use rtped_image::GrayImage;
@@ -22,40 +21,39 @@ fn pseudo_model(dim: usize) -> LinearSvm {
     LinearSvm::new(weights, -0.1)
 }
 
-fn bench_window_scoring(c: &mut Criterion) {
+fn bench_window_scoring() {
     let params = HogParams::pedestrian();
     let img = textured(320, 240);
     let map = FeatureMap::extract(&img, &params);
     let model = pseudo_model(params.cell_descriptor_len());
 
-    let mut group = c.benchmark_group("window_scoring");
-    group.bench_function("score_window_no_alloc", |b| {
-        b.iter(|| score_window(black_box(&map), 5, 3, &params, &model));
+    let mut group = Bench::new("window_scoring");
+    group.run("score_window_no_alloc", || {
+        score_window(black_box(&map), 5, 3, &params, &model)
     });
-    group.bench_function("descriptor_then_decision", |b| {
-        b.iter(|| {
-            let d = black_box(&map).window_descriptor(5, 3, &params);
-            model.decision(&d)
-        });
+    group.run("descriptor_then_decision", || {
+        let d = black_box(&map).window_descriptor(5, 3, &params);
+        model.decision(&d)
     });
-    group.finish();
 }
 
-fn bench_frame_scan(c: &mut Criterion) {
+fn bench_frame_scan() {
     let params = HogParams::pedestrian();
     let model = pseudo_model(params.cell_descriptor_len());
-    let mut config = DetectorConfig::with_scales(vec![1.0, 1.5]);
-    config.nms_iou = Some(0.3);
-    let detector = FeaturePyramidDetector::new(model, config);
+    let detector: FeaturePyramidDetector = DetectorBuilder::new(model)
+        .scales(vec![1.0, 1.5])
+        .nms_iou(0.3)
+        .build()
+        .expect("valid detector config");
     let frame = textured(640, 480);
 
-    let mut group = c.benchmark_group("frame_scan_640x480");
-    group.sample_size(10);
-    group.bench_function("two_scale_feature_pyramid_detect", |b| {
-        b.iter(|| detector.detect(black_box(&frame)));
+    let mut group = Bench::new("frame_scan_640x480").batches(10);
+    group.run("two_scale_feature_pyramid_detect", || {
+        detector.detect(black_box(&frame))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_window_scoring, bench_frame_scan);
-criterion_main!(benches);
+fn main() {
+    bench_window_scoring();
+    bench_frame_scan();
+}

@@ -7,8 +7,9 @@
 //! ```
 
 use rtped_bench::{Experiment, ExperimentConfig};
+use rtped_core::json::obj;
 use rtped_eval::RocCurve;
-use rtped_svm::io::save_model;
+use rtped_svm::io::{save_calibration, save_model};
 use rtped_svm::platt::PlattCalibration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,28 +40,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let calibration = PlattCalibration::fit(&scored);
     let cal_path = format!("{out_dir}/pedestrian_synthetic.calibration.json");
-    std::fs::write(&cal_path, serde_json::to_string(&calibration)?)?;
+    save_calibration(&cal_path, &calibration)?;
 
     let meta_path = format!("{out_dir}/pedestrian_synthetic.meta.json");
-    let meta = serde_json::json!({
-        "descriptor": "cell-major HOG, 8x16 cells x 36 = 4608 features",
-        "window": [64, 128],
-        "training": {
-            "positives": config.train_positives,
-            "negatives": config.train_negatives,
-            "seed": config.seed,
-            "noise": config.noise,
-            "svm_c": config.svm_c,
-        },
-        "test": {
-            "positives": config.test_positives,
-            "negatives": config.test_negatives,
-            "accuracy": cm.accuracy(),
-            "auc": roc.auc(),
-            "eer": roc.eer(),
-        },
-    });
-    std::fs::write(&meta_path, serde_json::to_string_pretty(&meta)?)?;
+    let meta = obj([
+        (
+            "descriptor",
+            "cell-major HOG, 8x16 cells x 36 = 4608 features".into(),
+        ),
+        ("window", vec![64u64, 128u64].into()),
+        (
+            "training",
+            obj([
+                ("positives", config.train_positives.into()),
+                ("negatives", config.train_negatives.into()),
+                ("seed", config.seed.into()),
+                ("noise", u64::from(config.noise).into()),
+                ("svm_c", config.svm_c.into()),
+            ]),
+        ),
+        (
+            "test",
+            obj([
+                ("positives", config.test_positives.into()),
+                ("negatives", config.test_negatives.into()),
+                ("accuracy", cm.accuracy().into()),
+                ("auc", roc.auc().into()),
+                ("eer", roc.eer().into()),
+            ]),
+        ),
+    ]);
+    std::fs::write(&meta_path, meta.to_string_pretty())?;
 
     println!("model:       {model_path}");
     println!("calibration: {cal_path}");

@@ -1,0 +1,112 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public API across the `rtped` crates returns
+//! [`Error`], replacing the per-crate ad-hoc enums (`ImageError`,
+//! `ModelIoError`, `BuildDatasetError`, ...) that each reinvented the
+//! same Io/Format split. Callers match on the variant when they care
+//! and bubble with `?` when they don't; the `rtped` facade re-exports
+//! this type so downstream code never names `rtped_core` directly.
+
+use std::fmt;
+
+use crate::json::JsonError;
+
+/// Unified error for I/O, parsing, schema, and validation failures.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure (file missing, permission, short read).
+    Io(std::io::Error),
+    /// Syntactically malformed JSON, with position information.
+    Json(JsonError),
+    /// Well-formed input whose content violates the expected schema or
+    /// file format (wrong version tag, missing field, bad magic, ...).
+    Format(String),
+    /// A caller-supplied argument that no amount of retrying will fix
+    /// (empty scale list, zero-sized window, mismatched dimensions).
+    InvalidInput(String),
+}
+
+impl Error {
+    /// Builds a [`Error::Format`] from anything string-like.
+    pub fn format(message: impl Into<String>) -> Self {
+        Error::Format(message.into())
+    }
+
+    /// Builds a [`Error::InvalidInput`] from anything string-like.
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        Error::InvalidInput(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Json(e) => write!(f, "malformed JSON: {e}"),
+            Error::Format(msg) => write!(f, "format error: {msg}"),
+            Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Json(e) => Some(e),
+            Error::Format(_) | Error::InvalidInput(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Error::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_prefixes_each_variant() {
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().starts_with("i/o error:"));
+
+        let json = Error::from(crate::json::Json::parse("{").unwrap_err());
+        assert!(json.to_string().starts_with("malformed JSON:"));
+
+        assert_eq!(
+            Error::format("bad version").to_string(),
+            "format error: bad version"
+        );
+        assert_eq!(
+            Error::invalid_input("empty scales").to_string(),
+            "invalid input: empty scales"
+        );
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+        assert!(Error::format("x").source().is_none());
+    }
+
+    #[test]
+    fn question_mark_converts_io_and_json() {
+        fn inner() -> Result<(), Error> {
+            crate::json::Json::parse("not json")?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(Error::Json(_))));
+    }
+}

@@ -13,8 +13,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use rtped_core::Error;
 use rtped_image::pnm::{load_pnm, save_pgm};
-use rtped_image::{GrayImage, ImageError};
+use rtped_image::GrayImage;
 
 /// A labelled window set loaded from or saved to disk.
 #[derive(Debug, Clone)]
@@ -25,79 +26,24 @@ pub struct WindowSet {
     pub negatives: Vec<GrayImage>,
 }
 
-/// Errors from dataset directory I/O.
-#[derive(Debug)]
-pub enum DatasetIoError {
-    /// Underlying filesystem failure.
-    Io(std::io::Error),
-    /// A window file failed to parse.
-    Image(PathBuf, ImageError),
-    /// A window has unexpected dimensions.
-    WrongSize {
-        /// Offending file.
-        path: PathBuf,
-        /// Dimensions found.
-        found: (usize, usize),
-        /// Dimensions expected.
-        expected: (usize, usize),
-    },
-    /// A directory held no windows.
-    Empty(PathBuf),
-}
-
-impl std::fmt::Display for DatasetIoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DatasetIoError::Io(e) => write!(f, "dataset i/o error: {e}"),
-            DatasetIoError::Image(p, e) => write!(f, "bad window file {}: {e}", p.display()),
-            DatasetIoError::WrongSize {
-                path,
-                found,
-                expected,
-            } => write!(
-                f,
-                "window {} is {}x{}, expected {}x{}",
-                path.display(),
-                found.0,
-                found.1,
-                expected.0,
-                expected.1
-            ),
-            DatasetIoError::Empty(p) => write!(f, "no windows found in {}", p.display()),
-        }
-    }
-}
-
-impl std::error::Error for DatasetIoError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            DatasetIoError::Io(e) => Some(e),
-            DatasetIoError::Image(_, e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for DatasetIoError {
-    fn from(e: std::io::Error) -> Self {
-        DatasetIoError::Io(e)
-    }
-}
-
 /// Writes a window set as `<root>/positives/NNNNN.pgm` and
 /// `<root>/negatives/NNNNN.pgm`.
 ///
 /// # Errors
 ///
-/// Returns [`DatasetIoError::Io`] on filesystem failures.
-pub fn export_windows(root: impl AsRef<Path>, set: &WindowSet) -> Result<(), DatasetIoError> {
+/// Returns [`Error::Io`] on filesystem failures.
+pub fn export_windows(root: impl AsRef<Path>, set: &WindowSet) -> Result<(), Error> {
     let root = root.as_ref();
     for (sub, windows) in [("positives", &set.positives), ("negatives", &set.negatives)] {
         let dir = root.join(sub);
         fs::create_dir_all(&dir)?;
         for (i, window) in windows.iter().enumerate() {
-            save_pgm(dir.join(format!("{i:05}.pgm")), window)
-                .map_err(|e| DatasetIoError::Image(dir.join(format!("{i:05}.pgm")), e))?;
+            save_pgm(dir.join(format!("{i:05}.pgm")), window).map_err(|e| {
+                Error::format(format!(
+                    "bad window file {}: {e}",
+                    dir.join(format!("{i:05}.pgm")).display()
+                ))
+            })?;
         }
     }
     Ok(())
@@ -111,12 +57,9 @@ pub fn export_windows(root: impl AsRef<Path>, set: &WindowSet) -> Result<(), Dat
 ///
 /// # Errors
 ///
-/// Returns [`DatasetIoError`] variants for missing/empty directories,
-/// unparsable files, or size mismatches.
-pub fn import_windows(
-    root: impl AsRef<Path>,
-    window: (usize, usize),
-) -> Result<WindowSet, DatasetIoError> {
+/// Returns [`Error::Io`] for missing directories and [`Error::Format`]
+/// for empty directories, unparsable files, or size mismatches.
+pub fn import_windows(root: impl AsRef<Path>, window: (usize, usize)) -> Result<WindowSet, Error> {
     let root = root.as_ref();
     let positives = load_dir(&root.join("positives"), window)?;
     let negatives = load_dir(&root.join("negatives"), window)?;
@@ -126,7 +69,7 @@ pub fn import_windows(
     })
 }
 
-fn load_dir(dir: &Path, window: (usize, usize)) -> Result<Vec<GrayImage>, DatasetIoError> {
+fn load_dir(dir: &Path, window: (usize, usize)) -> Result<Vec<GrayImage>, Error> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
@@ -138,17 +81,24 @@ fn load_dir(dir: &Path, window: (usize, usize)) -> Result<Vec<GrayImage>, Datase
         .collect();
     paths.sort();
     if paths.is_empty() {
-        return Err(DatasetIoError::Empty(dir.to_path_buf()));
+        return Err(Error::format(format!(
+            "no windows found in {}",
+            dir.display()
+        )));
     }
     let mut windows = Vec::with_capacity(paths.len());
     for path in paths {
-        let img = load_pnm(&path).map_err(|e| DatasetIoError::Image(path.clone(), e))?;
+        let img = load_pnm(&path)
+            .map_err(|e| Error::format(format!("bad window file {}: {e}", path.display())))?;
         if img.dimensions() != window {
-            return Err(DatasetIoError::WrongSize {
-                path,
-                found: img.dimensions(),
-                expected: window,
-            });
+            return Err(Error::format(format!(
+                "window {} is {}x{}, expected {}x{}",
+                path.display(),
+                img.dimensions().0,
+                img.dimensions().1,
+                window.0,
+                window.1
+            )));
         }
         windows.push(img);
     }
@@ -198,7 +148,7 @@ mod tests {
         let set = tiny_set();
         export_windows(&root, &set).unwrap();
         let err = import_windows(&root, (32, 64)).unwrap_err();
-        assert!(matches!(err, DatasetIoError::WrongSize { .. }));
+        assert!(matches!(err, Error::Format(_)));
         assert!(err.to_string().contains("expected 32x64"));
         fs::remove_dir_all(&root).ok();
     }
@@ -209,14 +159,15 @@ mod tests {
         fs::create_dir_all(root.join("positives")).unwrap();
         fs::create_dir_all(root.join("negatives")).unwrap();
         let err = import_windows(&root, (64, 128)).unwrap_err();
-        assert!(matches!(err, DatasetIoError::Empty(_)));
+        assert!(matches!(err, Error::Format(_)));
+        assert!(err.to_string().contains("no windows found"));
         fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn missing_directory_is_an_io_error() {
         let err = import_windows("/nonexistent/rtped/ds", (64, 128)).unwrap_err();
-        assert!(matches!(err, DatasetIoError::Io(_)));
+        assert!(matches!(err, Error::Io(_)));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! texture-variance filter so the set is dominated by *hard* negatives
 //! (smooth sky patches teach the classifier nothing).
 
-use rand::Rng;
+use rtped_core::rng::Rng;
 
 use rtped_image::draw::{draw_capsule, fill_ellipse};
 use rtped_image::synthetic::{add_uniform_noise, clutter_background};
@@ -132,13 +132,12 @@ pub fn render_negatives<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rtped_core::rng::SeedRng;
 
     #[test]
     fn negatives_are_deterministic() {
-        let mut a = StdRng::seed_from_u64(21);
-        let mut b = StdRng::seed_from_u64(21);
+        let mut a = SeedRng::seed_from_u64(21);
+        let mut b = SeedRng::seed_from_u64(21);
         assert_eq!(
             render_negative(&mut a, 64, 128, 6),
             render_negative(&mut b, 64, 128, 6)
@@ -147,7 +146,7 @@ mod tests {
 
     #[test]
     fn negatives_have_texture() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SeedRng::seed_from_u64(2);
         for _ in 0..8 {
             let img = render_negative(&mut rng, 64, 128, 6);
             assert!(
@@ -160,7 +159,7 @@ mod tests {
 
     #[test]
     fn batch_produces_distinct_windows() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SeedRng::seed_from_u64(7);
         let batch = render_negatives(&mut rng, 6, 64, 128, 6);
         assert_eq!(batch.len(), 6);
         for i in 0..batch.len() {
@@ -172,7 +171,7 @@ mod tests {
 
     #[test]
     fn respects_requested_dimensions() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeedRng::seed_from_u64(3);
         let img = render_negative(&mut rng, 48, 96, 0);
         assert_eq!(img.dimensions(), (48, 96));
     }

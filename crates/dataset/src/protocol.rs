@@ -6,8 +6,8 @@
 //! use disjoint RNG streams so changing one count never perturbs the other
 //! split.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rtped_core::rng::SeedRng;
+use rtped_core::Error;
 
 use rtped_image::resize::{scale_by, Filter};
 use rtped_image::GrayImage;
@@ -42,7 +42,7 @@ pub fn paper_scales() -> Vec<f64> {
 /// ```
 /// use rtped_dataset::InriaProtocol;
 ///
-/// # fn main() -> Result<(), rtped_dataset::protocol::BuildDatasetError> {
+/// # fn main() -> Result<(), rtped_core::Error> {
 /// let ds = InriaProtocol::builder()
 ///     .train_positives(4)
 ///     .train_negatives(8)
@@ -65,18 +65,6 @@ pub struct InriaProtocol {
     window: (usize, usize),
     seed: u64,
 }
-
-/// Error returned when a dataset configuration is invalid.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BuildDatasetError(String);
-
-impl std::fmt::Display for BuildDatasetError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid dataset configuration: {}", self.0)
-    }
-}
-
-impl std::error::Error for BuildDatasetError {}
 
 impl InriaProtocol {
     /// Starts building a dataset. Defaults use the paper's counts — call
@@ -256,25 +244,25 @@ impl InriaProtocolBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildDatasetError`] if any count is zero or the window is
-    /// degenerate (smaller than 16×32 pixels).
-    pub fn build(self) -> Result<InriaProtocol, BuildDatasetError> {
+    /// Returns [`Error::InvalidInput`] if any count is zero or the window
+    /// is degenerate (smaller than 16×32 pixels).
+    pub fn build(self) -> Result<InriaProtocol, Error> {
         if self.train_pos == 0 || self.train_neg == 0 || self.test_pos == 0 || self.test_neg == 0 {
-            return Err(BuildDatasetError(
-                "every split needs at least one sample".into(),
+            return Err(Error::invalid_input(
+                "invalid dataset configuration: every split needs at least one sample",
             ));
         }
         let (w, h) = self.window;
         if w < 16 || h < 32 {
-            return Err(BuildDatasetError(format!(
-                "window {w}x{h} too small to render a figure (min 16x32)"
+            return Err(Error::invalid_input(format!(
+                "invalid dataset configuration: window {w}x{h} too small to render a figure (min 16x32)"
             )));
         }
         // Independent sub-streams per split.
-        let mut rng_train_pos = StdRng::seed_from_u64(self.seed.wrapping_add(0x01));
-        let mut rng_train_neg = StdRng::seed_from_u64(self.seed.wrapping_add(0x02));
-        let mut rng_test_pos = StdRng::seed_from_u64(self.seed.wrapping_add(0x03));
-        let mut rng_test_neg = StdRng::seed_from_u64(self.seed.wrapping_add(0x04));
+        let mut rng_train_pos = SeedRng::seed_from_u64(self.seed.wrapping_add(0x01));
+        let mut rng_train_neg = SeedRng::seed_from_u64(self.seed.wrapping_add(0x02));
+        let mut rng_test_pos = SeedRng::seed_from_u64(self.seed.wrapping_add(0x03));
+        let mut rng_test_neg = SeedRng::seed_from_u64(self.seed.wrapping_add(0x04));
 
         let test_noise = self.test_noise.unwrap_or(self.noise);
         let train_pos = (0..self.train_pos)

@@ -5,8 +5,8 @@
 //! [`SceneBuilder`] composes a clutter background with figures rendered at
 //! arbitrary scales and records their bounding boxes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtped_core::rng::Rng;
+use rtped_core::rng::SeedRng;
 
 use rtped_image::draw::fill_rect;
 use rtped_image::synthetic::{add_uniform_noise, clutter_background};
@@ -152,7 +152,7 @@ impl SceneBuilder {
     /// skipped (and absent from the ground truth).
     #[must_use]
     pub fn build(self) -> Scene {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SeedRng::seed_from_u64(self.seed);
         let mut frame = clutter_background(&mut rng, self.width, self.height);
         let mut ground_truth = Vec::new();
 
@@ -207,7 +207,7 @@ impl SceneBuilder {
 #[must_use]
 pub fn hdtv_scene(seed: u64, pedestrians: usize) -> Scene {
     let mut builder = SceneBuilder::new(1920, 1080).seed(seed);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    let mut rng = SeedRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
     for _ in 0..pedestrians {
         let scale = rng.gen_range(1.0..2.0);
         builder = builder.pedestrian_window(64, 128, scale);

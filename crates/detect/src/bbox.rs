@@ -1,7 +1,5 @@
 //! Axis-aligned bounding boxes.
 
-use serde::{Deserialize, Serialize};
-
 /// An axis-aligned box in pixel coordinates (top-left origin, inclusive of
 /// `x..x+width`).
 ///
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// let b = BoundingBox::new(5, 5, 10, 10);
 /// assert!(a.iou(&b) > 0.14 && a.iou(&b) < 0.15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BoundingBox {
     /// Left edge.
     pub x: i64,

@@ -9,6 +9,7 @@
 //! - [`FeaturePyramidDetector`] (the paper's method, Fig. 3b): extract HOG
 //!   once, down-sample the normalized feature map per scale, classify.
 
+use rtped_core::Error;
 use rtped_hog::feature_map::FeatureMap;
 use rtped_hog::params::HogParams;
 use rtped_hog::pyramid::{FeaturePyramid, ImagePyramid, PyramidLevel};
@@ -20,7 +21,7 @@ use crate::nms::non_maximum_suppression;
 use crate::window::WindowPositions;
 
 /// One detected pedestrian.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Detection {
     /// Location in native frame coordinates.
     pub bbox: BoundingBox,
@@ -79,6 +80,166 @@ impl DetectorConfig {
 impl Default for DetectorConfig {
     fn default() -> Self {
         Self::two_scale()
+    }
+}
+
+/// One configuration path for both detector families.
+///
+/// `ImagePyramidDetector::new` and `FeaturePyramidDetector::new` predate
+/// this builder and panic on bad input; the builder is the preferred
+/// entry point — it validates everything up front and returns
+/// [`Error::InvalidInput`] instead. The target detector is chosen by the
+/// annotated result type (both families implement [`BuildDetector`]):
+///
+/// ```
+/// use rtped_detect::detector::{DetectorBuilder, FeaturePyramidDetector};
+/// use rtped_hog::params::HogParams;
+/// use rtped_svm::LinearSvm;
+///
+/// let dim = HogParams::pedestrian().cell_descriptor_len();
+/// let model = LinearSvm::new(vec![0.0; dim], -0.5);
+/// let detector: FeaturePyramidDetector = DetectorBuilder::new(model)
+///     .scales(vec![1.0, 1.5])
+///     .threshold(0.25)
+///     .stride_cells(1)
+///     .nms_iou(0.3)
+///     .build()
+///     .expect("valid configuration");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectorBuilder {
+    model: LinearSvm,
+    config: DetectorConfig,
+}
+
+impl DetectorBuilder {
+    /// Starts from the paper's two-scale hardware configuration
+    /// ([`DetectorConfig::two_scale`]).
+    #[must_use]
+    pub fn new(model: LinearSvm) -> Self {
+        Self {
+            model,
+            config: DetectorConfig::two_scale(),
+        }
+    }
+
+    /// Replaces the pyramid scale ladder.
+    #[must_use]
+    pub fn scales(mut self, scales: Vec<f64>) -> Self {
+        self.config.scales = scales;
+        self
+    }
+
+    /// Sets the decision threshold (the paper's FP/FN trade-off knob).
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.config.threshold = threshold;
+        self
+    }
+
+    /// Sets the window stride in cells (1 = the hardware schedule).
+    #[must_use]
+    pub fn stride_cells(mut self, stride_cells: usize) -> Self {
+        self.config.stride_cells = stride_cells;
+        self
+    }
+
+    /// Enables non-maximum suppression at the given IoU overlap.
+    #[must_use]
+    pub fn nms_iou(mut self, iou: f64) -> Self {
+        self.config.nms_iou = Some(iou);
+        self
+    }
+
+    /// Disables non-maximum suppression (every window above threshold is
+    /// reported).
+    #[must_use]
+    pub fn no_nms(mut self) -> Self {
+        self.config.nms_iou = None;
+        self
+    }
+
+    /// Replaces the HOG geometry.
+    #[must_use]
+    pub fn params(mut self, params: HogParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        let config = &self.config;
+        if config.scales.is_empty() {
+            return Err(Error::invalid_input("detector needs at least one scale"));
+        }
+        if let Some(bad) = config.scales.iter().find(|s| !s.is_finite() || **s < 1.0) {
+            return Err(Error::invalid_input(format!(
+                "pyramid scale {bad} is invalid: scales must be finite and >= 1.0 \
+                 (1.0 = native window size; larger values detect larger objects)"
+            )));
+        }
+        if !config.threshold.is_finite() {
+            return Err(Error::invalid_input("decision threshold must be finite"));
+        }
+        if config.stride_cells == 0 {
+            return Err(Error::invalid_input(
+                "window stride must be at least 1 cell",
+            ));
+        }
+        if let Some(iou) = config.nms_iou {
+            if !(iou > 0.0 && iou < 1.0) {
+                return Err(Error::invalid_input(format!(
+                    "NMS IoU overlap {iou} is invalid: must be strictly between 0 and 1"
+                )));
+            }
+        }
+        if self.model.dim() != config.params.cell_descriptor_len() {
+            return Err(Error::invalid_input(format!(
+                "model has {} weights but the configured window descriptor has {} features",
+                self.model.dim(),
+                config.params.cell_descriptor_len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration and constructs the detector named by
+    /// the result type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] describing the first violated
+    /// constraint (empty or sub-1.0 scales, zero stride, out-of-range NMS
+    /// overlap, non-finite threshold, model/descriptor dimension
+    /// mismatch).
+    pub fn build<D: BuildDetector>(self) -> Result<D, Error> {
+        self.validate()?;
+        Ok(D::from_validated(self.model, self.config))
+    }
+}
+
+/// Detector families [`DetectorBuilder::build`] can construct. Sealed:
+/// implemented by [`ImagePyramidDetector`] and [`FeaturePyramidDetector`].
+pub trait BuildDetector: sealed::Sealed + Sized {
+    /// Constructs from parts the builder has already validated.
+    #[doc(hidden)]
+    fn from_validated(model: LinearSvm, config: DetectorConfig) -> Self;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::ImagePyramidDetector {}
+    impl Sealed for super::FeaturePyramidDetector {}
+}
+
+impl BuildDetector for ImagePyramidDetector {
+    fn from_validated(model: LinearSvm, config: DetectorConfig) -> Self {
+        Self { model, config }
+    }
+}
+
+impl BuildDetector for FeaturePyramidDetector {
+    fn from_validated(model: LinearSvm, config: DetectorConfig) -> Self {
+        Self { model, config }
     }
 }
 
@@ -389,6 +550,72 @@ mod tests {
         let model = zero_model(&config.params, 1.0); // every window scores 1.0
         let det = FeaturePyramidDetector::new(model, config);
         assert!(det.detect(&textured(128, 192)).is_empty());
+    }
+
+    #[test]
+    fn builder_constructs_both_families_with_one_config_path() {
+        let params = HogParams::pedestrian();
+        let model = zero_model(&params, 1.0);
+        let image_det: ImagePyramidDetector = DetectorBuilder::new(model.clone())
+            .scales(vec![1.0])
+            .no_nms()
+            .build()
+            .unwrap();
+        let feature_det: FeaturePyramidDetector = DetectorBuilder::new(model)
+            .scales(vec![1.0])
+            .no_nms()
+            .build()
+            .unwrap();
+        let frame = textured(128, 192);
+        // Identical configs scanning the native scale agree exactly.
+        assert_eq!(
+            image_det.detect(&frame).len(),
+            feature_det.detect(&frame).len()
+        );
+        assert_eq!(image_det.config().stride_cells, 1);
+        assert_eq!(feature_det.config().nms_iou, None);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configurations() {
+        let params = HogParams::pedestrian();
+        let model = zero_model(&params, 0.0);
+
+        let cases: Vec<(DetectorBuilder, &str)> = vec![
+            (
+                DetectorBuilder::new(model.clone()).scales(vec![]),
+                "at least one scale",
+            ),
+            (
+                DetectorBuilder::new(model.clone()).scales(vec![0.5]),
+                "finite and >= 1.0",
+            ),
+            (
+                DetectorBuilder::new(model.clone()).scales(vec![f64::NAN]),
+                "finite and >= 1.0",
+            ),
+            (
+                DetectorBuilder::new(model.clone()).stride_cells(0),
+                "stride",
+            ),
+            (DetectorBuilder::new(model.clone()).nms_iou(0.0), "IoU"),
+            (DetectorBuilder::new(model.clone()).nms_iou(1.5), "IoU"),
+            (
+                DetectorBuilder::new(model.clone()).threshold(f64::INFINITY),
+                "threshold must be finite",
+            ),
+            (
+                DetectorBuilder::new(LinearSvm::new(vec![0.0; 7], 0.0)),
+                "7 weights",
+            ),
+        ];
+        for (builder, needle) in cases {
+            let err = builder.build::<FeaturePyramidDetector>().unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidInput(_)) && err.to_string().contains(needle),
+                "expected InvalidInput mentioning {needle:?}, got: {err}"
+            );
+        }
     }
 
     #[test]

@@ -44,5 +44,6 @@ pub mod window;
 
 pub use bbox::BoundingBox;
 pub use detector::{
-    Detect, Detection, DetectorConfig, FeaturePyramidDetector, ImagePyramidDetector,
+    BuildDetector, Detect, Detection, DetectorBuilder, DetectorConfig, FeaturePyramidDetector,
+    ImagePyramidDetector,
 };

@@ -154,11 +154,10 @@ pub fn count_false_alarms(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rtped_core::rng::SeedRng;
     use rtped_image::synthetic::clutter_background;
 
-    fn seed_set(params: &HogParams, rng: &mut StdRng) -> Vec<(Vec<f32>, Label)> {
+    fn seed_set(params: &HogParams, rng: &mut SeedRng) -> Vec<(Vec<f32>, Label)> {
         // Positives: strong vertical-edge pattern; negatives: clutter.
         let mut samples = Vec::new();
         for i in 0..24 {
@@ -188,7 +187,7 @@ mod tests {
     #[test]
     fn mining_reduces_false_alarms() {
         let params = HogParams::pedestrian();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeedRng::seed_from_u64(3);
         let samples = seed_set(&params, &mut rng);
         let scenes: Vec<GrayImage> = (0..3)
             .map(|_| clutter_background(&mut rng, 160, 192))
@@ -221,7 +220,7 @@ mod tests {
     #[test]
     fn round_statistics_are_consistent() {
         let params = HogParams::pedestrian();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SeedRng::seed_from_u64(9);
         let samples = seed_set(&params, &mut rng);
         let seed_len = samples.len();
         let scenes = vec![clutter_background(&mut rng, 128, 160)];
@@ -243,7 +242,7 @@ mod tests {
         // A model with a huge negative bias never fires, so mining finds
         // nothing and stops after one round even when more are allowed.
         let params = HogParams::pedestrian();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SeedRng::seed_from_u64(11);
         let samples = seed_set(&params, &mut rng);
         let scenes = vec![clutter_background(&mut rng, 128, 160)];
         let config = BootstrapParams {

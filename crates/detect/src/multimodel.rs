@@ -188,12 +188,11 @@ impl MultiModelDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rtped_core::rng::SeedRng;
     use rtped_image::synthetic::clutter_background;
 
     /// Strong vertical bars = "positive"; clutter = "negative".
-    fn training_set(rng: &mut StdRng) -> Vec<(GrayImage, Label)> {
+    fn training_set(rng: &mut SeedRng) -> Vec<(GrayImage, Label)> {
         let mut out = Vec::new();
         for i in 0..20 {
             let phase = i % 8;
@@ -218,7 +217,7 @@ mod tests {
         out
     }
 
-    fn bank(rng: &mut StdRng) -> MultiModelDetector {
+    fn bank(rng: &mut SeedRng) -> MultiModelDetector {
         let params = HogParams::pedestrian();
         MultiModelDetector::train(
             &training_set(rng),
@@ -233,7 +232,7 @@ mod tests {
 
     #[test]
     fn trains_one_model_per_scale_with_scaled_geometry() {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = SeedRng::seed_from_u64(17);
         let det = bank(&mut rng);
         assert_eq!(det.models().len(), 2);
         let m0 = &det.models()[0];
@@ -246,7 +245,7 @@ mod tests {
 
     #[test]
     fn detects_pattern_at_both_sizes() {
-        let mut rng = StdRng::seed_from_u64(19);
+        let mut rng = SeedRng::seed_from_u64(19);
         let det = bank(&mut rng).with_threshold(0.2).with_nms(None);
         // A frame with the bar pattern in a 96x192 region (scale 1.5).
         let mut frame = clutter_background(&mut rng, 256, 320);
@@ -274,7 +273,7 @@ mod tests {
 
     #[test]
     fn clean_clutter_stays_clean() {
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = SeedRng::seed_from_u64(23);
         let det = bank(&mut rng).with_threshold(0.5);
         let frame = clutter_background(&mut rng, 256, 320);
         let dets = det.detect(&frame);
@@ -284,7 +283,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "multi-model scales must be >= 1.0")]
     fn sub_unit_scales_rejected() {
-        let mut rng = StdRng::seed_from_u64(29);
+        let mut rng = SeedRng::seed_from_u64(29);
         let params = HogParams::pedestrian();
         let _ = MultiModelDetector::train(
             &training_set(&mut rng),

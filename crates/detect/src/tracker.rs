@@ -13,7 +13,7 @@ use crate::bbox::BoundingBox;
 use crate::detector::Detection;
 
 /// A tracked pedestrian.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Track {
     /// Stable identifier, unique within one tracker instance.
     pub id: u64,

@@ -7,9 +7,8 @@
 //! a paired comparison that resamples *the same indices* for two methods,
 //! which is the right test when both methods score the same windows.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use rtped_core::rng::Rng;
+use rtped_core::rng::SeedRng;
 
 /// A two-sided percentile confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +71,7 @@ pub fn bootstrap_metric<T>(
     let full: Vec<&T> = samples.iter().collect();
     let estimate = metric(&full);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeedRng::seed_from_u64(seed);
     let n = samples.len();
     let mut stats = Vec::with_capacity(resamples);
     for _ in 0..resamples {
@@ -141,7 +140,7 @@ mod tests {
     use super::*;
 
     fn scored(n: usize, accuracy: f64, seed: u64) -> Vec<(f64, bool)> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SeedRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let positive = rng.gen_bool(0.5);
@@ -181,7 +180,7 @@ mod tests {
     fn paired_difference_detects_a_real_gap() {
         // Method A at ~95%, method B at ~75% on the same windows.
         let n = 1000;
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SeedRng::seed_from_u64(7);
         let mut a = Vec::with_capacity(n);
         let mut b = Vec::with_capacity(n);
         for _ in 0..n {

@@ -1,7 +1,5 @@
 //! Confusion matrices and derived classification rates.
 
-use serde::{Deserialize, Serialize};
-
 /// Binary-classification confusion counts.
 ///
 /// The paper's Table 1 reports accuracy plus the raw true-positive and
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cm.true_positives(), 1);
 /// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ConfusionMatrix {
     tp: u64,
     tn: u64,

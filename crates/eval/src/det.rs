@@ -2,10 +2,8 @@
 //! (FPPW), the per-window metric Dalal & Triggs popularized for pedestrian
 //! classifiers and the natural companion to the paper's ROC analysis.
 
-use serde::{Deserialize, Serialize};
-
 /// One point of a DET curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetPoint {
     /// Classifier threshold producing this point.
     pub threshold: f64,
@@ -17,7 +15,7 @@ pub struct DetPoint {
 }
 
 /// A DET curve built from raw decision scores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetCurve {
     points: Vec<DetPoint>,
 }

@@ -1,9 +1,7 @@
 //! ROC curves, AUC and equal-error rate (paper Fig. 4).
 
-use serde::{Deserialize, Serialize};
-
 /// One operating point of an ROC curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {
     /// Classifier threshold producing this point.
     pub threshold: f64,
@@ -28,7 +26,7 @@ pub struct RocPoint {
 /// let roc = RocCurve::from_scores(&scored);
 /// assert!(roc.auc() > 0.5); // better than chance
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RocCurve {
     points: Vec<RocPoint>,
     positives: u64,

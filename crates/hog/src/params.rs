@@ -1,5 +1,7 @@
 //! HOG extraction parameters.
 
+use rtped_core::Error;
+
 use crate::block::NormKind;
 
 /// Parameters of the HOG extractor and window geometry.
@@ -13,7 +15,7 @@ use crate::block::NormKind;
 /// ```
 /// use rtped_hog::params::HogParams;
 ///
-/// # fn main() -> Result<(), rtped_hog::params::InvalidHogParamsError> {
+/// # fn main() -> Result<(), rtped_core::Error> {
 /// let params = HogParams::builder().cell_size(4).window(32, 64).build()?;
 /// assert_eq!(params.window_cells(), (8, 16));
 /// # Ok(())
@@ -31,19 +33,6 @@ pub struct HogParams {
     window_width: usize,
     window_height: usize,
 }
-
-/// Error returned when a [`HogParamsBuilder`] describes an inconsistent
-/// geometry.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InvalidHogParamsError(String);
-
-impl std::fmt::Display for InvalidHogParamsError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid HOG parameters: {}", self.0)
-    }
-}
-
-impl std::error::Error for InvalidHogParamsError {}
 
 impl HogParams {
     /// The canonical pedestrian configuration (Dalal–Triggs / paper §3).
@@ -269,42 +258,46 @@ impl HogParamsBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidHogParamsError`] when any size is zero, the window
+    /// Returns [`Error::InvalidInput`] when any size is zero, the window
     /// is not a whole number of cells, the window holds fewer cells than one
     /// block, or the stride does not tile the window.
-    pub fn build(self) -> Result<HogParams, InvalidHogParamsError> {
+    pub fn build(self) -> Result<HogParams, Error> {
         if self.cell_size == 0 {
-            return Err(InvalidHogParamsError("cell size must be non-zero".into()));
+            return Err(Error::invalid_input(
+                "invalid HOG parameters: cell size must be non-zero",
+            ));
         }
         if self.bins == 0 {
-            return Err(InvalidHogParamsError("bin count must be non-zero".into()));
+            return Err(Error::invalid_input(
+                "invalid HOG parameters: bin count must be non-zero",
+            ));
         }
         if self.block_cells == 0 || self.block_stride_cells == 0 {
-            return Err(InvalidHogParamsError(
-                "block size and stride must be non-zero".into(),
+            return Err(Error::invalid_input(
+                "invalid HOG parameters: block size and stride must be non-zero",
             ));
         }
         if !self.window_width.is_multiple_of(self.cell_size)
             || !self.window_height.is_multiple_of(self.cell_size)
         {
-            return Err(InvalidHogParamsError(format!(
-                "window {}x{} is not a whole number of {}px cells",
+            return Err(Error::invalid_input(format!(
+                "invalid HOG parameters: window {}x{} is not a whole number of {}px cells",
                 self.window_width, self.window_height, self.cell_size
             )));
         }
         let wc = self.window_width / self.cell_size;
         let hc = self.window_height / self.cell_size;
         if wc < self.block_cells || hc < self.block_cells {
-            return Err(InvalidHogParamsError(format!(
-                "window of {wc}x{hc} cells cannot hold a {0}x{0}-cell block",
+            return Err(Error::invalid_input(format!(
+                "invalid HOG parameters: window of {wc}x{hc} cells cannot hold a {0}x{0}-cell block",
                 self.block_cells
             )));
         }
         if !(wc - self.block_cells).is_multiple_of(self.block_stride_cells)
             || !(hc - self.block_cells).is_multiple_of(self.block_stride_cells)
         {
-            return Err(InvalidHogParamsError(
-                "block stride does not tile the window".into(),
+            return Err(Error::invalid_input(
+                "invalid HOG parameters: block stride does not tile the window",
             ));
         }
         Ok(HogParams {

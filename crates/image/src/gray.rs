@@ -1,6 +1,6 @@
 //! 8-bit grayscale image container.
 
-use crate::error::ImageError;
+use rtped_core::Error;
 
 /// An 8-bit grayscale image stored row-major.
 ///
@@ -41,14 +41,12 @@ impl GrayImage {
     ///
     /// # Errors
     ///
-    /// Returns [`ImageError::InvalidDimensions`] if `width` or `height` is 0.
-    pub fn try_new(width: usize, height: usize) -> Result<Self, ImageError> {
+    /// Returns [`Error::InvalidInput`] if `width` or `height` is 0.
+    pub fn try_new(width: usize, height: usize) -> Result<Self, Error> {
         if width == 0 || height == 0 {
-            return Err(ImageError::InvalidDimensions {
-                width,
-                height,
-                buffer_len: None,
-            });
+            return Err(Error::invalid_input(format!(
+                "invalid image dimensions {width}x{height}"
+            )));
         }
         Ok(Self {
             width,
@@ -61,15 +59,14 @@ impl GrayImage {
     ///
     /// # Errors
     ///
-    /// Returns [`ImageError::InvalidDimensions`] if the dimensions are zero
+    /// Returns [`Error::InvalidInput`] if the dimensions are zero
     /// or `data.len() != width * height`.
-    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Result<Self, ImageError> {
+    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Result<Self, Error> {
         if width == 0 || height == 0 || data.len() != width * height {
-            return Err(ImageError::InvalidDimensions {
-                width,
-                height,
-                buffer_len: Some(data.len()),
-            });
+            return Err(Error::invalid_input(format!(
+                "invalid image dimensions {width}x{height} for buffer of length {}",
+                data.len()
+            )));
         }
         Ok(Self {
             width,

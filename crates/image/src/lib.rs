@@ -29,13 +29,13 @@
 
 pub mod blur;
 pub mod draw;
-pub mod error;
 pub mod gray;
 pub mod integral;
 pub mod pnm;
 pub mod resize;
 pub mod synthetic;
 
-pub use error::ImageError;
 pub use gray::GrayImage;
 pub use integral::IntegralImage;
+/// The workspace-wide error type every fallible API in this crate returns.
+pub use rtped_core::Error;

@@ -17,8 +17,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::error::ImageError;
 use crate::gray::GrayImage;
+use rtped_core::Error;
 
 /// Reads a PGM or PPM image from `reader`, converting color to grayscale.
 ///
@@ -27,10 +27,9 @@ use crate::gray::GrayImage;
 ///
 /// # Errors
 ///
-/// Returns [`ImageError::MalformedPnm`] on syntax errors or truncation,
-/// [`ImageError::UnsupportedMaxval`] for `maxval > 255`, and
-/// [`ImageError::Io`] on read failures.
-pub fn read_pnm<R: Read>(mut reader: R) -> Result<GrayImage, ImageError> {
+/// Returns [`Error::Format`] on syntax errors, truncation, or an
+/// unsupported `maxval`, and [`Error::Io`] on read failures.
+pub fn read_pnm<R: Read>(mut reader: R) -> Result<GrayImage, Error> {
     let mut bytes = Vec::new();
     reader.read_to_end(&mut bytes)?;
     parse_pnm(&bytes)
@@ -41,7 +40,7 @@ pub fn read_pnm<R: Read>(mut reader: R) -> Result<GrayImage, ImageError> {
 /// # Errors
 ///
 /// Propagates the errors of [`read_pnm`] plus file-open failures.
-pub fn load_pnm(path: impl AsRef<Path>) -> Result<GrayImage, ImageError> {
+pub fn load_pnm(path: impl AsRef<Path>) -> Result<GrayImage, Error> {
     read_pnm(BufReader::new(File::open(path)?))
 }
 
@@ -51,8 +50,8 @@ pub fn load_pnm(path: impl AsRef<Path>) -> Result<GrayImage, ImageError> {
 ///
 /// # Errors
 ///
-/// Returns [`ImageError::Io`] on write failures.
-pub fn write_pgm<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), ImageError> {
+/// Returns [`Error::Io`] on write failures.
+pub fn write_pgm<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), Error> {
     write!(writer, "P5\n{} {}\n255\n", img.width(), img.height())?;
     writer.write_all(img.as_raw())?;
     Ok(())
@@ -63,7 +62,7 @@ pub fn write_pgm<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), ImageEr
 /// # Errors
 ///
 /// Propagates the errors of [`write_pgm`] plus file-create failures.
-pub fn save_pgm(path: impl AsRef<Path>, img: &GrayImage) -> Result<(), ImageError> {
+pub fn save_pgm(path: impl AsRef<Path>, img: &GrayImage) -> Result<(), Error> {
     write_pgm(BufWriter::new(File::create(path)?), img)
 }
 
@@ -71,8 +70,8 @@ pub fn save_pgm(path: impl AsRef<Path>, img: &GrayImage) -> Result<(), ImageErro
 ///
 /// # Errors
 ///
-/// Returns [`ImageError::Io`] on write failures.
-pub fn write_pgm_ascii<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), ImageError> {
+/// Returns [`Error::Io`] on write failures.
+pub fn write_pgm_ascii<W: Write>(mut writer: W, img: &GrayImage) -> Result<(), Error> {
     write!(writer, "P2\n{} {}\n255\n", img.width(), img.height())?;
     for y in 0..img.height() {
         let row: Vec<String> = img.row(y).iter().map(|v| v.to_string()).collect();
@@ -107,26 +106,28 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
-    fn token(&mut self) -> Result<&'a [u8], ImageError> {
+    fn token(&mut self) -> Result<&'a [u8], Error> {
         self.skip_separators();
         let start = self.pos;
         while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
         if start == self.pos {
-            return Err(ImageError::MalformedPnm("unexpected end of header".into()));
+            return Err(Error::format(
+                "malformed PNM stream: unexpected end of header",
+            ));
         }
         Ok(&self.bytes[start..self.pos])
     }
 
-    fn number(&mut self) -> Result<u32, ImageError> {
+    fn number(&mut self) -> Result<u32, Error> {
         let tok = self.token()?;
         std::str::from_utf8(tok)
             .ok()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| {
-                ImageError::MalformedPnm(format!(
-                    "expected number, found {:?}",
+                Error::format(format!(
+                    "malformed PNM stream: expected number, found {:?}",
                     String::from_utf8_lossy(tok)
                 ))
             })
@@ -146,7 +147,7 @@ fn rescale(v: u32, maxval: u32) -> u8 {
     }
 }
 
-fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
+fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, Error> {
     let mut tok = Tokenizer::new(bytes);
     let magic = tok.token()?;
     let (channels, ascii) = match magic {
@@ -155,8 +156,8 @@ fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
         b"P3" => (3, true),
         b"P6" => (3, false),
         other => {
-            return Err(ImageError::MalformedPnm(format!(
-                "unknown magic {:?}",
+            return Err(Error::format(format!(
+                "malformed PNM stream: unknown magic {:?}",
                 String::from_utf8_lossy(other)
             )))
         }
@@ -165,14 +166,14 @@ fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
     let height = tok.number()? as usize;
     let maxval = tok.number()?;
     if maxval == 0 || maxval > 255 {
-        return Err(ImageError::UnsupportedMaxval(maxval));
+        return Err(Error::format(format!(
+            "unsupported PNM maxval {maxval} (expected 1..=255)"
+        )));
     }
     if width == 0 || height == 0 {
-        return Err(ImageError::InvalidDimensions {
-            width,
-            height,
-            buffer_len: None,
-        });
+        return Err(Error::invalid_input(format!(
+            "invalid image dimensions {width}x{height}"
+        )));
     }
 
     let samples = width * height * channels;
@@ -187,8 +188,8 @@ fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, ImageError> {
         let start = tok.pos + 1;
         let end = start + samples;
         if end > bytes.len() {
-            return Err(ImageError::MalformedPnm(format!(
-                "truncated raster: need {samples} bytes, have {}",
+            return Err(Error::format(format!(
+                "malformed PNM stream: truncated raster: need {samples} bytes, have {}",
                 bytes.len().saturating_sub(start)
             )));
         }
@@ -267,27 +268,24 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(
-            read_pnm(&b"P9\n1 1\n255\n\0"[..]),
-            Err(ImageError::MalformedPnm(_))
-        ));
+        let err = read_pnm(&b"P9\n1 1\n255\n\0"[..]).unwrap_err();
+        assert!(matches!(err, Error::Format(_)));
+        assert!(err.to_string().contains("unknown magic"));
     }
 
     #[test]
     fn rejects_large_maxval() {
-        assert!(matches!(
-            read_pnm(&b"P2\n1 1\n65535\n0\n"[..]),
-            Err(ImageError::UnsupportedMaxval(65535))
-        ));
+        let err = read_pnm(&b"P2\n1 1\n65535\n0\n"[..]).unwrap_err();
+        assert!(matches!(err, Error::Format(_)));
+        assert!(err.to_string().contains("maxval 65535"));
     }
 
     #[test]
     fn rejects_truncated_binary() {
         let src = b"P5\n4 4\n255\n\0\0".to_vec();
-        assert!(matches!(
-            read_pnm(src.as_slice()),
-            Err(ImageError::MalformedPnm(_))
-        ));
+        let err = read_pnm(src.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Format(_)));
+        assert!(err.to_string().contains("truncated raster"));
     }
 
     #[test]

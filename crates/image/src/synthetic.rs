@@ -5,7 +5,7 @@
 //! primitives (see DESIGN.md §2 for the substitution rationale). All
 //! generators are deterministic given the caller-provided RNG.
 
-use rand::Rng;
+use rtped_core::rng::Rng;
 
 use crate::gray::GrayImage;
 
@@ -111,7 +111,7 @@ pub fn add_uniform_noise<R: Rng + ?Sized>(img: &mut GrayImage, rng: &mut R, ampl
 /// so negatives contain hard HOG structure, not just smooth noise.
 #[must_use]
 pub fn clutter_background<R: Rng + ?Sized>(rng: &mut R, width: usize, height: usize) -> GrayImage {
-    let seed = rng.gen::<u64>();
+    let seed = rng.next_u64();
     let sky_top = rng.gen_range(140..=200);
     let road = rng.gen_range(60..=110);
     let mut img = vertical_gradient(width, height, sky_top, road);
@@ -151,8 +151,7 @@ pub fn clutter_background<R: Rng + ?Sized>(rng: &mut R, width: usize, height: us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rtped_core::rng::SeedRng;
 
     #[test]
     fn value_noise_is_deterministic() {
@@ -200,14 +199,14 @@ mod tests {
 
     #[test]
     fn uniform_noise_is_bounded_and_seeded() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeedRng::seed_from_u64(5);
         let mut img = GrayImage::new(16, 16);
         img.fill(128);
         add_uniform_noise(&mut img, &mut rng, 10);
         for (_, _, v) in img.pixels() {
             assert!((118..=138).contains(&v));
         }
-        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut rng2 = SeedRng::seed_from_u64(5);
         let mut img2 = GrayImage::new(16, 16);
         img2.fill(128);
         add_uniform_noise(&mut img2, &mut rng2, 10);
@@ -216,7 +215,7 @@ mod tests {
 
     #[test]
     fn zero_amplitude_noise_is_identity() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeedRng::seed_from_u64(5);
         let mut img = GrayImage::from_fn(8, 8, |x, y| (x * y) as u8);
         let before = img.clone();
         add_uniform_noise(&mut img, &mut rng, 0);
@@ -225,7 +224,7 @@ mod tests {
 
     #[test]
     fn clutter_background_is_seeded_and_textured() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SeedRng::seed_from_u64(11);
         let bg = clutter_background(&mut rng, 64, 128);
         assert_eq!(bg.dimensions(), (64, 128));
         // Must not be flat: HOG needs gradients in negatives.
@@ -234,7 +233,7 @@ mod tests {
             "background too flat: {}",
             bg.variance()
         );
-        let mut rng2 = StdRng::seed_from_u64(11);
+        let mut rng2 = SeedRng::seed_from_u64(11);
         let bg2 = clutter_background(&mut rng2, 64, 128);
         assert_eq!(bg, bg2);
     }

@@ -5,9 +5,7 @@
 //! deterministic k-fold CV over labelled samples and a grid search that
 //! picks the best `C` by mean validation accuracy.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rtped_core::rng::{Rng, SeedRng};
 
 use crate::dcd::{train_dcd, DcdParams};
 use crate::model::Label;
@@ -79,9 +77,9 @@ pub fn cross_validate(
         positives.len() >= folds && negatives.len() >= folds,
         "each class needs at least `folds` samples"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
-    positives.shuffle(&mut rng);
-    negatives.shuffle(&mut rng);
+    let mut rng = SeedRng::seed_from_u64(seed);
+    rng.shuffle(&mut positives);
+    rng.shuffle(&mut negatives);
 
     // Round-robin assignment keeps folds balanced.
     let fold_of = |rank: usize| rank % folds;

@@ -14,9 +14,7 @@
 //! The bias is learned by augmenting every sample with a constant feature
 //! (LIBLINEAR's `-B` option).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rtped_core::rng::{Rng, SeedRng};
 
 use crate::model::{Label, LinearSvm};
 
@@ -97,10 +95,10 @@ pub fn train_dcd(samples: &[(Vec<f32>, Label)], params: &DcdParams) -> LinearSvm
     let mut alpha = vec![0.0f64; n];
     let mut w = vec![0.0f64; aug];
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SeedRng::seed_from_u64(params.seed);
 
     for _pass in 0..params.max_iterations {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut max_pg: f64 = 0.0;
         for &i in &order {
             let (x, y) = &samples[i];

@@ -1,9 +1,7 @@
 //! The linear SVM model and decision rule (paper §3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Binary class label (`y ∈ {+1, -1}` in eq. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Label {
     /// The object class (pedestrian present).
     Positive,
@@ -47,7 +45,7 @@ impl Label {
 /// assert!(model.decision(&[2.0, 0.25]) > 0.0);
 /// assert_eq!(model.classify(&[0.0, 1.0]), Label::Negative);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvm {
     weights: Vec<f64>,
     bias: f64,

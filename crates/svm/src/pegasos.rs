@@ -7,9 +7,7 @@
 //! of radius `1/√λ`. It converges more slowly than [`crate::dcd`] but
 //! costs O(dim) memory and is used in the training-cost ablation bench.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use rtped_core::rng::{Rng, SeedRng};
 
 use crate::model::{Label, LinearSvm};
 
@@ -63,7 +61,7 @@ pub fn train_pegasos(samples: &[(Vec<f32>, Label)], params: &PegasosParams) -> L
 
     let aug = dim + 1;
     let mut w = vec![0.0f64; aug];
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SeedRng::seed_from_u64(params.seed);
     let radius = 1.0 / params.lambda.sqrt();
 
     for t in 1..=params.iterations {

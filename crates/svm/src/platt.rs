@@ -8,12 +8,10 @@
 //! values so the threshold becomes a probability. Implemented with the
 //! Lin–Weng–Keerthi (2007) robust Newton iteration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::{Label, LinearSvm};
 
 /// A fitted sigmoid calibration `P = 1 / (1 + exp(A·score + B))`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlattCalibration {
     a: f64,
     b: f64,
@@ -112,6 +110,16 @@ impl PlattCalibration {
         Self { a, b }
     }
 
+    /// Reconstructs a calibration from its two fitted parameters, e.g.
+    /// when loading a persisted calibration file (see `crate::io`).
+    #[must_use]
+    pub fn from_parts(slope: f64, offset: f64) -> Self {
+        Self {
+            a: slope,
+            b: offset,
+        }
+    }
+
     /// The sigmoid slope `A` (negative for a well-oriented classifier).
     #[must_use]
     pub fn slope(&self) -> f64 {
@@ -152,7 +160,7 @@ impl PlattCalibration {
 }
 
 /// A classifier with calibrated probabilistic output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibratedSvm {
     model: LinearSvm,
     calibration: PlattCalibration,

@@ -4,8 +4,6 @@
 //! still speeds up SVM convergence and is exposed for users training on
 //! other feature families.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-dimension affine feature transform `x' = (x - mean) / std`.
 ///
 /// # Example
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let u = std.transform(&data[1]);
 /// assert!((t[0] + u[0]).abs() < 1e-5); // symmetric around 0
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     mean: Vec<f64>,
     std: Vec<f64>,

@@ -15,9 +15,12 @@ use rtped::hw::{AcceleratorConfig, HogAccelerator};
 use rtped::svm::io::load_model;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| std::env::temp_dir().join("rtped_vectors").display().to_string());
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("rtped_vectors")
+            .display()
+            .to_string()
+    });
     std::fs::create_dir_all(&out_dir)?;
 
     // The shipped pretrained model is the DUT's model memory contents.
@@ -48,11 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Round-trip sanity: parse what we wrote and re-run the engine.
-    let reparsed = TestVectors::parse_features(
-        &std::fs::read_to_string(&features_path)?,
-        vectors.cells,
-    )
-    .map_err(std::io::Error::other)?;
+    let reparsed =
+        TestVectors::parse_features(&std::fs::read_to_string(&features_path)?, vectors.cells)
+            .map_err(std::io::Error::other)?;
     assert_eq!(reparsed.as_raw(), vectors.features.as_slice());
     println!("hex round-trip verified");
 

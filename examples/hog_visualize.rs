@@ -6,8 +6,7 @@
 //! cargo run --release --example hog_visualize
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rtped_core::rng::SeedRng;
 
 use rtped::dataset::pedestrian::render_pedestrian;
 use rtped::hog::grid::CellGrid;
@@ -16,7 +15,7 @@ use rtped::hog::visualize::render_glyphs;
 use rtped::image::pnm::save_pgm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = SeedRng::seed_from_u64(2024);
     let window = render_pedestrian(&mut rng, 64, 128, 5);
 
     let params = HogParams::pedestrian();

@@ -7,15 +7,12 @@
 //! ```
 
 use rtped::dataset::scene::SceneBuilder;
-use rtped::detect::detector::{Detect, DetectorConfig, FeaturePyramidDetector};
-use rtped::svm::io::load_model;
-use rtped::svm::platt::PlattCalibration;
+use rtped::detect::detector::{Detect, DetectorBuilder, FeaturePyramidDetector};
+use rtped::svm::io::{load_calibration, load_model};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = load_model("models/pedestrian_synthetic.json")?;
-    let calibration: PlattCalibration = serde_json::from_str(&std::fs::read_to_string(
-        "models/pedestrian_synthetic.calibration.json",
-    )?)?;
+    let calibration = load_calibration("models/pedestrian_synthetic.calibration.json")?;
     println!(
         "loaded pretrained model: {} weights, bias {:.4}",
         model.dim(),
@@ -28,9 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .pedestrian_at(64, 128, 1.4, 400, 100)
         .build();
 
-    let mut config = DetectorConfig::with_scales(vec![1.0, 1.2, 1.44]);
-    config.threshold = 0.25;
-    let detector = FeaturePyramidDetector::new(model, config);
+    let detector: FeaturePyramidDetector = DetectorBuilder::new(model)
+        .scales(vec![1.0, 1.2, 1.44])
+        .threshold(0.25)
+        .build()?;
     let detections = detector.detect(&scene.frame);
 
     println!(

@@ -12,6 +12,10 @@
 //! frames at two scales. This crate is a facade that re-exports the
 //! workspace sub-crates:
 //!
+//! - [`core`] — the hermetic zero-dependency substrate: seeded RNG
+//!   ([`core::rng`]), minimal JSON ([`core::json`]), the property-test
+//!   harness ([`core::check`]), the micro-bench timer ([`core::timer`]),
+//!   and the workspace-wide [`Error`] type.
 //! - [`image`] — grayscale image substrate (containers, PNM I/O, resize,
 //!   drawing, synthetic textures, integral images).
 //! - [`hog`] — HOG feature extraction and the feature/image pyramids.
@@ -50,6 +54,7 @@
 //! table and figure of the paper (documented in `DESIGN.md` and
 //! `EXPERIMENTS.md`).
 
+pub use rtped_core as core;
 pub use rtped_dataset as dataset;
 pub use rtped_detect as detect;
 pub use rtped_eval as eval;
@@ -57,3 +62,7 @@ pub use rtped_hog as hog;
 pub use rtped_hw as hw;
 pub use rtped_image as image;
 pub use rtped_svm as svm;
+
+/// The workspace-wide error type (see [`core::error`]); every fallible
+/// `rtped` API returns this.
+pub use rtped_core::Error;

@@ -51,20 +51,27 @@ fn approaching_pedestrian_triggers_a_timely_brake_decision() {
     );
 
     // 2. Synthesize an approach: vehicle at 30 km/h closing on a
-    //    pedestrian first seen at 30 m (scale ≈ 1.18, growing to ≈ 1.46
-    //    over the clip) with a fine scale ladder so the detected box
-    //    height tracks the looming.
+    //    pedestrian first seen at ~35 m (scale ≈ 1.0, growing to ≈ 2.0
+    //    over the clip) with a scale ladder wide enough that the detected
+    //    box height tracks the looming. The ~2x range matters: a feature
+    //    pyramid degrades the downsampled levels, so a detector can keep
+    //    preferring the crisp native-scale level against a figure only
+    //    ~20% larger than the window — only a figure that clearly outgrows
+    //    the 64x128 window forces the ladder upward. TTC from looming is
+    //    invariant to such a systematic scale underestimate (it depends
+    //    only on relative height growth), so the braking assertion is
+    //    unaffected.
     let das = DasParams::default();
     let cam = CameraModel::default();
     let v = kmh_to_mps(30.0);
     let fps = 10.0;
-    let d0 = 30.0;
-    let n_frames = 8;
+    let d0 = 35.0;
+    let n_frames = 20;
 
     let accelerator = HogAccelerator::new(
         &model,
         AcceleratorConfig {
-            scales: vec![1.0, 1.1, 1.21, 1.33, 1.46],
+            scales: vec![1.0, 1.15, 1.32, 1.52, 1.75, 2.0],
             threshold: 0.1,
             ..AcceleratorConfig::default()
         },
@@ -81,7 +88,7 @@ fn approaching_pedestrian_triggers_a_timely_brake_decision() {
         let distance = d0 - v * t;
         // Figure scale the camera would see at this distance, clamped to
         // the detector's ladder.
-        let scale = cam.scale_for_distance(distance).clamp(1.0, 1.5);
+        let scale = cam.scale_for_distance(distance).clamp(1.0, 2.0);
         let scene = SceneBuilder::new(480, 360)
             .seed(9000) // same scene seed: static background
             .pedestrian_at(

@@ -1,0 +1,55 @@
+//! The shipped model files are the persistence format's golden vectors:
+//! loading and re-serializing them must reproduce the on-disk bytes
+//! exactly, and the versioned header must be enforced.
+
+use rtped::core::Error;
+use rtped::svm::io::{
+    load_calibration, load_model, read_model, to_canonical_bytes, FORMAT_VERSION,
+};
+
+#[test]
+fn shipped_model_roundtrips_byte_for_byte() {
+    let disk = std::fs::read("models/pedestrian_synthetic.json").unwrap();
+    let model = load_model("models/pedestrian_synthetic.json").unwrap();
+    assert_eq!(model.dim(), 4608, "pedestrian model must be 8x16x36");
+    assert_eq!(to_canonical_bytes(&model), disk);
+}
+
+#[test]
+fn shipped_calibration_roundtrips_byte_for_byte() {
+    let disk = std::fs::read("models/pedestrian_synthetic.calibration.json").unwrap();
+    let calibration = load_calibration("models/pedestrian_synthetic.calibration.json").unwrap();
+    assert_eq!(to_canonical_bytes(&calibration), disk);
+}
+
+#[test]
+fn shipped_files_declare_the_current_format_version() {
+    for file in [
+        "models/pedestrian_synthetic.json",
+        "models/pedestrian_synthetic.calibration.json",
+    ] {
+        let json = rtped::core::Json::parse_bytes(&std::fs::read(file).unwrap()).unwrap();
+        assert_eq!(
+            json.get("format").and_then(|v| v.as_u64()),
+            Some(FORMAT_VERSION),
+            "{file} must carry the versioned header"
+        );
+    }
+}
+
+#[test]
+fn legacy_unversioned_model_is_rejected_with_guidance() {
+    let legacy = br#"{"weights":[0.5,-0.25],"bias":-1.0}"#;
+    let err = read_model(&legacy[..]).unwrap_err();
+    assert!(matches!(err, Error::Format(_)));
+    assert!(
+        err.to_string().contains("legacy"),
+        "error must point at the legacy format: {err}"
+    );
+}
+
+#[test]
+fn missing_model_file_reports_io() {
+    let err = load_model("models/does_not_exist.json").unwrap_err();
+    assert!(matches!(err, Error::Io(_)));
+}

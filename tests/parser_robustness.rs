@@ -2,27 +2,26 @@
 //! malformed input with an error — never panic — because harnesses feed
 //! them user-supplied files (PNM windows, model JSON, RTL vectors).
 
-use proptest::prelude::*;
+use rtped::core::check;
+use rtped::core::check::{ascii_string, vec_of, Gen};
 
 use rtped::hw::vectors::TestVectors;
 use rtped::image::pnm::read_pnm;
 use rtped::svm::io::read_model;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+check! {
+    #![cases = 128]
 
-    #[test]
-    fn pnm_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn pnm_parser_never_panics(bytes in vec_of(0u8..=u8::MAX, 0usize..512)) {
         let _ = read_pnm(bytes.as_slice());
     }
 
-    #[test]
     fn pnm_parser_handles_hostile_headers(
-        magic in "P[0-9]",
-        w in any::<u32>(),
-        h in any::<u32>(),
-        maxval in any::<u32>(),
-        tail in proptest::collection::vec(any::<u8>(), 0..64),
+        magic in (0u8..=9).map_gen(|digit| format!("P{digit}")),
+        w in 0u32..=u32::MAX,
+        h in 0u32..=u32::MAX,
+        maxval in 0u32..=u32::MAX,
+        tail in vec_of(0u8..=u8::MAX, 0usize..64),
     ) {
         let mut data = format!("{magic}\n{w} {h}\n{maxval}\n").into_bytes();
         data.extend(tail);
@@ -31,13 +30,11 @@ proptest! {
         let _ = read_pnm(data.as_slice());
     }
 
-    #[test]
-    fn model_parser_never_panics(text in ".{0,256}") {
+    fn model_parser_never_panics(text in ascii_string(0usize..=256)) {
         let _ = read_model(text.as_bytes());
     }
 
-    #[test]
-    fn vector_parsers_never_panic(text in ".{0,256}") {
+    fn vector_parsers_never_panic(text in ascii_string(0usize..=256)) {
         let _ = TestVectors::parse_scores(&text);
         let _ = TestVectors::parse_features(&text, (2, 2));
     }

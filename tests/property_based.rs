@@ -1,7 +1,8 @@
-//! Property-based tests (proptest) over the core data structures and
-//! numeric invariants of the pipeline.
+//! Property-based tests (rtped_core::check) over the core data structures
+//! and numeric invariants of the pipeline.
 
-use proptest::prelude::*;
+use rtped::core::check::{boolean, vec_of, Gen};
+use rtped::core::{check, check_assert, check_assert_eq, check_assume};
 
 use rtped::detect::BoundingBox;
 use rtped::eval::RocCurve;
@@ -13,49 +14,44 @@ use rtped::image::resize::{resize, Filter};
 use rtped::image::{GrayImage, IntegralImage};
 use rtped::svm::LinearSvm;
 
-fn arb_image(max_w: usize, max_h: usize) -> impl Strategy<Value = GrayImage> {
-    (1..=max_w, 1..=max_h).prop_flat_map(|(w, h)| {
-        proptest::collection::vec(any::<u8>(), w * h)
-            .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
+fn arb_image(max_w: usize, max_h: usize) -> impl Gen<Value = GrayImage> {
+    (1..=max_w, 1..=max_h).flat_map_gen(|(w, h)| {
+        vec_of(0u8..=u8::MAX, w * h).map_gen(move |data| GrayImage::from_vec(w, h, data).unwrap())
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+check! {
+    #![cases = 48]
 
-    #[test]
     fn resize_preserves_intensity_bounds(img in arb_image(40, 40), nw in 1usize..60, nh in 1usize..60) {
         let lo = *img.as_raw().iter().min().unwrap();
         let hi = *img.as_raw().iter().max().unwrap();
         for filter in [Filter::Nearest, Filter::Bilinear] {
             let out = resize(&img, nw, nh, filter);
-            prop_assert_eq!(out.dimensions(), (nw, nh));
+            check_assert_eq!(out.dimensions(), (nw, nh));
             for (_, _, v) in out.pixels() {
-                prop_assert!(v >= lo && v <= hi, "{:?} escaped [{}, {}]", v, lo, hi);
+                check_assert!(v >= lo && v <= hi, "{:?} escaped [{}, {}]", v, lo, hi);
             }
         }
     }
 
-    #[test]
     fn integral_image_matches_brute_force(img in arb_image(24, 24)) {
         let integral = IntegralImage::new(&img);
         let (w, h) = img.dimensions();
         // Whole-image window.
         let brute: u64 = img.as_raw().iter().map(|&v| u64::from(v)).sum();
-        prop_assert_eq!(integral.window_sum(0, 0, w, h), brute);
+        check_assert_eq!(integral.window_sum(0, 0, w, h), brute);
     }
 
-    #[test]
     fn split_vote_conserves_magnitude(angle in 0.0f32..3.1415, mag in 0.0f32..1000.0) {
         let bin_width = std::f32::consts::PI / 9.0;
         let ((a, wa), (b, wb)) = split_vote(angle, mag, 9, bin_width);
-        prop_assert!(a < 9 && b < 9);
-        prop_assert!((wa + wb - mag).abs() < mag.max(1.0) * 1e-4);
-        prop_assert!(wa >= -1e-4 && wb >= -1e-4);
+        check_assert!(a < 9 && b < 9);
+        check_assert!((wa + wb - mag).abs() < mag.max(1.0) * 1e-4);
+        check_assert!(wa >= -1e-4 && wb >= -1e-4);
     }
 
-    #[test]
-    fn normalization_output_is_bounded(values in proptest::collection::vec(0.0f32..1e6, 36)) {
+    fn normalization_output_is_bounded(values in vec_of(0.0f32..1e6, 36usize)) {
         for norm in [
             NormKind::L1 { epsilon: 1e-2 },
             NormKind::L1Sqrt { epsilon: 1e-2 },
@@ -64,15 +60,14 @@ proptest! {
         ] {
             let out = norm.normalized(&values);
             for &v in &out {
-                prop_assert!(v.is_finite());
-                prop_assert!(v >= 0.0);
-                prop_assert!(v <= 1.0 + 1e-4, "{:?} produced {}", norm, v);
+                check_assert!(v.is_finite());
+                check_assert!(v >= 0.0);
+                check_assert!(v <= 1.0 + 1e-4, "{:?} produced {}", norm, v);
             }
         }
     }
 
-    #[test]
-    fn feature_map_rescale_preserves_bounds(seed in any::<u32>()) {
+    fn feature_map_rescale_preserves_bounds(seed in 0u32..=u32::MAX) {
         // Feature maps hold values in [0, 1]; bilinear resampling must not
         // escape that interval.
         let img = GrayImage::from_fn(96, 160, |x, y| {
@@ -81,14 +76,13 @@ proptest! {
         let map = FeatureMap::extract(&img, &HogParams::pedestrian());
         let scaled = map.scaled_by(1.4);
         for &v in scaled.as_raw() {
-            prop_assert!((-1e-6..=1.0 + 1e-4).contains(&v));
+            check_assert!((-1e-6..=1.0 + 1e-4).contains(&v));
         }
     }
 
-    #[test]
     fn svm_decision_is_affine_in_inputs(
-        w in proptest::collection::vec(-10.0f64..10.0, 8),
-        x in proptest::collection::vec(-10.0f32..10.0, 8),
+        w in vec_of(-10.0f64..10.0, 8usize),
+        x in vec_of(-10.0f32..10.0, 8usize),
         bias in -5.0f64..5.0,
         alpha in 0.1f32..3.0,
     ) {
@@ -98,10 +92,9 @@ proptest! {
         let d2 = model.decision(&scaled);
         // decision(alpha * x) = alpha * (decision(x) - b) + b
         let expected = f64::from(alpha) * (d1 - bias) + bias;
-        prop_assert!((d2 - expected).abs() < 1e-3 * (1.0 + expected.abs()));
+        check_assert!((d2 - expected).abs() < 1e-3 * (1.0 + expected.abs()));
     }
 
-    #[test]
     fn iou_is_bounded_and_symmetric(
         x1 in -50i64..50, y1 in -50i64..50, w1 in 1u64..60, h1 in 1u64..60,
         x2 in -50i64..50, y2 in -50i64..50, w2 in 1u64..60, h2 in 1u64..60,
@@ -109,44 +102,40 @@ proptest! {
         let a = BoundingBox::new(x1, y1, w1, h1);
         let b = BoundingBox::new(x2, y2, w2, h2);
         let iou = a.iou(&b);
-        prop_assert!((0.0..=1.0).contains(&iou));
-        prop_assert!((iou - b.iou(&a)).abs() < 1e-12);
-        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        check_assert!((0.0..=1.0).contains(&iou));
+        check_assert!((iou - b.iou(&a)).abs() < 1e-12);
+        check_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
     }
 
-    #[test]
-    fn roc_auc_is_bounded_and_monotone(scores in proptest::collection::vec((-10.0f64..10.0, any::<bool>()), 8..60)) {
+    fn roc_auc_is_bounded_and_monotone(scores in vec_of((-10.0f64..10.0, boolean()), 8usize..60)) {
         let positives = scores.iter().filter(|(_, p)| *p).count();
-        prop_assume!(positives > 0 && positives < scores.len());
+        check_assume!(positives > 0 && positives < scores.len());
         let roc = RocCurve::from_scores(&scores);
-        prop_assert!((0.0..=1.0).contains(&roc.auc()));
-        prop_assert!((0.0..=1.0).contains(&roc.eer()));
+        check_assert!((0.0..=1.0).contains(&roc.auc()));
+        check_assert!((0.0..=1.0).contains(&roc.eer()));
         let pts = roc.points();
         for pair in pts.windows(2) {
-            prop_assert!(pair[1].fpr >= pair[0].fpr);
-            prop_assert!(pair[1].tpr >= pair[0].tpr);
+            check_assert!(pair[1].fpr >= pair[0].fpr);
+            check_assert!(pair[1].tpr >= pair[0].tpr);
         }
     }
 
-    #[test]
     fn hw_shift_add_mul_is_exact(value in -32768i32..32768, k in 0u8..=16) {
         let exact = ((i64::from(value) * i64::from(k) + 8) >> 4) as i32;
-        prop_assert_eq!(rtped::hw::scaler::shift_add_mul(value, k), exact);
+        check_assert_eq!(rtped::hw::scaler::shift_add_mul(value, k), exact);
     }
 
-    #[test]
-    fn hw_isqrt_is_floor_sqrt(v in any::<u64>()) {
+    fn hw_isqrt_is_floor_sqrt(v in 0u64..=u64::MAX) {
         let r = rtped::hw::fixed::isqrt_u64(v);
-        prop_assert!(r.checked_mul(r).is_some_and(|sq| sq <= v) || r == 0 && v == 0);
+        check_assert!(r.checked_mul(r).is_some_and(|sq| sq <= v) || r == 0 && v == 0);
         if let Some(next_sq) = (r + 1).checked_mul(r + 1) {
-            prop_assert!(next_sq > v);
+            check_assert!(next_sq > v);
         }
     }
 
-    #[test]
     fn hw_fixed_point_roundtrip(v in -100.0f32..100.0) {
         use rtped::hw::fixed::Fx;
         let q = Fx::<12>::from_f32(v);
-        prop_assert!((q.to_f32() - v).abs() <= 1.0 / 4096.0 + v.abs() * 1e-6);
+        check_assert!((q.to_f32() - v).abs() <= 1.0 / 4096.0 + v.abs() * 1e-6);
     }
 }

@@ -13,8 +13,7 @@ use rtped::svm::dcd::{train_dcd, DcdParams};
 use rtped::svm::model::Label;
 use rtped::svm::platt::CalibratedSvm;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rtped_core::rng::SeedRng;
 
 fn features(img: &GrayImage, params: &HogParams) -> Vec<f32> {
     FeatureMap::extract(img, params).window_descriptor(0, 0, params)
@@ -96,7 +95,7 @@ fn mining_then_calibration_pipeline() {
         .build()
         .unwrap();
     let samples = labelled_samples(&dataset, &params);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SeedRng::seed_from_u64(99);
     let scenes: Vec<GrayImage> = (0..2)
         .map(|_| clutter_background(&mut rng, 192, 192))
         .collect();
