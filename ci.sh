@@ -7,10 +7,16 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== cargo clippy --offline --all-targets -- -D warnings =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
 echo "== cargo build --release --offline (all targets) =="
 cargo build --workspace --all-targets --release --offline
 
 echo "== cargo test -q --offline =="
 cargo test --workspace -q --offline
+
+echo "== bench_detect --quick (smoke: parallel==serial gate + JSON writer) =="
+cargo run --release --offline -p rtped-bench --bin bench_detect -- --quick
 
 echo "ci.sh: all green"

@@ -1,0 +1,226 @@
+//! Serial vs parallel detection-engine benchmark — the seed of the repo's
+//! performance trajectory.
+//!
+//! Times the image-pyramid and feature-pyramid detectors on synthetic
+//! street scenes (640×480, 1280×720, 1920×1080) twice each: once with
+//! `RTPED_THREADS=1` (the serial baseline) and once with the host's full
+//! worker pool. Medians come from `rtped_core::timer`'s batched harness;
+//! results land in `BENCH_detect.json` (canonical `rtped_core::json`
+//! bytes) so every future perf PR has a baseline to beat.
+//!
+//! The parallel engine must be *byte-identical* to the serial one — the
+//! run asserts that both modes return the same `Vec<Detection>`, order
+//! included, before any timing is trusted.
+//!
+//! `--quick` shrinks the budgets and scene list for CI smoke runs and
+//! writes `BENCH_detect.quick.json` instead, leaving the committed
+//! baseline untouched.
+
+use std::time::Duration;
+
+use rtped_core::json::{obj, Json};
+use rtped_core::par;
+use rtped_core::timer::{black_box, format_ns, Bench};
+use rtped_core::{Rng, SeedRng};
+use rtped_dataset::scene::SceneBuilder;
+use rtped_detect::detector::{
+    Detect, Detection, DetectorConfig, FeaturePyramidDetector, ImagePyramidDetector,
+};
+use rtped_hog::params::HogParams;
+use rtped_image::GrayImage;
+use rtped_svm::LinearSvm;
+
+/// A frame-to-detections closure (either detector family, borrowed).
+type DetectFn<'a> = &'a dyn Fn(&GrayImage) -> Vec<Detection>;
+
+/// One timed configuration (scene × method × mode comparison).
+struct CaseResult {
+    frame: String,
+    method: &'static str,
+    windows: usize,
+    detections: usize,
+    serial_median_ns: f64,
+    parallel_median_ns: f64,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_median_ns > 0.0 {
+            self.serial_median_ns / self.parallel_median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("frame", Json::String(self.frame.clone())),
+            ("method", Json::String(self.method.to_string())),
+            ("windows", (self.windows as u64).into()),
+            ("detections", (self.detections as u64).into()),
+            ("serial_median_ns", self.serial_median_ns.into()),
+            ("parallel_median_ns", self.parallel_median_ns.into()),
+            ("speedup", self.speedup().into()),
+        ])
+    }
+}
+
+/// A deterministic pseudo-random model: benchmark cost is independent of
+/// the weights' values, so training would only slow the harness down.
+fn pseudo_model(params: &HogParams) -> LinearSvm {
+    let mut rng = SeedRng::seed_from_u64(0x000D_AC17);
+    let dim = params.cell_descriptor_len();
+    let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    LinearSvm::new(weights, -0.5)
+}
+
+/// Runs `detect` with `RTPED_THREADS` pinned to `threads` (`None` restores
+/// the ambient setting).
+fn with_threads<T>(threads: Option<usize>, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var(par::THREADS_ENV).ok();
+    match threads {
+        Some(n) => std::env::set_var(par::THREADS_ENV, n.to_string()),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+    out
+}
+
+/// Sliding windows per frame across both pyramid levels (scales 1.0, 1.5)
+/// — context for the per-frame timings.
+fn window_count(w: usize, h: usize, params: &HogParams, scales: &[f64]) -> usize {
+    let (wc, hc) = params.window_cells();
+    let cell = params.cell_size();
+    scales
+        .iter()
+        .map(|&s| {
+            let cx = ((w / cell) as f64 / s).round() as usize;
+            let cy = ((h / cell) as f64 / s).round() as usize;
+            if cx < wc || cy < hc {
+                0
+            } else {
+                (cx - wc + 1) * (cy - hc + 1)
+            }
+        })
+        .sum()
+}
+
+fn bench_case(
+    bench: &mut Bench,
+    name: &str,
+    detector: DetectFn<'_>,
+    frame: &GrayImage,
+    threads: Option<usize>,
+) -> f64 {
+    with_threads(threads, || {
+        bench.run(name, || detector(black_box(frame))).median_ns
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = HogParams::pedestrian();
+    let model = pseudo_model(&params);
+    let config = DetectorConfig {
+        threshold: 1.0,
+        ..DetectorConfig::two_scale()
+    };
+    let image_det = ImagePyramidDetector::new(model.clone(), config.clone());
+    let feature_det = FeaturePyramidDetector::new(model, config.clone());
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let pool_threads = par::threads();
+    println!(
+        "bench_detect: host parallelism {host_threads}, worker pool {pool_threads}{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let sizes: &[(usize, usize)] = if quick {
+        &[(640, 480)]
+    } else {
+        &[(640, 480), (1280, 720), (1920, 1080)]
+    };
+    let (warmup, measure, batches) = if quick {
+        (Duration::from_millis(20), Duration::from_millis(120), 5)
+    } else {
+        (Duration::from_millis(200), Duration::from_millis(1500), 9)
+    };
+
+    let mut results: Vec<CaseResult> = Vec::new();
+    for &(w, h) in sizes {
+        let scene = SceneBuilder::new(w, h)
+            .seed(99)
+            .pedestrian_window(64, 128, 1.0)
+            .pedestrian_window(64, 128, 1.5)
+            .pedestrian_window(64, 128, 1.2)
+            .build();
+        let frame = &scene.frame;
+        let windows = window_count(w, h, &params, &config.scales);
+
+        let methods: [(&'static str, DetectFn<'_>); 2] = [
+            ("image-pyramid", &|f: &GrayImage| image_det.detect(f)),
+            ("feature-pyramid", &|f: &GrayImage| feature_det.detect(f)),
+        ];
+        for (method, detect) in methods {
+            // Determinism gate: parallel output must be byte-identical to
+            // serial (values AND order) before the timings mean anything.
+            let serial_hits = with_threads(Some(1), || detect(frame));
+            let parallel_hits = with_threads(None, || detect(frame));
+            assert_eq!(
+                serial_hits, parallel_hits,
+                "{method} {w}x{h}: parallel detections diverged from serial"
+            );
+
+            let mut bench = Bench::new(&format!("{method}/{w}x{h}"))
+                .warmup(warmup)
+                .measure(measure)
+                .batches(batches);
+            let serial_ns = bench_case(&mut bench, "serial", detect, frame, Some(1));
+            let parallel_ns = bench_case(&mut bench, "parallel", detect, frame, None);
+            let case = CaseResult {
+                frame: format!("{w}x{h}"),
+                method,
+                windows,
+                detections: serial_hits.len(),
+                serial_median_ns: serial_ns,
+                parallel_median_ns: parallel_ns,
+            };
+            println!(
+                "  -> {} {}: serial {} / parallel {} = {:.2}x ({} windows, {} detections)",
+                case.method,
+                case.frame,
+                format_ns(case.serial_median_ns),
+                format_ns(case.parallel_median_ns),
+                case.speedup(),
+                case.windows,
+                case.detections,
+            );
+            results.push(case);
+        }
+    }
+
+    let json = obj([
+        ("format", 1u64.into()),
+        ("bench", Json::String("detect".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("host_threads", (host_threads as u64).into()),
+        ("pool_threads", (pool_threads as u64).into()),
+        (
+            "scenes",
+            Json::Array(results.iter().map(CaseResult::to_json).collect()),
+        ),
+    ]);
+    let path = if quick {
+        "BENCH_detect.quick.json"
+    } else {
+        "BENCH_detect.json"
+    };
+    std::fs::write(path, json.to_string_pretty()).expect("write benchmark baseline");
+    println!("wrote {path}");
+}

@@ -17,7 +17,10 @@
 //! with the seeds fixed in [`ExperimentConfig::default`] so each table
 //! regenerates deterministically.
 
-pub mod parallel;
+/// The shared data-parallel primitives, re-exported under the name the
+/// harness binaries historically used (the module now lives in
+/// `rtped_core::par`).
+pub use rtped_core::par as parallel;
 
 use rtped_dataset::protocol::{InriaProtocol, PAPER_TEST_NEGATIVES, PAPER_TEST_POSITIVES};
 use rtped_eval::confusion::{confusion_at_threshold, ConfusionMatrix};

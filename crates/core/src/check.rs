@@ -401,7 +401,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             cases: 64,
-            seed: 0x5EED_0F_C0FFEE,
+            seed: 0x5EED_0FC0_FFEE,
         }
     }
 }

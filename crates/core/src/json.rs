@@ -170,14 +170,6 @@ impl Json {
         }
     }
 
-    /// Compact serialization (no whitespace) — the canonical on-disk form.
-    #[must_use]
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write_compact(&mut out);
-        out
-    }
-
     /// Pretty serialization with two-space indentation and a trailing
     /// newline, for human-edited files like experiment metadata.
     #[must_use]
@@ -255,9 +247,13 @@ impl Json {
     }
 }
 
+/// Compact serialization (no whitespace) — the canonical on-disk form;
+/// `value.to_string()` yields exactly these bytes.
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        f.write_str(&out)
     }
 }
 
@@ -837,7 +833,7 @@ mod tests {
             0.1,
             -0.018_768_454_976_861_294,
             1e-300,
-            3.141592653589793,
+            std::f64::consts::PI,
             f64::MAX,
             f64::MIN_POSITIVE,
         ] {

@@ -16,6 +16,9 @@
 //!   via the [`check!`] macro — replaces `proptest`.
 //! - [`timer`]: a wall-clock micro-benchmark harness for the
 //!   `harness = false` bench binaries — replaces `criterion`.
+//! - [`par`]: scoped-thread data-parallel primitives (order-preserving
+//!   `map`, chunked `map_chunks`, in-place `for_each_band`) with an
+//!   `RTPED_THREADS` override — replaces `rayon`.
 //! - [`error`]: the workspace-wide [`Error`] type every fallible `rtped`
 //!   API returns.
 //!
@@ -42,6 +45,7 @@
 pub mod check;
 pub mod error;
 pub mod json;
+pub mod par;
 pub mod rng;
 pub mod timer;
 

@@ -1,0 +1,402 @@
+//! Data-parallel primitives over scoped threads — the software mirror of
+//! the paper's pipelined datapath.
+//!
+//! The detection chain scores tens of thousands of independent windows
+//! per frame and builds pyramid levels that do not depend on each other;
+//! this module fans that work across the available cores with
+//! `std::thread::scope` — no extra dependencies, deterministic output
+//! ordering, and a thread-count override for benchmarking and tests.
+//!
+//! Three primitives cover the workspace's shapes of parallelism:
+//!
+//! - [`map`]: element-wise map with order-preserving output (pyramid
+//!   levels, frames, dataset windows). Work is claimed in contiguous
+//!   index chunks so one atomic RMW amortizes over many items.
+//! - [`map_chunks`]: map over *contiguous runs* of the input — the right
+//!   granularity when individual items are too cheap to claim one by one
+//!   (window positions along a row band).
+//! - [`for_each_band`]: in-place fill of disjoint bands of an output
+//!   buffer (feature-map resampling writes each output row exactly once).
+//!
+//! # Thread count
+//!
+//! All entry points size their worker pool from [`threads`]: the
+//! `RTPED_THREADS` environment variable when set (clamped to
+//! `1..=MAX_THREADS`), otherwise `std::thread::available_parallelism`.
+//! `RTPED_THREADS=1` forces the serial path everywhere, which is how the
+//! benchmarks time serial baselines and how the determinism tests pin
+//! both sides of a comparison.
+//!
+//! # Determinism
+//!
+//! Every primitive yields output identical to its serial equivalent —
+//! same values, same order — for any thread count. Parallelism only
+//! changes *when* an element is computed, never *where* its result lands.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "RTPED_THREADS";
+
+/// Upper bound on the worker-pool size (sanity clamp for the override).
+pub const MAX_THREADS: usize = 256;
+
+/// The worker-pool size: `RTPED_THREADS` if set to a positive integer
+/// (clamped to [`MAX_THREADS`]), otherwise the OS-reported available
+/// parallelism (1 if unknown).
+#[must_use]
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items`, in parallel, preserving order.
+///
+/// Worker threads claim contiguous chunks of indices from one atomic
+/// counter (a handful of items per RMW, so the counter cache line is not
+/// thrashed on fine-grained work) and write results straight into their
+/// final slots — each result is stored exactly once. Falls back to a
+/// serial loop for small inputs or a single-thread pool.
+pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    map_with_threads(items, threads(), f)
+}
+
+/// [`map`] with an explicit thread count (used by the property tests and
+/// anything that must pin the pool size without touching the
+/// environment).
+pub fn map_with_threads<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.iter().map(f).collect();
+    }
+
+    // Contiguous chunk claiming: one fetch_add hands a worker `claim`
+    // consecutive indices. Small enough to balance uneven costs, large
+    // enough that the atomic counter is off the hot path.
+    let claim = claim_size(n, threads);
+    let next = AtomicUsize::new(0);
+    let mut slots = uninit_slots::<R>(n);
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = next.fetch_add(claim, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + claim).min(n);
+                for (offset, item) in items[start..end].iter().enumerate() {
+                    let result = f(item);
+                    // SAFETY: the atomic counter hands each index range to
+                    // exactly one thread, so no two threads write the same
+                    // slot, and the buffer outlives the scope.
+                    unsafe {
+                        slots_ptr
+                            .get()
+                            .add(start + offset)
+                            .write(MaybeUninit::new(result));
+                    }
+                }
+            });
+        }
+    });
+
+    // SAFETY: the scope joined every worker and the counter monotonically
+    // covered 0..n, so all n slots are initialized. (If a worker panicked,
+    // the scope already propagated the panic and this line is not
+    // reached; the MaybeUninit buffer then drops without reading any
+    // slot, leaking initialized results rather than freeing them twice.)
+    unsafe { assume_init_vec(slots) }
+}
+
+/// Applies `f` to contiguous chunks of `items` (each at most `chunk_len`
+/// long), in parallel, returning per-chunk results in chunk order.
+///
+/// `f` receives the index of the chunk's first item and the chunk slice.
+/// This is the right primitive when per-item work is too cheap to claim
+/// individually: the caller picks the batch granularity and the claiming
+/// cost is paid once per chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn map_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_len: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(c, s)| (c * chunk_len, s))
+        .collect();
+    map(&chunks, |&(start, slice)| f(start, slice))
+}
+
+/// Splits `data` into consecutive bands of `band_len` elements (the last
+/// band may be shorter) and runs `f(start_index, band)` on each, in
+/// parallel. Bands are disjoint `&mut` slices, so the fill is safe and
+/// the result is independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if `band_len == 0` while `data` is non-empty.
+pub fn for_each_band<T: Send>(data: &mut [T], band_len: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(band_len > 0, "band_len must be non-zero");
+    let workers = threads().min(data.len().div_ceil(band_len));
+    if workers <= 1 {
+        for (b, band) in data.chunks_mut(band_len).enumerate() {
+            f(b * band_len, band);
+        }
+        return;
+    }
+    // Bands are coarse by construction, so a mutex-guarded iterator is a
+    // perfectly good (and fully safe) work queue.
+    let queue = Mutex::new(data.chunks_mut(band_len).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || loop {
+                let item = queue.lock().expect("band queue poisoned").next();
+                match item {
+                    Some((b, band)) => f(b * band_len, band),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Evenly partitions `0..n` into at most `max_bands` contiguous ranges
+/// (fewer when `n < max_bands`; empty when `n == 0`). Deterministic in
+/// its inputs — band `b` always covers the same range.
+#[must_use]
+pub fn band_ranges(n: usize, max_bands: usize) -> Vec<Range<usize>> {
+    if n == 0 || max_bands == 0 {
+        return Vec::new();
+    }
+    let bands = max_bands.min(n);
+    let base = n / bands;
+    let extra = n % bands;
+    let mut out = Vec::with_capacity(bands);
+    let mut start = 0;
+    for b in 0..bands {
+        let len = base + usize::from(b < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Claim granularity for [`map_with_threads`]: small enough that uneven
+/// item costs still balance across the pool, large enough that the shared
+/// counter sees ~32 RMWs per thread rather than one per item.
+fn claim_size(n: usize, threads: usize) -> usize {
+    (n / (threads * 32)).clamp(1, 64)
+}
+
+/// An uninitialized result buffer of length `n`.
+fn uninit_slots<R>(n: usize) -> Vec<MaybeUninit<R>> {
+    let mut slots = Vec::with_capacity(n);
+    slots.resize_with(n, MaybeUninit::uninit);
+    slots
+}
+
+/// Converts a fully initialized `Vec<MaybeUninit<R>>` into `Vec<R>`.
+///
+/// # Safety
+///
+/// Every element must be initialized.
+unsafe fn assume_init_vec<R>(slots: Vec<MaybeUninit<R>>) -> Vec<R> {
+    let mut slots = ManuallyDrop::new(slots);
+    let (ptr, len, cap) = (slots.as_mut_ptr(), slots.len(), slots.capacity());
+    // SAFETY: MaybeUninit<R> has the same layout as R, the caller
+    // guarantees initialization, and ManuallyDrop relinquishes ownership.
+    unsafe { Vec::from_raw_parts(ptr.cast::<R>(), len, cap) }
+}
+
+/// A raw pointer wrapper that is `Send`/`Copy` so scoped threads can write
+/// disjoint slots of the output buffer.
+struct SendPtr<R>(*mut MaybeUninit<R>);
+
+impl<R> Clone for SendPtr<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<R> Copy for SendPtr<R> {}
+
+impl<R> SendPtr<R> {
+    /// Accessor so closures capture the whole `Send` wrapper rather than
+    /// the raw-pointer field (edition-2021 disjoint capture).
+    fn get(self) -> *mut MaybeUninit<R> {
+        self.0
+    }
+}
+
+// SAFETY: the pointer is only dereferenced at indices uniquely claimed via
+// the atomic counter; disjoint writes from multiple threads are safe.
+unsafe impl<R: Send> Send for SendPtr<R> {}
+// SAFETY: same disjointness argument — the shared reference is only used
+// to copy the pointer into worker threads.
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_input_matches_serial() {
+        let out = map(&[1, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn works_with_non_copy_results() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = map(&items, |s| s.to_string());
+        assert_eq!(out, vec!["a".to_string(), "bb".into(), "ccc".into()]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in 1..=8 {
+            let out = map_with_threads(&items, threads, |&x| x * 3 + 1);
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn claim_size_is_bounded() {
+        assert_eq!(claim_size(10, 4), 1);
+        assert_eq!(claim_size(1_000_000, 4), 64);
+        let mid = claim_size(4096, 8);
+        assert!((1..=64).contains(&mid));
+    }
+
+    #[test]
+    fn map_chunks_covers_every_item_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let sums = map_chunks(&items, 10, |start, chunk| {
+            assert_eq!(chunk[0], start);
+            chunk.iter().sum::<usize>()
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        // First chunk is 0..10, last chunk is 100..103.
+        assert_eq!(sums[0], (0..10).sum::<usize>());
+        assert_eq!(sums[10], 100 + 101 + 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be non-zero")]
+    fn map_chunks_rejects_zero_chunk() {
+        let _ = map_chunks(&[1, 2, 3], 0, |_, c| c.len());
+    }
+
+    #[test]
+    fn for_each_band_fills_every_element() {
+        let mut data = vec![0usize; 1003];
+        for_each_band(&mut data, 64, |start, band| {
+            for (i, v) in band.iter_mut().enumerate() {
+                *v = (start + i) * 7;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i * 7);
+        }
+    }
+
+    #[test]
+    fn for_each_band_empty_is_noop() {
+        let mut data: Vec<u8> = Vec::new();
+        for_each_band(&mut data, 0, |_, _| panic!("no bands expected"));
+    }
+
+    #[test]
+    fn band_ranges_partition_the_domain() {
+        for n in [0usize, 1, 7, 64, 135, 1000] {
+            for bands in [1usize, 2, 3, 8, 200] {
+                let ranges = band_ranges(n, bands);
+                let mut covered = 0;
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start, "bands must be contiguous");
+                    assert!(!r.is_empty(), "no empty bands");
+                    covered += r.len();
+                    expect_start = r.end;
+                }
+                assert_eq!(covered, n, "n={n} bands={bands}");
+                assert!(ranges.len() <= bands.min(n.max(1)));
+                // Even split: band lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    crate::check! {
+        #![cases = 48]
+        fn par_map_matches_serial_under_uneven_costs(
+            items in crate::check::vec_of(0u64..1000, 0..=96),
+            threads in 1usize..=8,
+        ) {
+            // Per-item cost varies with the value, so chunk claiming and
+            // work stealing both get exercised.
+            let cost = |&x: &u64| {
+                let mut acc = x;
+                for i in 0..(x % 13) * 50 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                (x, acc)
+            };
+            let serial: Vec<(u64, u64)> = items.iter().map(cost).collect();
+            let parallel = map_with_threads(&items, threads, cost);
+            crate::check_assert_eq!(serial, parallel);
+        }
+    }
+}

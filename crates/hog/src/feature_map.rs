@@ -10,6 +10,7 @@
 //! as 8×16 cells × 36 = 4608 features out of 16 memory banks ("16×8 blocks
 //! and each of the blocks has the feature vector of 36 elements", §5).
 
+use rtped_core::par;
 use rtped_image::GrayImage;
 
 use crate::grid::CellGrid;
@@ -260,6 +261,10 @@ impl FeatureMap {
     /// convention (the same mapping the shift-and-add hardware scaler
     /// approximates).
     ///
+    /// Output rows are filled in parallel (each output value depends only
+    /// on the source map, so the result is byte-identical for any thread
+    /// count; see `rtped_core::par::for_each_band`).
+    ///
     /// # Panics
     ///
     /// Panics if either target dimension is zero.
@@ -275,31 +280,40 @@ impl FeatureMap {
         let f = self.cell_features();
         let rx = self.cells_x as f32 / new_cells_x as f32;
         let ry = self.cells_y as f32 / new_cells_y as f32;
-        let mut data = vec![0.0f32; new_cells_x * new_cells_y * f];
-        for oy in 0..new_cells_y {
-            let fy = (oy as f32 + 0.5) * ry - 0.5;
-            let y0 = fy.floor();
-            let ty = fy - y0;
-            let y0i = (y0 as isize).clamp(0, self.cells_y as isize - 1) as usize;
-            let y1i = ((y0 as isize) + 1).clamp(0, self.cells_y as isize - 1) as usize;
-            for ox in 0..new_cells_x {
-                let fx = (ox as f32 + 0.5) * rx - 0.5;
-                let x0 = fx.floor();
-                let tx = fx - x0;
-                let x0i = (x0 as isize).clamp(0, self.cells_x as isize - 1) as usize;
-                let x1i = ((x0 as isize) + 1).clamp(0, self.cells_x as isize - 1) as usize;
-                let c00 = self.cell(x0i, y0i);
-                let c10 = self.cell(x1i, y0i);
-                let c01 = self.cell(x0i, y1i);
-                let c11 = self.cell(x1i, y1i);
-                let base = (oy * new_cells_x + ox) * f;
-                for k in 0..f {
-                    let top = c00[k] + (c10[k] - c00[k]) * tx;
-                    let bottom = c01[k] + (c11[k] - c01[k]) * tx;
-                    data[base + k] = top + (bottom - top) * ty;
+        let row_len = new_cells_x * f;
+        let mut data = vec![0.0f32; row_len * new_cells_y];
+        // Band granularity: a few output rows per claim, at most ~4 bands
+        // per worker so uneven costs still balance.
+        let bands = (par::threads() * 4).min(new_cells_y).max(1);
+        let rows_per_band = new_cells_y.div_ceil(bands);
+        par::for_each_band(&mut data, rows_per_band * row_len, |start, band| {
+            let oy0 = start / row_len;
+            for (r, row) in band.chunks_mut(row_len).enumerate() {
+                let oy = oy0 + r;
+                let fy = (oy as f32 + 0.5) * ry - 0.5;
+                let y0 = fy.floor();
+                let ty = fy - y0;
+                let y0i = (y0 as isize).clamp(0, self.cells_y as isize - 1) as usize;
+                let y1i = ((y0 as isize) + 1).clamp(0, self.cells_y as isize - 1) as usize;
+                for ox in 0..new_cells_x {
+                    let fx = (ox as f32 + 0.5) * rx - 0.5;
+                    let x0 = fx.floor();
+                    let tx = fx - x0;
+                    let x0i = (x0 as isize).clamp(0, self.cells_x as isize - 1) as usize;
+                    let x1i = ((x0 as isize) + 1).clamp(0, self.cells_x as isize - 1) as usize;
+                    let c00 = self.cell(x0i, y0i);
+                    let c10 = self.cell(x1i, y0i);
+                    let c01 = self.cell(x0i, y1i);
+                    let c11 = self.cell(x1i, y1i);
+                    let base = ox * f;
+                    for k in 0..f {
+                        let top = c00[k] + (c10[k] - c00[k]) * tx;
+                        let bottom = c01[k] + (c11[k] - c01[k]) * tx;
+                        row[base + k] = top + (bottom - top) * ty;
+                    }
                 }
             }
-        }
+        });
         FeatureMap {
             cells_x: new_cells_x,
             cells_y: new_cells_y,

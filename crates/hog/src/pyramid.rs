@@ -11,6 +11,7 @@
 //! entirely. §4 shows the approximation costs at most ~2% accuracy for
 //! scale factors below ≈1.5.
 
+use rtped_core::par;
 use rtped_image::resize::{scale_by, Filter};
 use rtped_image::GrayImage;
 
@@ -57,6 +58,10 @@ impl ImagePyramid {
     /// Builds the pyramid by resizing `img` by `1/scale` per level and
     /// extracting a fresh [`FeatureMap`] each time.
     ///
+    /// Levels are built in parallel (each level's resize + extraction is
+    /// independent; see `rtped_core::par`) and collected in input-scale
+    /// order, so the result is identical to a serial build.
+    ///
     /// Levels whose scaled image no longer fits one detection window are
     /// skipped.
     ///
@@ -65,25 +70,25 @@ impl ImagePyramid {
     /// Panics if `scales` contains a non-positive value.
     #[must_use]
     pub fn build(img: &GrayImage, scales: &[f64], params: &HogParams) -> Self {
-        let levels = scales
-            .iter()
-            .filter_map(|&scale| {
-                assert!(scale > 0.0, "scales must be positive");
-                let scaled = if (scale - 1.0).abs() < 1e-9 {
-                    img.clone()
-                } else {
-                    scale_by(img, 1.0 / scale, Filter::Bilinear)
-                };
-                if fits_window(&scaled, params) {
-                    Some(PyramidLevel {
-                        scale,
-                        features: FeatureMap::extract(&scaled, params),
-                    })
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let levels = par::map(scales, |&scale| {
+            assert!(scale > 0.0, "scales must be positive");
+            let scaled = if (scale - 1.0).abs() < 1e-9 {
+                img.clone()
+            } else {
+                scale_by(img, 1.0 / scale, Filter::Bilinear)
+            };
+            if fits_window(&scaled, params) {
+                Some(PyramidLevel {
+                    scale,
+                    features: FeatureMap::extract(&scaled, params),
+                })
+            } else {
+                None
+            }
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Self { levels }
     }
 
@@ -172,6 +177,9 @@ impl FeaturePyramid {
     /// Builds the pyramid from an existing base feature map (exposed so
     /// the hardware model and detectors can share the extraction).
     ///
+    /// Levels are down-sampled from the base in parallel and collected in
+    /// input-scale order — byte-identical to a serial build.
+    ///
     /// # Panics
     ///
     /// Panics if `scales` contains a non-positive value.
@@ -179,23 +187,23 @@ impl FeaturePyramid {
     pub fn from_base(base: &FeatureMap, scales: &[f64], params: &HogParams) -> Self {
         let (wc, hc) = params.window_cells();
         let (bx, by) = base.cells();
-        let levels = scales
-            .iter()
-            .filter_map(|&scale| {
-                assert!(scale > 0.0, "scales must be positive");
-                let nx = ((bx as f64 / scale).round() as usize).max(1);
-                let ny = ((by as f64 / scale).round() as usize).max(1);
-                if nx < wc || ny < hc {
-                    return None;
-                }
-                let features = if (scale - 1.0).abs() < 1e-9 {
-                    base.clone()
-                } else {
-                    base.scaled_to(nx, ny)
-                };
-                Some(PyramidLevel { scale, features })
-            })
-            .collect();
+        let levels = par::map(scales, |&scale| {
+            assert!(scale > 0.0, "scales must be positive");
+            let nx = ((bx as f64 / scale).round() as usize).max(1);
+            let ny = ((by as f64 / scale).round() as usize).max(1);
+            if nx < wc || ny < hc {
+                return None;
+            }
+            let features = if (scale - 1.0).abs() < 1e-9 {
+                base.clone()
+            } else {
+                base.scaled_to(nx, ny)
+            };
+            Some(PyramidLevel { scale, features })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Self { levels }
     }
 

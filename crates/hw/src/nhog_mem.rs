@@ -174,8 +174,10 @@ impl BankLayout {
         match self {
             BankLayout::ParityRole => NhogMem::bank_of(cx, cy, role),
             BankLayout::WordInterleaved => {
-                // Flat word index within the row, striped across banks.
-                ((cy & 1) * 0 + cx * CELL_FEATURES + role * 9 + bin) % BANKS
+                // Flat word index within the row (the row coordinate does
+                // not participate), striped across banks.
+                let _ = cy;
+                (cx * CELL_FEATURES + role * 9 + bin) % BANKS
             }
         }
     }

@@ -298,8 +298,10 @@ mod tests {
     #[test]
     fn positive_bias_fires_and_boxes_are_scaled() {
         let model = LinearSvm::new(vec![0.0; 4608], 2.0);
-        let mut config = AcceleratorConfig::default();
-        config.nms_iou = None;
+        let config = AcceleratorConfig {
+            nms_iou: None,
+            ..AcceleratorConfig::default()
+        };
         let acc = HogAccelerator::new(&model, config);
         let report = acc.process(&textured(256, 512));
         // Base scale 32x64 cells: 25x49 windows; scale 1.5: 21x43 cells ->
@@ -349,10 +351,12 @@ mod tests {
         let params = HogParams::pedestrian();
         let frame = textured(96, 160);
         let model = pseudo_model(0.1);
-        let mut config = AcceleratorConfig::default();
-        config.scales = vec![1.0];
-        config.nms_iou = None;
-        config.threshold = -1e9; // keep every window
+        let config = AcceleratorConfig {
+            scales: vec![1.0],
+            nms_iou: None,
+            threshold: -1e9, // keep every window
+            ..AcceleratorConfig::default()
+        };
         let acc = HogAccelerator::new(&model, config);
         let report = acc.process(&frame);
         let float_map = rtped_hog::feature_map::FeatureMap::extract(&frame, &params);

@@ -43,7 +43,7 @@ check! {
         check_assert_eq!(integral.window_sum(0, 0, w, h), brute);
     }
 
-    fn split_vote_conserves_magnitude(angle in 0.0f32..3.1415, mag in 0.0f32..1000.0) {
+    fn split_vote_conserves_magnitude(angle in 0.0f32..std::f32::consts::PI, mag in 0.0f32..1000.0) {
         let bin_width = std::f32::consts::PI / 9.0;
         let ((a, wa), (b, wb)) = split_vote(angle, mag, 9, bin_width);
         check_assert!(a < 9 && b < 9);
