@@ -19,4 +19,9 @@ cargo test --workspace -q --offline
 echo "== bench_detect --quick (smoke: parallel==serial gate + JSON writer) =="
 cargo run --release --offline -p rtped-bench --bin bench_detect -- --quick
 
+echo "== video_stream fault-injection smoke (seed 2017: zero crashes, non-empty RunReport) =="
+smoke=$(RTPED_FAULT_SEED=2017 cargo run --release --offline --example video_stream)
+grep -q '"seed":2017' <<<"$smoke"
+grep -q 'video_stream: ok (seed 2017, zero crashes)' <<<"$smoke"
+
 echo "ci.sh: all green"

@@ -19,6 +19,8 @@
 //! - [`par`]: scoped-thread data-parallel primitives (order-preserving
 //!   `map`, chunked `map_chunks`, in-place `for_each_band`) with an
 //!   `RTPED_THREADS` override — replaces `rayon`.
+//! - [`retry`]: bounded retry-with-backoff ([`retry::RetryPolicy`]) for
+//!   transient IO failures.
 //! - [`error`]: the workspace-wide [`Error`] type every fallible `rtped`
 //!   API returns.
 //!
@@ -46,6 +48,7 @@ pub mod check;
 pub mod error;
 pub mod json;
 pub mod par;
+pub mod retry;
 pub mod rng;
 pub mod timer;
 

@@ -32,11 +32,25 @@
 //! Every primitive yields output identical to its serial equivalent —
 //! same values, same order — for any thread count. Parallelism only
 //! changes *when* an element is computed, never *where* its result lands.
+//!
+//! # Panic isolation
+//!
+//! Worker bodies run under `catch_unwind`, so a panicking closure can
+//! never take the whole pool down silently: [`try_map`] reports the
+//! panic as a typed [`MapPanic`] (item index plus the payload text), and
+//! [`map`] re-panics with that same message — callers see the original
+//! payload text instead of the scope's opaque "a scoped thread
+//! panicked". Once a panic is observed the remaining workers stop
+//! claiming work, and every already-computed result is dropped, so the
+//! error path neither deadlocks nor leaks.
 
+use std::any::Any;
+use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "RTPED_THREADS";
@@ -61,6 +75,44 @@ pub fn threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A worker panic captured by [`try_map`] / surfaced by [`map`].
+///
+/// `index` is the item whose closure panicked; `message` is the panic
+/// payload rendered as text (`&str` and `String` payloads verbatim,
+/// anything else summarized). When several items panic concurrently the
+/// lowest *observed* index wins; with a single panicking item — the
+/// common case, and the only deterministic one — the report is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload as text.
+    pub message: String,
+}
+
+impl fmt::Display for MapPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parallel worker panicked at item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for MapPanic {}
+
+/// Renders a panic payload as text without consuming it.
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Applies `f` to every element of `items`, in parallel, preserving order.
 ///
 /// Worker threads claim contiguous chunks of indices from one atomic
@@ -68,6 +120,13 @@ pub fn threads() -> usize {
 /// thrashed on fine-grained work) and write results straight into their
 /// final slots — each result is stored exactly once. Falls back to a
 /// serial loop for small inputs or a single-thread pool.
+///
+/// # Panics
+///
+/// If `f` panics, re-panics with the worker's payload text and the item
+/// index (see [`MapPanic`]) after every worker has stopped — the original
+/// message is preserved, nothing deadlocks, and completed results are
+/// dropped. Use [`try_map`] to receive the panic as a value instead.
 pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     map_with_threads(items, threads(), f)
 }
@@ -83,49 +142,183 @@ pub fn map_with_threads<T: Sync, R: Send>(
     let n = items.len();
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 || n < 2 {
+        // Serial fast path: call `f` directly so panics propagate with
+        // their original payload and zero wrapping overhead.
         return items.iter().map(f).collect();
     }
+    match parallel_try_map(items, threads, &f) {
+        Ok(out) => out,
+        // Re-panic with the worker's payload text so callers (and
+        // `#[should_panic(expected = ...)]` tests) still see the original
+        // message instead of the scope's opaque "a scoped thread panicked".
+        Err(p) => panic!("{p}"),
+    }
+}
 
+/// [`map`] with panic isolation: a panicking closure yields a typed
+/// [`MapPanic`] instead of unwinding through the caller.
+///
+/// The panic is caught in both the serial and the parallel path, so the
+/// behavior does not depend on the pool size. On error, results computed
+/// before the panic are dropped; no work is leaked and no worker is left
+/// running.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index observed) worker panic.
+pub fn try_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, MapPanic> {
+    try_map_with_threads(items, threads(), f)
+}
+
+/// [`try_map`] with an explicit thread count.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index observed) worker panic.
+pub fn try_map_with_threads<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, MapPanic> {
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        let mut out = Vec::with_capacity(n);
+        for (index, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(result) => out.push(result),
+                Err(payload) => {
+                    return Err(MapPanic {
+                        index,
+                        message: payload_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+    parallel_try_map(items, threads, &f)
+}
+
+/// The shared parallel engine behind [`map`] and [`try_map`].
+///
+/// Each closure call runs under `catch_unwind` (via `AssertUnwindSafe`:
+/// the only shared state a panic can leave behind is the slot buffer,
+/// which the error path cleans up below, so observing it is safe). On
+/// panic the stop flag halts further claiming, the lowest observed
+/// panicking index is recorded, and every fully-written slot — tracked as
+/// completed ranges — is dropped so the error path leaks nothing.
+fn parallel_try_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: &(impl Fn(&T) -> R + Sync),
+) -> Result<Vec<R>, MapPanic> {
+    let n = items.len();
     // Contiguous chunk claiming: one fetch_add hands a worker `claim`
     // consecutive indices. Small enough to balance uneven costs, large
     // enough that the atomic counter is off the hot path.
     let claim = claim_size(n, threads);
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let mut slots = uninit_slots::<R>(n);
     let slots_ptr = SendPtr(slots.as_mut_ptr());
+    let first_panic: Mutex<Option<MapPanic>> = Mutex::new(None);
+    let completed: Mutex<Vec<Range<usize>>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let next = &next;
+            let stop = &stop;
+            let first_panic = &first_panic;
+            let completed = &completed;
             let f = &f;
-            scope.spawn(move || loop {
-                let start = next.fetch_add(claim, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + claim).min(n);
-                for (offset, item) in items[start..end].iter().enumerate() {
-                    let result = f(item);
-                    // SAFETY: the atomic counter hands each index range to
-                    // exactly one thread, so no two threads write the same
-                    // slot, and the buffer outlives the scope.
-                    unsafe {
-                        slots_ptr
-                            .get()
-                            .add(start + offset)
-                            .write(MaybeUninit::new(result));
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let start = next.fetch_add(claim, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + claim).min(n);
+                    let mut filled = start;
+                    let mut panicked = false;
+                    for (offset, item) in items[start..end].iter().enumerate() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(result) => {
+                                // SAFETY: the atomic counter hands each index
+                                // range to exactly one thread, so no two
+                                // threads write the same slot, and the buffer
+                                // outlives the scope.
+                                unsafe {
+                                    slots_ptr
+                                        .get()
+                                        .add(start + offset)
+                                        .write(MaybeUninit::new(result));
+                                }
+                                filled = start + offset + 1;
+                            }
+                            Err(payload) => {
+                                stop.store(true, Ordering::Relaxed);
+                                let index = start + offset;
+                                let message = payload_message(payload.as_ref());
+                                let mut slot =
+                                    first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                                if slot.as_ref().is_none_or(|p| index < p.index) {
+                                    *slot = Some(MapPanic { index, message });
+                                }
+                                panicked = true;
+                                break;
+                            }
+                        }
+                    }
+                    if filled > start {
+                        completed
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(start..filled);
+                    }
+                    if panicked {
+                        break;
                     }
                 }
             });
         }
     });
 
-    // SAFETY: the scope joined every worker and the counter monotonically
-    // covered 0..n, so all n slots are initialized. (If a worker panicked,
-    // the scope already propagated the panic and this line is not
-    // reached; the MaybeUninit buffer then drops without reading any
-    // slot, leaking initialized results rather than freeing them twice.)
-    unsafe { assume_init_vec(slots) }
+    match first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        None => {
+            // SAFETY: no worker panicked, so the counter monotonically
+            // covered 0..n and every slot was written exactly once.
+            Ok(unsafe { assume_init_vec(slots) })
+        }
+        Some(panic) => {
+            // Drop every result produced before the panic; the completed
+            // ranges are disjoint (each was claimed by exactly one worker)
+            // and cover precisely the initialized slots. `slots` itself then
+            // drops as Vec<MaybeUninit<R>>, which frees the buffer without
+            // touching any element again.
+            let ranges = completed
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            for range in ranges {
+                for i in range {
+                    // SAFETY: slot `i` lies in a completed range, so it holds
+                    // a fully-written value that is dropped exactly once.
+                    unsafe { (*slots_ptr.get().add(i)).assume_init_drop() };
+                }
+            }
+            drop(slots);
+            Err(panic)
+        }
+    }
 }
 
 /// Applies `f` to contiguous chunks of `items` (each at most `chunk_len`
@@ -181,7 +374,10 @@ pub fn for_each_band<T: Send>(data: &mut [T], band_len: usize, f: impl Fn(usize,
             let queue = &queue;
             let f = &f;
             scope.spawn(move || loop {
-                let item = queue.lock().expect("band queue poisoned").next();
+                // A panic in a sibling's `f` poisons the queue; recover the
+                // guard so the survivors drain cleanly and the scope can
+                // propagate the original panic instead of a poisoned-lock one.
+                let item = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
                 match item {
                     Some((b, band)) => f(b * band_len, band),
                     None => break,
@@ -377,6 +573,114 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_map_matches_map_on_success() {
+        let items: Vec<u64> = (0..300).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let ok =
+                try_map_with_threads(&items, threads, |&x| x * x).expect("no closure panicked");
+            assert_eq!(ok, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_map_reports_panic_without_deadlock_or_message_loss() {
+        // Panic on item k of n: the pool must drain (no deadlock), the
+        // typed error must carry the original payload text, and — with a
+        // single panicking item — the exact index.
+        let n = 500;
+        let k = 311;
+        let items: Vec<usize> = (0..n).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let err = try_map_with_threads(&items, threads, |&x| {
+                if x == k {
+                    panic!("injected failure on item {x}");
+                }
+                x * 2
+            })
+            .expect_err("the panic must surface as an error");
+            assert_eq!(err.index, k, "threads={threads}");
+            assert_eq!(err.message, format!("injected failure on item {k}"));
+            assert!(err.to_string().contains("item 311"));
+        }
+    }
+
+    #[test]
+    fn try_map_serial_path_catches_panics_too() {
+        // n < 2 forces the serial fast path; isolation must not depend on
+        // the pool actually spawning.
+        let err = try_map_with_threads(&[7u32], 4, |_| -> u32 { panic!("lone item") })
+            .expect_err("serial path must catch");
+        assert_eq!(err.index, 0);
+        assert_eq!(err.message, "lone item");
+    }
+
+    #[test]
+    fn try_map_string_payloads_survive() {
+        let items = [0u8, 1, 2];
+        let err = try_map_with_threads(&items, 2, |&x| {
+            if x == 1 {
+                std::panic::panic_any(format!("owned payload {x}"));
+            }
+            x
+        })
+        .expect_err("panic expected");
+        assert_eq!(err.message, "owned payload 1");
+    }
+
+    #[test]
+    fn try_map_error_path_drops_completed_results() {
+        use std::sync::atomic::AtomicUsize;
+
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let items: Vec<usize> = (0..400).collect();
+        let err = try_map_with_threads(&items, 4, |&x| {
+            if x == 250 {
+                panic!("boom");
+            }
+            Counted::new()
+        })
+        .expect_err("panic expected");
+        assert_eq!(err.message, "boom");
+        // Every result constructed before the panic was dropped exactly
+        // once: nothing leaks, nothing double-frees.
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn map_repanics_with_original_message() {
+        let items: Vec<usize> = (0..200).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            map_with_threads(&items, 4, |&x| {
+                if x == 90 {
+                    panic!("original payload text");
+                }
+                x
+            })
+        }))
+        .expect_err("map must re-panic");
+        let text = payload_message(caught.as_ref());
+        assert!(
+            text.contains("original payload text"),
+            "re-panic lost the payload: {text}"
+        );
+        assert!(text.contains("item 90"), "re-panic lost the index: {text}");
     }
 
     crate::check! {

@@ -1,0 +1,174 @@
+//! Bounded retry-with-backoff for transient failures.
+//!
+//! Real sensors and filesystems hiccup: an NFS-mounted dataset directory
+//! returns a spurious `EIO`, a frame grabber drops one DMA transfer, a
+//! model file is mid-write by another process. Those faults are
+//! *transient* — the correct response is a small, bounded number of
+//! retries with a growing pause, then a typed give-up that preserves the
+//! last underlying error. [`RetryPolicy`] captures that contract in one
+//! place so every call site in the workspace ages out failures the same
+//! way.
+//!
+//! The policy is deliberately tiny: a maximum attempt count and a base
+//! backoff that doubles per retry (50 ms, 100 ms, 200 ms, ...), capped so
+//! a misconfigured policy cannot stall a real-time pipeline for seconds.
+//! Tests use [`RetryPolicy::immediate`] to retry without sleeping.
+//!
+//! # Example
+//!
+//! ```
+//! use rtped_core::retry::RetryPolicy;
+//!
+//! let mut calls = 0;
+//! let out: Result<u32, &str> = RetryPolicy::immediate(3).run(|attempt| {
+//!     calls += 1;
+//!     if attempt < 2 { Err("transient") } else { Ok(7) }
+//! });
+//! assert_eq!(out, Ok(7));
+//! assert_eq!(calls, 3);
+//! ```
+
+use std::time::Duration;
+
+/// Upper bound on a single backoff pause, whatever the policy says.
+/// A detection chain with a ~15 ms frame budget must never sleep a
+/// second waiting on IO.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
+
+/// A bounded retry schedule: at most `max_attempts` tries, doubling the
+/// pause between consecutive tries starting from `base_backoff`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total number of attempts (the first try counts; `0` is promoted
+    /// to `1` so `run` always invokes the operation at least once).
+    pub max_attempts: u32,
+    /// Pause before the second attempt; doubles per subsequent retry and
+    /// is capped at 500 ms.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms initial backoff — tolerates a momentary
+    /// hiccup without materially delaying batch work.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries up to `max_attempts` times with no pause —
+    /// for tests and for in-memory operations where backoff is pointless.
+    #[must_use]
+    pub fn immediate(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The pause taken after failed attempt `attempt` (0-based): the base
+    /// backoff doubled `attempt` times, capped at 500 ms.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        (self.base_backoff * factor).min(MAX_BACKOFF)
+    }
+
+    /// Runs `op` until it succeeds or the attempt budget is exhausted,
+    /// sleeping the scheduled backoff between tries. `op` receives the
+    /// 0-based attempt number so callers can log or vary behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from the **last** attempt once the budget is
+    /// spent; earlier errors are discarded.
+    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let pause = self.backoff_for(attempt - 1);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        // `attempts >= 1`, so the loop body ran and recorded an error.
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_returns_immediately() {
+        let mut calls = 0;
+        let out: Result<u32, ()> = RetryPolicy::default().run(|_| {
+            calls += 1;
+            Ok(5)
+        });
+        assert_eq!(out, Ok(5));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_until_budget_then_returns_last_error() {
+        let mut calls = 0;
+        let out: Result<(), String> = RetryPolicy::immediate(4).run(|attempt| {
+            calls += 1;
+            Err(format!("fail {attempt}"))
+        });
+        assert_eq!(out, Err("fail 3".to_string()));
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn transient_failure_recovers_mid_budget() {
+        let out: Result<&str, &str> =
+            RetryPolicy::immediate(5)
+                .run(|attempt| if attempt == 2 { Ok("ok") } else { Err("no") });
+        assert_eq!(out, Ok("ok"));
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let mut calls = 0;
+        let out: Result<(), ()> = RetryPolicy::immediate(0).run(|_| {
+            calls += 1;
+            Err(())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(50),
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_millis(50));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(200));
+        // Cap: 50 ms << 4 = 800 ms clamps to 500 ms, as does anything larger.
+        assert_eq!(policy.backoff_for(4), MAX_BACKOFF);
+        assert_eq!(policy.backoff_for(63), MAX_BACKOFF);
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let policy = RetryPolicy::immediate(8);
+        for attempt in 0..8 {
+            assert_eq!(policy.backoff_for(attempt), Duration::ZERO);
+        }
+    }
+}

@@ -242,12 +242,78 @@ impl BuildDetector for FeaturePyramidDetector {
     }
 }
 
+/// A load-shedding profile for one detection call: how much of the
+/// configured scan a deadline-pressed caller still wants.
+///
+/// The runtime's degradation controller walks these knobs in a fixed
+/// order (drop pyramid levels first, then coarsen the stride) instead of
+/// mutating the detector, so the same detector instance can serve healthy
+/// and degraded frames concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanProfile {
+    /// Keep at most this many pyramid scales, taken from the front of the
+    /// configured ladder (the native scale first — nearest pedestrians,
+    /// which the DAS braking envelope cares about most). `None` keeps the
+    /// whole ladder.
+    pub max_scales: Option<usize>,
+    /// Multiplies the configured window stride (1 = configured stride;
+    /// 2 = scan every other cell position — roughly a 4× window-count
+    /// reduction).
+    pub stride_factor: usize,
+}
+
+impl ScanProfile {
+    /// The full configured scan — no shedding.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            max_scales: None,
+            stride_factor: 1,
+        }
+    }
+
+    /// Whether this profile sheds nothing relative to the configuration.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.max_scales.is_none() && self.stride_factor <= 1
+    }
+
+    /// The configuration this profile leaves in effect: the scale ladder
+    /// truncated to `max_scales` (never below one scale) and the stride
+    /// multiplied by `stride_factor`.
+    #[must_use]
+    pub fn effective(&self, config: &DetectorConfig) -> DetectorConfig {
+        let mut out = config.clone();
+        if let Some(max) = self.max_scales {
+            out.scales.truncate(max.max(1));
+        }
+        out.stride_cells = config.stride_cells * self.stride_factor.max(1);
+        out
+    }
+}
+
+impl Default for ScanProfile {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
 /// Common interface of the two detector configurations, so benchmarks and
 /// applications can switch between them (Fig. 3's A/B comparison).
 pub trait Detect {
     /// Runs detection over a full frame, returning native-coordinate
     /// detections (after NMS if configured).
     fn detect(&self, frame: &GrayImage) -> Vec<Detection>;
+
+    /// [`Detect::detect`] under a load-shedding [`ScanProfile`].
+    ///
+    /// With [`ScanProfile::full`] this is exactly `detect` (bit-identical
+    /// output). The default implementation ignores the profile — only
+    /// detectors that know how to shed levels/stride override it; both
+    /// in-tree families do.
+    fn detect_with_profile(&self, frame: &GrayImage, _profile: &ScanProfile) -> Vec<Detection> {
+        self.detect(frame)
+    }
 
     /// Runs detection over a batch of frames in parallel, one result list
     /// per frame in input order (frame-level parallelism on top of the
@@ -402,19 +468,32 @@ impl ImagePyramidDetector {
     pub fn model(&self) -> &LinearSvm {
         &self.model
     }
+
+    /// The scan body, parameterized over the effective configuration so
+    /// the shedding path and the plain path are the same code.
+    fn detect_with_config(&self, frame: &GrayImage, config: &DetectorConfig) -> Vec<Detection> {
+        let pyramid = ImagePyramid::build(frame, &config.scales, &config.params);
+        let mut out = Vec::new();
+        for level in pyramid.levels() {
+            scan_level(level, &self.model, config, &mut out);
+        }
+        match config.nms_iou {
+            Some(iou) => non_maximum_suppression(out, iou),
+            None => out,
+        }
+    }
 }
 
 impl Detect for ImagePyramidDetector {
     fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
-        let pyramid = ImagePyramid::build(frame, &self.config.scales, &self.config.params);
-        let mut out = Vec::new();
-        for level in pyramid.levels() {
-            scan_level(level, &self.model, &self.config, &mut out);
+        self.detect_with_config(frame, &self.config)
+    }
+
+    fn detect_with_profile(&self, frame: &GrayImage, profile: &ScanProfile) -> Vec<Detection> {
+        if profile.is_full() {
+            return self.detect(frame);
         }
-        match self.config.nms_iou {
-            Some(iou) => non_maximum_suppression(out, iou),
-            None => out,
-        }
+        self.detect_with_config(frame, &profile.effective(&self.config))
     }
 
     fn config(&self) -> &DetectorConfig {
@@ -462,12 +541,22 @@ impl FeaturePyramidDetector {
     /// model).
     #[must_use]
     pub fn detect_on_features(&self, base: &FeatureMap) -> Vec<Detection> {
-        let pyramid = FeaturePyramid::from_base(base, &self.config.scales, &self.config.params);
+        self.detect_on_features_with_config(base, &self.config)
+    }
+
+    /// The scan body, parameterized over the effective configuration so
+    /// the shedding path and the plain path are the same code.
+    fn detect_on_features_with_config(
+        &self,
+        base: &FeatureMap,
+        config: &DetectorConfig,
+    ) -> Vec<Detection> {
+        let pyramid = FeaturePyramid::from_base(base, &config.scales, &config.params);
         let mut out = Vec::new();
         for level in pyramid.levels() {
-            scan_level(level, &self.model, &self.config, &mut out);
+            scan_level(level, &self.model, config, &mut out);
         }
-        match self.config.nms_iou {
+        match config.nms_iou {
             Some(iou) => non_maximum_suppression(out, iou),
             None => out,
         }
@@ -478,6 +567,17 @@ impl Detect for FeaturePyramidDetector {
     fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
         let base = FeatureMap::extract(frame, &self.config.params);
         self.detect_on_features(&base)
+    }
+
+    fn detect_with_profile(&self, frame: &GrayImage, profile: &ScanProfile) -> Vec<Detection> {
+        if profile.is_full() {
+            return self.detect(frame);
+        }
+        // Extraction runs on the full frame either way (the paper's whole
+        // point is that extraction happens once); shedding trims the
+        // feature-pyramid levels and the scan density.
+        let base = FeatureMap::extract(frame, &self.config.params);
+        self.detect_on_features_with_config(&base, &profile.effective(&self.config))
     }
 
     fn config(&self) -> &DetectorConfig {
@@ -743,6 +843,78 @@ mod tests {
         for (frame, hits) in frames.iter().zip(&batched) {
             assert_eq!(&det.detect(frame), hits);
         }
+    }
+
+    #[test]
+    fn full_profile_is_bit_identical_to_plain_detect() {
+        let config = DetectorConfig::two_scale();
+        let model = textured_model(&config.params, 0.3);
+        let frame = textured(320, 256);
+        let image_det = ImagePyramidDetector::new(model.clone(), config.clone());
+        let feature_det = FeaturePyramidDetector::new(model, config);
+        let detectors: [&dyn Detect; 2] = [&image_det, &feature_det];
+        for det in detectors {
+            let plain = det.detect(&frame);
+            let profiled = det.detect_with_profile(&frame, &ScanProfile::full());
+            assert_eq!(plain, profiled, "{}", det.method_name());
+        }
+    }
+
+    #[test]
+    fn shedding_scales_drops_coarse_level_detections() {
+        // Two scales, no NMS: the full scan reports scale-1.5 hits, the
+        // shed scan must not.
+        let mut config = DetectorConfig::two_scale();
+        config.nms_iou = None;
+        let model = zero_model(&config.params, 1.0);
+        let det = FeaturePyramidDetector::new(model, config);
+        let frame = textured(192, 256);
+        let full = det.detect(&frame);
+        assert!(full.iter().any(|d| d.scale > 1.0), "need coarse-level hits");
+        let shed = det.detect_with_profile(
+            &frame,
+            &ScanProfile {
+                max_scales: Some(1),
+                stride_factor: 1,
+            },
+        );
+        assert!(!shed.is_empty());
+        assert!(shed.iter().all(|d| d.scale == 1.0));
+        // Native-scale hits are exactly the full scan's native subset.
+        let native: Vec<Detection> = full.into_iter().filter(|d| d.scale == 1.0).collect();
+        assert_eq!(shed, native);
+    }
+
+    #[test]
+    fn stride_factor_thins_the_scan() {
+        let mut config = DetectorConfig::with_scales(vec![1.0]);
+        config.nms_iou = None;
+        let model = zero_model(&config.params, 1.0);
+        let det = FeaturePyramidDetector::new(model, config);
+        let frame = textured(128, 192); // 9x9 = 81 windows at stride 1
+        let full = det.detect(&frame);
+        assert_eq!(full.len(), 81);
+        let coarse = det.detect_with_profile(
+            &frame,
+            &ScanProfile {
+                max_scales: None,
+                stride_factor: 2,
+            },
+        );
+        // Stride 2 visits ceil(9/2)^2 = 25 positions.
+        assert_eq!(coarse.len(), 25);
+    }
+
+    #[test]
+    fn effective_never_sheds_below_one_scale() {
+        let config = DetectorConfig::two_scale();
+        let profile = ScanProfile {
+            max_scales: Some(0),
+            stride_factor: 1,
+        };
+        assert_eq!(profile.effective(&config).scales, vec![1.0]);
+        assert!(ScanProfile::full().is_full());
+        assert!(!profile.is_full());
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod window;
 pub use bbox::BoundingBox;
 pub use detector::{
     BuildDetector, Detect, Detection, DetectorBuilder, DetectorConfig, FeaturePyramidDetector,
-    ImagePyramidDetector,
+    ImagePyramidDetector, ScanProfile,
 };

@@ -16,6 +16,8 @@
 //! - frames arriving faster than the initiation interval are dropped
 //!   (a real camera cannot be back-pressured).
 
+use rtped_core::json::obj;
+use rtped_core::{Json, ToJson};
 use rtped_detect::detector::Detection;
 use rtped_image::GrayImage;
 
@@ -73,6 +75,54 @@ impl StreamReport {
             .map(|(t, _)| t.latency_cycles())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Aggregate drop/latency accounting, suitable for run artifacts.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        let offered = self.frames.len() + self.dropped.len();
+        StreamStats {
+            frames_offered: offered,
+            frames_processed: self.frames.len(),
+            frames_dropped: self.dropped.len(),
+            initiation_interval_cycles: self.initiation_interval,
+            max_latency_cycles: self.max_latency_cycles(),
+            total_detections: self.frames.iter().map(|(_, d)| d.len()).sum(),
+        }
+    }
+}
+
+/// Aggregate counters summarizing a [`StreamReport`] — the drop
+/// accounting a robustness run records alongside its degradation events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames the camera offered (processed + dropped).
+    pub frames_offered: usize,
+    /// Frames the pipeline actually ingested.
+    pub frames_processed: usize,
+    /// Frames dropped because the pipeline was still busy.
+    pub frames_dropped: usize,
+    /// The pipeline's initiation interval in cycles.
+    pub initiation_interval_cycles: u64,
+    /// Worst pixel-in to detection-out latency in cycles.
+    pub max_latency_cycles: u64,
+    /// Detections summed over every processed frame.
+    pub total_detections: usize,
+}
+
+impl ToJson for StreamStats {
+    fn to_json(&self) -> Json {
+        obj([
+            ("frames_offered", self.frames_offered.into()),
+            ("frames_processed", self.frames_processed.into()),
+            ("frames_dropped", self.frames_dropped.into()),
+            (
+                "initiation_interval_cycles",
+                self.initiation_interval_cycles.into(),
+            ),
+            ("max_latency_cycles", self.max_latency_cycles.into()),
+            ("total_detections", self.total_detections.into()),
+        ])
     }
 }
 
@@ -230,6 +280,23 @@ mod tests {
         let classifier = SvmEngine::new().cycles_per_frame(20, 16);
         assert_eq!(report.initiation_interval, stream.max(classifier));
         assert!(report.sustained_fps(ClockDomain::MHZ_125) > 0.0);
+    }
+
+    #[test]
+    fn stats_account_for_every_offered_frame() {
+        let sim = simulator();
+        let fs = frames(6, 160, 128);
+        let stream_cycles = pixel_stream_cycles(160, 128);
+        let report = sim.process_stream(&fs, stream_cycles / 2);
+        let stats = report.stats();
+        assert_eq!(stats.frames_offered, 6);
+        assert_eq!(stats.frames_processed + stats.frames_dropped, 6);
+        assert_eq!(stats.frames_dropped, 3);
+        assert_eq!(stats.max_latency_cycles, report.max_latency_cycles());
+        let json = stats.to_json();
+        let text = json.to_string();
+        assert!(text.contains("\"frames_dropped\":3"));
+        assert!(text.contains("\"frames_offered\":6"));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Deterministic frame-corruption injectors.
+//!
+//! A DAS camera link fails in a handful of stereotyped ways — single-event
+//! upsets flipping bits in the frame buffer, a stuck readout line producing
+//! a dead row or column, and a DMA transfer cut short leaving a truncated
+//! raster. This module reproduces each of them *deterministically*: every
+//! injector that makes a random choice draws from a caller-supplied
+//! [`Rng`], so a fault scenario is replayable from a seed (the runtime's
+//! `FaultPlan` builds on exactly this).
+//!
+//! Injectors mutate in place where the corruption keeps the frame usable
+//! (bit flips, dead lines) and produce a byte stream where it does not
+//! (truncation — the downstream PNM decoder is expected to reject it).
+
+use crate::gray::GrayImage;
+use crate::pnm::write_pgm;
+use rtped_core::Rng;
+
+/// Flips `bits` randomly chosen bits anywhere in the raster — the
+/// single-event-upset model. Positions and bit indices come from `rng`,
+/// so equal seeds flip equal bits. Duplicates are allowed (flipping the
+/// same bit twice restores it), matching independent upsets.
+pub fn flip_bits(img: &mut GrayImage, bits: usize, rng: &mut impl Rng) {
+    let raw = img.as_raw_mut();
+    if raw.is_empty() {
+        return;
+    }
+    let len = raw.len();
+    for _ in 0..bits {
+        let byte = rng.gen_range(0..len);
+        let bit = rng.gen_range(0u32..8);
+        raw[byte] ^= 1 << bit;
+    }
+}
+
+/// Zeroes row `y` — a stuck horizontal readout line. Out-of-range rows
+/// are ignored (the sensor cannot kill a line it does not have).
+pub fn dead_row(img: &mut GrayImage, y: usize) {
+    let (width, height) = img.dimensions();
+    if y >= height {
+        return;
+    }
+    let raw = img.as_raw_mut();
+    raw[y * width..(y + 1) * width].fill(0);
+}
+
+/// Zeroes column `x` — a stuck vertical readout line. Out-of-range
+/// columns are ignored.
+pub fn dead_column(img: &mut GrayImage, x: usize) {
+    let (width, height) = img.dimensions();
+    if x >= width {
+        return;
+    }
+    let raw = img.as_raw_mut();
+    for y in 0..height {
+        raw[y * width + x] = 0;
+    }
+}
+
+/// Serializes `img` as a binary PGM and keeps only the first
+/// `keep_fraction` of the bytes — the cut-short DMA transfer. The header
+/// still promises the full raster, so [`crate::pnm::read_pnm`] rejects
+/// the stream with a "truncated raster" error; that typed rejection is
+/// the point. `keep_fraction` is clamped to `[0, 1]`.
+#[must_use]
+pub fn truncated_pgm(img: &GrayImage, keep_fraction: f64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_pgm(&mut bytes, img).expect("writing to a Vec cannot fail");
+    let keep = (bytes.len() as f64 * keep_fraction.clamp(0.0, 1.0)) as usize;
+    bytes.truncate(keep);
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pnm::read_pnm;
+    use rtped_core::SeedRng;
+
+    fn test_image() -> GrayImage {
+        GrayImage::from_fn(16, 12, |x, y| (x * 17 + y * 5) as u8)
+    }
+
+    #[test]
+    fn flip_bits_is_seed_deterministic() {
+        let mut a = test_image();
+        let mut b = test_image();
+        flip_bits(&mut a, 20, &mut SeedRng::seed_from_u64(9));
+        flip_bits(&mut b, 20, &mut SeedRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut c = test_image();
+        flip_bits(&mut c, 20, &mut SeedRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds should flip different bits");
+    }
+
+    #[test]
+    fn flip_bits_changes_at_most_bits_pixels() {
+        let clean = test_image();
+        let mut dirty = clean.clone();
+        flip_bits(&mut dirty, 8, &mut SeedRng::seed_from_u64(1));
+        let changed = clean
+            .as_raw()
+            .iter()
+            .zip(dirty.as_raw())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed >= 1, "at least one flip must land");
+        assert!(changed <= 8, "8 upsets can touch at most 8 bytes");
+    }
+
+    #[test]
+    fn flip_bits_on_empty_budget_is_noop() {
+        let clean = test_image();
+        let mut img = clean.clone();
+        flip_bits(&mut img, 0, &mut SeedRng::seed_from_u64(3));
+        assert_eq!(img, clean);
+    }
+
+    #[test]
+    fn dead_row_zeroes_exactly_one_row() {
+        let mut img = test_image();
+        img.map_in_place(|_| 200);
+        dead_row(&mut img, 5);
+        for (x, y, v) in img.pixels() {
+            let expected = if y == 5 { 0 } else { 200 };
+            assert_eq!(v, expected, "pixel ({x},{y})");
+        }
+        // Out-of-range row: no panic, no change.
+        let before = img.clone();
+        dead_row(&mut img, 999);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn dead_column_zeroes_exactly_one_column() {
+        let mut img = test_image();
+        img.map_in_place(|_| 150);
+        dead_column(&mut img, 3);
+        for (x, y, v) in img.pixels() {
+            let expected = if x == 3 { 0 } else { 150 };
+            assert_eq!(v, expected, "pixel ({x},{y})");
+        }
+        let before = img.clone();
+        dead_column(&mut img, 999);
+        assert_eq!(img, before);
+    }
+
+    #[test]
+    fn truncated_pgm_is_rejected_by_the_decoder() {
+        let img = test_image();
+        let bytes = truncated_pgm(&img, 0.5);
+        let err = read_pnm(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated raster"));
+        // Keeping everything round-trips.
+        let full = truncated_pgm(&img, 1.0);
+        assert_eq!(read_pnm(full.as_slice()).unwrap(), img);
+        // Keeping nothing is an empty stream, also a typed error.
+        assert!(read_pnm(truncated_pgm(&img, 0.0).as_slice()).is_err());
+    }
+}

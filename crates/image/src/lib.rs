@@ -13,6 +13,8 @@
 //! - [`synthetic`]: procedural textures and backgrounds (value noise,
 //!   gradients) for scene generation.
 //! - [`integral`]: integral images for O(1) window statistics.
+//! - [`corrupt`]: deterministic sensor-fault injectors (bit flips, dead
+//!   rows/columns, truncated rasters) for robustness testing.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 //! ```
 
 pub mod blur;
+pub mod corrupt;
 pub mod draw;
 pub mod gray;
 pub mod integral;

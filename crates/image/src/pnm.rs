@@ -176,8 +176,28 @@ fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, Error> {
         )));
     }
 
-    let samples = width * height * channels;
+    // A hostile header can claim astronomic dimensions; do the size
+    // arithmetic checked and bound every allocation by the bytes actually
+    // present, so a 20-byte file can never trigger a multi-gigabyte
+    // `Vec::with_capacity` (let alone an overflowed one).
+    let samples = width
+        .checked_mul(height)
+        .and_then(|p| p.checked_mul(channels))
+        .ok_or_else(|| {
+            Error::format(format!(
+                "malformed PNM stream: image size {width}x{height} overflows"
+            ))
+        })?;
     let raw: Vec<u8> = if ascii {
+        // Each ASCII sample consumes at least one digit byte (plus a
+        // separator), so a header promising more samples than there are
+        // bytes left is truncated — reject before allocating.
+        let remaining = bytes.len().saturating_sub(tok.pos);
+        if samples > remaining {
+            return Err(Error::format(format!(
+                "malformed PNM stream: truncated raster: need {samples} samples, have {remaining} bytes"
+            )));
+        }
         let mut vals = Vec::with_capacity(samples);
         for _ in 0..samples {
             vals.push(rescale(tok.number()?, maxval));
@@ -186,7 +206,7 @@ fn parse_pnm(bytes: &[u8]) -> Result<GrayImage, Error> {
     } else {
         // Exactly one whitespace byte separates the header from binary data.
         let start = tok.pos + 1;
-        let end = start + samples;
+        let end = start.saturating_add(samples);
         if end > bytes.len() {
             return Err(Error::format(format!(
                 "malformed PNM stream: truncated raster: need {samples} bytes, have {}",
@@ -291,6 +311,20 @@ mod tests {
     #[test]
     fn rejects_zero_dimensions() {
         assert!(read_pnm(&b"P2\n0 4\n255\n"[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_header_fails_without_allocating() {
+        // A tiny file claiming a ~16-gigasample raster must be rejected
+        // up front, not by attempting the allocation.
+        let err = read_pnm(&b"P2\n99999 55555\n255\n0\n"[..]).unwrap_err();
+        assert!(matches!(err, Error::Format(_)));
+        assert!(err.to_string().contains("truncated raster"));
+        // And dimensions whose product overflows usize are caught by the
+        // checked arithmetic, ASCII and binary alike.
+        let src = format!("P3\n{0} {0}\n255\n0\n", u32::MAX);
+        let err = read_pnm(src.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("overflows"));
     }
 
     #[test]

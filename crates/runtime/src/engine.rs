@@ -1,0 +1,294 @@
+//! The fault-tolerant frame-serving engine.
+//!
+//! [`Runtime::run`] drives a frame sequence through a [`Detect`]
+//! implementation under a [`FaultPlan`], with the degradation
+//! [`Controller`] choosing each frame's [`ScanProfile`] and the tracker
+//! carrying confirmed pedestrians through `SafeFallback`. The loop over
+//! frames is sequential by design — the controller and tracker are
+//! stateful — while each frame's scan parallelizes internally (and stays
+//! bit-identical across thread counts, so the emitted [`RunReport`] is
+//! too).
+//!
+//! Guarantees, under any plan:
+//!
+//! - **zero panics escape**: worker panics are caught by
+//!   `rtped_core::par::try_map` and surface as
+//!   [`FrameError::WorkerPanic`];
+//! - **every frame accounted**: each input frame yields detections,
+//!   coasted tracks, or a typed [`FrameError`] — never silence;
+//! - **empty plan ⇒ bit-identity**: with [`FaultPlan::none`] and frames
+//!   whose modeled cost fits the budget, the runtime stays `Healthy`,
+//!   every profile is full, and published detections equal
+//!   [`Detect::detect`] exactly.
+
+use rtped_core::par;
+use rtped_detect::detector::{Detect, Detection};
+use rtped_detect::tracker::{Tracker, TrackerParams};
+use rtped_hw::stream::StreamSimulator;
+use rtped_image::GrayImage;
+
+use crate::control::{Controller, DegradationPolicy, HealthState};
+use crate::deadline::{CostModel, DeadlineBudget};
+use crate::fault::{Delivery, FaultPlan};
+use crate::report::{FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord};
+
+/// Everything the engine needs besides the detector.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Per-frame deadline.
+    pub budget: DeadlineBudget,
+    /// Escalation/recovery hysteresis.
+    pub policy: DegradationPolicy,
+    /// The deterministic latency model.
+    pub cost_model: CostModel,
+    /// Tracker used for `SafeFallback` coasting.
+    pub tracker: TrackerParams,
+}
+
+impl Default for RuntimeConfig {
+    /// Budget from `RTPED_DEADLINE_MS` or the DAS derivation (15 ms),
+    /// default hysteresis, default cost model and tracker.
+    fn default() -> Self {
+        Self {
+            budget: DeadlineBudget::from_env_or_das(&rtped_detect::das::DasParams::default()),
+            policy: DegradationPolicy::default(),
+            cost_model: CostModel::default(),
+            tracker: TrackerParams::default(),
+        }
+    }
+}
+
+/// The fault-tolerant, deadline-aware frame server.
+#[derive(Debug, Clone)]
+pub struct Runtime<D> {
+    detector: D,
+    config: RuntimeConfig,
+}
+
+impl<D: Detect + Sync> Runtime<D> {
+    /// Wraps a detector with the default [`RuntimeConfig`].
+    #[must_use]
+    pub fn new(detector: D) -> Self {
+        Self::with_config(detector, RuntimeConfig::default())
+    }
+
+    /// Wraps a detector with an explicit configuration.
+    #[must_use]
+    pub fn with_config(detector: D, config: RuntimeConfig) -> Self {
+        Self { detector, config }
+    }
+
+    /// The wrapped detector.
+    #[must_use]
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Serves `frames` under `plan`, returning the full run record.
+    ///
+    /// Controller and tracker start fresh, so equal inputs produce equal
+    /// reports.
+    #[must_use]
+    pub fn run(&self, frames: &[GrayImage], plan: &FaultPlan) -> RunReport {
+        let mut controller = Controller::new(self.config.budget, self.config.policy);
+        let mut tracker = Tracker::new(self.config.tracker.clone());
+        let mut records = Vec::with_capacity(frames.len());
+        let mut transitions = Vec::new();
+
+        for (index, frame) in frames.iter().enumerate() {
+            let state = controller.state();
+            let (record, transition) =
+                self.serve_frame(index, frame, plan, state, &mut controller, &mut tracker);
+            if let Some(t) = transition {
+                transitions.push(TransitionRecord {
+                    frame: index,
+                    transition: t,
+                });
+            }
+            records.push(record);
+        }
+
+        RunReport {
+            seed: plan.seed,
+            frames: records,
+            transitions,
+            final_state: controller.state(),
+            stream: None,
+        }
+    }
+
+    /// [`Runtime::run`], additionally feeding every *delivered* frame
+    /// through the hardware [`StreamSimulator`] for drop accounting
+    /// (frames the faults swallowed never reach the camera link). The
+    /// stream stats land in [`RunReport::stream`].
+    #[must_use]
+    pub fn run_with_stream(
+        &self,
+        frames: &[GrayImage],
+        plan: &FaultPlan,
+        simulator: &StreamSimulator,
+        camera_period_cycles: u64,
+    ) -> RunReport {
+        let mut report = self.run(frames, plan);
+        let delivered: Vec<GrayImage> = frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, frame)| match plan.deliver(i, frame) {
+                Delivery::Frame { image, .. } => Some(image),
+                Delivery::Dropped | Delivery::Truncated { .. } => None,
+            })
+            .collect();
+        if !delivered.is_empty() {
+            report.stream = Some(
+                simulator
+                    .process_stream(&delivered, camera_period_cycles)
+                    .stats(),
+            );
+        }
+        report
+    }
+
+    /// Serves one frame: fault delivery, profile selection, isolated
+    /// detection, tracking, and the controller observation.
+    fn serve_frame(
+        &self,
+        index: usize,
+        frame: &GrayImage,
+        plan: &FaultPlan,
+        state: HealthState,
+        controller: &mut Controller,
+        tracker: &mut Tracker,
+    ) -> (FrameRecord, Option<crate::control::Transition>) {
+        let delivery = plan.deliver(index, frame);
+        let (image, faults, delay_ms, worker_panic) = match delivery {
+            Delivery::Dropped => {
+                let transition = controller.observe_error();
+                return (
+                    self.error_record(
+                        index,
+                        state,
+                        vec!["sensor_dropout".into()],
+                        FrameError::SensorDropout,
+                    ),
+                    transition,
+                );
+            }
+            Delivery::Truncated { error } => {
+                let transition = controller.observe_error();
+                return (
+                    self.error_record(
+                        index,
+                        state,
+                        vec!["truncation".into()],
+                        FrameError::TruncatedFrame(error),
+                    ),
+                    transition,
+                );
+            }
+            Delivery::Frame {
+                image,
+                faults,
+                delay_ms,
+                worker_panic,
+            } => (image, faults, delay_ms, worker_panic),
+        };
+        let fault_labels: Vec<String> = faults.iter().map(crate::fault::Fault::label).collect();
+
+        // SafeFallback scans with the deepest shed profile as a probe;
+        // any other state scans with its own profile.
+        let profile = state.profile();
+        let (width, height) = image.dimensions();
+        let modeled_ms =
+            self.config
+                .cost_model
+                .frame_cost_ms(width, height, self.detector.config(), &profile)
+                + delay_ms;
+
+        // Panic isolation: the scan runs inside `try_map`, so an injected
+        // (or genuine) worker panic becomes a typed error instead of
+        // unwinding through the frame loop.
+        let scanned = par::try_map(std::slice::from_ref(&image), |img| {
+            if worker_panic {
+                panic!("injected worker panic at frame {index}");
+            }
+            self.detector.detect_with_profile(img, &profile)
+        });
+        match scanned {
+            Err(panic) => {
+                let transition = controller.observe_error();
+                (
+                    self.error_record(
+                        index,
+                        state,
+                        fault_labels,
+                        FrameError::WorkerPanic(panic.message),
+                    ),
+                    transition,
+                )
+            }
+            Ok(mut results) => {
+                let detections = results.pop().expect("one input yields one output");
+                tracker.step(&detections);
+                let transition = controller.observe_ok(modeled_ms);
+                let outcome = if state == HealthState::SafeFallback {
+                    // Publish the coasted confirmed tracks; the probe scan
+                    // above only fed the tracker and the controller.
+                    FrameOutcome::Coasted(self.coasted_tracks(tracker))
+                } else {
+                    FrameOutcome::Detections(detections)
+                };
+                (
+                    FrameRecord {
+                        index,
+                        state,
+                        faults: fault_labels,
+                        modeled_latency_ms: modeled_ms,
+                        outcome,
+                    },
+                    transition,
+                )
+            }
+        }
+    }
+
+    /// Confirmed tracks rendered as detections (the coast output).
+    fn coasted_tracks(&self, tracker: &Tracker) -> Vec<Detection> {
+        let window_h = self.detector.config().params.window_size().1 as f64;
+        tracker
+            .confirmed()
+            .map(|t| Detection {
+                bbox: t.bbox,
+                score: t.score,
+                scale: if window_h > 0.0 {
+                    t.bbox.height as f64 / window_h
+                } else {
+                    1.0
+                },
+            })
+            .collect()
+    }
+
+    fn error_record(
+        &self,
+        index: usize,
+        state: HealthState,
+        faults: Vec<String>,
+        error: FrameError,
+    ) -> FrameRecord {
+        FrameRecord {
+            index,
+            state,
+            faults,
+            // No compute happened; the frame period was still consumed,
+            // but the controller tracks errors separately from latency.
+            modeled_latency_ms: 0.0,
+            outcome: FrameOutcome::Error(error),
+        }
+    }
+}

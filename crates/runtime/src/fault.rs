@@ -1,0 +1,405 @@
+//! Deterministic fault plans: every failure mode reproducible from a seed.
+//!
+//! A [`FaultPlan`] decides, per frame index, which faults strike the
+//! frame on its way from the sensor to the detector. All randomness comes
+//! from [`rtped_core::rng`] streams derived as `seed → split(frame)`, so
+//! the decision for frame *k* depends only on the plan and *k* — not on
+//! the order frames are processed in, the thread count, or wall-clock
+//! time. Replaying a seed replays the exact fault schedule.
+//!
+//! The modeled faults are the stereotyped camera-link failures of
+//! `rtped_image::corrupt` plus delivery-level ones:
+//!
+//! - **bit flips / dead row / dead column** — the frame arrives but is
+//!   corrupted in place (the detector still runs);
+//! - **sensor dropout** — no frame arrives at all;
+//! - **truncation** — the frame arrives cut short and the decoder rejects
+//!   it (the rejection message is taken from the real PNM decoder);
+//! - **delay** — the frame arrives late, eating deadline budget;
+//! - **worker panic** — the detection worker thread dies mid-frame
+//!   (isolated by `rtped_core::par::try_map`).
+
+use rtped_core::{Rng, SeedRng};
+use rtped_image::corrupt::{dead_column, dead_row, flip_bits, truncated_pgm};
+use rtped_image::pnm::read_pnm;
+use rtped_image::GrayImage;
+
+/// One fault applied to one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Single-event upsets: `bits` random bit flips in the raster.
+    BitFlips {
+        /// Number of independent upsets.
+        bits: usize,
+    },
+    /// A stuck horizontal readout line at row `y`.
+    DeadRow {
+        /// Row index (clamped to the frame by the injector).
+        y: usize,
+    },
+    /// A stuck vertical readout line at column `x`.
+    DeadColumn {
+        /// Column index (clamped to the frame by the injector).
+        x: usize,
+    },
+    /// The sensor delivered nothing this frame period.
+    SensorDropout,
+    /// The transfer was cut short; the decoder rejects the stream.
+    Truncation,
+    /// The frame arrived `millis` late.
+    Delay {
+        /// Added delivery latency in milliseconds.
+        millis: f64,
+    },
+    /// The detection worker for this frame panics mid-scan.
+    WorkerPanic,
+}
+
+impl Fault {
+    /// Short stable label for reports (`"bit_flips(8)"`, `"dead_row(12)"`,
+    /// ...). Stable across releases: run artifacts diff on it.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Fault::BitFlips { bits } => format!("bit_flips({bits})"),
+            Fault::DeadRow { y } => format!("dead_row({y})"),
+            Fault::DeadColumn { x } => format!("dead_column({x})"),
+            Fault::SensorDropout => "sensor_dropout".to_string(),
+            Fault::Truncation => "truncation".to_string(),
+            Fault::Delay { millis } => format!("delay({millis}ms)"),
+            Fault::WorkerPanic => "worker_panic".to_string(),
+        }
+    }
+}
+
+/// What actually reached the detector for one frame.
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// A frame arrived (possibly corrupted, late, or doomed to kill its
+    /// worker).
+    Frame {
+        /// The (possibly corrupted) image.
+        image: GrayImage,
+        /// Faults applied on the way (for the report).
+        faults: Vec<Fault>,
+        /// Added delivery latency in milliseconds.
+        delay_ms: f64,
+        /// Whether the detection worker must panic on this frame.
+        worker_panic: bool,
+    },
+    /// Sensor dropout: nothing arrived.
+    Dropped,
+    /// Truncated transfer: `error` is the decoder's rejection message.
+    Truncated {
+        /// The PNM decoder's error text for the cut-short stream.
+        error: String,
+    },
+}
+
+/// A seeded, per-frame fault schedule.
+///
+/// Rates are independent per-frame probabilities in `[0, 1]`; a frame can
+/// suffer several corruptions at once. `panic_period` is deterministic
+/// rather than probabilistic so tests can place worker kills exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed; equal seeds produce equal schedules.
+    pub seed: u64,
+    /// Probability of an in-place corruption (bit flips, dead row, or
+    /// dead column — chosen uniformly when it strikes).
+    pub corruption_rate: f64,
+    /// Probability the sensor delivers nothing.
+    pub dropout_rate: f64,
+    /// Probability the transfer is cut short.
+    pub truncation_rate: f64,
+    /// Probability the frame arrives late.
+    pub delay_rate: f64,
+    /// Lateness applied when a delay strikes, in milliseconds.
+    pub delay_ms: f64,
+    /// Kill the detection worker on every `k`-th frame (frame indices
+    /// `k-1, 2k-1, ...`); `None` disables worker kills.
+    pub panic_period: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every frame is delivered clean and on time.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            corruption_rate: 0.0,
+            dropout_rate: 0.0,
+            truncation_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ms: 0.0,
+            panic_period: None,
+        }
+    }
+
+    /// A stress preset: ≥10% of frames corrupted or late, occasional
+    /// dropouts, truncations, and a worker kill every 25 frames — the
+    /// acceptance scenario for the degradation controller.
+    #[must_use]
+    pub fn stress(seed: u64) -> Self {
+        Self {
+            seed,
+            corruption_rate: 0.10,
+            dropout_rate: 0.04,
+            truncation_rate: 0.04,
+            delay_rate: 0.12,
+            delay_ms: 12.0,
+            panic_period: Some(25),
+        }
+    }
+
+    /// Whether this plan can ever inject anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.corruption_rate <= 0.0
+            && self.dropout_rate <= 0.0
+            && self.truncation_rate <= 0.0
+            && self.delay_rate <= 0.0
+            && self.panic_period.is_none()
+    }
+
+    /// The RNG stream for one frame: depends only on the plan seed and
+    /// the frame index.
+    fn frame_rng(&self, index: usize) -> SeedRng {
+        SeedRng::seed_from_u64(self.seed).split(index as u64)
+    }
+
+    /// The faults scheduled for frame `index`, in application order.
+    /// Pure: calling it twice returns the same list.
+    #[must_use]
+    pub fn faults_for(&self, index: usize, frame_height: usize, frame_width: usize) -> Vec<Fault> {
+        let mut rng = self.frame_rng(index);
+        let mut faults = Vec::new();
+        // Draw order is fixed; every branch consumes the same draws so a
+        // rate change for one fault never shifts another fault's schedule.
+        let dropout_draw = rng.next_f64();
+        let truncation_draw = rng.next_f64();
+        let corruption_draw = rng.next_f64();
+        let kind_draw = rng.gen_range(0u32..3);
+        let row = if frame_height > 0 {
+            rng.gen_range(0..frame_height)
+        } else {
+            0
+        };
+        let col = if frame_width > 0 {
+            rng.gen_range(0..frame_width)
+        } else {
+            0
+        };
+        let bits = rng.gen_range(4usize..=32);
+        let delay_draw = rng.next_f64();
+
+        if dropout_draw < self.dropout_rate {
+            faults.push(Fault::SensorDropout);
+            return faults; // nothing arrived; no further faults apply
+        }
+        if truncation_draw < self.truncation_rate {
+            faults.push(Fault::Truncation);
+            return faults; // undecodable; corruption/delay are moot
+        }
+        if corruption_draw < self.corruption_rate {
+            faults.push(match kind_draw {
+                0 => Fault::BitFlips { bits },
+                1 => Fault::DeadRow { y: row },
+                _ => Fault::DeadColumn { x: col },
+            });
+        }
+        if delay_draw < self.delay_rate {
+            faults.push(Fault::Delay {
+                millis: self.delay_ms,
+            });
+        }
+        if let Some(period) = self.panic_period {
+            if period > 0 && (index + 1).is_multiple_of(period) {
+                faults.push(Fault::WorkerPanic);
+            }
+        }
+        faults
+    }
+
+    /// Applies the schedule for frame `index` to `frame`, producing what
+    /// the detector actually receives.
+    #[must_use]
+    pub fn deliver(&self, index: usize, frame: &GrayImage) -> Delivery {
+        let (width, height) = frame.dimensions();
+        let faults = self.faults_for(index, height, width);
+        // Corruption draws come from a separate split so adding a fault
+        // type never perturbs the corruption bytes of another frame.
+        let mut corrupt_rng = self.frame_rng(index).split(1);
+
+        let mut image = None;
+        let mut delay_ms = 0.0;
+        let mut worker_panic = false;
+        for fault in &faults {
+            match *fault {
+                Fault::SensorDropout => return Delivery::Dropped,
+                Fault::Truncation => {
+                    // Cut the stream mid-raster and keep the real decoder's
+                    // rejection text — the typed error reports exactly what
+                    // a file-based pipeline would see.
+                    let keep = corrupt_rng.gen_range(0.2..0.8);
+                    let bytes = truncated_pgm(frame, keep);
+                    let error = match read_pnm(bytes.as_slice()) {
+                        Err(e) => e.to_string(),
+                        Ok(_) => "truncated stream unexpectedly decoded".to_string(),
+                    };
+                    return Delivery::Truncated { error };
+                }
+                Fault::BitFlips { bits } => {
+                    let img = image.get_or_insert_with(|| frame.clone());
+                    flip_bits(img, bits, &mut corrupt_rng);
+                }
+                Fault::DeadRow { y } => {
+                    let img = image.get_or_insert_with(|| frame.clone());
+                    dead_row(img, y);
+                }
+                Fault::DeadColumn { x } => {
+                    let img = image.get_or_insert_with(|| frame.clone());
+                    dead_column(img, x);
+                }
+                Fault::Delay { millis } => delay_ms += millis,
+                Fault::WorkerPanic => worker_panic = true,
+            }
+        }
+        Delivery::Frame {
+            image: image.unwrap_or_else(|| frame.clone()),
+            faults,
+            delay_ms,
+            worker_panic,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> GrayImage {
+        GrayImage::from_fn(64, 48, |x, y| (x * 5 + y * 3) as u8)
+    }
+
+    #[test]
+    fn empty_plan_delivers_clean_frames() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for i in 0..50 {
+            match plan.deliver(i, &frame()) {
+                Delivery::Frame {
+                    image,
+                    faults,
+                    delay_ms,
+                    worker_panic,
+                } => {
+                    assert_eq!(image, frame());
+                    assert!(faults.is_empty());
+                    assert_eq!(delay_ms, 0.0);
+                    assert!(!worker_panic);
+                }
+                other => panic!("frame {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_pure_in_seed_and_index() {
+        let plan = FaultPlan::stress(42);
+        for i in 0..100 {
+            assert_eq!(plan.faults_for(i, 48, 64), plan.faults_for(i, 48, 64));
+        }
+        let again = FaultPlan::stress(42);
+        let differs = FaultPlan::stress(43);
+        let schedule = |p: &FaultPlan| {
+            (0..100)
+                .map(|i| p.faults_for(i, 48, 64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(&plan), schedule(&again));
+        assert_ne!(schedule(&plan), schedule(&differs));
+    }
+
+    #[test]
+    fn stress_plan_hits_at_least_ten_percent_of_frames() {
+        let plan = FaultPlan::stress(7);
+        let faulted = (0..100)
+            .filter(|&i| !plan.faults_for(i, 48, 64).is_empty())
+            .count();
+        assert!(faulted >= 10, "only {faulted}/100 frames faulted");
+    }
+
+    #[test]
+    fn panic_period_is_exact() {
+        let plan = FaultPlan {
+            panic_period: Some(10),
+            ..FaultPlan::none()
+        };
+        for i in 0..40 {
+            let has_panic = plan
+                .faults_for(i, 48, 64)
+                .iter()
+                .any(|f| matches!(f, Fault::WorkerPanic));
+            assert_eq!(has_panic, (i + 1) % 10 == 0, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn delivery_is_deterministic() {
+        let plan = FaultPlan::stress(11);
+        for i in 0..60 {
+            let a = plan.deliver(i, &frame());
+            let b = plan.deliver(i, &frame());
+            match (a, b) {
+                (
+                    Delivery::Frame {
+                        image: ia,
+                        faults: fa,
+                        ..
+                    },
+                    Delivery::Frame {
+                        image: ib,
+                        faults: fb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(ia, ib);
+                    assert_eq!(fa, fb);
+                }
+                (Delivery::Dropped, Delivery::Dropped) => {}
+                (Delivery::Truncated { error: ea }, Delivery::Truncated { error: eb }) => {
+                    assert_eq!(ea, eb)
+                }
+                (a, b) => panic!("frame {i}: deliveries diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_comes_from_the_real_decoder() {
+        let plan = FaultPlan {
+            truncation_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        match plan.deliver(0, &frame()) {
+            Delivery::Truncated { error } => {
+                assert!(error.contains("truncated raster"), "got: {error}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_labels_are_stable() {
+        assert_eq!(Fault::BitFlips { bits: 8 }.label(), "bit_flips(8)");
+        assert_eq!(Fault::SensorDropout.label(), "sensor_dropout");
+        assert_eq!(Fault::Delay { millis: 12.0 }.label(), "delay(12ms)");
+    }
+}

@@ -1,20 +1,23 @@
-//! Video-stream simulation: push a short synthetic driving sequence
-//! through the pipelined accelerator and report sustained fps, dropped
-//! frames, and the pixel-in → detection-out latency that feeds the §1
-//! perception-reaction budget.
+//! Video-stream simulation under fault injection: push a synthetic
+//! driving sequence through the fault-tolerant runtime, watch the
+//! degradation controller react to corrupted/late frames, and report the
+//! canonical `RunReport` JSON plus the accelerator's stream statistics.
 //!
 //! ```text
 //! cargo run --release --example video_stream
+//! RTPED_FAULT_SEED=7 cargo run --release --example video_stream
+//! RTPED_DEADLINE_MS=5 cargo run --release --example video_stream
 //! ```
 
+use rtped::core::ToJson;
 use rtped::dataset::scene::SceneBuilder;
 use rtped::dataset::InriaProtocol;
-use rtped::detect::das::DasParams;
-use rtped::detect::tracker::{Tracker, TrackerParams};
+use rtped::detect::detector::{DetectorConfig, FeaturePyramidDetector};
 use rtped::hog::feature_map::FeatureMap;
 use rtped::hog::params::HogParams;
 use rtped::hw::stream::StreamSimulator;
 use rtped::hw::{AcceleratorConfig, ClockDomain, HogAccelerator};
+use rtped::runtime::{FaultPlan, FrameOutcome, Runtime, RuntimeConfig};
 use rtped::svm::dcd::{train_dcd, DcdParams};
 use rtped::svm::model::Label;
 
@@ -51,19 +54,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    // A 6-frame sequence: a pedestrian walking toward the camera (its
-    // scale grows frame to frame).
-    let frames: Vec<_> = (0..6)
+    // A 24-frame sequence: a pedestrian walking toward the camera (its
+    // scale grows slowly frame to frame).
+    let frames: Vec<_> = (0..24)
         .map(|k| {
-            let scale = 1.0 + 0.08 * k as f64;
+            let scale = 1.0 + 0.02 * k as f64;
             SceneBuilder::new(480, 360)
                 .seed(500 + k)
-                .pedestrian_at(64, 128, scale, 200 - 4 * k as usize, 120)
+                .pedestrian_at(64, 128, scale, 200 - (k as usize), 120)
                 .build()
                 .frame
         })
         .collect();
 
+    // The software chain behind the fault-tolerant runtime. The budget
+    // comes from RTPED_DEADLINE_MS or the DAS derivation (15 ms = 1% of
+    // the 1.5 s perception-reaction time).
+    let mut config = DetectorConfig::two_scale();
+    config.threshold = 0.5;
+    let detector = FeaturePyramidDetector::new(model.clone(), config);
+    let runtime = Runtime::with_config(detector, RuntimeConfig::default());
+    println!(
+        "deadline budget: {:.1} ms per frame",
+        runtime.config().budget.frame_budget_ms
+    );
+
+    // A seeded fault plan: ~10% corrupted frames plus dropouts,
+    // truncations, 12 ms delays, and a worker kill every 25th frame.
+    let seed = std::env::var("RTPED_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2017);
+    let plan = FaultPlan::stress(seed);
+
+    // The hardware stream model rides along: every frame the faults let
+    // through also crosses the simulated 60 fps camera link.
     let accelerator = HogAccelerator::new(
         &model,
         AcceleratorConfig {
@@ -73,55 +98,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let simulator = StreamSimulator::new(accelerator);
     let clock = ClockDomain::MHZ_125;
-
-    // Camera at 60 fps.
     let camera_period = clock.cycles_per_frame_at(60.0);
-    let report = simulator.process_stream(&frames, camera_period);
 
-    println!(
-        "stream: {} frames at 60 fps camera; pipeline II = {} cycles ({:.2} fps); dropped: {:?}",
-        frames.len(),
-        report.initiation_interval,
-        report.sustained_fps(clock),
-        report.dropped,
-    );
-    // A DAS acts on *tracks*, not raw detections: feed the per-frame
-    // detections through the temporal tracker.
-    let mut tracker = Tracker::new(TrackerParams {
-        min_hits: 2,
-        ..TrackerParams::default()
-    });
-    for (timing, detections) in &report.frames {
-        let confirmed_now = tracker.step(detections);
+    let report = runtime.run_with_stream(&frames, &plan, &simulator, camera_period);
+
+    // Zero crashes, every frame accounted for: the runtime's contract.
+    assert_eq!(report.frames.len(), frames.len());
+    for record in &report.frames {
+        let summary = match &record.outcome {
+            FrameOutcome::Detections(d) => format!("{} detection(s)", d.len()),
+            FrameOutcome::Coasted(t) => format!("coasting on {} track(s)", t.len()),
+            FrameOutcome::Error(e) => format!("error: {e}"),
+        };
         println!(
-            "frame {}: latency {:.3} ms, {} detection(s), {} confirmed track(s){}{}",
-            timing.frame_index,
-            clock.millis(timing.latency_cycles()),
-            detections.len(),
-            tracker.confirmed().count(),
-            detections
-                .first()
-                .map(|d| format!(
-                    " — strongest at ({}, {}) scale {:.2} score {:.2}",
-                    d.bbox.x, d.bbox.y, d.scale, d.score
-                ))
-                .unwrap_or_default(),
-            if confirmed_now.is_empty() {
-                String::new()
-            } else {
-                format!(" [track {:?} confirmed]", confirmed_now)
-            },
+            "frame {:>2} [{:>13}] {:>5.1} ms  faults={:?}  {}",
+            record.index,
+            record.state.label(),
+            record.modeled_latency_ms,
+            record.faults,
+            summary,
         );
     }
 
-    // How much of the driver's budget does detection consume?
-    let das = DasParams::default();
-    let latency_s = clock.seconds(report.max_latency_cycles());
+    println!("\ntransitions:");
+    for t in &report.transitions {
+        println!(
+            "  frame {:>2}: {} -> {} ({})",
+            t.frame,
+            t.transition.from.label(),
+            t.transition.to.label(),
+            t.transition.cause.label(),
+        );
+    }
     println!(
-        "\nworst-case detection latency {:.1} ms = {:.2}% of the {:.1} s perception-reaction time",
-        latency_s * 1e3,
-        100.0 * latency_s / das.reaction_time_s,
-        das.reaction_time_s,
+        "\nfaulted {} / {} frames, {} typed errors, worst modeled latency {:.1} ms, final state {}",
+        report.faulted_count(),
+        report.frames.len(),
+        report.error_count(),
+        report.worst_latency_ms(),
+        report.final_state,
     );
+    if let Some(stats) = &report.stream {
+        println!(
+            "camera link: {} offered, {} processed, {} dropped at the 60 fps boundary",
+            stats.frames_offered, stats.frames_processed, stats.frames_dropped,
+        );
+    }
+
+    // The canonical report: one JSON document, bit-identical for a given
+    // (sequence, seed, deadline) triple.
+    let json = report.to_json().to_string();
+    assert!(!json.is_empty(), "RunReport must serialize");
+    println!("\nRunReport: {json}");
+    println!("video_stream: ok (seed {seed}, zero crashes)");
     Ok(())
 }

@@ -26,6 +26,9 @@
 //! - [`detect`] — multi-scale detectors (conventional image pyramid and the
 //!   paper's feature pyramid), NMS, and the driver-assistance layer.
 //! - [`hw`] — a cycle-accurate fixed-point model of the DAC'17 accelerator.
+//! - [`runtime`] — the fault-tolerant, deadline-aware frame server:
+//!   seeded fault injection, `Healthy → Degraded → SafeFallback`
+//!   degradation, panic isolation, and per-run robustness reports.
 //!
 //! # Quickstart
 //!
@@ -61,6 +64,7 @@ pub use rtped_eval as eval;
 pub use rtped_hog as hog;
 pub use rtped_hw as hw;
 pub use rtped_image as image;
+pub use rtped_runtime as runtime;
 pub use rtped_svm as svm;
 
 /// The workspace-wide error type (see [`core::error`]); every fallible

@@ -6,8 +6,32 @@ use rtped::core::check;
 use rtped::core::check::{ascii_string, vec_of, Gen};
 
 use rtped::hw::vectors::TestVectors;
-use rtped::image::pnm::read_pnm;
-use rtped::svm::io::read_model;
+use rtped::image::pnm::{read_pnm, write_pgm, write_pgm_ascii};
+use rtped::image::GrayImage;
+use rtped::svm::io::{read_model, to_canonical_bytes};
+use rtped::svm::LinearSvm;
+
+/// A small valid binary PGM for the mutation fuzzers.
+fn valid_pgm() -> Vec<u8> {
+    let img = GrayImage::from_fn(12, 9, |x, y| (x * 19 + y * 7) as u8);
+    let mut bytes = Vec::new();
+    write_pgm(&mut bytes, &img).unwrap();
+    bytes
+}
+
+/// A small valid ASCII PGM for the mutation fuzzers.
+fn valid_pgm_ascii() -> Vec<u8> {
+    let img = GrayImage::from_fn(6, 5, |x, y| (x * 31 + y * 11) as u8);
+    let mut bytes = Vec::new();
+    write_pgm_ascii(&mut bytes, &img).unwrap();
+    bytes
+}
+
+/// A small valid model file for the mutation fuzzers.
+fn valid_model() -> Vec<u8> {
+    let model = LinearSvm::new(vec![0.25, -0.5, 0.75, 1.0], -0.125);
+    to_canonical_bytes(&model)
+}
 
 check! {
     #![cases = 128]
@@ -28,6 +52,64 @@ check! {
         // Must either parse (tiny valid images) or error; never panic or
         // allocate absurd buffers for huge claimed dimensions.
         let _ = read_pnm(data.as_slice());
+    }
+
+    // Truncation sweep: every strict prefix of a valid binary PGM must be
+    // rejected with a typed error — the header promises more raster bytes
+    // than a prefix can hold.
+    fn truncated_binary_pgm_always_errors(cut_permille in 0u32..1000) {
+        let full = valid_pgm();
+        let cut = (full.len() * cut_permille as usize) / 1000;
+        let err = read_pnm(&full[..cut]).expect_err("strict prefix must not decode");
+        let _ = err.to_string(); // message renders without panicking
+    }
+
+    fn truncated_ascii_pgm_never_panics(cut_permille in 0u32..=1000) {
+        let full = valid_pgm_ascii();
+        let cut = (full.len() * cut_permille as usize) / 1000;
+        // A cut inside trailing whitespace can still decode; anything
+        // shorter errors. Either way: no panic.
+        let _ = read_pnm(&full[..cut]);
+    }
+
+    fn truncated_model_never_panics(cut_permille in 0u32..1000) {
+        let full = valid_model();
+        let cut = (full.len() * cut_permille as usize) / 1000;
+        let _ = read_model(&full[..cut]);
+    }
+
+    // Bit-flip sweep: single-event upsets anywhere in a valid stream must
+    // yield Ok (a flipped pixel is still a pixel) or a typed Err — never
+    // a panic or a huge allocation.
+    fn bit_flipped_pgm_never_panics(
+        byte_permille in 0u32..1000,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = valid_pgm();
+        let idx = (bytes.len() * byte_permille as usize) / 1000;
+        bytes[idx] ^= 1 << bit;
+        let _ = read_pnm(bytes.as_slice());
+    }
+
+    fn bit_flipped_model_never_panics(
+        byte_permille in 0u32..1000,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = valid_model();
+        let idx = (bytes.len() * byte_permille as usize) / 1000;
+        bytes[idx] ^= 1 << bit;
+        let _ = read_model(bytes.as_slice());
+    }
+
+    // Oversized-header sweep: tiny bodies claiming huge ASCII rasters must
+    // fail fast on the sample/byte bound, not allocate samples up front.
+    fn oversized_ascii_claims_fail_fast(
+        w in 10_000u32..=u32::MAX,
+        h in 10_000u32..=u32::MAX,
+        body in ascii_string(0usize..32),
+    ) {
+        let data = format!("P2\n{w} {h}\n255\n{body}");
+        assert!(read_pnm(data.as_bytes()).is_err());
     }
 
     fn model_parser_never_panics(text in ascii_string(0usize..=256)) {
@@ -54,4 +136,26 @@ fn ascii_pnm_with_trailing_garbage_still_parses_raster() {
     let img = read_pnm(&data[..]).unwrap();
     assert_eq!(img.get(0, 0), 10);
     assert_eq!(img.get(1, 0), 20);
+}
+
+#[test]
+fn overflowing_dimension_product_is_rejected() {
+    // (2^32 - 1)^2 x 3 channels overflows u64; the checked arithmetic
+    // must catch it before any allocation is attempted.
+    let data = format!("P3\n{0} {0}\n255\n0\n", u32::MAX);
+    let err = read_pnm(data.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("overflows"), "got: {err}");
+}
+
+#[test]
+fn model_with_corrupted_format_field_is_rejected() {
+    let mut bytes = valid_model();
+    // Flip the digit of "format":1 — versioned schema must reject it.
+    let text = String::from_utf8(bytes.clone()).unwrap();
+    let pos = text
+        .find("\"format\":")
+        .expect("canonical model has format")
+        + 9;
+    bytes[pos] = b'7';
+    assert!(read_model(bytes.as_slice()).is_err());
 }
