@@ -24,4 +24,9 @@ smoke=$(RTPED_FAULT_SEED=2017 cargo run --release --offline --example video_stre
 grep -q '"seed":2017' <<<"$smoke"
 grep -q 'video_stream: ok (seed 2017, zero crashes)' <<<"$smoke"
 
+echo "== soft_error_smoke (fixed seed: ECC corrects, zero silent escapes, integrity block present) =="
+ecc_smoke=$(cargo run --release --offline --example soft_error_smoke)
+grep -q '"integrity":{' <<<"$ecc_smoke"
+grep -q 'soft_error_smoke: ok' <<<"$ecc_smoke"
+
 echo "ci.sh: all green"

@@ -1,0 +1,125 @@
+//! Typed, warn-once environment-variable parsing.
+//!
+//! The runtime exposes a handful of operational knobs through environment
+//! variables (`RTPED_THREADS`, `RTPED_DEADLINE_MS`, `RTPED_ECC`, ...). A
+//! mistyped value must never be *silently* ignored — a deployment that
+//! sets `RTPED_DEADLINE_MS=15ms` and quietly runs with the default budget
+//! is exactly the misconfiguration a safety argument has to exclude. This
+//! module gives every knob the same contract:
+//!
+//! 1. [`typed`] parses the variable into a [`EnvValue`]: unset, valid, or
+//!    invalid **with the raw text preserved**;
+//! 2. the call site decides the fallback and calls [`warn_once`] on the
+//!    invalid arm, which prints one stderr line naming the variable, the
+//!    rejected value, and the fallback in force — once per variable per
+//!    process, so a per-frame lookup cannot flood the log.
+//!
+//! Parsing is strict `FromStr` over the trimmed text; validation beyond
+//! syntax (positivity, ranges) stays at the call site, which routes
+//! rejects through the same [`warn_once`] path.
+
+use std::collections::BTreeSet;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// One environment variable, read and parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvValue<T> {
+    /// The variable is not set (or not valid Unicode).
+    Unset,
+    /// The variable parsed.
+    Valid {
+        /// The parsed value.
+        value: T,
+        /// The raw text it came from.
+        raw: String,
+    },
+    /// The variable is set but does not parse as `T`.
+    Invalid {
+        /// The rejected raw text.
+        raw: String,
+    },
+}
+
+impl<T> EnvValue<T> {
+    /// The parsed value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            EnvValue::Valid { value, .. } => Some(value),
+            EnvValue::Unset | EnvValue::Invalid { .. } => None,
+        }
+    }
+}
+
+/// Reads `name` and parses its trimmed text as `T`.
+#[must_use]
+pub fn typed<T: FromStr>(name: &str) -> EnvValue<T> {
+    match std::env::var(name) {
+        Err(_) => EnvValue::Unset,
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(value) => EnvValue::Valid { value, raw },
+            Err(_) => EnvValue::Invalid { raw },
+        },
+    }
+}
+
+/// Variables already warned about in this process.
+static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+
+/// Emits one stderr line rejecting `raw` for `name` and naming the
+/// `fallback` in force. Subsequent calls for the same variable are
+/// silent; returns whether this call printed.
+pub fn warn_once(name: &str, raw: &str, fallback: &str) -> bool {
+    let mut warned = WARNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !warned.insert(name.to_string()) {
+        return false;
+    }
+    eprintln!("warning: ignoring invalid {name}={raw:?}; falling back to {fallback}");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_variable_reads_as_unset() {
+        assert_eq!(
+            typed::<u32>("RTPED_TEST_ENV_DEFINITELY_UNSET"),
+            EnvValue::Unset
+        );
+    }
+
+    #[test]
+    fn valid_and_invalid_parses_are_distinguished() {
+        // Exercise the parser via typed() on variables this test owns.
+        std::env::set_var("RTPED_TEST_ENV_VALID", " 12 ");
+        std::env::set_var("RTPED_TEST_ENV_INVALID", "12ms");
+        assert_eq!(
+            typed::<u32>("RTPED_TEST_ENV_VALID"),
+            EnvValue::Valid {
+                value: 12,
+                raw: " 12 ".to_string()
+            }
+        );
+        let invalid = typed::<u32>("RTPED_TEST_ENV_INVALID");
+        assert_eq!(
+            invalid,
+            EnvValue::Invalid {
+                raw: "12ms".to_string()
+            }
+        );
+        assert_eq!(invalid.value(), None);
+        std::env::remove_var("RTPED_TEST_ENV_VALID");
+        std::env::remove_var("RTPED_TEST_ENV_INVALID");
+    }
+
+    #[test]
+    fn warn_once_is_once_per_variable() {
+        assert!(warn_once("RTPED_TEST_WARN_A", "bogus", "default 3"));
+        assert!(!warn_once("RTPED_TEST_WARN_A", "bogus", "default 3"));
+        assert!(warn_once("RTPED_TEST_WARN_B", "bogus", "default 3"));
+    }
+}

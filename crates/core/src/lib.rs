@@ -21,6 +21,9 @@
 //!   `RTPED_THREADS` override — replaces `rayon`.
 //! - [`retry`]: bounded retry-with-backoff ([`retry::RetryPolicy`]) for
 //!   transient IO failures.
+//! - [`env`]: typed, warn-once environment-variable parsing shared by
+//!   every `RTPED_*` knob (a malformed value is rejected on stderr, never
+//!   silently ignored).
 //! - [`error`]: the workspace-wide [`Error`] type every fallible `rtped`
 //!   API returns.
 //!
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod check;
+pub mod env;
 pub mod error;
 pub mod json;
 pub mod par;

@@ -60,19 +60,24 @@ pub const MAX_THREADS: usize = 256;
 
 /// The worker-pool size: `RTPED_THREADS` if set to a positive integer
 /// (clamped to [`MAX_THREADS`]), otherwise the OS-reported available
-/// parallelism (1 if unknown).
+/// parallelism (1 if unknown). An unparsable or zero value is ignored
+/// with a once-per-process stderr warning rather than silently falling
+/// back.
 #[must_use]
 pub fn threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n.min(MAX_THREADS);
-            }
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match crate::env::typed::<usize>(THREADS_ENV) {
+        crate::env::EnvValue::Valid { value, .. } if value >= 1 => value.min(MAX_THREADS),
+        crate::env::EnvValue::Valid { raw, .. } | crate::env::EnvValue::Invalid { raw } => {
+            crate::env::warn_once(THREADS_ENV, &raw, "OS available parallelism");
+            fallback()
         }
+        crate::env::EnvValue::Unset => fallback(),
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 /// A worker panic captured by [`try_map`] / surfaced by [`map`].

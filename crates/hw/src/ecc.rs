@@ -1,0 +1,334 @@
+//! SECDED Hamming ECC over `NHOGMem` feature words.
+//!
+//! Real SoC-FPGA HOG+SVM systems protect exactly this memory: the
+//! normalized-feature banks are the largest on-chip SRAM in the design
+//! (18 rows × 240 cells × 36 words for HDTV) and a single-event upset in
+//! them corrupts every window the affected cell participates in. The
+//! standard remedy is the one BRAM vendors bake into their macros:
+//! single-error-correct / double-error-detect Hamming with one extra
+//! overall-parity bit.
+//!
+//! The codeword here protects one 32-bit feature word with 6 Hamming
+//! parity bits (positions 1, 2, 4, 8, 16, 32 of the classic layout) and
+//! an overall parity bit at position 0 — 39 bits total:
+//!
+//! - **single-bit error** (data, Hamming parity, or the overall bit):
+//!   syndrome + failed overall parity locate the bit; the decode
+//!   corrects it and the data comes back exact;
+//! - **double-bit error**: nonzero syndrome with a *passing* overall
+//!   parity — detected, reported uncorrectable, never silently accepted.
+//!
+//! [`EccMode::Off`] stores the raw word untouched and decodes by
+//! passthrough, so an ECC-off memory is bit-identical to the unprotected
+//! design.
+
+use crate::nhog_mem::BANKS;
+
+/// Payload bits protected per codeword.
+pub const DATA_BITS: u32 = 32;
+
+/// Hamming parity bits (positions 1, 2, 4, 8, 16, 32).
+pub const PARITY_BITS: u32 = 6;
+
+/// Total codeword width: overall parity (bit 0) + 38 Hamming positions.
+pub const CODE_BITS: u32 = 1 + DATA_BITS + PARITY_BITS;
+
+/// Whether `NHOGMem` words are stored raw or SECDED-encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EccMode {
+    /// Raw 32-bit words; bit flips corrupt features silently (the
+    /// pre-integrity baseline).
+    Off,
+    /// 39-bit SECDED codewords; single flips corrected, double flips
+    /// detected.
+    #[default]
+    Secded,
+}
+
+impl EccMode {
+    /// Stored word width in bits under this mode.
+    #[must_use]
+    pub fn code_bits(self) -> u32 {
+        match self {
+            EccMode::Off => DATA_BITS,
+            EccMode::Secded => CODE_BITS,
+        }
+    }
+
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EccMode::Off => "off",
+            EccMode::Secded => "secded",
+        }
+    }
+}
+
+impl std::str::FromStr for EccMode {
+    type Err = String;
+
+    /// Parses the `RTPED_ECC` knob: `off`/`0`/`false` disable protection,
+    /// `secded`/`on`/`1`/`true` enable it (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" => Ok(EccMode::Off),
+            "secded" | "on" | "1" | "true" => Ok(EccMode::Secded),
+            other => Err(format!("unknown ECC mode {other:?}")),
+        }
+    }
+}
+
+/// Result of decoding one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error observed.
+    Clean(u32),
+    /// A single-bit error was corrected; `bit` is the flipped codeword
+    /// position (0 = the overall parity bit itself).
+    Corrected {
+        /// The exact original payload.
+        data: u32,
+        /// Codeword position that was flipped.
+        bit: u32,
+    },
+    /// A multi-bit error was detected; `raw` is the best-effort payload
+    /// extracted from the corrupt word (callers must treat it as suspect).
+    Uncorrectable {
+        /// Payload bits as stored, uncorrected.
+        raw: u32,
+    },
+}
+
+impl Decoded {
+    /// The payload regardless of verdict (exact unless uncorrectable).
+    #[must_use]
+    pub fn data(self) -> u32 {
+        match self {
+            Decoded::Clean(d) | Decoded::Corrected { data: d, .. } => d,
+            Decoded::Uncorrectable { raw } => raw,
+        }
+    }
+}
+
+/// Extracts the 32 payload bits from codeword positions 1..=38 that are
+/// not powers of two.
+fn extract(code: u64) -> u32 {
+    let mut data = 0u32;
+    let mut k = 0;
+    for pos in 1..=38u32 {
+        if pos.is_power_of_two() {
+            continue;
+        }
+        if (code >> pos) & 1 == 1 {
+            data |= 1 << k;
+        }
+        k += 1;
+    }
+    data
+}
+
+/// Encodes a 32-bit word into a 39-bit SECDED codeword.
+#[must_use]
+pub fn encode(data: u32) -> u64 {
+    let mut code = 0u64;
+    let mut k = 0;
+    for pos in 1..=38u32 {
+        if pos.is_power_of_two() {
+            continue;
+        }
+        if (data >> k) & 1 == 1 {
+            code |= 1u64 << pos;
+        }
+        k += 1;
+    }
+    for p in 0..PARITY_BITS {
+        let parity_pos = 1u32 << p;
+        let mut parity = 0u64;
+        for pos in 1..=38u32 {
+            if pos & parity_pos != 0 {
+                parity ^= (code >> pos) & 1;
+            }
+        }
+        code |= parity << parity_pos;
+    }
+    // Overall parity over the 38 Hamming positions; bit 0 is still clear
+    // here, so the popcount is exactly their parity.
+    code | u64::from(code.count_ones() & 1)
+}
+
+/// Decodes a 39-bit codeword, correcting single-bit errors and flagging
+/// everything else.
+#[must_use]
+pub fn decode(code: u64) -> Decoded {
+    let mut syndrome = 0u32;
+    for pos in 1..=38u32 {
+        if (code >> pos) & 1 == 1 {
+            syndrome ^= pos;
+        }
+    }
+    let overall_even = code.count_ones().is_multiple_of(2);
+    match (syndrome, overall_even) {
+        (0, true) => Decoded::Clean(extract(code)),
+        (0, false) => Decoded::Corrected {
+            // Only the overall parity bit flipped; the payload is intact.
+            data: extract(code),
+            bit: 0,
+        },
+        (s, false) if s <= 38 => Decoded::Corrected {
+            data: extract(code ^ (1u64 << s)),
+            bit: s,
+        },
+        // Odd error count pointing outside the codeword, or an even
+        // (double) error: detected but not correctable.
+        _ => Decoded::Uncorrectable { raw: extract(code) },
+    }
+}
+
+/// Per-bank SECDED counters plus scrub accounting for one `NHOGMem`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EccStats {
+    /// Single-bit corrections observed per bank (reads and scrubs).
+    pub corrected: [u64; BANKS],
+    /// Uncorrectable (multi-bit) detections per bank.
+    pub uncorrectable: [u64; BANKS],
+    /// Words visited by the opportunistic scrub pass.
+    pub scrubbed_words: u64,
+    /// Corrections written back by the scrub pass.
+    pub scrub_corrected: u64,
+}
+
+impl EccStats {
+    /// Total single-bit corrections across banks.
+    #[must_use]
+    pub fn corrected_total(&self) -> u64 {
+        self.corrected.iter().sum()
+    }
+
+    /// Total uncorrectable detections across banks.
+    #[must_use]
+    pub fn uncorrectable_total(&self) -> u64 {
+        self.uncorrectable.iter().sum()
+    }
+
+    /// Errors of any kind the decoder noticed (corrected + uncorrectable).
+    #[must_use]
+    pub fn detected_total(&self) -> u64 {
+        self.corrected_total() + self.uncorrectable_total()
+    }
+
+    /// Folds another stats block into this one (per-scale engines merge
+    /// into the frame report this way).
+    pub fn merge(&mut self, other: &EccStats) {
+        for (a, b) in self.corrected.iter_mut().zip(&other.corrected) {
+            *a += b;
+        }
+        for (a, b) in self.uncorrectable.iter_mut().zip(&other.uncorrectable) {
+            *a += b;
+        }
+        self.scrubbed_words += other.scrubbed_words;
+        self.scrub_corrected += other.scrub_corrected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_words() -> Vec<u32> {
+        vec![
+            0,
+            1,
+            0x5555_5555,
+            0xAAAA_AAAA,
+            0xFFFF_FFFF,
+            32767,
+            0x8000_0001,
+            0xDEAD_BEEF,
+        ]
+    }
+
+    #[test]
+    fn clean_roundtrip_is_exact() {
+        for data in sample_words() {
+            let code = encode(data);
+            assert!(code < (1u64 << CODE_BITS));
+            assert_eq!(decode(code), Decoded::Clean(data));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        for data in sample_words() {
+            let code = encode(data);
+            for bit in 0..CODE_BITS {
+                let corrupt = code ^ (1u64 << bit);
+                match decode(corrupt) {
+                    Decoded::Corrected { data: d, bit: b } => {
+                        assert_eq!(d, data, "bit {bit} of {data:#x}");
+                        assert_eq!(b, bit);
+                    }
+                    other => panic!("bit {bit} of {data:#x}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        for data in sample_words() {
+            let code = encode(data);
+            for a in 0..CODE_BITS {
+                for b in (a + 1)..CODE_BITS {
+                    let corrupt = code ^ (1u64 << a) ^ (1u64 << b);
+                    assert!(
+                        matches!(decode(corrupt), Decoded::Uncorrectable { .. }),
+                        "flips ({a},{b}) of {data:#x} escaped: {:?}",
+                        decode(corrupt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_data_accessor_matches_verdict() {
+        let code = encode(0x1234_5678);
+        assert_eq!(decode(code).data(), 0x1234_5678);
+        assert_eq!(decode(code ^ 2).data(), 0x1234_5678);
+    }
+
+    #[test]
+    fn mode_labels_and_widths() {
+        assert_eq!(EccMode::Off.code_bits(), 32);
+        assert_eq!(EccMode::Secded.code_bits(), 39);
+        assert_eq!(EccMode::Off.label(), "off");
+        assert_eq!(EccMode::Secded.label(), "secded");
+    }
+
+    #[test]
+    fn mode_parses_its_knob_values() {
+        assert_eq!("off".parse(), Ok(EccMode::Off));
+        assert_eq!("0".parse(), Ok(EccMode::Off));
+        assert_eq!("SECDED".parse(), Ok(EccMode::Secded));
+        assert_eq!("on".parse(), Ok(EccMode::Secded));
+        assert!("ecc-please".parse::<EccMode>().is_err());
+    }
+
+    #[test]
+    fn stats_merge_and_totals() {
+        let mut a = EccStats::default();
+        a.corrected[3] = 2;
+        a.uncorrectable[7] = 1;
+        a.scrubbed_words = 10;
+        let mut b = EccStats::default();
+        b.corrected[3] = 1;
+        b.scrub_corrected = 4;
+        a.merge(&b);
+        assert_eq!(a.corrected_total(), 3);
+        assert_eq!(a.uncorrectable_total(), 1);
+        assert_eq!(a.detected_total(), 4);
+        assert_eq!(a.scrubbed_words, 10);
+        assert_eq!(a.scrub_corrected, 4);
+    }
+}

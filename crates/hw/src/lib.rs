@@ -33,12 +33,19 @@
 //!   MACBARs and the window schedule (Fig. 8).
 //! - [`pipeline`]: the full accelerator — frame in, detections and cycle
 //!   counts out, plus agreement checks against the float reference.
+//! - [`ecc`], [`integrity`], [`lockstep`]: the hardware-integrity layer —
+//!   SECDED protection for [`nhog_mem`], checked MACBAR accumulation,
+//!   dual-channel lockstep against the float golden model, and the
+//!   schedule watchdog, all reporting into an [`integrity::IntegrityReport`].
 //! - [`resources`]: the parametric FPGA resource model behind Table 2.
 //! - [`timing`]: cycles → milliseconds / fps at a configurable clock.
 
+pub mod ecc;
 pub mod fixed;
 pub mod gradient_unit;
 pub mod hist_unit;
+pub mod integrity;
+pub mod lockstep;
 pub mod macbar;
 pub mod nhog_mem;
 pub mod norm_unit;
@@ -52,5 +59,7 @@ pub mod timing;
 pub mod vectors;
 pub mod verify;
 
+pub use ecc::EccMode;
+pub use integrity::{IntegrityConfig, IntegrityFault, IntegrityReport, SoftErrorDose, ECC_ENV};
 pub use pipeline::{AcceleratorConfig, AcceleratorReport, HogAccelerator};
 pub use timing::ClockDomain;

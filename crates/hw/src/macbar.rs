@@ -44,6 +44,20 @@ impl Mac {
     pub fn clear(&mut self) {
         self.acc = 0;
     }
+
+    /// Flips one bit (`0..48`) of the 48-bit accumulator register — the
+    /// soft-error injection hook for the P register. The result is
+    /// re-interpreted as a sign-extended 48-bit value, exactly what the
+    /// hardware register would hold after the upset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 48`.
+    pub fn flip_acc_bit(&mut self, bit: u32) {
+        assert!(bit < 48, "accumulator is 48 bits wide");
+        let raw = (self.acc as u64) ^ (1u64 << bit);
+        self.acc = ((raw << 16) as i64) >> 16;
+    }
 }
 
 /// The 16-lane bar.
@@ -112,6 +126,133 @@ impl MacBar {
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Flips one accumulator bit of one lane — the unprotected bar's
+    /// soft-error injection hook (the upset lands and nothing notices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 16` or `bit >= 48`.
+    pub fn flip_acc_bit(&mut self, lane: usize, bit: u32) {
+        assert!(lane < LANES, "lane out of range");
+        self.lanes[lane].flip_acc_bit(bit);
+    }
+}
+
+/// A lane whose redundant computations diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacMismatch {
+    /// The diverging lane.
+    pub lane: usize,
+    /// Primary accumulator value.
+    pub primary: i64,
+    /// Shadow accumulator value.
+    pub shadow: i64,
+}
+
+impl std::fmt::Display for MacMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAC lane {} diverged: primary {} vs shadow {}",
+            self.lane, self.primary, self.shadow
+        )
+    }
+}
+
+/// Duplicate-and-compare MACBAR: the checked datapath variant.
+///
+/// Every step drives a primary and a shadow bar with the same operands;
+/// [`CheckedMacBar::verify`] compares the two accumulator files lane by
+/// lane. A soft error in one copy (injected via
+/// [`CheckedMacBar::inject_acc_flip`], which models an upset in the
+/// primary's P register) makes the copies diverge and the window score is
+/// flagged instead of silently wrong. Outputs come from the primary, so
+/// with no upsets the checked bar is bit-identical to [`MacBar`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckedMacBar {
+    primary: MacBar,
+    shadow: MacBar,
+}
+
+impl CheckedMacBar {
+    /// Creates a cleared checked bar.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One clock cycle on both copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not exactly [`LANES`] long.
+    pub fn step(&mut self, features: &[i32], weights: &[i32]) {
+        self.primary.step(features, weights);
+        self.shadow.step(features, weights);
+    }
+
+    /// Processes one window column on both copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are not `LANES * per_lane`.
+    pub fn process_column(&mut self, column: &[i32], weights: &[i32], per_lane: usize) {
+        self.primary.process_column(column, weights, per_lane);
+        self.shadow.process_column(column, weights, per_lane);
+    }
+
+    /// Flips an accumulator bit in the *primary* copy only — the injected
+    /// upset the compare stage exists to catch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 16` or `bit >= 48`.
+    pub fn inject_acc_flip(&mut self, lane: usize, bit: u32) {
+        self.primary.flip_acc_bit(lane, bit);
+    }
+
+    /// Compares the two accumulator files; the first diverging lane wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`MacMismatch`] when the copies disagree.
+    pub fn verify(&self) -> Result<(), MacMismatch> {
+        for (lane, (p, s)) in self
+            .primary
+            .lanes
+            .iter()
+            .zip(&self.shadow.lanes)
+            .enumerate()
+        {
+            if p.value() != s.value() {
+                return Err(MacMismatch {
+                    lane,
+                    primary: p.value(),
+                    shadow: s.value(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The primary bar's adder-tree output.
+    #[must_use]
+    pub fn reduce(&self) -> i64 {
+        self.primary.reduce()
+    }
+
+    /// Clears both copies.
+    pub fn clear(&mut self) {
+        self.primary.clear();
+        self.shadow.clear();
+    }
+
+    /// Cycles consumed since construction (primary copy).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.primary.cycles()
     }
 }
 
@@ -186,5 +327,50 @@ mod tests {
         bar.clear();
         assert_eq!(bar.reduce(), 0);
         assert_eq!(bar.cycles(), 1);
+    }
+
+    #[test]
+    fn acc_flip_is_its_own_inverse_and_sign_extends() {
+        let mut mac = Mac::new();
+        mac.mac(100, 200);
+        let before = mac.value();
+        mac.flip_acc_bit(13);
+        assert_ne!(mac.value(), before);
+        mac.flip_acc_bit(13);
+        assert_eq!(mac.value(), before);
+        // Flipping the sign bit of a zero accumulator yields the most
+        // negative 48-bit value, not a positive 2^47.
+        let mut mac = Mac::new();
+        mac.flip_acc_bit(47);
+        assert_eq!(mac.value(), ACC_MIN);
+    }
+
+    #[test]
+    fn checked_bar_matches_plain_bar_bit_for_bit() {
+        let per_lane = 36;
+        let column: Vec<i32> = (0..16 * per_lane).map(|i| (i % 89) as i32 - 44).collect();
+        let weights: Vec<i32> = (0..16 * per_lane).map(|i| (i % 61) as i32 - 30).collect();
+        let mut plain = MacBar::new();
+        let mut checked = CheckedMacBar::new();
+        plain.process_column(&column, &weights, per_lane);
+        checked.process_column(&column, &weights, per_lane);
+        assert_eq!(checked.reduce(), plain.reduce());
+        assert_eq!(checked.cycles(), plain.cycles());
+        assert_eq!(checked.verify(), Ok(()));
+    }
+
+    #[test]
+    fn checked_bar_catches_an_injected_upset() {
+        let mut checked = CheckedMacBar::new();
+        checked.step(&[3; 16], &[5; 16]);
+        checked.inject_acc_flip(7, 20);
+        let mismatch = checked.verify().unwrap_err();
+        assert_eq!(mismatch.lane, 7);
+        assert_eq!(mismatch.shadow, 15);
+        assert_eq!(mismatch.primary, 15 ^ (1 << 20));
+        assert!(mismatch.to_string().contains("lane 7"));
+        // Clearing both copies restores agreement.
+        checked.clear();
+        assert_eq!(checked.verify(), Ok(()));
     }
 }

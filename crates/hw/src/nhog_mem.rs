@@ -9,6 +9,7 @@
 //! 135", §5): 16 rows cover one window height plus two rows of slack for
 //! the producer/consumer overlap.
 
+use crate::ecc::{self, Decoded, EccMode, EccStats};
 use crate::norm_unit::{HwFeatureMap, CELL_FEATURES};
 
 /// Number of banks (2×2 cell parity × 4 roles).
@@ -36,26 +37,45 @@ pub struct MemStats {
 #[derive(Debug, Clone)]
 pub struct NhogMem {
     cells_x: usize,
-    /// Resident rows: (cell_row_index, row data).
-    rows: std::collections::VecDeque<(usize, Vec<i32>)>,
+    /// Resident rows: (cell_row_index, stored words). With ECC off a word
+    /// is the raw feature (`i32` bit-cast); with SECDED it is the 39-bit
+    /// codeword.
+    rows: std::collections::VecDeque<(usize, Vec<u64>)>,
     next_row: usize,
     stats: MemStats,
+    ecc_mode: EccMode,
+    ecc_stats: EccStats,
+    scrub_cursor: usize,
 }
 
 impl NhogMem {
-    /// Creates a memory for a frame `cells_x` cells wide.
+    /// Creates a memory for a frame `cells_x` cells wide, ECC off (the
+    /// baseline design — bit-identical to the unprotected datapath).
     ///
     /// # Panics
     ///
     /// Panics if `cells_x == 0`.
     #[must_use]
     pub fn new(cells_x: usize) -> Self {
+        Self::with_ecc(cells_x, EccMode::Off)
+    }
+
+    /// Creates a memory with an explicit ECC mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_x == 0`.
+    #[must_use]
+    pub fn with_ecc(cells_x: usize, ecc_mode: EccMode) -> Self {
         assert!(cells_x > 0, "memory must be at least one cell wide");
         Self {
             cells_x,
             rows: std::collections::VecDeque::new(),
             next_row: 0,
             stats: MemStats::default(),
+            ecc_mode,
+            ecc_stats: EccStats::default(),
+            scrub_cursor: 0,
         }
     }
 
@@ -71,6 +91,30 @@ impl NhogMem {
         self.stats
     }
 
+    /// The ECC mode in force.
+    #[must_use]
+    pub fn ecc_mode(&self) -> EccMode {
+        self.ecc_mode
+    }
+
+    /// SECDED counters accumulated so far (all zero with ECC off).
+    #[must_use]
+    pub fn ecc_stats(&self) -> &EccStats {
+        &self.ecc_stats
+    }
+
+    /// Width in bits of one stored word under the current mode.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.ecc_mode.code_bits()
+    }
+
+    /// Feature words currently resident (over all rows in the ring).
+    #[must_use]
+    pub fn resident_words(&self) -> usize {
+        self.rows.len() * self.cells_x * CELL_FEATURES
+    }
+
     /// Which bank the feature `(cx, cy, role)` lives in: 2×2 cell parity
     /// crossed with the role index.
     #[must_use]
@@ -79,8 +123,45 @@ impl NhogMem {
         (role << 2) | ((cy & 1) << 1) | (cx & 1)
     }
 
+    /// Encodes one feature word for storage under the current mode.
+    fn store_word(&self, value: i32) -> u64 {
+        match self.ecc_mode {
+            EccMode::Off => u64::from(value as u32),
+            EccMode::Secded => ecc::encode(value as u32),
+        }
+    }
+
+    /// Bank of the `word`-th feature of row `cy` (cell-major layout:
+    /// `word = cx * 36 + role * 9 + bin`).
+    fn bank_of_word(cy: usize, word: usize) -> usize {
+        let cx = word / CELL_FEATURES;
+        let role = (word % CELL_FEATURES) / 9;
+        NhogMem::bank_of(cx, cy, role)
+    }
+
+    /// Decodes one stored word, crediting corrections/detections to the
+    /// owning bank. Returns the payload (suspect when uncorrectable).
+    fn load_word(ecc_mode: EccMode, ecc_stats: &mut EccStats, bank: usize, stored: u64) -> i32 {
+        match ecc_mode {
+            EccMode::Off => stored as u32 as i32,
+            EccMode::Secded => {
+                let decoded = ecc::decode(stored);
+                match decoded {
+                    Decoded::Clean(_) => {}
+                    Decoded::Corrected { .. } => ecc_stats.corrected[bank] += 1,
+                    Decoded::Uncorrectable { .. } => ecc_stats.uncorrectable[bank] += 1,
+                }
+                decoded.data() as i32
+            }
+        }
+    }
+
     /// Writes the next cell row (must be row `self.next_row`), evicting
-    /// the oldest row if the ring is full.
+    /// the oldest row if the ring is full. With SECDED enabled, each
+    /// write also scrubs one resident row: the ring-buffer reuse already
+    /// touches the memory once per produced row, so the scrub pass rides
+    /// along at no extra schedule cost and re-encodes any word whose
+    /// stored copy has accumulated a correctable upset.
     ///
     /// # Panics
     ///
@@ -95,9 +176,83 @@ impl NhogMem {
             self.rows.pop_front();
             self.stats.evictions += 1;
         }
-        self.rows.push_back((self.next_row, row));
+        let stored = row.iter().map(|&v| self.store_word(v)).collect();
+        self.rows.push_back((self.next_row, stored));
         self.next_row += 1;
         self.stats.writes += self.cells_x as u64;
+        if self.ecc_mode == EccMode::Secded {
+            self.scrub_next_row();
+        }
+    }
+
+    /// One opportunistic scrub step: decode every word of the next
+    /// resident row (round-robin), write corrected codewords back, and
+    /// count multi-bit detections. Leaves uncorrectable words untouched —
+    /// the read path reports them again so they cannot slip by.
+    fn scrub_next_row(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let idx = self.scrub_cursor % self.rows.len();
+        self.scrub_cursor = self.scrub_cursor.wrapping_add(1);
+        let (cy, row) = &mut self.rows[idx];
+        let cy = *cy;
+        for (word, stored) in row.iter_mut().enumerate() {
+            self.ecc_stats.scrubbed_words += 1;
+            match ecc::decode(*stored) {
+                Decoded::Clean(_) => {}
+                Decoded::Corrected { data, .. } => {
+                    *stored = ecc::encode(data);
+                    self.ecc_stats.scrub_corrected += 1;
+                    self.ecc_stats.corrected[Self::bank_of_word(cy, word)] += 1;
+                }
+                Decoded::Uncorrectable { .. } => {
+                    self.ecc_stats.uncorrectable[Self::bank_of_word(cy, word)] += 1;
+                }
+            }
+        }
+    }
+
+    /// Flips bit `bit` of the `word`-th resident stored word (flat index
+    /// over the ring in eviction order) — the soft-error injection hook.
+    /// Returns `false` without touching anything when the ring is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= resident_words()` (with a non-empty ring) or
+    /// `bit >= word_bits()`.
+    pub fn inject_bit_flip(&mut self, word: usize, bit: u32) -> bool {
+        if self.rows.is_empty() {
+            return false;
+        }
+        assert!(word < self.resident_words(), "word index out of range");
+        assert!(bit < self.word_bits(), "bit index out of range");
+        let row_words = self.cells_x * CELL_FEATURES;
+        self.rows[word / row_words].1[word % row_words] ^= 1u64 << bit;
+        true
+    }
+
+    /// Flips bit `bit` of word `word_in_row` of resident cell row `cy` —
+    /// the injection hook used by the engine's per-strip dose, which
+    /// targets rows it knows are still scheduled for reads. Returns
+    /// `false` without touching anything when row `cy` is not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_in_row >= cells_x * 36` or `bit >= word_bits()`.
+    pub fn inject_bit_flip_in_row(&mut self, cy: usize, word_in_row: usize, bit: u32) -> bool {
+        assert!(
+            word_in_row < self.cells_x * CELL_FEATURES,
+            "word index out of range"
+        );
+        assert!(bit < self.word_bits(), "bit index out of range");
+        match self.rows.iter_mut().find(|(r, _)| *r == cy) {
+            Some((_, row)) => {
+                row[word_in_row] ^= 1u64 << bit;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Loads a whole feature map row by row (test/driver convenience).
@@ -141,7 +296,15 @@ impl NhogMem {
                 .find(|(r, _)| *r == cy)
                 .unwrap_or_else(|| panic!("schedule violation: cell row {cy} not resident"));
             let base = cx * CELL_FEATURES;
-            out.extend_from_slice(&row[base..base + CELL_FEATURES]);
+            for (offset, &stored) in row[base..base + CELL_FEATURES].iter().enumerate() {
+                let bank = Self::bank_of_word(cy, base + offset);
+                out.push(Self::load_word(
+                    self.ecc_mode,
+                    &mut self.ecc_stats,
+                    bank,
+                    stored,
+                ));
+            }
         }
         self.stats.column_reads += 1;
         out
@@ -383,6 +546,84 @@ mod tests {
             let naive = analyze_column_pair_access(BankLayout::WordInterleaved, cx, 0);
             assert!(grouped.min_cycles <= naive.min_cycles, "cx = {cx}");
         }
+    }
+
+    #[test]
+    fn ecc_off_reads_are_bit_identical_to_the_raw_path() {
+        let m = map(8, 20);
+        let mut plain = NhogMem::new(8);
+        let mut secded = NhogMem::with_ecc(8, EccMode::Secded);
+        plain.load_rows_through(&m, 17);
+        secded.load_rows_through(&m, 17);
+        for cx in 0..8 {
+            assert_eq!(
+                plain.read_window_column(cx, 1, 16),
+                secded.read_window_column(cx, 1, 16)
+            );
+        }
+        assert_eq!(plain.ecc_stats().detected_total(), 0);
+        assert_eq!(secded.ecc_stats().uncorrectable_total(), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_is_corrected_and_attributed_to_a_bank() {
+        let m = map(8, 20);
+        let mut mem = NhogMem::with_ecc(8, EccMode::Secded);
+        mem.load_rows_through(&m, 17);
+        // Flip a high bit of word 3 of resident row 0 (cy = 0): the read
+        // must still return the exact map data.
+        assert!(mem.inject_bit_flip(3, 38));
+        let col = mem.read_window_column(0, 0, 16);
+        assert_eq!(&col[0..CELL_FEATURES], m.cell(0, 0));
+        assert_eq!(mem.ecc_stats().corrected_total(), 1);
+        assert_eq!(mem.ecc_stats().uncorrectable_total(), 0);
+        // word 3 -> cx 0, role 0, cy 0 -> bank 0.
+        assert_eq!(mem.ecc_stats().corrected[0], 1);
+    }
+
+    #[test]
+    fn double_bit_flip_is_detected_not_silently_accepted() {
+        let m = map(8, 20);
+        let mut mem = NhogMem::with_ecc(8, EccMode::Secded);
+        mem.load_rows_through(&m, 17);
+        assert!(mem.inject_bit_flip(3, 5));
+        assert!(mem.inject_bit_flip(3, 21));
+        let _ = mem.read_window_column(0, 0, 16);
+        assert_eq!(mem.ecc_stats().uncorrectable_total(), 1);
+    }
+
+    #[test]
+    fn scrub_repairs_a_correctable_upset_in_place() {
+        let m = map(8, 40);
+        let mut mem = NhogMem::with_ecc(8, EccMode::Secded);
+        mem.load_rows_through(&m, 17);
+        // Corrupt a word in the row the next scrub step will visit: 18
+        // writes have advanced the cursor to ring index 18 % 18 = 0, and
+        // the write below evicts cy 0 first, so ring index 0 is cy 1.
+        assert!(mem.inject_bit_flip_in_row(1, 7, 2));
+        let before = mem.ecc_stats().scrub_corrected;
+        mem.load_rows_through(&m, 18); // one write -> one scrub step
+        assert_eq!(mem.ecc_stats().scrub_corrected, before + 1);
+        // The stored word is clean again: a read reports no new error.
+        let corrected = mem.ecc_stats().corrected_total();
+        let col = mem.read_window_column(0, 1, 16);
+        assert_eq!(&col[0..CELL_FEATURES], m.cell(0, 1));
+        assert_eq!(mem.ecc_stats().corrected_total(), corrected);
+    }
+
+    #[test]
+    fn secded_schedule_run_is_clean_without_injection() {
+        let m = map(10, 60);
+        let mut mem = NhogMem::with_ecc(10, EccMode::Secded);
+        for strip in 0..=60 - 16 {
+            let through = (strip + 17).min(59);
+            mem.load_rows_through(&m, through);
+            for cx in 0..10 {
+                let _ = mem.read_window_column(cx, strip, 16);
+            }
+        }
+        assert_eq!(mem.ecc_stats().detected_total(), 0);
+        assert!(mem.ecc_stats().scrubbed_words > 0);
     }
 
     #[test]

@@ -20,13 +20,19 @@
 use rtped_detect::bbox::BoundingBox;
 use rtped_detect::detector::Detection;
 use rtped_detect::nms::non_maximum_suppression;
+use rtped_hog::feature_map::FeatureMap;
+use rtped_hog::params::HogParams;
 use rtped_image::GrayImage;
 use rtped_svm::LinearSvm;
 
 use crate::hist_unit::HistogramUnit;
+use crate::integrity::{FrameIntegrity, IntegrityConfig, SoftErrorDose};
+use crate::lockstep::LockstepChecker;
 use crate::norm_unit::{HwFeatureMap, NormalizerUnit};
 use crate::scaler::FeatureScaler;
-use crate::svm_engine::{QuantizedModel, SvmEngine, WINDOW_CELLS};
+use crate::svm_engine::{
+    QuantizedModel, SvmEngine, WindowScore, COLUMN_CYCLES, FILL_CYCLES, WINDOW_CELLS,
+};
 use crate::timing::{pixel_stream_cycles, ClockDomain};
 
 /// Accelerator configuration.
@@ -71,7 +77,7 @@ pub struct ScaleReport {
 }
 
 /// The result of running one frame through the accelerator model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorReport {
     /// Thresholded (and optionally NMS-filtered) detections in native
     /// frame coordinates.
@@ -104,6 +110,119 @@ impl AcceleratorReport {
     #[must_use]
     pub fn fps(&self, clock: ClockDomain) -> f64 {
         clock.fps(self.frame_cycles())
+    }
+}
+
+/// What a watchdog violation looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// The strip consumed more cycles than its schedule budget.
+    Overrun {
+        /// Cycles observed.
+        observed: u64,
+        /// The 288 + (n−1)·36 budget.
+        budget: u64,
+    },
+    /// The strip retired fewer windows than the schedule guarantees.
+    Stall {
+        /// Windows retired.
+        windows: usize,
+        /// Windows expected.
+        expected: usize,
+    },
+}
+
+/// One watchdog violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogEvent {
+    /// Top cell row of the offending strip.
+    pub strip: usize,
+    /// What went wrong.
+    pub kind: WatchdogKind,
+}
+
+/// The cycle-budget watchdog over the classifier schedule.
+///
+/// The paper's schedule is an invariant, not an estimate: every cell-row
+/// strip costs exactly 288 fill cycles plus 36 cycles per remaining
+/// window column, and retires every window of the strip. A hardware
+/// watchdog holds the pipeline to that — a strip that runs long (clock
+/// upset, arbitration bug, injected stall) or retires short trips it.
+/// This model is fed one observation per strip and records every
+/// violation as a typed [`WatchdogEvent`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineWatchdog {
+    strips: u64,
+    events: Vec<WatchdogEvent>,
+}
+
+impl PipelineWatchdog {
+    /// A fresh watchdog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The schedule budget for one strip of a `cells_x`-wide map:
+    /// `288 + (cells_x − 1) × 36` cycles.
+    #[must_use]
+    pub fn strip_budget(cells_x: usize) -> u64 {
+        FILL_CYCLES + (cells_x as u64 - 1) * COLUMN_CYCLES
+    }
+
+    /// Feeds one strip's observation.
+    pub fn observe_strip(
+        &mut self,
+        strip: usize,
+        cells_x: usize,
+        windows: usize,
+        expected_windows: usize,
+        observed_cycles: u64,
+    ) {
+        self.strips += 1;
+        let budget = Self::strip_budget(cells_x);
+        if observed_cycles > budget {
+            self.events.push(WatchdogEvent {
+                strip,
+                kind: WatchdogKind::Overrun {
+                    observed: observed_cycles,
+                    budget,
+                },
+            });
+        }
+        if windows < expected_windows {
+            self.events.push(WatchdogEvent {
+                strip,
+                kind: WatchdogKind::Stall {
+                    windows,
+                    expected: expected_windows,
+                },
+            });
+        }
+    }
+
+    /// Strips observed so far.
+    #[must_use]
+    pub fn strips(&self) -> u64 {
+        self.strips
+    }
+
+    /// Violations recorded so far, in observation order.
+    #[must_use]
+    pub fn events(&self) -> &[WatchdogEvent] {
+        &self.events
+    }
+
+    /// Whether no violation has been observed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the watchdog, yielding its violations.
+    #[must_use]
+    pub fn into_events(self) -> Vec<WatchdogEvent> {
+        self.events
     }
 }
 
@@ -235,6 +354,152 @@ impl HogAccelerator {
         }
     }
 
+    /// [`HogAccelerator::process`] on the integrity-instrumented datapath:
+    /// ECC'd memories and checked MACBARs on every scale, plus — on the
+    /// native scale — the lockstep cross-check against `golden` (the float
+    /// model this accelerator was quantized from) and the schedule
+    /// watchdog. The deterministic `dose` is injected into the native
+    /// scale's engine.
+    ///
+    /// With [`IntegrityConfig::off`] and an empty dose the
+    /// [`AcceleratorReport`] is bit-identical to [`HogAccelerator::process`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is smaller than 2×2 cells.
+    #[must_use]
+    pub fn process_with_integrity(
+        &self,
+        frame: &GrayImage,
+        golden: &LinearSvm,
+        integrity: &IntegrityConfig,
+        dose: &SoftErrorDose,
+    ) -> (AcceleratorReport, FrameIntegrity) {
+        let base = self.extract_features(frame);
+        let extractor_cycles = pixel_stream_cycles(frame.width(), frame.height());
+        let engine = SvmEngine::new();
+        let scaler = FeatureScaler::new();
+        let (wc, hc) = WINDOW_CELLS;
+        let cell = 8usize;
+        let mut detections = Vec::new();
+        let mut scale_reports = Vec::new();
+        let mut fi = FrameIntegrity::default();
+        let mut watchdog = integrity.watchdog.then(PipelineWatchdog::new);
+        let mut native_scores: Vec<WindowScore> = Vec::new();
+
+        for (scale_index, &scale) in self.config.scales.iter().enumerate() {
+            let (map, scaler_cycles) = if (scale - 1.0).abs() < 1e-9 {
+                (base.clone(), 0u64)
+            } else {
+                let scaled = scaler.scale_by(&base, scale);
+                let (nx, ny) = scaled.cells();
+                (scaled, scaler.cycles(nx, ny))
+            };
+            let (cx_cells, cy_cells) = map.cells();
+            if cx_cells < wc || cy_cells < hc {
+                scale_reports.push(ScaleReport {
+                    scale,
+                    cells: map.cells(),
+                    windows: 0,
+                    classifier_cycles: 0,
+                    scaler_cycles,
+                });
+                continue;
+            }
+            // The dose strikes the native engine; the scaled engine runs
+            // the same protections but is not a target (one SEU, one bank).
+            let scale_dose = if scale_index == 0 {
+                *dose
+            } else {
+                SoftErrorDose::none()
+            };
+            let result = engine.classify_map_integrity(
+                &map,
+                &self.model,
+                integrity.ecc,
+                integrity.checked_macbar,
+                &scale_dose,
+            );
+            fi.ecc.merge(&result.ecc);
+            fi.injected_mem_flips += result.injected_mem_flips;
+            fi.injected_mem_double_flips += result.injected_mem_double_flips;
+            fi.injected_acc_flips += result.injected_acc_flips;
+            fi.injected_stall_cycles += result.injected_stall_cycles;
+            fi.macbar_mismatches += result.macbar_mismatches;
+            if scale_index == 0 {
+                if let Some(wd) = watchdog.as_mut() {
+                    for obs in &result.strips {
+                        wd.observe_strip(
+                            obs.strip,
+                            cx_cells,
+                            obs.windows,
+                            cx_cells - wc + 1,
+                            obs.observed_cycles,
+                        );
+                    }
+                }
+            }
+            let windows = result.scores.len();
+            for s in &result.scores {
+                if s.raw > self.threshold_raw {
+                    let bbox = BoundingBox::new(
+                        (s.cx * cell) as i64,
+                        (s.cy * cell) as i64,
+                        (wc * cell) as u64,
+                        (hc * cell) as u64,
+                    )
+                    .scaled(scale);
+                    detections.push(Detection {
+                        bbox,
+                        score: QuantizedModel::score_to_f64(s.raw),
+                        scale,
+                    });
+                }
+            }
+            scale_reports.push(ScaleReport {
+                scale,
+                cells: map.cells(),
+                windows,
+                classifier_cycles: engine.cycles_per_frame(cx_cells, cy_cells)
+                    + result.injected_stall_cycles,
+                scaler_cycles,
+            });
+            if scale_index == 0 {
+                native_scores = result.scores;
+            }
+        }
+
+        if let Some(wd) = watchdog {
+            fi.watchdog_events = wd.into_events();
+        }
+        if let Some(tolerance) = integrity.lockstep_tolerance {
+            // The golden channel sees the same delivered frame, so only
+            // datapath divergence (not input corruption) can trip it.
+            let params = HogParams::pedestrian();
+            let golden_map = FeatureMap::extract(frame, &params);
+            fi.lockstep = Some(LockstepChecker::new(tolerance).check_scores(
+                &native_scores,
+                &golden_map,
+                &params,
+                golden,
+            ));
+        }
+
+        let detections = match self.config.nms_iou {
+            Some(iou) => non_maximum_suppression(detections, iou),
+            None => detections,
+        };
+
+        (
+            AcceleratorReport {
+                detections,
+                extractor_cycles,
+                scale_reports,
+            },
+            fi,
+        )
+    }
+
     /// A textual stage graph of the implemented architecture (the harness
     /// prints this next to the throughput table; it corresponds to the
     /// paper's Figs. 5–8).
@@ -264,8 +529,8 @@ impl HogAccelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ecc::EccMode;
     use rtped_detect::detector::score_window;
-    use rtped_hog::params::HogParams;
 
     fn textured(w: usize, h: usize) -> GrayImage {
         GrayImage::from_fn(w, h, |x, y| ((x * 29 + y * 13 + (x * y) % 31) % 256) as u8)
@@ -405,5 +670,132 @@ mod tests {
     fn wrong_model_dim_rejected() {
         let model = LinearSvm::new(vec![0.0; 3780], 0.0);
         let _ = HogAccelerator::new(&model, AcceleratorConfig::default());
+    }
+
+    #[test]
+    fn watchdog_flags_overruns_and_stalls() {
+        let mut wd = PipelineWatchdog::new();
+        let budget = PipelineWatchdog::strip_budget(32);
+        wd.observe_strip(0, 32, 25, 25, budget);
+        assert!(wd.is_clean());
+        wd.observe_strip(1, 32, 25, 25, budget + 7);
+        wd.observe_strip(2, 32, 24, 25, budget);
+        assert_eq!(wd.strips(), 3);
+        assert_eq!(
+            wd.events(),
+            &[
+                WatchdogEvent {
+                    strip: 1,
+                    kind: WatchdogKind::Overrun {
+                        observed: budget + 7,
+                        budget
+                    }
+                },
+                WatchdogEvent {
+                    strip: 2,
+                    kind: WatchdogKind::Stall {
+                        windows: 24,
+                        expected: 25
+                    }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn integrity_report_without_dose_matches_plain_process() {
+        let frame = textured(192, 256);
+        let model = pseudo_model(0.1);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let plain = acc.process(&frame);
+        for config in [IntegrityConfig::full(), IntegrityConfig::off()] {
+            let (report, fi) =
+                acc.process_with_integrity(&frame, &model, &config, &SoftErrorDose::none());
+            assert_eq!(report, plain, "mode {:?}", config.ecc);
+            assert_eq!(fi.ecc.detected_total(), 0);
+            assert!(fi.watchdog_events.is_empty());
+            assert_eq!(fi.macbar_mismatches, 0);
+            if let Some(ls) = &fi.lockstep {
+                assert!(ls.is_clean(), "clean run diverged: {:?}", ls.worst());
+            }
+        }
+    }
+
+    #[test]
+    fn stall_dose_trips_the_watchdog_and_stretches_cycles() {
+        let frame = textured(192, 256);
+        let model = pseudo_model(0.1);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let dose = SoftErrorDose {
+            seed: 11,
+            stall_cycles: 500,
+            ..SoftErrorDose::none()
+        };
+        let (report, fi) =
+            acc.process_with_integrity(&frame, &model, &IntegrityConfig::full(), &dose);
+        assert_eq!(fi.injected_stall_cycles, 500);
+        assert_eq!(fi.watchdog_events.len(), 1);
+        assert!(matches!(
+            fi.watchdog_events[0].kind,
+            WatchdogKind::Overrun { observed, budget } if observed == budget + 500
+        ));
+        let clean = acc.process(&frame);
+        assert_eq!(
+            report.scale_reports[0].classifier_cycles,
+            clean.scale_reports[0].classifier_cycles + 500
+        );
+    }
+
+    #[test]
+    fn single_bit_doses_leave_detections_bit_identical() {
+        let frame = textured(192, 256);
+        let model = pseudo_model(0.1);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let plain = acc.process(&frame);
+        let dose = SoftErrorDose {
+            seed: 2017,
+            mem_flips: 4,
+            ..SoftErrorDose::none()
+        };
+        let (report, fi) =
+            acc.process_with_integrity(&frame, &model, &IntegrityConfig::full(), &dose);
+        assert!(fi.ecc.corrected_total() >= 4);
+        assert_eq!(fi.ecc.uncorrectable_total(), 0);
+        assert_eq!(report, plain);
+        assert!(fi.faults().is_empty());
+    }
+
+    #[test]
+    fn unprotected_memory_corruption_is_caught_by_lockstep() {
+        // ECC off + a barrage of flips: the golden float channel is the
+        // only line of defense, and it must notice.
+        let frame = textured(96, 160);
+        let model = pseudo_model(0.1);
+        let config = AcceleratorConfig {
+            scales: vec![1.0],
+            ..AcceleratorConfig::default()
+        };
+        let acc = HogAccelerator::new(&model, config);
+        let integrity = IntegrityConfig {
+            ecc: EccMode::Off,
+            ..IntegrityConfig::full()
+        };
+        let dose = SoftErrorDose {
+            seed: 5,
+            mem_flips: 300,
+            ..SoftErrorDose::none()
+        };
+        let (_, fi) = acc.process_with_integrity(&frame, &model, &integrity, &dose);
+        assert_eq!(fi.ecc.detected_total(), 0, "ECC off must observe nothing");
+        let ls = fi.lockstep.as_ref().unwrap();
+        assert!(
+            !ls.is_clean(),
+            "300 unprotected flips stayed under tolerance {}",
+            ls.tolerance
+        );
+        assert!(fi
+            .faults()
+            .iter()
+            .any(|f| f.label() == "lockstep_divergence"));
     }
 }

@@ -13,9 +13,12 @@
 //!
 //! — the paper's exact per-frame count, under 10 ms at 125 MHz.
 
+use rtped_core::{Rng, SeedRng};
 use rtped_svm::LinearSvm;
 
-use crate::macbar::{MacBar, LANES};
+use crate::ecc::{EccMode, EccStats};
+use crate::integrity::SoftErrorDose;
+use crate::macbar::{CheckedMacBar, MacBar, LANES};
 use crate::nhog_mem::NhogMem;
 use crate::norm_unit::{HwFeatureMap, CELL_FEATURES};
 
@@ -104,6 +107,63 @@ pub struct WindowScore {
     pub raw: i64,
 }
 
+/// One row-strip's schedule observation (for the pipeline watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripObservation {
+    /// Top cell row of the strip.
+    pub strip: usize,
+    /// Windows the strip retired.
+    pub windows: usize,
+    /// Cycles the strip consumed (the 288 + (n−1)·36 budget plus any
+    /// injected stall).
+    pub observed_cycles: u64,
+}
+
+/// What [`SvmEngine::classify_map_integrity`] observed beyond the scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineIntegrity {
+    /// Raw window scores in raster order (identical to
+    /// [`SvmEngine::classify_map`] when nothing was injected).
+    pub scores: Vec<WindowScore>,
+    /// SECDED counters of the engine's `NHOGMem`.
+    pub ecc: EccStats,
+    /// Windows whose checked-MACBAR copies diverged.
+    pub macbar_mismatches: u64,
+    /// `(cx, cy)` of each diverged window, in raster order.
+    pub flagged_windows: Vec<(usize, usize)>,
+    /// Single-bit memory upsets actually applied.
+    pub injected_mem_flips: u32,
+    /// Double-bit memory upsets actually applied.
+    pub injected_mem_double_flips: u32,
+    /// Accumulator upsets actually applied.
+    pub injected_acc_flips: u32,
+    /// Stall cycles actually applied to the schedule.
+    pub injected_stall_cycles: u64,
+    /// Per-strip schedule observations, in strip order.
+    pub strips: Vec<StripObservation>,
+}
+
+/// One scheduled memory upset: strip placement plus raw draws resolved
+/// against the strip's readable words at injection time.
+#[derive(Debug, Clone, Copy)]
+struct MemShot {
+    strip: usize,
+    word_draw: u64,
+    bit_draw: u64,
+    second_bit_draw: u64,
+    double: bool,
+}
+
+/// One scheduled accumulator upset.
+#[derive(Debug, Clone, Copy)]
+struct AccShot {
+    strip: usize,
+    window_draw: u64,
+    bar: usize,
+    lane: usize,
+    bit: u32,
+}
+
 /// The classification engine.
 #[derive(Debug, Clone, Default)]
 pub struct SvmEngine;
@@ -151,20 +211,7 @@ impl SvmEngine {
             return Vec::new();
         }
 
-        // Per-window-column weight slices: column j of the window covers
-        // cells (j, 0..16); its weights are the model entries of those
-        // cells. Feature order inside a column matches
-        // NhogMem::read_window_column: cell-major top to bottom.
-        let col_weights: Vec<Vec<i32>> = (0..wc)
-            .map(|j| {
-                let mut w = Vec::with_capacity(hc * CELL_FEATURES);
-                for row in 0..hc {
-                    let base = (row * wc + j) * CELL_FEATURES;
-                    w.extend_from_slice(&model.weights()[base..base + CELL_FEATURES]);
-                }
-                w
-            })
-            .collect();
+        let col_weights = Self::column_weights(model);
 
         let mut mem = NhogMem::new(cells_x);
         let mut scores = Vec::new();
@@ -199,6 +246,197 @@ impl SvmEngine {
             }
         }
         scores
+    }
+
+    /// Per-window-column weight slices: column j of the window covers
+    /// cells (j, 0..16); its weights are the model entries of those
+    /// cells. Feature order inside a column matches
+    /// `NhogMem::read_window_column`: cell-major top to bottom.
+    fn column_weights(model: &QuantizedModel) -> Vec<Vec<i32>> {
+        let (wc, hc) = WINDOW_CELLS;
+        (0..wc)
+            .map(|j| {
+                let mut w = Vec::with_capacity(hc * CELL_FEATURES);
+                for row in 0..hc {
+                    let base = (row * wc + j) * CELL_FEATURES;
+                    w.extend_from_slice(&model.weights()[base..base + CELL_FEATURES]);
+                }
+                w
+            })
+            .collect()
+    }
+
+    /// [`SvmEngine::classify_map`] on the integrity-instrumented datapath:
+    /// the `NHOGMem` runs under `ecc`, every MACBAR is duplicated, and a
+    /// deterministic [`SoftErrorDose`] is injected along the way.
+    ///
+    /// With an empty dose the scores are **bit-identical** to
+    /// [`SvmEngine::classify_map`] under either ECC mode — the protection
+    /// machinery never perturbs a clean datapath.
+    ///
+    /// Injection placement derives entirely from `dose.seed`, in a fixed
+    /// draw order (memory singles, memory doubles, accumulators, stall),
+    /// so a dose strikes the same bits on every run and thread count.
+    /// Memory upsets land in words of the row strip being processed —
+    /// words the schedule is guaranteed to read — so a correctable upset
+    /// is always exercised and a double upset can never slip out of the
+    /// ring unobserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.dim() != 4608` (the 8×16-cell window).
+    #[must_use]
+    pub fn classify_map_integrity(
+        &self,
+        map: &HwFeatureMap,
+        model: &QuantizedModel,
+        ecc: EccMode,
+        checked_macbar: bool,
+        dose: &SoftErrorDose,
+    ) -> EngineIntegrity {
+        let (wc, hc) = WINDOW_CELLS;
+        assert_eq!(
+            model.dim(),
+            wc * hc * CELL_FEATURES,
+            "model does not match the 8x16-cell window"
+        );
+        let (cells_x, cells_y) = map.cells();
+        let mut out = EngineIntegrity {
+            scores: Vec::new(),
+            ecc: EccStats::default(),
+            macbar_mismatches: 0,
+            flagged_windows: Vec::new(),
+            injected_mem_flips: 0,
+            injected_mem_double_flips: 0,
+            injected_acc_flips: 0,
+            injected_stall_cycles: 0,
+            strips: Vec::new(),
+        };
+        if cells_x < wc || cells_y < hc {
+            return out;
+        }
+        let strips = cells_y - hc + 1;
+        let windows_per_strip = cells_x - wc + 1;
+        let strip_budget = FILL_CYCLES + (cells_x as u64 - 1) * COLUMN_CYCLES;
+
+        // Fixed draw order: memory singles, memory doubles, accumulator
+        // flips, stall placement. Raw word/bit draws resolve modulo the
+        // strip's readable word count at injection time.
+        let mut rng = SeedRng::seed_from_u64(dose.seed);
+        let mut mem_shots = Vec::new();
+        for _ in 0..dose.mem_flips {
+            mem_shots.push(MemShot {
+                strip: rng.gen_range(0..strips),
+                word_draw: rng.next_u64(),
+                bit_draw: rng.next_u64(),
+                second_bit_draw: 0,
+                double: false,
+            });
+        }
+        for _ in 0..dose.mem_double_flips {
+            mem_shots.push(MemShot {
+                strip: rng.gen_range(0..strips),
+                word_draw: rng.next_u64(),
+                bit_draw: rng.next_u64(),
+                second_bit_draw: rng.next_u64(),
+                double: true,
+            });
+        }
+        let acc_shots: Vec<AccShot> = (0..dose.acc_flips)
+            .map(|_| AccShot {
+                strip: rng.gen_range(0..strips),
+                window_draw: rng.next_u64(),
+                bar: rng.gen_range(0..MACBARS),
+                lane: rng.gen_range(0..LANES),
+                bit: rng.gen_range(0u32..48),
+            })
+            .collect();
+        let stall_strip = if dose.stall_cycles > 0 {
+            Some(rng.gen_range(0..strips))
+        } else {
+            None
+        };
+
+        let col_weights = Self::column_weights(model);
+        let mut mem = NhogMem::with_ecc(cells_x, ecc);
+        let mut bars: Vec<CheckedMacBar> = (0..MACBARS).map(|_| CheckedMacBar::new()).collect();
+        let row_words = cells_x * CELL_FEATURES;
+        let word_bits = mem.word_bits();
+
+        for strip in 0..strips {
+            let through = (strip + hc + 1).min(cells_y - 1);
+            mem.load_rows_through(map, through);
+
+            // Land this strip's memory upsets in the 16 rows its column
+            // reads are about to cover.
+            for shot in mem_shots.iter().filter(|s| s.strip == strip) {
+                let offset = (shot.word_draw % (hc * row_words) as u64) as usize;
+                let cy = strip + offset / row_words;
+                let word_in_row = offset % row_words;
+                let bit = (shot.bit_draw % u64::from(word_bits)) as u32;
+                if !mem.inject_bit_flip_in_row(cy, word_in_row, bit) {
+                    continue;
+                }
+                if shot.double {
+                    // A second, distinct bit of the same word.
+                    let step = 1 + (shot.second_bit_draw % u64::from(word_bits - 1)) as u32;
+                    let second = (bit + step) % word_bits;
+                    mem.inject_bit_flip_in_row(cy, word_in_row, second);
+                    out.injected_mem_double_flips += 1;
+                } else {
+                    out.injected_mem_flips += 1;
+                }
+            }
+
+            let columns: Vec<Vec<i32>> = (0..cells_x)
+                .map(|cx| mem.read_window_column(cx, strip, hc))
+                .collect();
+
+            for cx in 0..windows_per_strip {
+                let mut raw = model.bias();
+                let mut diverged = false;
+                for (j, bar) in bars.iter_mut().enumerate() {
+                    bar.clear();
+                    bar.process_column(
+                        &columns[cx + j],
+                        &col_weights[j],
+                        CELL_FEATURES * hc / LANES,
+                    );
+                    for shot in &acc_shots {
+                        if shot.strip == strip
+                            && shot.bar == j
+                            && (shot.window_draw % windows_per_strip as u64) as usize == cx
+                        {
+                            bar.inject_acc_flip(shot.lane, shot.bit);
+                            out.injected_acc_flips += 1;
+                        }
+                    }
+                    if checked_macbar && bar.verify().is_err() {
+                        diverged = true;
+                    }
+                    raw += bar.reduce();
+                }
+                if diverged {
+                    out.macbar_mismatches += 1;
+                    out.flagged_windows.push((cx, strip));
+                }
+                out.scores.push(WindowScore { cx, cy: strip, raw });
+            }
+
+            let stall = if stall_strip == Some(strip) {
+                out.injected_stall_cycles += dose.stall_cycles;
+                dose.stall_cycles
+            } else {
+                0
+            };
+            out.strips.push(StripObservation {
+                strip,
+                windows: windows_per_strip,
+                observed_cycles: strip_budget + stall,
+            });
+        }
+        out.ecc = mem.ecc_stats().clone();
+        out
     }
 }
 
@@ -317,5 +555,151 @@ mod tests {
     #[test]
     fn fill_cycles_are_eight_columns() {
         assert_eq!(FILL_CYCLES, MACBARS as u64 * COLUMN_CYCLES);
+    }
+
+    fn quantized() -> QuantizedModel {
+        let weights: Vec<f64> = (0..4608)
+            .map(|i| (((i * 2654435761usize) % 2001) as f64 / 1000.0) - 1.0)
+            .collect();
+        QuantizedModel::from_svm(&LinearSvm::new(weights, 0.375))
+    }
+
+    #[test]
+    fn integrity_path_with_empty_dose_is_bit_identical() {
+        let map = ramp_map(12, 20);
+        let q = quantized();
+        let engine = SvmEngine::new();
+        let clean = engine.classify_map(&map, &q);
+        for ecc in [EccMode::Off, EccMode::Secded] {
+            let result = engine.classify_map_integrity(&map, &q, ecc, true, &SoftErrorDose::none());
+            assert_eq!(result.scores, clean, "mode {ecc:?}");
+            assert_eq!(result.ecc.detected_total(), 0);
+            assert_eq!(result.macbar_mismatches, 0);
+            assert_eq!(result.strips.len(), 5);
+            for obs in &result.strips {
+                assert_eq!(obs.windows, 5);
+                assert_eq!(obs.observed_cycles, FILL_CYCLES + 11 * COLUMN_CYCLES);
+            }
+        }
+    }
+
+    #[test]
+    fn single_mem_flips_are_corrected_and_scores_match_clean() {
+        let map = ramp_map(12, 20);
+        let q = quantized();
+        let engine = SvmEngine::new();
+        let clean = engine.classify_map(&map, &q);
+        for seed in 0..20 {
+            let dose = SoftErrorDose {
+                seed,
+                mem_flips: 2,
+                ..SoftErrorDose::none()
+            };
+            let result = engine.classify_map_integrity(&map, &q, EccMode::Secded, true, &dose);
+            assert_eq!(result.injected_mem_flips, 2, "seed {seed}");
+            assert!(result.ecc.corrected_total() >= 2, "seed {seed}");
+            assert_eq!(result.ecc.uncorrectable_total(), 0, "seed {seed}");
+            assert_eq!(
+                result.scores, clean,
+                "seed {seed}: correction was not exact"
+            );
+        }
+    }
+
+    #[test]
+    fn double_mem_flips_are_always_detected() {
+        let map = ramp_map(12, 20);
+        let q = quantized();
+        let engine = SvmEngine::new();
+        for seed in 0..20 {
+            let dose = SoftErrorDose {
+                seed,
+                mem_double_flips: 1,
+                ..SoftErrorDose::none()
+            };
+            let result = engine.classify_map_integrity(&map, &q, EccMode::Secded, true, &dose);
+            assert_eq!(result.injected_mem_double_flips, 1, "seed {seed}");
+            assert!(
+                result.ecc.uncorrectable_total() >= 1,
+                "seed {seed}: double flip escaped"
+            );
+        }
+    }
+
+    #[test]
+    fn acc_flip_is_flagged_when_checked_and_silent_otherwise() {
+        let map = ramp_map(12, 20);
+        let q = quantized();
+        let engine = SvmEngine::new();
+        let clean = engine.classify_map(&map, &q);
+        let dose = SoftErrorDose {
+            seed: 7,
+            acc_flips: 1,
+            ..SoftErrorDose::none()
+        };
+        let checked = engine.classify_map_integrity(&map, &q, EccMode::Off, true, &dose);
+        assert_eq!(checked.injected_acc_flips, 1);
+        assert_eq!(checked.macbar_mismatches, 1);
+        assert_eq!(checked.flagged_windows.len(), 1);
+        // The same dose without the checker corrupts the same window —
+        // silently. That asymmetry is the whole point of the checker.
+        let unchecked = engine.classify_map_integrity(&map, &q, EccMode::Off, false, &dose);
+        assert_eq!(unchecked.macbar_mismatches, 0);
+        assert_eq!(unchecked.scores, checked.scores);
+        assert_ne!(unchecked.scores, clean);
+    }
+
+    #[test]
+    fn stall_cycles_land_on_exactly_one_strip() {
+        let map = ramp_map(12, 20);
+        let q = quantized();
+        let dose = SoftErrorDose {
+            seed: 3,
+            stall_cycles: 100,
+            ..SoftErrorDose::none()
+        };
+        let result = SvmEngine::new().classify_map_integrity(&map, &q, EccMode::Off, false, &dose);
+        assert_eq!(result.injected_stall_cycles, 100);
+        let budget = FILL_CYCLES + 11 * COLUMN_CYCLES;
+        let over: Vec<&StripObservation> = result
+            .strips
+            .iter()
+            .filter(|o| o.observed_cycles > budget)
+            .collect();
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].observed_cycles, budget + 100);
+    }
+
+    #[test]
+    fn injection_schedule_is_pure_in_the_dose_seed() {
+        let map = ramp_map(12, 20);
+        let q = quantized();
+        let engine = SvmEngine::new();
+        let dose = SoftErrorDose {
+            seed: 11,
+            mem_flips: 3,
+            mem_double_flips: 1,
+            acc_flips: 2,
+            stall_cycles: 50,
+        };
+        let a = engine.classify_map_integrity(&map, &q, EccMode::Secded, true, &dose);
+        let b = engine.classify_map_integrity(&map, &q, EccMode::Secded, true, &dose);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_small_map_yields_empty_integrity() {
+        let map = ramp_map(7, 16);
+        let q = quantized();
+        let dose = SoftErrorDose {
+            seed: 1,
+            mem_flips: 5,
+            ..SoftErrorDose::none()
+        };
+        let result =
+            SvmEngine::new().classify_map_integrity(&map, &q, EccMode::Secded, true, &dose);
+        assert!(result.scores.is_empty());
+        assert_eq!(result.injected_mem_flips, 0);
+        assert!(result.strips.is_empty());
     }
 }

@@ -117,6 +117,9 @@ pub enum TransitionCause {
     FrameError,
     /// Consecutive errors reached the burst threshold.
     ErrorBurst,
+    /// The hardware-integrity layer raised a fault (uncorrectable memory
+    /// error, MACBAR divergence, lockstep mismatch, or watchdog event).
+    IntegrityFault,
     /// Enough consecutive good frames under the recovery margin.
     Recovered,
 }
@@ -129,6 +132,7 @@ impl TransitionCause {
             TransitionCause::DeadlineMiss => "deadline_miss",
             TransitionCause::FrameError => "frame_error",
             TransitionCause::ErrorBurst => "error_burst",
+            TransitionCause::IntegrityFault => "integrity_fault",
             TransitionCause::Recovered => "recovered",
         }
     }
@@ -250,6 +254,16 @@ impl Controller {
             });
         }
         self.escalate(TransitionCause::FrameError)
+    }
+
+    /// Observes a hardware-integrity fault on a frame that otherwise
+    /// produced output. Escalates one rung immediately. Deliberately does
+    /// not feed the error-burst counter: integrity faults come from the
+    /// datapath, not the frame source, and the burst jump is reserved for
+    /// delivery failures.
+    pub fn observe_integrity_fault(&mut self) -> Option<Transition> {
+        self.good_streak = 0;
+        self.escalate(TransitionCause::IntegrityFault)
     }
 
     fn escalate(&mut self, cause: TransitionCause) -> Option<Transition> {
@@ -387,5 +401,24 @@ mod tests {
         assert_eq!(HealthState::Degraded(2).label(), "degraded_2");
         assert_eq!(HealthState::SafeFallback.label(), "safe_fallback");
         assert_eq!(TransitionCause::ErrorBurst.label(), "error_burst");
+        assert_eq!(TransitionCause::IntegrityFault.label(), "integrity_fault");
+    }
+
+    #[test]
+    fn integrity_faults_escalate_without_feeding_the_burst() {
+        let mut c = controller();
+        let t = c.observe_integrity_fault().expect("must escalate");
+        assert_eq!(t.to, HealthState::Degraded(1));
+        assert_eq!(t.cause, TransitionCause::IntegrityFault);
+        // Two integrity faults then one frame error: the burst counter
+        // only saw the frame error, so no SafeFallback jump.
+        c.observe_integrity_fault();
+        c.observe_error();
+        assert_ne!(c.state(), HealthState::SafeFallback);
+        // Recovery works from an integrity-caused rung like any other.
+        for _ in 0..5 {
+            c.observe_ok(5.0);
+        }
+        assert!(c.state() < HealthState::Degraded(3));
     }
 }

@@ -64,17 +64,28 @@ impl DeadlineBudget {
     }
 
     /// [`DeadlineBudget::from_das`] unless `RTPED_DEADLINE_MS` holds a
-    /// positive number, which then wins.
+    /// positive number, which then wins. An unparsable or non-positive
+    /// value is ignored with a once-per-process stderr warning, so a
+    /// typo'd override degrades loudly to the derived default instead of
+    /// silently changing the deadline.
     #[must_use]
     pub fn from_env_or_das(das: &DasParams) -> Self {
-        if let Ok(raw) = std::env::var(DEADLINE_ENV) {
-            if let Ok(ms) = raw.trim().parse::<f64>() {
-                if ms.is_finite() && ms > 0.0 {
-                    return Self::from_ms(ms);
-                }
+        let fallback = Self::from_das(das);
+        match rtped_core::env::typed::<f64>(DEADLINE_ENV) {
+            rtped_core::env::EnvValue::Valid { value, .. } if value.is_finite() && value > 0.0 => {
+                Self::from_ms(value)
             }
+            rtped_core::env::EnvValue::Valid { raw, .. }
+            | rtped_core::env::EnvValue::Invalid { raw } => {
+                rtped_core::env::warn_once(
+                    DEADLINE_ENV,
+                    &raw,
+                    &format!("{} ms", fallback.frame_budget_ms),
+                );
+                fallback
+            }
+            rtped_core::env::EnvValue::Unset => fallback,
         }
-        Self::from_das(das)
     }
 }
 

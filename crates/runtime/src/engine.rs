@@ -120,6 +120,7 @@ impl<D: Detect + Sync> Runtime<D> {
             transitions,
             final_state: controller.state(),
             stream: None,
+            integrity: None,
         }
     }
 

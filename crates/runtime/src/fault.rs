@@ -53,6 +53,21 @@ pub enum Fault {
     },
     /// The detection worker for this frame panics mid-scan.
     WorkerPanic,
+    /// Soft errors strike the accelerator's internals this frame: bit
+    /// flips in the feature memory and MAC accumulators plus pipeline
+    /// stall cycles. Unlike the image faults this does not touch the
+    /// delivered frame — the dose is injected inside the hardware model
+    /// (see `rtped_hw::integrity`), seeded by [`FaultPlan::soft_seed`].
+    SoftErrors {
+        /// Single-bit upsets in the feature memory (ECC-correctable).
+        mem_flips: u32,
+        /// Double-bit upsets in the feature memory (detect-only).
+        mem_double_flips: u32,
+        /// Accumulator upsets in the MACBAR datapath.
+        acc_flips: u32,
+        /// Extra cycles stolen from one row strip's schedule.
+        stall_cycles: u64,
+    },
 }
 
 impl Fault {
@@ -68,6 +83,14 @@ impl Fault {
             Fault::Truncation => "truncation".to_string(),
             Fault::Delay { millis } => format!("delay({millis}ms)"),
             Fault::WorkerPanic => "worker_panic".to_string(),
+            Fault::SoftErrors {
+                mem_flips,
+                mem_double_flips,
+                acc_flips,
+                stall_cycles,
+            } => format!(
+                "soft_errors(mem={mem_flips},dbl={mem_double_flips},acc={acc_flips},stall={stall_cycles})"
+            ),
         }
     }
 }
@@ -119,6 +142,9 @@ pub struct FaultPlan {
     /// Kill the detection worker on every `k`-th frame (frame indices
     /// `k-1, 2k-1, ...`); `None` disables worker kills.
     pub panic_period: Option<usize>,
+    /// Probability a soft-error dose strikes the accelerator internals
+    /// (memory/accumulator upsets + stall cycles) on a frame.
+    pub soft_error_rate: f64,
 }
 
 impl FaultPlan {
@@ -133,6 +159,7 @@ impl FaultPlan {
             delay_rate: 0.0,
             delay_ms: 0.0,
             panic_period: None,
+            soft_error_rate: 0.0,
         }
     }
 
@@ -149,6 +176,19 @@ impl FaultPlan {
             delay_rate: 0.12,
             delay_ms: 12.0,
             panic_period: Some(25),
+            soft_error_rate: 0.0,
+        }
+    }
+
+    /// A soft-error campaign: no image faults, only in-accelerator upsets
+    /// at the given per-frame `rate` — the acceptance scenario for the
+    /// hardware-integrity layer.
+    #[must_use]
+    pub fn soft_errors(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            soft_error_rate: rate,
+            ..Self::none()
         }
     }
 
@@ -160,6 +200,7 @@ impl FaultPlan {
             && self.truncation_rate <= 0.0
             && self.delay_rate <= 0.0
             && self.panic_period.is_none()
+            && self.soft_error_rate <= 0.0
     }
 
     /// The RNG stream for one frame: depends only on the plan seed and
@@ -192,6 +233,13 @@ impl FaultPlan {
         };
         let bits = rng.gen_range(4usize..=32);
         let delay_draw = rng.next_f64();
+        // Soft-error draws are appended after every pre-existing draw so
+        // enabling them never shifts the image-fault schedule of a seed.
+        let soft_draw = rng.next_f64();
+        let soft_mem = rng.gen_range(1u32..=3);
+        let soft_double = rng.gen_range(0u32..=1);
+        let soft_acc = rng.gen_range(0u32..=1);
+        let soft_stall = rng.gen_range(0u64..=400);
 
         if dropout_draw < self.dropout_rate {
             faults.push(Fault::SensorDropout);
@@ -218,7 +266,23 @@ impl FaultPlan {
                 faults.push(Fault::WorkerPanic);
             }
         }
+        if soft_draw < self.soft_error_rate {
+            faults.push(Fault::SoftErrors {
+                mem_flips: soft_mem,
+                mem_double_flips: soft_double,
+                acc_flips: soft_acc,
+                stall_cycles: soft_stall,
+            });
+        }
         faults
+    }
+
+    /// The seed for frame `index`'s in-accelerator soft-error placement.
+    /// Drawn from its own split so the dose placement never perturbs the
+    /// image-fault or corruption streams.
+    #[must_use]
+    pub fn soft_seed(&self, index: usize) -> u64 {
+        self.frame_rng(index).split(2).next_u64()
     }
 
     /// Applies the schedule for frame `index` to `frame`, producing what
@@ -263,6 +327,9 @@ impl FaultPlan {
                 }
                 Fault::Delay { millis } => delay_ms += millis,
                 Fault::WorkerPanic => worker_panic = true,
+                // Soft errors live inside the accelerator, not the image;
+                // the integrity runtime turns this fault into a dose.
+                Fault::SoftErrors { .. } => {}
             }
         }
         Delivery::Frame {
@@ -401,5 +468,59 @@ mod tests {
         assert_eq!(Fault::BitFlips { bits: 8 }.label(), "bit_flips(8)");
         assert_eq!(Fault::SensorDropout.label(), "sensor_dropout");
         assert_eq!(Fault::Delay { millis: 12.0 }.label(), "delay(12ms)");
+        assert_eq!(
+            Fault::SoftErrors {
+                mem_flips: 2,
+                mem_double_flips: 1,
+                acc_flips: 0,
+                stall_cycles: 64,
+            }
+            .label(),
+            "soft_errors(mem=2,dbl=1,acc=0,stall=64)"
+        );
+    }
+
+    #[test]
+    fn soft_error_plan_strikes_only_the_accelerator() {
+        let plan = FaultPlan::soft_errors(2017, 1.0);
+        assert!(!plan.is_empty());
+        for i in 0..20 {
+            let faults = plan.faults_for(i, 48, 64);
+            assert_eq!(faults.len(), 1, "frame {i}: {faults:?}");
+            assert!(matches!(faults[0], Fault::SoftErrors { .. }));
+            // The delivered image is untouched.
+            match plan.deliver(i, &frame()) {
+                Delivery::Frame { image, .. } => assert_eq!(image, frame()),
+                other => panic!("frame {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn enabling_soft_errors_never_shifts_the_image_fault_schedule() {
+        let base = FaultPlan::stress(42);
+        let with_soft = FaultPlan {
+            soft_error_rate: 1.0,
+            ..FaultPlan::stress(42)
+        };
+        for i in 0..100 {
+            let image_faults: Vec<Fault> = with_soft
+                .faults_for(i, 48, 64)
+                .into_iter()
+                .filter(|f| !matches!(f, Fault::SoftErrors { .. }))
+                .collect();
+            assert_eq!(image_faults, base.faults_for(i, 48, 64), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn soft_seed_is_pure_and_distinct_per_frame() {
+        let plan = FaultPlan::soft_errors(9, 1.0);
+        assert_eq!(plan.soft_seed(3), plan.soft_seed(3));
+        assert_ne!(plan.soft_seed(3), plan.soft_seed(4));
+        assert_ne!(
+            plan.soft_seed(0),
+            FaultPlan::soft_errors(10, 1.0).soft_seed(0)
+        );
     }
 }

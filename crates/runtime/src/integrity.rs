@@ -1,0 +1,265 @@
+//! The integrity-instrumented frame server: the hardware accelerator's
+//! protected datapath wired into the runtime safety monitor.
+//!
+//! [`IntegrityRuntime::run`] is [`crate::Runtime::run`]'s sibling for the
+//! cycle-accurate hardware model: each delivered frame goes through
+//! `rtped_hw::HogAccelerator::process_with_integrity` — SECDED-protected
+//! feature memory, duplicate-and-compare MACBARs, the float-golden
+//! lockstep channel, and the schedule watchdog — under a deterministic
+//! [`SoftErrorDose`] drawn from the [`FaultPlan`]'s `soft_errors` fault.
+//!
+//! Integrity faults (uncorrectable memory words, MACBAR divergence,
+//! lockstep mismatch, watchdog events) escalate the degradation
+//! controller one rung via `observe_integrity_fault` — the new
+//! `integrity_fault` transition cause — and every frame's ECC/lockstep
+//! accounting folds into the run-level
+//! [`IntegrityReport`](rtped_hw::IntegrityReport) published in
+//! [`RunReport::integrity`].
+//!
+//! The loop is serial and every latency is modeled from cycle counts at
+//! the accelerator's clock, so the emitted report is byte-identical
+//! across runs, hosts, and `RTPED_THREADS` values.
+
+use rtped_detect::detector::Detection;
+use rtped_detect::tracker::{Tracker, TrackerParams};
+use rtped_hw::integrity::{IntegrityConfig, IntegrityReport, SoftErrorDose};
+use rtped_hw::{AcceleratorConfig, HogAccelerator};
+use rtped_image::GrayImage;
+use rtped_svm::LinearSvm;
+
+use crate::control::{Controller, DegradationPolicy, HealthState};
+use crate::deadline::DeadlineBudget;
+use crate::fault::{Delivery, Fault, FaultPlan};
+use crate::report::{FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord};
+
+/// Serves frames through the integrity-instrumented hardware model under
+/// a fault plan, feeding integrity faults into the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct IntegrityRuntime {
+    accelerator: HogAccelerator,
+    golden: LinearSvm,
+    integrity: IntegrityConfig,
+    budget: DeadlineBudget,
+    policy: DegradationPolicy,
+    tracker: TrackerParams,
+}
+
+impl IntegrityRuntime {
+    /// Builds the runtime around a float model: the accelerator quantizes
+    /// it, and the same float model serves as the lockstep golden
+    /// channel. Budget, hysteresis, and tracker use their defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not fit the accelerator's window (see
+    /// [`HogAccelerator::new`]).
+    #[must_use]
+    pub fn new(model: LinearSvm, config: AcceleratorConfig, integrity: IntegrityConfig) -> Self {
+        Self {
+            accelerator: HogAccelerator::new(&model, config),
+            golden: model,
+            integrity,
+            budget: DeadlineBudget::default(),
+            policy: DegradationPolicy::default(),
+            tracker: TrackerParams::default(),
+        }
+    }
+
+    /// Replaces the per-frame deadline budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: DeadlineBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the degradation hysteresis policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The integrity configuration in force.
+    #[must_use]
+    pub fn integrity_config(&self) -> &IntegrityConfig {
+        &self.integrity
+    }
+
+    /// The wrapped accelerator.
+    #[must_use]
+    pub fn accelerator(&self) -> &HogAccelerator {
+        &self.accelerator
+    }
+
+    /// Serves `frames` under `plan`, returning the full run record with
+    /// [`RunReport::integrity`] populated.
+    ///
+    /// Controller, tracker, and the integrity aggregation start fresh, so
+    /// equal inputs produce byte-identical reports.
+    #[must_use]
+    pub fn run(&self, frames: &[GrayImage], plan: &FaultPlan) -> RunReport {
+        let mut controller = Controller::new(self.budget, self.policy);
+        let mut tracker = Tracker::new(self.tracker.clone());
+        let mut integrity = IntegrityReport::new(self.integrity.ecc);
+        let mut records = Vec::with_capacity(frames.len());
+        let mut transitions = Vec::new();
+        let clock = self.accelerator.config().clock;
+
+        for (index, frame) in frames.iter().enumerate() {
+            let state = controller.state();
+            let (image, faults, delay_ms, worker_panic) = match plan.deliver(index, frame) {
+                Delivery::Dropped => {
+                    let transition = controller.observe_error();
+                    push_transition(&mut transitions, index, transition);
+                    records.push(error_record(
+                        index,
+                        state,
+                        vec!["sensor_dropout".into()],
+                        FrameError::SensorDropout,
+                    ));
+                    continue;
+                }
+                Delivery::Truncated { error } => {
+                    let transition = controller.observe_error();
+                    push_transition(&mut transitions, index, transition);
+                    records.push(error_record(
+                        index,
+                        state,
+                        vec!["truncation".into()],
+                        FrameError::TruncatedFrame(error),
+                    ));
+                    continue;
+                }
+                Delivery::Frame {
+                    image,
+                    faults,
+                    delay_ms,
+                    worker_panic,
+                } => (image, faults, delay_ms, worker_panic),
+            };
+            let mut fault_labels: Vec<String> = faults.iter().map(Fault::label).collect();
+            if worker_panic {
+                let transition = controller.observe_error();
+                push_transition(&mut transitions, index, transition);
+                records.push(error_record(
+                    index,
+                    state,
+                    fault_labels,
+                    FrameError::WorkerPanic(format!("injected worker panic at frame {index}")),
+                ));
+                continue;
+            }
+            let dose = dose_from_faults(&faults, plan, index);
+
+            let (hw_report, frame_integrity) = self.accelerator.process_with_integrity(
+                &image,
+                &self.golden,
+                &self.integrity,
+                &dose,
+            );
+            let latency_ms = clock.millis(hw_report.frame_cycles()) + delay_ms;
+            let faults = integrity.record_frame(&frame_integrity);
+            for fault in &faults {
+                fault_labels.push(format!("integrity:{}", fault.label()));
+            }
+
+            tracker.step(&hw_report.detections);
+            let transition = if faults.is_empty() {
+                controller.observe_ok(latency_ms)
+            } else {
+                let t = controller.observe_integrity_fault();
+                if t.is_some() {
+                    integrity.record_escalation();
+                }
+                t
+            };
+            push_transition(&mut transitions, index, transition);
+
+            let outcome = if state == HealthState::SafeFallback {
+                FrameOutcome::Coasted(coasted_tracks(&tracker))
+            } else {
+                FrameOutcome::Detections(hw_report.detections)
+            };
+            records.push(FrameRecord {
+                index,
+                state,
+                faults: fault_labels,
+                modeled_latency_ms: latency_ms,
+                outcome,
+            });
+        }
+
+        RunReport {
+            seed: plan.seed,
+            frames: records,
+            transitions,
+            final_state: controller.state(),
+            stream: None,
+            integrity: Some(integrity),
+        }
+    }
+}
+
+/// The soft-error dose for one frame: the plan's `SoftErrors` fault (if
+/// scheduled) seeded by [`FaultPlan::soft_seed`].
+fn dose_from_faults(faults: &[Fault], plan: &FaultPlan, index: usize) -> SoftErrorDose {
+    for fault in faults {
+        if let Fault::SoftErrors {
+            mem_flips,
+            mem_double_flips,
+            acc_flips,
+            stall_cycles,
+        } = *fault
+        {
+            return SoftErrorDose {
+                seed: plan.soft_seed(index),
+                mem_flips,
+                mem_double_flips,
+                acc_flips,
+                stall_cycles,
+            };
+        }
+    }
+    SoftErrorDose::none()
+}
+
+fn push_transition(
+    transitions: &mut Vec<TransitionRecord>,
+    frame: usize,
+    transition: Option<crate::control::Transition>,
+) {
+    if let Some(t) = transition {
+        transitions.push(TransitionRecord {
+            frame,
+            transition: t,
+        });
+    }
+}
+
+fn error_record(
+    index: usize,
+    state: HealthState,
+    faults: Vec<String>,
+    error: FrameError,
+) -> FrameRecord {
+    FrameRecord {
+        index,
+        state,
+        faults,
+        modeled_latency_ms: 0.0,
+        outcome: FrameOutcome::Error(error),
+    }
+}
+
+/// Confirmed tracks rendered as detections — the `SafeFallback` coast
+/// output. The 64×128 px detection window anchors the scale estimate.
+fn coasted_tracks(tracker: &Tracker) -> Vec<Detection> {
+    tracker
+        .confirmed()
+        .map(|t| Detection {
+            bbox: t.bbox,
+            score: t.score,
+            scale: t.bbox.height as f64 / 128.0,
+        })
+        .collect()
+}

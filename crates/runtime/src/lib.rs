@@ -22,6 +22,12 @@
 //!   are caught per frame (`rtped_core::par::try_map`) and surface as
 //!   typed [`FrameError`]s; every fault, decision, and outcome lands in a
 //!   [`RunReport`] serialized canonically via `rtped_core::json`.
+//! - **Hardware integrity** ([`integrity`]): [`IntegrityRuntime`] drives
+//!   frames through the accelerator's protected datapath (SECDED feature
+//!   memory, checked MACBARs, lockstep golden channel, schedule watchdog)
+//!   under seeded soft-error doses; integrity faults escalate the same
+//!   degradation ladder and the run's ECC/lockstep accounting lands in
+//!   [`RunReport::integrity`].
 //!
 //! # Example
 //!
@@ -47,10 +53,12 @@ pub mod control;
 pub mod deadline;
 pub mod engine;
 pub mod fault;
+pub mod integrity;
 pub mod report;
 
 pub use control::{Controller, DegradationPolicy, HealthState, Transition, TransitionCause};
 pub use deadline::{CostModel, DeadlineBudget, DEADLINE_ENV, PRT_FRACTION};
 pub use engine::{Runtime, RuntimeConfig};
 pub use fault::{Delivery, Fault, FaultPlan};
+pub use integrity::IntegrityRuntime;
 pub use report::{FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord};

@@ -12,6 +12,7 @@ use std::fmt;
 use rtped_core::json::obj;
 use rtped_core::{Json, ToJson};
 use rtped_detect::detector::Detection;
+use rtped_hw::integrity::IntegrityReport;
 use rtped_hw::stream::StreamStats;
 
 use crate::control::{HealthState, Transition};
@@ -156,6 +157,9 @@ pub struct RunReport {
     /// Hardware-stream drop accounting, when the run also fed the
     /// `StreamSimulator` path.
     pub stream: Option<StreamStats>,
+    /// Hardware-integrity accounting (ECC, checked MACBAR, lockstep,
+    /// watchdog), when the run used the integrity-instrumented datapath.
+    pub integrity: Option<IntegrityReport>,
 }
 
 impl RunReport {
@@ -243,6 +247,10 @@ impl ToJson for RunReport {
                 "stream",
                 self.stream.as_ref().map_or(Json::Null, ToJson::to_json),
             ),
+            (
+                "integrity",
+                self.integrity.as_ref().map_or(Json::Null, ToJson::to_json),
+            ),
         ])
     }
 }
@@ -303,6 +311,7 @@ mod tests {
             ],
             final_state: HealthState::Healthy,
             stream: None,
+            integrity: None,
         };
         assert_eq!(report.error_count(), 1);
         assert_eq!(
@@ -327,6 +336,7 @@ mod tests {
             transitions: Vec::new(),
             final_state: HealthState::Healthy,
             stream: None,
+            integrity: None,
         };
         assert_eq!(
             report.to_json().to_string(),

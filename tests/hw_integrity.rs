@@ -1,0 +1,203 @@
+//! Acceptance sweep for the hardware-integrity layer: SECDED correction
+//! is exact, double flips never escape, the lockstep channel catches
+//! unprotected corruption, and the integrity runtime's report is
+//! byte-stable and escalates through the `integrity_fault` cause.
+
+use rtped::core::ToJson;
+use rtped::hw::integrity::{IntegrityConfig, SoftErrorDose};
+use rtped::hw::{AcceleratorConfig, EccMode, HogAccelerator};
+use rtped::image::GrayImage;
+use rtped::runtime::{FaultPlan, IntegrityRuntime, TransitionCause};
+use rtped::svm::LinearSvm;
+
+fn textured(w: usize, h: usize, phase: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, move |x, y| {
+        ((x * 29 + y * 13 + (x * y + phase * 17) % 31) % 256) as u8
+    })
+}
+
+fn pseudo_model(bias: f64) -> LinearSvm {
+    let weights: Vec<f64> = (0..4608)
+        .map(|i| (((i * 2654435761usize) % 2001) as f64 / 1000.0 - 1.0) * 0.02)
+        .collect();
+    LinearSvm::new(weights, bias)
+}
+
+fn accelerator(model: &LinearSvm) -> HogAccelerator {
+    let config = AcceleratorConfig {
+        scales: vec![1.0],
+        ..AcceleratorConfig::default()
+    };
+    HogAccelerator::new(model, config)
+}
+
+#[test]
+fn every_seeded_single_bit_campaign_is_corrected_bit_identically() {
+    let frame = textured(96, 160, 0);
+    let model = pseudo_model(0.1);
+    let acc = accelerator(&model);
+    let clean = acc.process(&frame);
+    for seed in 0..32 {
+        let dose = SoftErrorDose {
+            seed,
+            mem_flips: 3,
+            ..SoftErrorDose::none()
+        };
+        let (report, fi) =
+            acc.process_with_integrity(&frame, &model, &IntegrityConfig::full(), &dose);
+        assert!(
+            fi.ecc.corrected_total() >= 3,
+            "seed {seed}: only {} corrected",
+            fi.ecc.corrected_total()
+        );
+        assert_eq!(fi.ecc.uncorrectable_total(), 0, "seed {seed}");
+        assert_eq!(report, clean, "seed {seed}: output diverged from clean");
+        assert!(fi.faults().is_empty(), "seed {seed}: {:?}", fi.faults());
+    }
+}
+
+#[test]
+fn every_seeded_double_bit_campaign_is_detected_and_flagged() {
+    let frame = textured(96, 160, 1);
+    let model = pseudo_model(0.1);
+    let acc = accelerator(&model);
+    for seed in 0..32 {
+        let dose = SoftErrorDose {
+            seed,
+            mem_double_flips: 1,
+            ..SoftErrorDose::none()
+        };
+        let (_, fi) = acc.process_with_integrity(&frame, &model, &IntegrityConfig::full(), &dose);
+        assert!(
+            fi.ecc.uncorrectable_total() >= 1,
+            "seed {seed}: double flip escaped detection"
+        );
+        assert!(
+            fi.faults()
+                .iter()
+                .any(|f| f.label() == "uncorrectable_memory"),
+            "seed {seed}: no uncorrectable_memory fault raised"
+        );
+    }
+}
+
+#[test]
+fn lockstep_catches_what_disabled_ecc_lets_through() {
+    let frame = textured(96, 160, 2);
+    let model = pseudo_model(0.1);
+    let acc = accelerator(&model);
+    let unprotected = IntegrityConfig {
+        ecc: EccMode::Off,
+        ..IntegrityConfig::full()
+    };
+    let dose = SoftErrorDose {
+        seed: 13,
+        mem_flips: 300,
+        ..SoftErrorDose::none()
+    };
+    let (_, fi) = acc.process_with_integrity(&frame, &model, &unprotected, &dose);
+    assert_eq!(fi.ecc.detected_total(), 0);
+    assert!(
+        fi.faults()
+            .iter()
+            .any(|f| f.label() == "lockstep_divergence"),
+        "unprotected corruption escaped the golden channel: {:?}",
+        fi.faults()
+    );
+}
+
+#[test]
+fn watchdog_reports_schedule_overruns() {
+    let frame = textured(96, 160, 3);
+    let model = pseudo_model(0.1);
+    let acc = accelerator(&model);
+    let dose = SoftErrorDose {
+        seed: 7,
+        stall_cycles: 1000,
+        ..SoftErrorDose::none()
+    };
+    let (_, fi) = acc.process_with_integrity(&frame, &model, &IntegrityConfig::full(), &dose);
+    assert!(
+        fi.faults().iter().any(|f| f.label() == "watchdog_overrun"),
+        "{:?}",
+        fi.faults()
+    );
+}
+
+#[test]
+fn integrity_runtime_escalates_and_never_lets_errors_escape_silently() {
+    let model = pseudo_model(0.1);
+    let config = AcceleratorConfig {
+        scales: vec![1.0],
+        ..AcceleratorConfig::default()
+    };
+    let runtime = IntegrityRuntime::new(model, config, IntegrityConfig::full());
+    let frames: Vec<GrayImage> = (0..12).map(|k| textured(96, 160, k)).collect();
+    let report = runtime.run(&frames, &FaultPlan::soft_errors(2017, 1.0));
+
+    let integrity = report.integrity.as_ref().expect("integrity block");
+    assert_eq!(integrity.frames_checked, 12);
+    assert!(integrity.corrected_total() > 0, "no corrections observed");
+    assert!(
+        integrity.uncorrectable_total() > 0,
+        "the campaign should include double flips"
+    );
+    assert_eq!(integrity.silent_escapes(), 0, "uncorrectable error escaped");
+    assert!(integrity.frames_flagged > 0);
+    assert!(
+        report
+            .transitions
+            .iter()
+            .any(|t| t.transition.cause == TransitionCause::IntegrityFault),
+        "no integrity_fault transition: {:?}",
+        report.transitions
+    );
+    assert!(integrity.escalations > 0);
+    // Flagged frames carry the integrity fault labels in the frame log.
+    assert!(report
+        .frames
+        .iter()
+        .any(|f| f.faults.iter().any(|l| l.starts_with("integrity:"))));
+}
+
+#[test]
+fn integrity_report_json_is_byte_identical_across_runs_and_thread_counts() {
+    let model = pseudo_model(0.1);
+    let config = AcceleratorConfig {
+        scales: vec![1.0],
+        ..AcceleratorConfig::default()
+    };
+    let runtime = IntegrityRuntime::new(model, config, IntegrityConfig::full());
+    let frames: Vec<GrayImage> = (0..6).map(|k| textured(96, 160, k)).collect();
+    let plan = FaultPlan::soft_errors(99, 0.8);
+
+    std::env::set_var("RTPED_THREADS", "1");
+    let first = runtime.run(&frames, &plan).to_json().to_string();
+    let second = runtime.run(&frames, &plan).to_json().to_string();
+    std::env::set_var("RTPED_THREADS", "3");
+    let third = runtime.run(&frames, &plan).to_json().to_string();
+    std::env::remove_var("RTPED_THREADS");
+
+    assert_eq!(first, second, "same-thread reruns diverged");
+    assert_eq!(first, third, "thread count leaked into the report");
+    assert!(first.contains("\"integrity\":{"), "integrity block missing");
+    assert!(first.contains("\"ecc\":\"secded\""));
+}
+
+#[test]
+fn ecc_off_empty_dose_matches_the_unprotected_pipeline_exactly() {
+    let frame = textured(192, 256, 4);
+    let model = pseudo_model(0.1);
+    let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+    let plain = acc.process(&frame);
+    let (report, fi) = acc.process_with_integrity(
+        &frame,
+        &model,
+        &IntegrityConfig::off(),
+        &SoftErrorDose::none(),
+    );
+    assert_eq!(report, plain);
+    assert_eq!(fi.ecc.detected_total(), 0);
+    assert!(fi.lockstep.is_none());
+    assert!(fi.watchdog_events.is_empty());
+}

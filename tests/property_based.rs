@@ -138,4 +138,50 @@ check! {
         let q = Fx::<12>::from_f32(v);
         check_assert!((q.to_f32() - v).abs() <= 1.0 / 4096.0 + v.abs() * 1e-6);
     }
+
+    fn nhog_ring_keeps_exactly_the_newest_rows(cells_x in 1usize..=4, extra in 0usize..=12) {
+        use rtped::hw::nhog_mem::{NhogMem, RING_ROWS};
+        use rtped::hw::norm_unit::HwFeatureMap;
+        let cells_y = RING_ROWS + extra;
+        let data: Vec<i32> = (0..cells_x * cells_y * 36).map(|i| (i % 32768) as i32).collect();
+        let map = HwFeatureMap::from_raw(cells_x, cells_y, data);
+        let mut mem = NhogMem::new(cells_x);
+        mem.load_rows_through(&map, cells_y - 1);
+        // Wrap-around keeps exactly the newest RING_ROWS rows resident,
+        // evicting one row per write past capacity.
+        for cy in 0..cells_y {
+            check_assert_eq!(mem.row_resident(cy), cy + RING_ROWS >= cells_y, "row {}", cy);
+        }
+        check_assert_eq!(mem.stats().evictions as usize, extra);
+        // A resident read is exact: wrap-around never aliases rows.
+        let top = cells_y - 1;
+        let col = mem.read_window_column(cells_x - 1, top, 1);
+        check_assert_eq!(&col[..], map.cell(cells_x - 1, top));
+    }
+
+    fn parity_role_banks_balance_and_word_striping_conflicts(cx in 0usize..64, strip in 0usize..120) {
+        use rtped::hw::nhog_mem::{analyze_column_pair_access, BankLayout, BANKS};
+        // The 16 (x-parity, y-parity, role) combinations of any 2x2 cell
+        // block hit all 16 banks exactly once.
+        let mut hits = [0usize; BANKS];
+        for dx in 0..2 {
+            for dy in 0..2 {
+                for role in 0..4 {
+                    hits[BankLayout::ParityRole.bank_of(cx + dx, strip + dy, role, 0)] += 1;
+                }
+            }
+        }
+        check_assert!(hits.iter().all(|&n| n == 1), "{:?}", hits);
+        // Any two-block-column access set balances perfectly under the
+        // paper's layout (max bank load == total/16 == 72 cycles) ...
+        let paper = analyze_column_pair_access(BankLayout::ParityRole, cx, strip);
+        check_assert!(paper.is_conflict_free());
+        check_assert_eq!(paper.min_cycles, paper.total_words / BANKS as u64);
+        // ... and never under naive flat word striping: a cell's 36 words
+        // cover banks unevenly (36 = 2x16 + 4), so some bank always
+        // carries more than total/16.
+        let naive = analyze_column_pair_access(BankLayout::WordInterleaved, cx, strip);
+        check_assert!(!naive.is_conflict_free());
+        check_assert!(naive.min_cycles > naive.total_words / BANKS as u64);
+    }
 }
