@@ -10,6 +10,16 @@ cargo fmt --all --check
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
+echo "== rtped-lint (project invariants: clock/env/float/unsafe/unwrap/json) =="
+cargo run --release --offline -p rtped-lint >/dev/null
+
+echo "== rtped-lint self-test (bad fixture corpus must fail the gate) =="
+if cargo run --release --offline -p rtped-lint -- \
+    crates/lint/tests/fixtures/bad >/dev/null 2>&1; then
+    echo "rtped-lint: bad fixture corpus unexpectedly passed" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline (all targets) =="
 cargo build --workspace --all-targets --release --offline
 

@@ -11,9 +11,7 @@ use std::fs;
 use std::process::Command;
 
 fn main() {
-    let quick = std::env::var("RTPED_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false);
+    let quick = rtped_core::env::raw("RTPED_QUICK").is_some_and(|v| v == "1");
     let bins = [
         "table1",
         "figure4",

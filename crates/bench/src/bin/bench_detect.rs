@@ -77,7 +77,7 @@ fn pseudo_model(params: &HogParams) -> LinearSvm {
 /// Runs `detect` with `RTPED_THREADS` pinned to `threads` (`None` restores
 /// the ambient setting).
 fn with_threads<T>(threads: Option<usize>, f: impl FnOnce() -> T) -> T {
-    let saved = std::env::var(par::THREADS_ENV).ok();
+    let saved = rtped_core::env::raw(par::THREADS_ENV);
     match threads {
         Some(n) => std::env::set_var(par::THREADS_ENV, n.to_string()),
         None => std::env::remove_var(par::THREADS_ENV),

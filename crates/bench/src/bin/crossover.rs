@@ -14,14 +14,11 @@ use rtped_bench::{Experiment, ExperimentConfig, ScalingMethod};
 use rtped_eval::report::Table;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    rtped_core::env::typed(key).value().unwrap_or(default)
 }
 
 fn main() {
-    let counts = std::env::var("RTPED_COUNTS").unwrap_or_else(|_| "400,1200,200,800".into());
+    let counts = rtped_core::env::raw("RTPED_COUNTS").unwrap_or_else(|| "400,1200,200,800".into());
     let parts: Vec<usize> = counts
         .split(',')
         .filter_map(|p| p.trim().parse().ok())
@@ -31,8 +28,8 @@ fn main() {
         4,
         "RTPED_COUNTS needs 4 comma-separated values"
     );
-    let noises: Vec<u8> = std::env::var("RTPED_NOISE")
-        .unwrap_or_else(|_| "12,20".into())
+    let noises: Vec<u8> = rtped_core::env::raw("RTPED_NOISE")
+        .unwrap_or_else(|| "12,20".into())
         .split(',')
         .filter_map(|p| p.trim().parse().ok())
         .collect();

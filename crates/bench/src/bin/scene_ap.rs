@@ -18,9 +18,7 @@ use rtped_detect::evaluate::{average_precision, pr_curve};
 use rtped_eval::report::{float, Table};
 
 fn main() {
-    let quick = std::env::var("RTPED_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false);
+    let quick = rtped_core::env::raw("RTPED_QUICK").is_some_and(|v| v == "1");
     let mut config = ExperimentConfig::quick();
     if !quick {
         config.train_positives = 800;

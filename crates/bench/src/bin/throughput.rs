@@ -15,9 +15,7 @@ use rtped_hw::timing::pixel_stream_cycles;
 use rtped_hw::{AcceleratorConfig, ClockDomain, HogAccelerator};
 
 fn main() {
-    let quick = std::env::var("RTPED_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false);
+    let quick = rtped_core::env::raw("RTPED_QUICK").is_some_and(|v| v == "1");
     let clock = ClockDomain::MHZ_125;
 
     // Schedule-level table: the paper's numbers are pure cycle arithmetic,

@@ -117,10 +117,7 @@ impl ExperimentConfig {
     /// binary run in smoke mode.
     #[must_use]
     pub fn from_env() -> Self {
-        if std::env::var("RTPED_QUICK")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-        {
+        if rtped_core::env::raw("RTPED_QUICK").is_some_and(|v| v == "1") {
             Self::quick()
         } else {
             Self::default()

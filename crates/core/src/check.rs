@@ -481,6 +481,7 @@ where
             CaseOutcome::Fail(first_message) => {
                 let (minimal, message, steps) =
                     shrink_failure(gen, &prop, value.clone(), first_message);
+                // rtped-lint: allow(unwrap-in-library, "panicking is the harness's reporting channel: a failed property must abort the #[test] that ran it")
                 panic!(
                     "property `{name}` failed after {passed} passing case(s)\n\
                      | counterexample: {minimal:?}\n\

@@ -51,6 +51,18 @@ impl<T> EnvValue<T> {
     }
 }
 
+/// Reads `name` verbatim, `None` when unset or not valid Unicode.
+///
+/// This is the sanctioned raw read — the only place outside [`typed`]
+/// that touches `std::env::var` (`rtped-lint` enforces the boundary).
+/// Use it for string-valued knobs with no parse step and for tests that
+/// save/restore an ambient variable; everything with a syntax goes
+/// through [`typed`] + [`warn_once`] so misconfigurations stay loud.
+#[must_use]
+pub fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
 /// Reads `name` and parses its trimmed text as `T`.
 #[must_use]
 pub fn typed<T: FromStr>(name: &str) -> EnvValue<T> {

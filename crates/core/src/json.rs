@@ -357,7 +357,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -428,7 +428,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // The matched span is ASCII digits/sign/exponent by construction,
+        // but route a (unreachable) failure through the parse error path
+        // rather than panicking on hostile input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| self.error("number out of representable range"))?;
@@ -440,7 +444,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -499,7 +503,9 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar (input was validated as str).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -520,7 +526,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -543,7 +549,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -554,7 +560,7 @@ impl<'a> Parser<'a> {
             self.skip_whitespace();
             let key = self.parse_string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value(depth + 1)?;
             fields.push((key, value));

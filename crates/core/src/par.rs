@@ -156,6 +156,7 @@ pub fn map_with_threads<T: Sync, R: Send>(
         // Re-panic with the worker's payload text so callers (and
         // `#[should_panic(expected = ...)]` tests) still see the original
         // message instead of the scope's opaque "a scoped thread panicked".
+        // rtped-lint: allow(unwrap-in-library, "documented contract: map re-raises the worker's original panic; try_map is the non-panicking path")
         Err(p) => panic!("{p}"),
     }
 }
@@ -255,10 +256,11 @@ fn parallel_try_map<T: Sync, R: Send>(
                         }
                         match catch_unwind(AssertUnwindSafe(|| f(item))) {
                             Ok(result) => {
-                                // SAFETY: the atomic counter hands each index
-                                // range to exactly one thread, so no two
-                                // threads write the same slot, and the buffer
-                                // outlives the scope.
+                                // SAFETY: exclusive chunk claim — the atomic
+                                // counter hands each index range to exactly
+                                // one worker, so no two threads ever write
+                                // the same slot, and the slot buffer outlives
+                                // the scope that borrows it.
                                 unsafe {
                                     slots_ptr
                                         .get()
@@ -300,8 +302,9 @@ fn parallel_try_map<T: Sync, R: Send>(
         .unwrap_or_else(PoisonError::into_inner)
     {
         None => {
-            // SAFETY: no worker panicked, so the counter monotonically
-            // covered 0..n and every slot was written exactly once.
+            // SAFETY: init-before-read — no worker panicked, so the claim
+            // counter monotonically covered 0..n and every slot was written
+            // exactly once before this single post-scope read.
             Ok(unsafe { assume_init_vec(slots) })
         }
         Some(panic) => {
@@ -315,8 +318,11 @@ fn parallel_try_map<T: Sync, R: Send>(
                 .unwrap_or_else(PoisonError::into_inner);
             for range in ranges {
                 for i in range {
-                    // SAFETY: slot `i` lies in a completed range, so it holds
-                    // a fully-written value that is dropped exactly once.
+                    // SAFETY: leak-free cleanup on panic — slot `i` lies in a
+                    // completed (fully written, disjoint) range, so it holds
+                    // an initialized value that is dropped exactly once;
+                    // never-written slots stay MaybeUninit and are freed
+                    // without being read.
                     unsafe { (*slots_ptr.get().add(i)).assume_init_drop() };
                 }
             }

@@ -87,8 +87,8 @@ impl RetryPolicy {
     /// spent; earlier errors are discarded.
     pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
         let attempts = self.max_attempts.max(1);
-        let mut last_err = None;
-        for attempt in 0..attempts {
+        let mut attempt = 0;
+        loop {
             if attempt > 0 {
                 let pause = self.backoff_for(attempt - 1);
                 if !pause.is_zero() {
@@ -97,11 +97,10 @@ impl RetryPolicy {
             }
             match op(attempt) {
                 Ok(value) => return Ok(value),
-                Err(err) => last_err = Some(err),
+                Err(err) if attempt + 1 >= attempts => return Err(err),
+                Err(_) => attempt += 1,
             }
         }
-        // `attempts >= 1`, so the loop body ran and recorded an error.
-        Err(last_err.expect("at least one attempt ran"))
     }
 }
 

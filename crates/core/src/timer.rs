@@ -25,6 +25,40 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// A started wall-clock stopwatch.
+///
+/// This is the sanctioned way to *measure* elapsed time outside the
+/// bench binaries (`rtped-lint` forbids raw `Instant`/`SystemTime`
+/// elsewhere): examples report it, tests bound it, but control decisions
+/// must never consume it — the runtime schedules on the modeled cost
+/// clock so reports stay byte-identical across hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as a float (convenience for report lines).
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1.0e3
+    }
+}
+
 /// Summary of one benchmark case.
 #[derive(Debug, Clone)]
 pub struct Stats {
@@ -77,7 +111,7 @@ pub fn format_ns(ns: f64) -> String {
 #[must_use]
 pub fn summarize(label: &str, samples: &mut [f64], iters: u64) -> Stats {
     assert!(!samples.is_empty(), "summarize needs at least one sample");
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    samples.sort_by(f64::total_cmp);
     let min_ns = samples[0];
     let n = samples.len();
     let median_ns = if n % 2 == 1 {

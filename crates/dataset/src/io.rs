@@ -243,7 +243,7 @@ mod tests {
             max_attempts: 4,
             base_backoff: std::time::Duration::from_millis(200),
         };
-        let start = std::time::Instant::now();
+        let start = rtped_core::timer::Stopwatch::start();
         let err = import_windows_retry(&root, (32, 64), &policy).unwrap_err();
         assert!(matches!(err, Error::Format(_)));
         assert!(

@@ -771,7 +771,7 @@ mod tests {
 
     /// Runs `f` with `RTPED_THREADS` pinned, restoring the ambient value.
     fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
-        let saved = std::env::var(rtped_core::par::THREADS_ENV).ok();
+        let saved = rtped_core::env::raw(rtped_core::par::THREADS_ENV);
         std::env::set_var(rtped_core::par::THREADS_ENV, threads.to_string());
         let out = f();
         match saved {

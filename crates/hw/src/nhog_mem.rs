@@ -294,6 +294,7 @@ impl NhogMem {
                 .rows
                 .iter()
                 .find(|(r, _)| *r == cy)
+                // rtped-lint: allow(unwrap-in-library, "models an RTL assertion: a non-resident row is a bug in the cycle schedule itself, not a runtime input; documented under # Panics")
                 .unwrap_or_else(|| panic!("schedule violation: cell row {cy} not resident"));
             let base = cx * CELL_FEATURES;
             for (offset, &stored) in row[base..base + CELL_FEATURES].iter().enumerate() {

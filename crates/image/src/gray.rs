@@ -34,6 +34,7 @@ impl GrayImage {
     /// a fallible variant.
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
+        // rtped-lint: allow(unwrap-in-library, "documented # Panics contract of the infallible constructor; try_new is the typed-error path")
         Self::try_new(width, height).expect("image dimensions must be non-zero")
     }
 

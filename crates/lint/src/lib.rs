@@ -1,0 +1,94 @@
+//! `rtped-lint`: in-repo static analysis for the rtped workspace.
+//!
+//! Generic tooling cannot know that `NhogMem` words must never touch
+//! floats, or that `rtped_core::timer` is the only sanctioned clock —
+//! those are *project* invariants, and this crate is their machine
+//! checker (DESIGN.md §11). It is a comment- and string-literal-aware
+//! token scanner ([`scan`]), a rule engine ([`rules`]) with per-line
+//! suppression pragmas, and a workspace walker ([`walk`]); the
+//! `rtped-lint` binary ties them into a CI gate that emits `file:line`
+//! diagnostics plus a canonical `rtped_core::json` report and exits
+//! nonzero on any violation.
+
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use std::path::Path;
+
+use rtped_core::json::{obj, Json};
+
+use rules::{Suppression, Violation};
+
+/// Aggregated result of linting a workspace root.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceOutcome {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All surviving violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Every suppression that fired, with its justification — the audit
+    /// inventory of accepted exceptions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl WorkspaceOutcome {
+    /// The canonical JSON report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let violations: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| {
+                obj([
+                    ("file", v.file.as_str().into()),
+                    ("line", v.line.into()),
+                    ("rule", v.rule.as_str().into()),
+                    ("message", v.message.as_str().into()),
+                ])
+            })
+            .collect();
+        let suppressions: Vec<Json> = self
+            .suppressions
+            .iter()
+            .map(|s| {
+                obj([
+                    ("file", s.file.as_str().into()),
+                    ("line", s.line.into()),
+                    ("rule", s.rule.as_str().into()),
+                    ("justification", s.justification.as_str().into()),
+                ])
+            })
+            .collect();
+        obj([
+            ("format", 1u64.into()),
+            ("tool", "rtped-lint".into()),
+            ("files_scanned", self.files_scanned.into()),
+            ("violations", Json::Array(violations)),
+            ("suppressions", Json::Array(suppressions)),
+        ])
+    }
+}
+
+/// Lints every in-scope file under `root` (a workspace root, or any
+/// directory mirroring the workspace layout — the fixture corpora do).
+pub fn run_workspace(root: &Path) -> std::io::Result<WorkspaceOutcome> {
+    let files = walk::workspace_files(root)?;
+    let mut outcome = WorkspaceOutcome {
+        files_scanned: files.len(),
+        ..WorkspaceOutcome::default()
+    };
+    for (path, rel) in files {
+        let src = std::fs::read_to_string(&path)?;
+        let file = rules::check_source(&rel, &src);
+        outcome.violations.extend(file.violations);
+        outcome.suppressions.extend(file.suppressions);
+    }
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    outcome
+        .suppressions
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(outcome)
+}

@@ -1,0 +1,60 @@
+//! The `rtped-lint` binary: lints a workspace root and gates CI.
+//!
+//! Usage: `rtped-lint [ROOT]` — `ROOT` defaults to the current directory
+//! and may point at any tree mirroring the workspace layout (the fixture
+//! corpora under `crates/lint/tests/fixtures/` do exactly that, which is
+//! how `ci.sh` proves the gate itself rejects known-bad input).
+//!
+//! Human diagnostics (`file:line: rule: message`) go to stderr; the
+//! canonical JSON report goes to stdout. Exit status: 0 clean, 1 when any
+//! violation survives suppression, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match (args.next(), args.next()) {
+        (None, _) => PathBuf::from("."),
+        (Some(root), None) if !root.starts_with('-') => PathBuf::from(root),
+        _ => {
+            eprintln!("usage: rtped-lint [ROOT]");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match rtped_lint::run_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("rtped-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if outcome.files_scanned == 0 {
+        eprintln!(
+            "rtped-lint: no lintable files under {} — wrong root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    for v in &outcome.violations {
+        eprintln!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
+    }
+    for s in &outcome.suppressions {
+        eprintln!(
+            "{}:{}: note: `{}` suppressed: {}",
+            s.file, s.line, s.rule, s.justification
+        );
+    }
+    eprintln!(
+        "rtped-lint: {} files, {} violations, {} justified suppressions",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.suppressions.len()
+    );
+    println!("{}", outcome.to_json());
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,499 @@
+//! A comment- and string-literal-aware token scanner for Rust source.
+//!
+//! The rule engine must never mistake a `//` inside a string literal for
+//! a comment, or an `unwrap()` inside a doc comment for a call, so the
+//! scanner's only job is a faithful region classification of the bytes of
+//! a `.rs` file: code, line comment, block comment (nested), string
+//! literal (regular, byte, raw with any `#` count), and character
+//! literal (disambiguated from lifetimes). It is *not* a full lexer —
+//! downstream rules work on identifier/punctuation tokens extracted from
+//! the code regions — and it never panics: malformed input (unterminated
+//! strings or comments, stray quotes) degrades to a region that runs to
+//! end of file.
+
+/// Classification of one contiguous byte region of a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Plain code (including whitespace between other regions).
+    Code,
+    /// `//`-style comment, up to (not including) the newline.
+    LineComment,
+    /// `/* ... */` comment, including nested block comments.
+    BlockComment,
+    /// `"..."` or `b"..."` string literal (delimiters included).
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#` raw string (delimiters included).
+    RawStr,
+    /// `'x'` character or byte literal (delimiters included).
+    CharLit,
+}
+
+/// One classified region: `src[start..end]` starting on 1-based `line`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// What the bytes are.
+    pub kind: Kind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+/// The full classification of a source file: contiguous regions covering
+/// every byte, in order.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Regions in source order; adjacent `Code` runs are merged.
+    pub regions: Vec<Region>,
+}
+
+impl Scan {
+    /// The region kind at byte offset `pos`, if in range.
+    #[must_use]
+    pub fn kind_at(&self, pos: usize) -> Option<Kind> {
+        self.regions
+            .iter()
+            .find(|r| r.start <= pos && pos < r.end)
+            .map(|r| r.kind)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Matches a raw-string opener (`r"`, `r#"`, `br##"`, ...) at `i`;
+/// returns the byte offset of the opening quote's successor and the hash
+/// count.
+fn raw_string_open(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Classifies every byte of `src`. Never panics; unterminated constructs
+/// extend to end of input.
+#[must_use]
+pub fn scan(src: &str) -> Scan {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut line = 1usize;
+    let mut code_start = 0usize;
+    let mut code_line = 1usize;
+    let mut i = 0usize;
+
+    // Closes the pending Code run (if non-empty) ending at `end`.
+    let flush = |regions: &mut Vec<Region>, code_start: usize, end: usize, code_line: usize| {
+        if end > code_start {
+            regions.push(Region {
+                kind: Kind::Code,
+                start: code_start,
+                end,
+                line: code_line,
+            });
+        }
+    };
+    let count_lines = |slice: &[u8]| slice.iter().filter(|&&c| c == b'\n').count();
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            flush(&mut regions, code_start, i, code_line);
+            let mut j = i + 2;
+            while j < n && b[j] != b'\n' {
+                j += 1;
+            }
+            regions.push(Region {
+                kind: Kind::LineComment,
+                start: i,
+                end: j,
+                line,
+            });
+            i = j;
+            code_start = i;
+            code_line = line;
+            continue;
+        }
+        // Block comment, with nesting.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            flush(&mut regions, code_start, i, code_line);
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            regions.push(Region {
+                kind: Kind::BlockComment,
+                start: i,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            code_start = i;
+            code_line = line;
+            continue;
+        }
+        // Raw string (r"", r#""#, br#""#, ...): the prefix must not be the
+        // tail of an identifier (`for"` is not a raw-string opener).
+        if (c == b'r' || c == b'b') && (i == 0 || !is_ident_byte(b[i - 1])) {
+            if let Some((body, hashes)) = raw_string_open(b, i) {
+                flush(&mut regions, code_start, i, code_line);
+                let start_line = line;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let mut j = body;
+                while j < n && !b[j..].starts_with(&closer) {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                let end = (j + closer.len()).min(n);
+                regions.push(Region {
+                    kind: Kind::RawStr,
+                    start: i,
+                    end,
+                    line: start_line,
+                });
+                i = end;
+                code_start = i;
+                code_line = line;
+                continue;
+            }
+        }
+        // Regular (or byte) string; the `b` prefix joins the region unless
+        // it is the tail of an identifier (`mob"` starts the string at `"`).
+        let str_body = if c == b'"' {
+            Some(i + 1)
+        } else if c == b'b' && b.get(i + 1) == Some(&b'"') && (i == 0 || !is_ident_byte(b[i - 1])) {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(body) = str_body {
+            flush(&mut regions, code_start, i, code_line);
+            let start_line = line;
+            let mut j = body;
+            while j < n {
+                if b[j] == b'\\' {
+                    j = (j + 2).min(n);
+                } else if b[j] == b'"' {
+                    j += 1;
+                    break;
+                } else {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            regions.push(Region {
+                kind: Kind::Str,
+                start: i,
+                end: j,
+                line: start_line,
+            });
+            i = j;
+            code_start = i;
+            code_line = line;
+            continue;
+        }
+        // Character literal vs lifetime.
+        if c == b'\'' {
+            if let Some(end) = char_literal_end(src, i) {
+                flush(&mut regions, code_start, i, code_line);
+                regions.push(Region {
+                    kind: Kind::CharLit,
+                    start: i,
+                    end,
+                    line,
+                });
+                line += count_lines(&b[i..end]);
+                i = end;
+                code_start = i;
+                code_line = line;
+                continue;
+            }
+            // Lifetime (or stray quote): stays code.
+            i += 1;
+            continue;
+        }
+        if c == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    flush(&mut regions, code_start, n, code_line);
+    Scan { regions }
+}
+
+/// If a character literal starts at the `'` at byte `i`, returns its end
+/// offset (one past the closing quote); `None` means lifetime.
+fn char_literal_end(src: &str, i: usize) -> Option<usize> {
+    let b = src.as_bytes();
+    let n = b.len();
+    if b.get(i + 1) == Some(&b'\\') {
+        // Escape: consume the escaped char, then find the closing quote
+        // within a small bound (covers \u{...}, \x41, \n, \', ...).
+        let mut j = i + 2;
+        if j < n {
+            j += src[j..].chars().next().map_or(1, char::len_utf8);
+        }
+        let limit = (j + 10).min(n);
+        while j < limit {
+            if b[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one char then a closing quote.
+    let next = src.get(i + 1..)?.chars().next()?;
+    if next == '\'' {
+        // `''` is not a char literal.
+        return None;
+    }
+    let j = i + 1 + next.len_utf8();
+    if b.get(j) == Some(&b'\'') {
+        return Some(j + 1);
+    }
+    None
+}
+
+/// Per-line views of a scanned file, ready for the rule engine.
+#[derive(Debug, Clone, Default)]
+pub struct FileText {
+    /// Code bytes per 1-based line (index `line - 1`); bytes belonging to
+    /// comments or literals are replaced so identifier boundaries hold.
+    pub code: Vec<String>,
+    /// Comment text per line (delimiters included; a multi-line block
+    /// comment contributes to every line it spans).
+    pub comments: Vec<String>,
+    /// String literals: `(line, raw source slice including delimiters)`.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Splits `src` into per-line code/comment/string views using `scan`.
+#[must_use]
+pub fn split(src: &str, scan: &Scan) -> FileText {
+    let n_lines = src.split('\n').count();
+    let mut out = FileText {
+        code: vec![String::new(); n_lines],
+        comments: vec![String::new(); n_lines],
+        strings: Vec::new(),
+    };
+    for region in &scan.regions {
+        let text = src.get(region.start..region.end).unwrap_or("");
+        match region.kind {
+            Kind::Code => {
+                for (k, part) in text.split('\n').enumerate() {
+                    if let Some(slot) = out.code.get_mut(region.line - 1 + k) {
+                        slot.push_str(part);
+                    }
+                }
+            }
+            Kind::LineComment | Kind::BlockComment => {
+                for (k, part) in text.split('\n').enumerate() {
+                    if let Some(slot) = out.comments.get_mut(region.line - 1 + k) {
+                        slot.push_str(part);
+                    }
+                }
+            }
+            Kind::Str | Kind::RawStr | Kind::CharLit => {
+                if matches!(region.kind, Kind::Str | Kind::RawStr) {
+                    out.strings.push((region.line, text.to_string()));
+                }
+                // Keep identifier boundaries intact where a literal sat.
+                if let Some(slot) = out.code.get_mut(region.line - 1) {
+                    slot.push(' ');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One code token: an identifier/number-suffix or a punctuation byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier (`unwrap`, `f32`, `Instant`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `!`, `(`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Extracts identifier and punctuation tokens from the code view.
+///
+/// Numeric literals are consumed so that type suffixes surface as
+/// identifiers (`1.0f32` yields `f32`), which is exactly what the
+/// float-boundary rule needs to see.
+#[must_use]
+pub fn tokens(text: &FileText) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, code) in text.code.iter().enumerate() {
+        let line = idx + 1;
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line,
+                });
+            } else if c.is_ascii_digit() {
+                // Consume the numeric body; a trailing alphabetic run is
+                // the literal's suffix and is emitted as an identifier.
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if i > start {
+                    out.push(Token {
+                        tok: Tok::Ident(chars[start..i].iter().collect()),
+                        line,
+                    });
+                }
+            } else if c.is_whitespace() {
+                i += 1;
+            } else {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        scan(src)
+            .regions
+            .iter()
+            .map(|r| (r.kind, &src[r.start..r.end]))
+            .collect()
+    }
+
+    #[test]
+    fn classifies_the_basic_regions() {
+        let src = "let x = 1; // tail\nlet y = \"s // not\";\n/* b /* nest */ end */ let z = 'c';";
+        let got = kinds(src);
+        assert_eq!(got[0], (Kind::Code, "let x = 1; "));
+        assert_eq!(got[1], (Kind::LineComment, "// tail"));
+        assert_eq!(got[3], (Kind::Str, "\"s // not\""));
+        assert_eq!(got[5], (Kind::BlockComment, "/* b /* nest */ end */"));
+        assert!(got.contains(&(Kind::CharLit, "'c'")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_comment_markers() {
+        let src = r####"let a = r#"// " /* "#; let b = br##"x"# still"##;"####;
+        let got = kinds(src);
+        assert_eq!(got[1], (Kind::RawStr, r####"r#"// " /* "#"####));
+        assert_eq!(got[3], (Kind::RawStr, r####"br##"x"# still"##"####));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert!(scan(src).regions.iter().all(|r| r.kind == Kind::Code));
+        let src2 = "let c = 'x'; let nl = '\\n'; let lt: &'static str = \"s\";";
+        let got = kinds(src2);
+        assert_eq!(got[1], (Kind::CharLit, "'x'"));
+        assert_eq!(got[3], (Kind::CharLit, "'\\n'"));
+        assert!(got.contains(&(Kind::Str, "\"s\"")));
+    }
+
+    #[test]
+    fn unterminated_constructs_extend_to_eof_without_panicking() {
+        for src in [
+            "let s = \"never closed",
+            "/* never closed",
+            "let r = r#\"never closed\"",
+            "let q = '",
+        ] {
+            let s = scan(src);
+            assert_eq!(s.regions.last().map(|r| r.end), Some(src.len()));
+        }
+    }
+
+    #[test]
+    fn tokens_surface_numeric_suffixes_and_lines() {
+        let text = split(
+            "let x = 1.0f32;\nlet y = a.unwrap();",
+            &scan("let x = 1.0f32;\nlet y = a.unwrap();"),
+        );
+        let toks = tokens(&text);
+        assert!(toks
+            .iter()
+            .any(|t| t.tok == Tok::Ident("f32".into()) && t.line == 1));
+        assert!(toks
+            .iter()
+            .any(|t| t.tok == Tok::Ident("unwrap".into()) && t.line == 2));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let src = r#"let s = "a \" b // c"; let t = 1;"#;
+        let got = kinds(src);
+        assert_eq!(got[1], (Kind::Str, r#""a \" b // c""#));
+        assert_eq!(got[2], (Kind::Code, "; let t = 1;"));
+    }
+}

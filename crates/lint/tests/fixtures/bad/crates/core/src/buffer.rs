@@ -1,0 +1,5 @@
+//! Known-bad: `unsafe` with no adjacent safety argument.
+
+pub fn poke(p: *mut u8) {
+    unsafe { *p = 1 }
+}

@@ -1,0 +1,5 @@
+//! Known-bad: raw environment read outside `rtped_core::env`.
+
+pub fn quick_mode() -> bool {
+    std::env::var("RTPED_QUICK").is_ok()
+}

@@ -1,0 +1,7 @@
+//! Known-bad: a pragma that names the rule but carries no justification
+//! string — the unwrap stays flagged and the pragma itself is flagged.
+
+pub fn head(v: &[u8]) -> u8 {
+    // rtped-lint: allow(unwrap-in-library)
+    v.first().copied().unwrap()
+}

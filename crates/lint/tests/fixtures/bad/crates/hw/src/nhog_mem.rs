@@ -1,0 +1,5 @@
+//! Known-bad: a float cast inside the fixed-point datapath.
+
+pub fn to_volts(word: u32) -> f32 {
+    word as f32 * 0.001
+}

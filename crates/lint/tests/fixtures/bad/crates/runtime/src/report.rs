@@ -1,0 +1,10 @@
+//! Known-bad: hand-rolled JSON in a library string literal, plus an
+//! unwrap in non-test runtime code.
+
+pub fn report(frames: u64) -> String {
+    format!("{{\"frames\":{frames}}}")
+}
+
+pub fn last_frame(log: &[u64]) -> u64 {
+    log.last().copied().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Known-bad: wall-clock read in deterministic example code.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("{:?}", t0.elapsed());
+}

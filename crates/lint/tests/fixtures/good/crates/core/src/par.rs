@@ -1,0 +1,24 @@
+//! Known-good: every `unsafe` carries an adjacent safety argument, and a
+//! justified pragma covers a provably-unreachable unwrap.
+
+/// # Safety
+///
+/// Caller must guarantee `p` is valid for writes (init-before-read).
+pub unsafe fn poke(p: *mut u8) {
+    // SAFETY: the caller's contract gives us exclusive access to `p`.
+    unsafe { *p = 1 }
+}
+
+pub fn first_line(text: &str) -> &str {
+    // rtped-lint: allow(unwrap-in-library, "splitting on newline always yields at least one item")
+    text.split('\n').next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-good: `Instant` is sanctioned inside the timer boundary.
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Known-good: the golden-model/lockstep side is allowlisted for floats
+//! by module path — no pragma needed.
+
+pub fn compare(fixed: i64, scale: f64) -> f64 {
+    fixed as f64 / scale
+}

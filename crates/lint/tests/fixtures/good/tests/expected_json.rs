@@ -1,0 +1,8 @@
+//! Known-good: tests may embed expected JSON bytes — the noncanonical
+//! rule only covers library src trees.
+
+#[test]
+fn report_matches_expected_bytes() {
+    let expected = r#"{"format":1,"violations":[]}"#;
+    assert!(expected.contains("format"));
+}

@@ -1,0 +1,100 @@
+//! Integration tests over the fixture corpora: `tests/fixtures/bad` holds
+//! one known-bad file per rule (plus a pragma with no justification) and
+//! must light up every rule; `tests/fixtures/good` mirrors the sanctioned
+//! layout and must lint clean with exactly one justified suppression.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use rtped_lint::rules;
+use rtped_lint::run_workspace;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_corpus_fires_every_rule() {
+    let out = run_workspace(&fixture("bad")).expect("bad corpus readable");
+    let fired: BTreeSet<&str> = out.violations.iter().map(|v| v.rule.as_str()).collect();
+    for rule in [
+        rules::WALL_CLOCK,
+        rules::RAW_ENV,
+        rules::FLOAT_IN_FIXED,
+        rules::UNSAFE_COMMENT,
+        rules::UNWRAP_IN_LIB,
+        rules::NONCANONICAL_JSON,
+        rules::SUPPRESSION_PRAGMA,
+    ] {
+        assert!(
+            fired.contains(rule),
+            "rule `{rule}` did not fire on the bad corpus: {:?}",
+            out.violations
+        );
+    }
+    assert!(
+        out.suppressions.is_empty(),
+        "unjustified pragma must not suppress: {:?}",
+        out.suppressions
+    );
+}
+
+#[test]
+fn bad_corpus_flags_the_expected_sites() {
+    let out = run_workspace(&fixture("bad")).expect("bad corpus readable");
+    let got: BTreeSet<(String, usize, String)> = out
+        .violations
+        .iter()
+        .map(|v| (v.file.clone(), v.line, v.rule.clone()))
+        .collect();
+    let expected = [
+        ("crates/core/src/buffer.rs", 4, rules::UNSAFE_COMMENT),
+        ("crates/core/src/knobs.rs", 4, rules::RAW_ENV),
+        ("crates/core/src/pragma.rs", 5, rules::SUPPRESSION_PRAGMA),
+        ("crates/core/src/pragma.rs", 6, rules::UNWRAP_IN_LIB),
+        ("crates/hw/src/nhog_mem.rs", 3, rules::FLOAT_IN_FIXED),
+        ("crates/hw/src/nhog_mem.rs", 4, rules::FLOAT_IN_FIXED),
+        ("crates/runtime/src/report.rs", 5, rules::NONCANONICAL_JSON),
+        ("crates/runtime/src/report.rs", 9, rules::UNWRAP_IN_LIB),
+        ("examples/clocky.rs", 4, rules::WALL_CLOCK),
+    ];
+    for (file, line, rule) in expected {
+        assert!(
+            got.contains(&(file.to_string(), line, rule.to_string())),
+            "expected {file}:{line} {rule}; got {got:?}"
+        );
+    }
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "unexpected extra violations: {got:?}"
+    );
+}
+
+#[test]
+fn good_corpus_lints_clean_with_one_justified_suppression() {
+    let out = run_workspace(&fixture("good")).expect("good corpus readable");
+    assert_eq!(out.files_scanned, 6);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert_eq!(out.suppressions.len(), 1, "{:?}", out.suppressions);
+    let s = &out.suppressions[0];
+    assert_eq!(s.file, "crates/core/src/par.rs");
+    assert_eq!(s.rule, rules::UNWRAP_IN_LIB);
+    assert_eq!(
+        s.justification,
+        "splitting on newline always yields at least one item"
+    );
+}
+
+#[test]
+fn json_report_is_canonical_and_complete() {
+    let out = run_workspace(&fixture("bad")).expect("bad corpus readable");
+    let report = out.to_json().to_string();
+    assert!(report.starts_with("{\"format\":1"), "{report}");
+    assert!(report.contains("\"tool\":\"rtped-lint\""), "{report}");
+    assert!(report.contains("\"files_scanned\":6"), "{report}");
+    assert!(report.contains("examples/clocky.rs"), "{report}");
+}

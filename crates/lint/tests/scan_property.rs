@@ -1,0 +1,105 @@
+//! Property tests for the region scanner: it must never panic and never
+//! mis-classify string/comment nesting, on curated tricky segments
+//! (raw strings, nested block comments, `//` inside string literals) and
+//! on arbitrary printable-ASCII garbage, including truncated input.
+
+use rtped_core::check::{choice, vec_of};
+use rtped_lint::scan::{scan, split, tokens, Kind, Scan};
+
+/// Self-delimiting source snippets with their known classification. Each
+/// stands alone as one region when separated by the `\n;\n` joiner (the
+/// newline also terminates line-comment segments).
+const SEGMENTS: &[(&str, Kind)] = &[
+    ("let x = 1", Kind::Code),
+    ("fn f<'a>(v: &'a u8) -> u8 { *v }", Kind::Code),
+    ("let y = 1.0e3 + 0x2f", Kind::Code),
+    (
+        "// slashes \" and 'quotes' inside a line comment",
+        Kind::LineComment,
+    ),
+    ("/* block with \" quote */", Kind::BlockComment),
+    ("/* outer /* nested */ still outer */", Kind::BlockComment),
+    (r#""a string with // inside""#, Kind::Str),
+    (r#""escaped \" quote""#, Kind::Str),
+    (r#""/* not a comment */""#, Kind::Str),
+    (r#"b"byte string""#, Kind::Str),
+    ("\"two\nlines\"", Kind::Str),
+    (r##"r"raw string""##, Kind::RawStr),
+    (r###"r#"raw with " quote"#"###, Kind::RawStr),
+    (r####"br##"raw with "# inside"##"####, Kind::RawStr),
+    ("r#\"raw\nacross lines\"#", Kind::RawStr),
+    ("'c'", Kind::CharLit),
+    (r"'\''", Kind::CharLit),
+    (r"'\n'", Kind::CharLit),
+];
+
+/// Asserts the scan's structural invariants: regions are non-empty,
+/// contiguous, in order, and cover every byte of `src`.
+fn assert_tiles(src: &str, sc: &Scan) {
+    let mut pos = 0usize;
+    let mut last_line = 1usize;
+    for r in &sc.regions {
+        assert_eq!(r.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(r.end > r.start, "empty region in {src:?}");
+        assert!(r.line >= last_line, "line numbers regressed in {src:?}");
+        pos = r.end;
+        last_line = r.line;
+    }
+    assert_eq!(pos, src.len(), "scan does not cover {src:?}");
+}
+
+rtped_core::check! {
+    #![cases = 192, seed = 0x5CA7]
+
+    fn curated_segments_classify_exactly(
+        segs in vec_of(choice(SEGMENTS.to_vec()), 1..10)
+    ) {
+        let mut src = String::new();
+        let mut probes = Vec::new();
+        for (text, kind) in &segs {
+            src.push_str("\n;\n");
+            probes.push((src.len(), *kind));
+            src.push_str(text);
+        }
+        src.push_str("\n;\n");
+        let sc = scan(&src);
+        assert_tiles(&src, &sc);
+        for (offset, kind) in probes {
+            rtped_core::check_assert_eq!(
+                sc.kind_at(offset),
+                Some(kind),
+                "byte {offset} of {src:?}"
+            );
+        }
+        let text = split(&src, &sc);
+        let _ = tokens(&text);
+    }
+
+    fn truncated_segments_still_tile(
+        segs in vec_of(choice(SEGMENTS.to_vec()), 1..10),
+        cut_pct in 0..=100usize
+    ) {
+        let mut src = String::new();
+        for (text, _) in &segs {
+            src.push_str(text);
+            src.push_str("\n;\n");
+        }
+        // All segments are ASCII, so any byte index is a char boundary;
+        // cutting mid-literal must degrade to a region that runs to EOF.
+        let cut = src.len() * cut_pct / 100;
+        let truncated = &src[..cut];
+        let sc = scan(truncated);
+        assert_tiles(truncated, &sc);
+        let text = split(truncated, &sc);
+        let _ = tokens(&text);
+    }
+
+    fn arbitrary_ascii_never_breaks_the_scanner(
+        s in rtped_core::check::ascii_string(0..80)
+    ) {
+        let sc = scan(&s);
+        assert_tiles(&s, &sc);
+        let text = split(&s, &sc);
+        let _ = tokens(&text);
+    }
+}

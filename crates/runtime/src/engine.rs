@@ -216,6 +216,7 @@ impl<D: Detect + Sync> Runtime<D> {
         // unwinding through the frame loop.
         let scanned = par::try_map(std::slice::from_ref(&image), |img| {
             if worker_panic {
+                // rtped-lint: allow(unwrap-in-library, "deliberate fault injection: this panic exists to exercise try_map's panic isolation and is caught below")
                 panic!("injected worker panic at frame {index}");
             }
             self.detector.detect_with_profile(img, &profile)
@@ -234,6 +235,7 @@ impl<D: Detect + Sync> Runtime<D> {
                 )
             }
             Ok(mut results) => {
+                // rtped-lint: allow(unwrap-in-library, "try_map over a one-element slice returns exactly one result on the Ok path")
                 let detections = results.pop().expect("one input yields one output");
                 tracker.step(&detections);
                 let transition = controller.observe_ok(modeled_ms);

@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for detector in &detectors {
-        let start = std::time::Instant::now();
+        let start = rtped::core::timer::Stopwatch::start();
         let detections = detector.detect(&scene.frame);
         let elapsed = start.elapsed();
         // Match detections to ground truth at IoU >= 0.4.

@@ -81,9 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A seeded fault plan: ~10% corrupted frames plus dropouts,
     // truncations, 12 ms delays, and a worker kill every 25th frame.
-    let seed = std::env::var("RTPED_FAULT_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    let seed = rtped::core::env::typed::<u64>("RTPED_FAULT_SEED")
+        .value()
         .unwrap_or(2017);
     let plan = FaultPlan::stress(seed);
 

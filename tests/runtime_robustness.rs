@@ -139,7 +139,7 @@ fn report_is_bit_identical_across_runs_and_thread_counts() {
     // never the wall clock, and detection is bit-identical across
     // threads, so the serialized report cannot move either.
     let threads_env = rtped::core::par::THREADS_ENV;
-    let saved = std::env::var(threads_env).ok();
+    let saved = rtped::core::env::raw(threads_env);
     for threads in [1usize, 2, 4] {
         std::env::set_var(threads_env, threads.to_string());
         let report = runtime.run(&frames, &plan).to_json().to_string();
