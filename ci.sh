@@ -39,4 +39,30 @@ ecc_smoke=$(cargo run --release --offline --example soft_error_smoke)
 grep -q '"integrity":{' <<<"$ecc_smoke"
 grep -q 'soft_error_smoke: ok' <<<"$ecc_smoke"
 
+echo "== rtped-serve smoke (daemon on ephemeral port, load generator, clean shutdown) =="
+cargo build --release --offline -p rtped-serve -p rtped-bench --bin rtped-serve --bin bench_serve
+serve_log=$(mktemp)
+serve_journal=$(mktemp -u)
+./target/release/rtped-serve --addr 127.0.0.1:0 --workers 4 \
+    --journal "$serve_journal" >"$serve_log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 50); do
+    serve_addr=$(sed -n 's/^rtped-serve: listening on //p' "$serve_log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "rtped-serve: daemon never reported its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/bench_serve --quick --connect "$serve_addr" --shutdown
+wait "$serve_pid"
+grep -q 'rtped-serve: shutdown complete' "$serve_log"
+grep -q '"format": 1' BENCH_serve.quick.json
+grep -q '"bench": "serve"' BENCH_serve.quick.json
+grep -q '"shed_rate"' BENCH_serve.quick.json
+rm -f "$serve_log" "$serve_journal"
+
 echo "ci.sh: all green"

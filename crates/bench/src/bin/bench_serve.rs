@@ -1,0 +1,276 @@
+//! Load generator for the `rtped-serve` daemon.
+//!
+//! Simulates a fleet of dashcam streams — each stream is one tenant with
+//! its own engine inside the daemon — over a pool of persistent client
+//! connections, then a deliberate hot-tenant overload burst that drives
+//! admission control into shedding. Two phases, reported separately:
+//!
+//! 1. **steady**: `streams` tenants (every 16th on the `hw:` integrity
+//!    engine) × `frames` requests each, spread over as many connections
+//!    as the daemon has workers. Yields throughput and p50/p99 latency.
+//! 2. **burst**: `burst_conns` short-lived connections all hammering one
+//!    tenant. The accept queue backs up, the tenant's admission ladder
+//!    walks to safe-fallback, and requests shed — the measured shed rate
+//!    is the daemon's overload behavior, not a simulation.
+//!
+//! By default the daemon is self-hosted in-process on an ephemeral port;
+//! `--connect ADDR` drives an external daemon instead (add `--shutdown`
+//! to stop it afterwards — self-hosted runs always shut down). Results
+//! land in `BENCH_serve.json`, or `BENCH_serve.quick.json` with
+//! `--quick` (the CI smoke's variant, gitignored).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rtped_core::json::{obj, Json};
+use rtped_core::par;
+use rtped_core::timer::Stopwatch;
+use rtped_serve::{Client, FrameSpec, Request, Response, Server, ServerConfig};
+
+/// One phase's aggregated numbers.
+struct PhaseResult {
+    requests: u64,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    elapsed_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl PhaseResult {
+    fn shed_rate(&self) -> f64 {
+        if self.requests > 0 {
+            self.shed as f64 / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("requests", self.requests.into()),
+            ("completed", self.completed.into()),
+            ("shed", self.shed.into()),
+            ("errors", self.errors.into()),
+            ("elapsed_s", self.elapsed_s.into()),
+            ("throughput_rps", self.throughput_rps().into()),
+            ("shed_rate", self.shed_rate().into()),
+            ("p50_ms", self.p50_ms.into()),
+            ("p99_ms", self.p99_ms.into()),
+        ])
+    }
+}
+
+/// Percentile over a sorted sample set (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn detect_request(tenant: String, job: String, seed: u64) -> Request {
+    Request::Detect {
+        tenant,
+        job,
+        fault_seed: None,
+        frame: FrameSpec::Synthetic {
+            width: 96,
+            height: 160,
+            seed,
+        },
+    }
+}
+
+/// Drives `conns` connections against `addr`; worker `w` issues the
+/// requests `make(w)` yields, in order. Returns the phase aggregate.
+fn drive(addr: &str, conns: usize, make: impl Fn(usize) -> Vec<Request> + Sync) -> PhaseResult {
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let requests = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let phase = Stopwatch::start();
+    par::run_workers(conns, |w| {
+        let mut client = Client::connect(addr).expect("connect to daemon");
+        let mut local = Vec::new();
+        for request in make(w) {
+            requests.fetch_add(1, Ordering::Relaxed);
+            let sw = Stopwatch::start();
+            match client.call(&request) {
+                Ok(Response::FrameResult { .. }) => {
+                    local.push(sw.elapsed_ms());
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Response::Shed { .. }) => {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) | Err(_) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        latencies
+            .lock()
+            .expect("latency collector")
+            .extend_from_slice(&local);
+    });
+    let elapsed_s = phase.elapsed().as_secs_f64();
+    let mut latencies = latencies.into_inner().expect("latency collector");
+    latencies.sort_by(f64::total_cmp);
+    PhaseResult {
+        requests: requests.into_inner(),
+        completed: completed.into_inner(),
+        shed: shed.into_inner(),
+        errors: errors.into_inner(),
+        elapsed_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
+fn run_load(
+    addr: &str,
+    streams: usize,
+    frames: usize,
+    clients: usize,
+    burst_conns: usize,
+    burst_frames: usize,
+) -> (PhaseResult, PhaseResult) {
+    // Phase 1: the fleet. Tenants are spread round-robin over the
+    // connection pool; every 16th stream runs on the integrity engine.
+    let steady = drive(addr, clients, |w| {
+        let mut reqs = Vec::new();
+        let mut stream = w;
+        while stream < streams {
+            let tenant = if stream % 16 == 0 {
+                format!("hw:cam-{stream:04}")
+            } else {
+                format!("cam-{stream:04}")
+            };
+            for frame in 0..frames {
+                reqs.push(detect_request(
+                    tenant.clone(),
+                    format!("job-{stream:04}-{frame}"),
+                    (stream * 1000 + frame) as u64,
+                ));
+            }
+            stream += clients;
+        }
+        reqs
+    });
+    println!(
+        "  steady: {} streams x {} frames -> {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, {} shed",
+        streams,
+        frames,
+        steady.throughput_rps(),
+        steady.p50_ms,
+        steady.p99_ms,
+        steady.shed,
+    );
+
+    // Phase 2: everyone piles onto one tenant from short-lived
+    // connections; the accept queue depth is admission's load signal.
+    let burst = drive(addr, burst_conns, |w| {
+        (0..burst_frames)
+            .map(|frame| {
+                detect_request(
+                    String::from("cam-hot"),
+                    format!("burst-{w:02}-{frame}"),
+                    (w * 100 + frame) as u64,
+                )
+            })
+            .collect()
+    });
+    println!(
+        "  burst: {} conns x {} frames on one tenant -> {} served, {} shed ({:.0}% shed rate)",
+        burst_conns,
+        burst_frames,
+        burst.completed,
+        burst.shed,
+        burst.shed_rate() * 100.0,
+    );
+    (steady, burst)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut connect: Option<String> = None;
+    let mut shutdown = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--connect" => connect = Some(iter.next().expect("--connect needs an address")),
+            "--shutdown" => shutdown = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let (streams, frames, clients, burst_conns, burst_frames, workers) = if quick {
+        (32, 2, 4, 24, 4, 4)
+    } else {
+        (1024, 3, 8, 48, 6, 8)
+    };
+    println!(
+        "bench_serve: {streams} streams, {clients} connections{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let (steady, burst, addr) = match connect {
+        Some(addr) => {
+            let (steady, burst) =
+                run_load(&addr, streams, frames, clients, burst_conns, burst_frames);
+            if shutdown {
+                let mut client = Client::connect(&addr).expect("connect for shutdown");
+                client.call(&Request::Shutdown).expect("shutdown daemon");
+            }
+            (steady, burst, addr)
+        }
+        None => {
+            let server = Server::bind(ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            })
+            .expect("bind self-hosted daemon");
+            let addr = server.local_addr().to_string();
+            let result = std::thread::scope(|scope| {
+                scope.spawn(|| server.run());
+                let result = run_load(&addr, streams, frames, clients, burst_conns, burst_frames);
+                let mut client = Client::connect(&addr).expect("connect for shutdown");
+                client.call(&Request::Shutdown).expect("shutdown daemon");
+                result
+            });
+            (result.0, result.1, addr)
+        }
+    };
+
+    let json = obj([
+        ("format", 1u64.into()),
+        ("bench", Json::String(String::from("serve"))),
+        ("quick", Json::Bool(quick)),
+        ("addr", Json::String(addr)),
+        ("streams", (streams as u64).into()),
+        ("frames_per_stream", (frames as u64).into()),
+        ("connections", (clients as u64).into()),
+        ("steady", steady.to_json()),
+        ("burst", burst.to_json()),
+    ]);
+    let path = if quick {
+        "BENCH_serve.quick.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(path, json.to_string_pretty()).expect("write benchmark baseline");
+    println!("wrote {path}");
+}

@@ -605,6 +605,41 @@ pub fn required_field<'j>(json: &'j Json, key: &str) -> Result<&'j Json, Error> 
         .ok_or_else(|| Error::format(format!("missing required field \"{key}\"")))
 }
 
+/// Validates the `{"format":N,"kind":"..."}` header every versioned rtped
+/// document carries — model files, run reports, and wire messages all
+/// share this one evolution policy. `noun` names the document family in
+/// the version-mismatch message (`"model"`, `"report"`, `"message"`).
+///
+/// # Errors
+///
+/// Returns [`Error::Format`] when the header is missing, the `format`
+/// field is not a non-negative integer, the version differs from
+/// `version`, or the `kind` differs from `expected_kind`.
+pub fn check_schema_header(
+    json: &Json,
+    expected_kind: &str,
+    noun: &str,
+    version: u64,
+) -> Result<(), Error> {
+    let format = required_field(json, "format")?
+        .as_u64()
+        .ok_or_else(|| Error::format("field \"format\" must be a non-negative integer"))?;
+    if format != version {
+        return Err(Error::format(format!(
+            "unsupported {noun} format {format} (this build reads format {version})"
+        )));
+    }
+    let kind = required_field(json, "kind")?
+        .as_str()
+        .ok_or_else(|| Error::format("field \"kind\" must be a string"))?;
+    if kind != expected_kind {
+        return Err(Error::format(format!(
+            "expected kind \"{expected_kind}\", found \"{kind}\""
+        )));
+    }
+    Ok(())
+}
+
 macro_rules! impl_json_float {
     ($($ty:ty),+) => {$(
         impl ToJson for $ty {
@@ -950,5 +985,39 @@ mod tests {
     fn whitespace_tolerant_parsing() {
         let text = " \t\r\n { \"a\" : [ 1 , 2 ] , \"b\" : null } \n";
         assert_eq!(roundtrip(text), r#"{"a":[1,2],"b":null}"#);
+    }
+
+    #[test]
+    fn schema_header_accepts_matching_format_and_kind() {
+        let v = obj([("format", 1u64.into()), ("kind", "run_report".into())]);
+        assert!(check_schema_header(&v, "run_report", "report", 1).is_ok());
+    }
+
+    #[test]
+    fn schema_header_rejections_carry_typed_messages() {
+        let missing = obj([("kind", "x".into())]);
+        let err = check_schema_header(&missing, "x", "report", 1).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("missing required field \"format\""));
+
+        let non_int = obj([("format", "1".into()), ("kind", "x".into())]);
+        let err = check_schema_header(&non_int, "x", "report", 1).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("field \"format\" must be a non-negative integer"));
+
+        let future = obj([("format", 99u64.into()), ("kind", "x".into())]);
+        let err = check_schema_header(&future, "x", "report", 1).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "format error: unsupported report format 99 (this build reads format 1)"
+        );
+
+        let wrong_kind = obj([("format", 1u64.into()), ("kind", "other".into())]);
+        let err = check_schema_header(&wrong_kind, "x", "report", 1).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("expected kind \"x\", found \"other\""));
     }
 }

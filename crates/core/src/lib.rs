@@ -24,6 +24,8 @@
 //! - [`env`]: typed, warn-once environment-variable parsing shared by
 //!   every `RTPED_*` knob (a malformed value is rejected on stderr, never
 //!   silently ignored).
+//! - [`wire`]: length-prefixed message framing for the serving protocol,
+//!   with typed oversize/truncation errors and a clean-EOF signal.
 //! - [`error`]: the workspace-wide [`Error`] type every fallible `rtped`
 //!   API returns.
 //!
@@ -55,6 +57,7 @@ pub mod par;
 pub mod retry;
 pub mod rng;
 pub mod timer;
+pub mod wire;
 
 pub use error::Error;
 pub use json::{FromJson, Json, JsonError, ToJson};

@@ -398,6 +398,24 @@ pub fn for_each_band<T: Send>(data: &mut [T], band_len: usize, f: impl Fn(usize,
     });
 }
 
+/// Runs `f(0), f(1), ..., f(workers - 1)` on one scoped thread each and
+/// blocks until every worker returns — the long-lived worker-pool
+/// primitive (daemon request loops, load-generator clients), as opposed
+/// to the per-call data parallelism of [`map`].
+///
+/// `workers` is clamped to `1..=MAX_THREADS`. Workers are expected to
+/// exit on their own (e.g. when a shared shutdown flag flips); a panic in
+/// any worker propagates once all threads have been joined.
+pub fn run_workers(workers: usize, f: impl Fn(usize) + Sync) {
+    let workers = workers.clamp(1, MAX_THREADS);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            scope.spawn(move || f(w));
+        }
+    });
+}
+
 /// Evenly partitions `0..n` into at most `max_bands` contiguous ranges
 /// (fewer when `n < max_bands`; empty when `n == 0`). Deterministic in
 /// its inputs — band `b` always covers the same range.
@@ -494,6 +512,23 @@ mod tests {
     fn small_input_matches_serial() {
         let out = map(&[1, 2, 3], |&x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn run_workers_runs_each_index_once_and_blocks_until_done() {
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        run_workers(5, |w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        for (w, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "worker {w}");
+        }
+        // Zero workers clamps to one.
+        let ran = AtomicUsize::new(0);
+        run_workers(0, |_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Length-prefixed message framing for the serving protocol.
+//!
+//! One frame is a 4-byte big-endian payload length followed by exactly
+//! that many payload bytes (canonical JSON in the rtped protocol, but the
+//! framing layer is payload-agnostic). The decoder is hostile-input safe:
+//!
+//! - a length claim above the caller's cap fails fast with
+//!   [`WireError::Oversized`] **before any allocation**;
+//! - a stream that ends mid-header or mid-payload is
+//!   [`WireError::Truncated`], never a panic or a partial frame;
+//! - EOF exactly on a frame boundary is the clean end of the
+//!   conversation (`Ok(None)`), so connection teardown is typed apart
+//!   from corruption.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+use crate::Error;
+
+/// Default cap on one frame's payload (4 MiB): comfortably above any
+/// protocol message, far below an allocation that could hurt the daemon.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Typed framing failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The header claims a payload larger than the cap in force.
+    Oversized {
+        /// Claimed payload length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Oversized { len, max } => {
+                write!(f, "frame claims {len} bytes, cap is {max}")
+            }
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Oversized { .. } | WireError::Truncated { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => Error::Io(io),
+            other => Error::format(other.to_string()),
+        }
+    }
+}
+
+/// Whether this error is a read timeout (the poll tick of a daemon using
+/// `set_read_timeout`), as opposed to a real framing failure.
+#[must_use]
+pub fn is_timeout(err: &WireError) -> bool {
+    matches!(
+        err,
+        WireError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+    )
+}
+
+/// Frames `payload` into a fresh buffer (header + payload).
+///
+/// # Errors
+///
+/// Returns [`WireError::Oversized`] when the payload exceeds
+/// [`MAX_FRAME_BYTES`].
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized {
+            len: payload.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Writes one frame to `writer`.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] for payloads above [`MAX_FRAME_BYTES`],
+/// [`WireError::Io`] on write failure.
+pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> Result<(), WireError> {
+    let frame = encode_frame(payload)?;
+    writer.write_all(&frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's payload from `reader`, capping the claimed length at
+/// `max` bytes. Returns `Ok(None)` on clean EOF (the stream ended exactly
+/// on a frame boundary).
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] for a length claim above `max` (checked
+/// before any allocation), [`WireError::Truncated`] when the stream ends
+/// inside a frame, [`WireError::Io`] on read failure.
+pub fn read_frame<R: Read>(mut reader: R, max: usize) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    expected: header.len(),
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(WireError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match reader.read(&mut payload[got..]) {
+            Ok(0) => return Err(WireError::Truncated { expected: len, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap().unwrap(),
+            b""
+        );
+        assert!(read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated_or_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&buf[..cut], MAX_FRAME_BYTES)
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+        // Zero bytes is the clean-EOF boundary, not an error.
+        assert!(read_frame(&buf[..0], MAX_FRAME_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_claim_fails_before_allocating() {
+        // Header claims u32::MAX bytes with an empty body: must fail on
+        // the cap check, not attempt a 4 GiB allocation.
+        let header = u32::MAX.to_be_bytes();
+        let err = read_frame(&header[..], MAX_FRAME_BYTES)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Oversized { len, max } if len == u32::MAX as usize && max == MAX_FRAME_BYTES
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_payloads() {
+        // A fake huge slice is not constructible cheaply; drive the cap
+        // with a small max through read instead, and the encode path with
+        // the real constant via the boundary case.
+        assert!(encode_frame(&[0u8; 16]).is_ok());
+        let frame = encode_frame(b"abc").unwrap();
+        assert_eq!(&frame[..4], &3u32.to_be_bytes());
+        let err = read_frame(frame.as_slice(), 2).map(|_| ()).unwrap_err();
+        assert!(matches!(err, WireError::Oversized { len: 3, max: 2 }));
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e = WireError::Truncated {
+            expected: 10,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 10 bytes, got 3"));
+        let core: Error = e.into();
+        assert!(matches!(core, Error::Format(_)));
+        let io: Error = WireError::Io(std::io::Error::from(ErrorKind::BrokenPipe)).into();
+        assert!(matches!(io, Error::Io(_)));
+        assert!(is_timeout(&WireError::Io(std::io::Error::from(
+            ErrorKind::WouldBlock
+        ))));
+        assert!(!is_timeout(&WireError::Oversized { len: 1, max: 0 }));
+    }
+}

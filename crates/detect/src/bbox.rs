@@ -1,5 +1,8 @@
 //! Axis-aligned bounding boxes.
 
+use rtped_core::json::{obj, required_field};
+use rtped_core::{Error, FromJson, Json, ToJson};
+
 /// An axis-aligned box in pixel coordinates (top-left origin, inclusive of
 /// `x..x+width`).
 ///
@@ -112,6 +115,28 @@ impl BoundingBox {
     }
 }
 
+impl ToJson for BoundingBox {
+    fn to_json(&self) -> Json {
+        obj([
+            ("x", self.x.into()),
+            ("y", self.y.into()),
+            ("w", self.width.into()),
+            ("h", self.height.into()),
+        ])
+    }
+}
+
+impl FromJson for BoundingBox {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        Ok(BoundingBox {
+            x: i64::from_json(required_field(json, "x")?)?,
+            y: i64::from_json(required_field(json, "y")?)?,
+            width: u64::from_json(required_field(json, "w")?)?,
+            height: u64::from_json(required_field(json, "h")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +145,17 @@ mod tests {
     fn identical_boxes_have_iou_one() {
         let b = BoundingBox::new(3, 4, 10, 20);
         assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let b = BoundingBox::new(-3, 7, 64, 128);
+        let json = b.to_json();
+        assert_eq!(json.to_string(), r#"{"x":-3,"y":7,"w":64,"h":128}"#);
+        assert_eq!(BoundingBox::from_json(&json).unwrap(), b);
+        assert!(BoundingBox::from_json(&Json::Null).is_err());
+        let missing = obj([("x", 0i64.into()), ("y", 0i64.into())]);
+        assert!(BoundingBox::from_json(&missing).is_err());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! - [`FeaturePyramidDetector`] (the paper's method, Fig. 3b): extract HOG
 //!   once, down-sample the normalized feature map per scale, classify.
 
-use rtped_core::{par, Error};
+use rtped_core::json::{obj, required_field};
+use rtped_core::{par, Error, FromJson, Json, ToJson};
 use rtped_hog::feature_map::FeatureMap;
 use rtped_hog::params::HogParams;
 use rtped_hog::pyramid::{FeaturePyramid, ImagePyramid, PyramidLevel};
@@ -28,6 +29,31 @@ pub struct Detection {
     pub score: f64,
     /// Pyramid scale the detection fired at.
     pub scale: f64,
+}
+
+impl ToJson for Detection {
+    fn to_json(&self) -> Json {
+        obj([
+            ("bbox", self.bbox.to_json()),
+            ("score", self.score.into()),
+            ("scale", self.scale.into()),
+        ])
+    }
+}
+
+impl FromJson for Detection {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        let score = f64::from_json(required_field(json, "score")?)?;
+        let scale = f64::from_json(required_field(json, "scale")?)?;
+        if !score.is_finite() || !scale.is_finite() {
+            return Err(Error::format("detection score and scale must be finite"));
+        }
+        Ok(Detection {
+            bbox: BoundingBox::from_json(required_field(json, "bbox")?)?,
+            score,
+            scale,
+        })
+    }
 }
 
 /// Shared detector configuration.
@@ -331,6 +357,28 @@ pub trait Detect {
 
     /// Human-readable method name for reports.
     fn method_name(&self) -> &'static str;
+}
+
+/// `Detect` is object safe (`detect_frames` opts out via `Sized`), and
+/// boxed trait objects forward transparently — so heterogeneous detector
+/// fleets (`Vec<Box<dyn Detect + Send + Sync>>`, one tenant each) run
+/// through the same engine code as concrete detectors.
+impl<T: Detect + ?Sized> Detect for Box<T> {
+    fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
+        (**self).detect(frame)
+    }
+
+    fn detect_with_profile(&self, frame: &GrayImage, profile: &ScanProfile) -> Vec<Detection> {
+        (**self).detect_with_profile(frame, profile)
+    }
+
+    fn config(&self) -> &DetectorConfig {
+        (**self).config()
+    }
+
+    fn method_name(&self) -> &'static str {
+        (**self).method_name()
+    }
 }
 
 /// Scores every window position of one pyramid level, appending hits above
@@ -667,6 +715,42 @@ mod tests {
         }
         assert_eq!(detectors[0].method_name(), "image-pyramid");
         assert_eq!(detectors[1].method_name(), "feature-pyramid");
+    }
+
+    #[test]
+    fn boxed_trait_objects_forward_identically() {
+        let config = DetectorConfig::with_scales(vec![1.0]);
+        let model = zero_model(&config.params, 1.0);
+        let concrete = FeaturePyramidDetector::new(model, config);
+        let frame = textured(128, 192);
+        let direct = concrete.detect(&frame);
+        let shed = ScanProfile {
+            max_scales: Some(1),
+            stride_factor: 2,
+        };
+        let direct_shed = concrete.detect_with_profile(&frame, &shed);
+
+        let boxed: Box<dyn Detect + Send + Sync> = Box::new(concrete);
+        assert_eq!(boxed.detect(&frame), direct);
+        assert_eq!(boxed.detect_with_profile(&frame, &shed), direct_shed);
+        assert_eq!(boxed.method_name(), "feature-pyramid");
+        assert_eq!(boxed.config().scales, vec![1.0]);
+    }
+
+    #[test]
+    fn detection_json_roundtrip() {
+        let d = Detection {
+            bbox: BoundingBox::new(8, 16, 64, 128),
+            score: 1.25,
+            scale: 1.5,
+        };
+        let json = d.to_json();
+        assert_eq!(
+            json.to_string(),
+            r#"{"bbox":{"x":8,"y":16,"w":64,"h":128},"score":1.25,"scale":1.5}"#
+        );
+        assert_eq!(Detection::from_json(&json).unwrap(), d);
+        assert!(Detection::from_json(&Json::Null).is_err());
     }
 
     #[test]

@@ -62,4 +62,5 @@ pub mod verify;
 pub use ecc::EccMode;
 pub use integrity::{IntegrityConfig, IntegrityFault, IntegrityReport, SoftErrorDose, ECC_ENV};
 pub use pipeline::{AcceleratorConfig, AcceleratorReport, HogAccelerator};
+pub use stream::StreamStats;
 pub use timing::ClockDomain;

@@ -17,7 +17,7 @@
 //!   a `// SAFETY:` comment (or a `# Safety` doc section for `unsafe fn`).
 //! - `unwrap-in-library` — `unwrap()`/`expect(`/`panic!` are forbidden in
 //!   non-`#[cfg(test)]` library code of `core`, `hw`, `runtime`, `svm`,
-//!   and `image`.
+//!   `image`, and `serve`.
 //! - `noncanonical-json` — string literals carrying hand-rolled JSON
 //!   fragments are forbidden outside `rtped_core::json`; reports must go
 //!   through the canonical serializer.
@@ -208,7 +208,7 @@ fn is_fixed_datapath(rel: &str) -> bool {
 
 /// Crates whose library code must not panic on recoverable inputs.
 fn in_unwrap_scope(rel: &str) -> bool {
-    ["core", "hw", "runtime", "svm", "image"]
+    ["core", "hw", "runtime", "svm", "image", "serve"]
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
 }
@@ -520,6 +520,14 @@ mod tests {
         let out = check_source("crates/hw/src/lib.rs", src);
         assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
         assert_eq!(out.violations[0].line, 1);
+        // The serving daemon is in scope too — a multi-tenant server must
+        // degrade, not die.
+        assert_eq!(
+            check_source("crates/serve/src/server.rs", src)
+                .violations
+                .len(),
+            1
+        );
         assert!(check_source("crates/eval/src/lib.rs", src)
             .violations
             .is_empty());

@@ -100,6 +100,24 @@ impl HealthState {
             HealthState::SafeFallback => "safe_fallback".to_string(),
         }
     }
+
+    /// Inverse of [`HealthState::label`], for report decoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rtped_core::Error::Format`] on an unknown label.
+    pub fn parse_label(label: &str) -> Result<Self, rtped_core::Error> {
+        match label {
+            "healthy" => Ok(HealthState::Healthy),
+            "degraded_1" => Ok(HealthState::Degraded(1)),
+            "degraded_2" => Ok(HealthState::Degraded(2)),
+            "degraded_3" => Ok(HealthState::Degraded(3)),
+            "safe_fallback" => Ok(HealthState::SafeFallback),
+            other => Err(rtped_core::Error::format(format!(
+                "unknown health state \"{other}\""
+            ))),
+        }
+    }
 }
 
 impl fmt::Display for HealthState {
@@ -134,6 +152,24 @@ impl TransitionCause {
             TransitionCause::ErrorBurst => "error_burst",
             TransitionCause::IntegrityFault => "integrity_fault",
             TransitionCause::Recovered => "recovered",
+        }
+    }
+
+    /// Inverse of [`TransitionCause::label`], for report decoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rtped_core::Error::Format`] on an unknown label.
+    pub fn parse_label(label: &str) -> Result<Self, rtped_core::Error> {
+        match label {
+            "deadline_miss" => Ok(TransitionCause::DeadlineMiss),
+            "frame_error" => Ok(TransitionCause::FrameError),
+            "error_burst" => Ok(TransitionCause::ErrorBurst),
+            "integrity_fault" => Ok(TransitionCause::IntegrityFault),
+            "recovered" => Ok(TransitionCause::Recovered),
+            other => Err(rtped_core::Error::format(format!(
+                "unknown transition cause \"{other}\""
+            ))),
         }
     }
 }

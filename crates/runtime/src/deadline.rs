@@ -176,7 +176,9 @@ mod tests {
 
     #[test]
     fn env_override_wins_when_positive() {
-        // Serialized env mutation: one test owns this variable.
+        // Serialized env mutation: RTPED_DEADLINE_MS is shared with the
+        // config module's test, so both take the crate-wide lock.
+        let _guard = crate::test_env::lock();
         std::env::set_var(DEADLINE_ENV, "42.5");
         let budget = DeadlineBudget::from_env_or_das(&DasParams::default());
         assert!((budget.frame_budget_ms - 42.5).abs() < 1e-12);

@@ -1,72 +1,109 @@
-//! The fault-tolerant frame-serving engine.
+//! The unified engine API and the software frame-serving engine.
 //!
-//! [`Runtime::run`] drives a frame sequence through a [`Detect`]
-//! implementation under a [`FaultPlan`], with the degradation
-//! [`Controller`] choosing each frame's [`ScanProfile`] and the tracker
-//! carrying confirmed pedestrians through `SafeFallback`. The loop over
-//! frames is sequential by design — the controller and tracker are
-//! stateful — while each frame's scan parallelizes internally (and stays
-//! bit-identical across thread counts, so the emitted [`RunReport`] is
-//! too).
+//! # The [`Engine`] trait
 //!
-//! Guarantees, under any plan:
+//! PRs 4–5 grew two parallel frame servers — the software
+//! [`Runtime`] and the hardware [`IntegrityRuntime`](crate::IntegrityRuntime)
+//! — with duplicated entry points. This module unifies them behind one
+//! **object-safe** trait so hosts (the `rtped-serve` daemon, tests,
+//! examples) can drive heterogeneous engines as `Box<dyn Engine>`:
 //!
-//! - **zero panics escape**: worker panics are caught by
-//!   `rtped_core::par::try_map` and surface as
+//! - [`Engine::serve_frame`] serves **one** frame incrementally and
+//!   returns its [`FrameRecord`] — the daemon's request-at-a-time entry
+//!   point;
+//! - [`Engine::run`] (provided) resets, serves a whole sequence, and
+//!   drains the [`RunReport`] — the batch entry point every existing
+//!   caller migrates to;
+//! - [`Engine::take_report`] drains the accumulated log without
+//!   disturbing controller/tracker state, so a long-lived serving
+//!   session can emit periodic reports.
+//!
+//! Guarantees, under any plan, for every engine:
+//!
+//! - **zero panics escape**: worker panics are caught
+//!   (`rtped_core::par::try_map`) and surface as
 //!   [`FrameError::WorkerPanic`];
 //! - **every frame accounted**: each input frame yields detections,
 //!   coasted tracks, or a typed [`FrameError`] — never silence;
-//! - **empty plan ⇒ bit-identity**: with [`FaultPlan::none`] and frames
-//!   whose modeled cost fits the budget, the runtime stays `Healthy`,
-//!   every profile is full, and published detections equal
-//!   [`Detect::detect`] exactly.
+//! - **bit-identical replay**: latency is modeled, never wall-clock, so
+//!   equal observation sequences produce byte-identical reports across
+//!   runs, hosts, and `RTPED_THREADS` values.
+//!
+//! The frame loop is sequential by design — the controller and tracker
+//! are stateful — while each frame's scan parallelizes internally.
 
 use rtped_core::par;
-use rtped_detect::detector::{Detect, Detection};
-use rtped_detect::tracker::{Tracker, TrackerParams};
+use rtped_detect::detector::Detect;
 use rtped_hw::stream::StreamSimulator;
 use rtped_image::GrayImage;
 
-use crate::control::{Controller, DegradationPolicy, HealthState};
-use crate::deadline::{CostModel, DeadlineBudget};
+use crate::config::RuntimeConfig;
+use crate::control::HealthState;
+use crate::deadline::DeadlineBudget;
 use crate::fault::{Delivery, FaultPlan};
-use crate::report::{FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord};
+use crate::report::{FrameError, FrameOutcome, FrameRecord, RunReport};
+use crate::session::{Admitted, Session};
 
-/// Everything the engine needs besides the detector.
-#[derive(Debug, Clone)]
-pub struct RuntimeConfig {
-    /// Per-frame deadline.
-    pub budget: DeadlineBudget,
-    /// Escalation/recovery hysteresis.
-    pub policy: DegradationPolicy,
-    /// The deterministic latency model.
-    pub cost_model: CostModel,
-    /// Tracker used for `SafeFallback` coasting.
-    pub tracker: TrackerParams,
-}
+/// A fault-tolerant, deadline-aware frame server, object-safe so daemons
+/// can host heterogeneous engines as `Box<dyn Engine>`.
+///
+/// Implementations are stateful: the degradation controller, the coasting
+/// tracker, and the run log live inside the engine and persist across
+/// [`Engine::serve_frame`] calls until [`Engine::reset`].
+pub trait Engine: Send {
+    /// Serves the next frame under `plan` and returns its record. The
+    /// frame's index is the engine's internal counter (frames served
+    /// since the last reset), which is also the index the plan's seeded
+    /// fault schedule keys on.
+    fn serve_frame(&mut self, frame: &GrayImage, plan: &FaultPlan) -> FrameRecord;
 
-impl Default for RuntimeConfig {
-    /// Budget from `RTPED_DEADLINE_MS` or the DAS derivation (15 ms),
-    /// default hysteresis, default cost model and tracker.
-    fn default() -> Self {
-        Self {
-            budget: DeadlineBudget::from_env_or_das(&rtped_detect::das::DasParams::default()),
-            policy: DegradationPolicy::default(),
-            cost_model: CostModel::default(),
-            tracker: TrackerParams::default(),
+    /// Health state the next frame will be served under.
+    fn state(&self) -> HealthState;
+
+    /// Frames served since the last reset.
+    fn frames_served(&self) -> usize;
+
+    /// The per-frame deadline in force.
+    fn budget(&self) -> DeadlineBudget;
+
+    /// Stable engine-family label (`"software"` or `"integrity"`), used
+    /// by serving layers to report what backs a tenant.
+    fn kind(&self) -> &'static str;
+
+    /// Returns the engine to its post-construction state: fresh
+    /// controller, tracker, log, and frame counter.
+    fn reset(&mut self);
+
+    /// Drains the accumulated run log into a report stamped with `seed`.
+    /// Controller, tracker, and the frame counter are left running, so a
+    /// serving session can report periodically; use [`Engine::reset`]
+    /// for a fresh run.
+    fn take_report(&mut self, seed: u64) -> RunReport;
+
+    /// Serves `frames` under `plan` from a fresh state, returning the
+    /// full run record. Equal inputs produce equal reports.
+    fn run(&mut self, frames: &[GrayImage], plan: &FaultPlan) -> RunReport {
+        self.reset();
+        for frame in frames {
+            let _ = self.serve_frame(frame, plan);
         }
+        self.take_report(plan.seed)
     }
 }
 
-/// The fault-tolerant, deadline-aware frame server.
+/// The software frame server: a [`Detect`] implementation behind the
+/// degradation controller and the coasting tracker.
 #[derive(Debug, Clone)]
 pub struct Runtime<D> {
     detector: D,
     config: RuntimeConfig,
+    session: Session,
 }
 
-impl<D: Detect + Sync> Runtime<D> {
-    /// Wraps a detector with the default [`RuntimeConfig`].
+impl<D: Detect + Sync + Send> Runtime<D> {
+    /// Wraps a detector with the (environment-free) default
+    /// [`RuntimeConfig`]. Binaries that want `RTPED_*` overrides pass
+    /// [`RuntimeConfig::from_env`] to [`Runtime::with_config`].
     #[must_use]
     pub fn new(detector: D) -> Self {
         Self::with_config(detector, RuntimeConfig::default())
@@ -75,7 +112,12 @@ impl<D: Detect + Sync> Runtime<D> {
     /// Wraps a detector with an explicit configuration.
     #[must_use]
     pub fn with_config(detector: D, config: RuntimeConfig) -> Self {
-        Self { detector, config }
+        let session = Session::new(config.budget, config.policy, config.tracker.clone());
+        Self {
+            detector,
+            config,
+            session,
+        }
     }
 
     /// The wrapped detector.
@@ -90,53 +132,19 @@ impl<D: Detect + Sync> Runtime<D> {
         &self.config
     }
 
-    /// Serves `frames` under `plan`, returning the full run record.
-    ///
-    /// Controller and tracker start fresh, so equal inputs produce equal
-    /// reports.
-    #[must_use]
-    pub fn run(&self, frames: &[GrayImage], plan: &FaultPlan) -> RunReport {
-        let mut controller = Controller::new(self.config.budget, self.config.policy);
-        let mut tracker = Tracker::new(self.config.tracker.clone());
-        let mut records = Vec::with_capacity(frames.len());
-        let mut transitions = Vec::new();
-
-        for (index, frame) in frames.iter().enumerate() {
-            let state = controller.state();
-            let (record, transition) =
-                self.serve_frame(index, frame, plan, state, &mut controller, &mut tracker);
-            if let Some(t) = transition {
-                transitions.push(TransitionRecord {
-                    frame: index,
-                    transition: t,
-                });
-            }
-            records.push(record);
-        }
-
-        RunReport {
-            seed: plan.seed,
-            frames: records,
-            transitions,
-            final_state: controller.state(),
-            stream: None,
-            integrity: None,
-        }
-    }
-
-    /// [`Runtime::run`], additionally feeding every *delivered* frame
+    /// [`Engine::run`], additionally feeding every *delivered* frame
     /// through the hardware [`StreamSimulator`] for drop accounting
     /// (frames the faults swallowed never reach the camera link). The
     /// stream stats land in [`RunReport::stream`].
     #[must_use]
     pub fn run_with_stream(
-        &self,
+        &mut self,
         frames: &[GrayImage],
         plan: &FaultPlan,
         simulator: &StreamSimulator,
         camera_period_cycles: u64,
     ) -> RunReport {
-        let mut report = self.run(frames, plan);
+        let mut report = Engine::run(self, frames, plan);
         let delivered: Vec<GrayImage> = frames
             .iter()
             .enumerate()
@@ -154,52 +162,25 @@ impl<D: Detect + Sync> Runtime<D> {
         }
         report
     }
+}
 
+impl<D: Detect + Sync + Send> Engine for Runtime<D> {
     /// Serves one frame: fault delivery, profile selection, isolated
     /// detection, tracking, and the controller observation.
-    fn serve_frame(
-        &self,
-        index: usize,
-        frame: &GrayImage,
-        plan: &FaultPlan,
-        state: HealthState,
-        controller: &mut Controller,
-        tracker: &mut Tracker,
-    ) -> (FrameRecord, Option<crate::control::Transition>) {
-        let delivery = plan.deliver(index, frame);
-        let (image, faults, delay_ms, worker_panic) = match delivery {
-            Delivery::Dropped => {
-                let transition = controller.observe_error();
-                return (
-                    self.error_record(
-                        index,
-                        state,
-                        vec!["sensor_dropout".into()],
-                        FrameError::SensorDropout,
-                    ),
-                    transition,
-                );
-            }
-            Delivery::Truncated { error } => {
-                let transition = controller.observe_error();
-                return (
-                    self.error_record(
-                        index,
-                        state,
-                        vec!["truncation".into()],
-                        FrameError::TruncatedFrame(error),
-                    ),
-                    transition,
-                );
-            }
-            Delivery::Frame {
-                image,
-                faults,
-                delay_ms,
-                worker_panic,
-            } => (image, faults, delay_ms, worker_panic),
-        };
-        let fault_labels: Vec<String> = faults.iter().map(crate::fault::Fault::label).collect();
+    fn serve_frame(&mut self, frame: &GrayImage, plan: &FaultPlan) -> FrameRecord {
+        let index = self.session.next_index();
+        let state = self.session.state();
+        let (image, fault_labels, delay_ms, worker_panic) =
+            match self.session.deliver(index, state, frame, plan) {
+                Admitted::Rejected(record) => return record,
+                Admitted::Frame {
+                    image,
+                    fault_labels,
+                    delay_ms,
+                    worker_panic,
+                    ..
+                } => (image, fault_labels, delay_ms, worker_panic),
+            };
 
         // SafeFallback scans with the deepest shed profile as a probe;
         // any other state scans with its own profile.
@@ -214,39 +195,35 @@ impl<D: Detect + Sync> Runtime<D> {
         // Panic isolation: the scan runs inside `try_map`, so an injected
         // (or genuine) worker panic becomes a typed error instead of
         // unwinding through the frame loop.
+        let detector = &self.detector;
         let scanned = par::try_map(std::slice::from_ref(&image), |img| {
             if worker_panic {
                 // rtped-lint: allow(unwrap-in-library, "deliberate fault injection: this panic exists to exercise try_map's panic isolation and is caught below")
                 panic!("injected worker panic at frame {index}");
             }
-            self.detector.detect_with_profile(img, &profile)
+            detector.detect_with_profile(img, &profile)
         });
         match scanned {
-            Err(panic) => {
-                let transition = controller.observe_error();
-                (
-                    self.error_record(
-                        index,
-                        state,
-                        fault_labels,
-                        FrameError::WorkerPanic(panic.message),
-                    ),
-                    transition,
-                )
-            }
+            Err(panic) => self.session.fail(
+                index,
+                state,
+                fault_labels,
+                FrameError::WorkerPanic(panic.message),
+            ),
             Ok(mut results) => {
                 // rtped-lint: allow(unwrap-in-library, "try_map over a one-element slice returns exactly one result on the Ok path")
                 let detections = results.pop().expect("one input yields one output");
-                tracker.step(&detections);
-                let transition = controller.observe_ok(modeled_ms);
+                self.session.tracker.step(&detections);
+                let transition = self.session.controller.observe_ok(modeled_ms);
                 let outcome = if state == HealthState::SafeFallback {
                     // Publish the coasted confirmed tracks; the probe scan
                     // above only fed the tracker and the controller.
-                    FrameOutcome::Coasted(self.coasted_tracks(tracker))
+                    let window_h = self.detector.config().params.window_size().1 as f64;
+                    FrameOutcome::Coasted(self.session.coasted_tracks(window_h))
                 } else {
                     FrameOutcome::Detections(detections)
                 };
-                (
+                self.session.push(
                     FrameRecord {
                         index,
                         state,
@@ -260,38 +237,31 @@ impl<D: Detect + Sync> Runtime<D> {
         }
     }
 
-    /// Confirmed tracks rendered as detections (the coast output).
-    fn coasted_tracks(&self, tracker: &Tracker) -> Vec<Detection> {
-        let window_h = self.detector.config().params.window_size().1 as f64;
-        tracker
-            .confirmed()
-            .map(|t| Detection {
-                bbox: t.bbox,
-                score: t.score,
-                scale: if window_h > 0.0 {
-                    t.bbox.height as f64 / window_h
-                } else {
-                    1.0
-                },
-            })
-            .collect()
+    fn state(&self) -> HealthState {
+        self.session.state()
     }
 
-    fn error_record(
-        &self,
-        index: usize,
-        state: HealthState,
-        faults: Vec<String>,
-        error: FrameError,
-    ) -> FrameRecord {
-        FrameRecord {
-            index,
-            state,
-            faults,
-            // No compute happened; the frame period was still consumed,
-            // but the controller tracks errors separately from latency.
-            modeled_latency_ms: 0.0,
-            outcome: FrameOutcome::Error(error),
-        }
+    fn frames_served(&self) -> usize {
+        self.session.served()
+    }
+
+    fn budget(&self) -> DeadlineBudget {
+        self.config.budget
+    }
+
+    fn kind(&self) -> &'static str {
+        "software"
+    }
+
+    fn reset(&mut self) {
+        self.session = Session::new(
+            self.config.budget,
+            self.config.policy,
+            self.config.tracker.clone(),
+        );
+    }
+
+    fn take_report(&mut self, seed: u64) -> RunReport {
+        self.session.take_report(seed)
     }
 }

@@ -1,8 +1,9 @@
 //! The integrity-instrumented frame server: the hardware accelerator's
 //! protected datapath wired into the runtime safety monitor.
 //!
-//! [`IntegrityRuntime::run`] is [`crate::Runtime::run`]'s sibling for the
-//! cycle-accurate hardware model: each delivered frame goes through
+//! [`IntegrityRuntime`] is the [`crate::Runtime`]'s sibling for the
+//! cycle-accurate hardware model, implementing the same object-safe
+//! [`Engine`] trait: each delivered frame goes through
 //! `rtped_hw::HogAccelerator::process_with_integrity` — SECDED-protected
 //! feature memory, duplicate-and-compare MACBARs, the float-golden
 //! lockstep channel, and the schedule watchdog — under a deterministic
@@ -10,7 +11,7 @@
 //!
 //! Integrity faults (uncorrectable memory words, MACBAR divergence,
 //! lockstep mismatch, watchdog events) escalate the degradation
-//! controller one rung via `observe_integrity_fault` — the new
+//! controller one rung via `observe_integrity_fault` — the
 //! `integrity_fault` transition cause — and every frame's ECC/lockstep
 //! accounting folds into the run-level
 //! [`IntegrityReport`](rtped_hw::IntegrityReport) published in
@@ -20,17 +21,22 @@
 //! the accelerator's clock, so the emitted report is byte-identical
 //! across runs, hosts, and `RTPED_THREADS` values.
 
-use rtped_detect::detector::Detection;
-use rtped_detect::tracker::{Tracker, TrackerParams};
 use rtped_hw::integrity::{IntegrityConfig, IntegrityReport, SoftErrorDose};
 use rtped_hw::{AcceleratorConfig, HogAccelerator};
 use rtped_image::GrayImage;
 use rtped_svm::LinearSvm;
 
-use crate::control::{Controller, DegradationPolicy, HealthState};
+use crate::config::RuntimeConfig;
+use crate::control::{DegradationPolicy, HealthState};
 use crate::deadline::DeadlineBudget;
-use crate::fault::{Delivery, Fault, FaultPlan};
-use crate::report::{FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord};
+use crate::engine::Engine;
+use crate::fault::{Fault, FaultPlan};
+use crate::report::{FrameError, FrameOutcome, FrameRecord, RunReport};
+use crate::session::{Admitted, Session};
+
+/// The 64×128 px detection window height anchoring coasted-track scale
+/// estimates (the accelerator's window is fixed).
+const WINDOW_HEIGHT_PX: f64 = 128.0;
 
 /// Serves frames through the integrity-instrumented hardware model under
 /// a fault plan, feeding integrity faults into the degradation ladder.
@@ -41,13 +47,16 @@ pub struct IntegrityRuntime {
     integrity: IntegrityConfig,
     budget: DeadlineBudget,
     policy: DegradationPolicy,
-    tracker: TrackerParams,
+    tracker: rtped_detect::tracker::TrackerParams,
+    session: Session,
+    report: IntegrityReport,
 }
 
 impl IntegrityRuntime {
     /// Builds the runtime around a float model: the accelerator quantizes
     /// it, and the same float model serves as the lockstep golden
-    /// channel. Budget, hysteresis, and tracker use their defaults.
+    /// channel. Budget, hysteresis, and tracker use their
+    /// (environment-free) defaults.
     ///
     /// # Panics
     ///
@@ -55,27 +64,49 @@ impl IntegrityRuntime {
     /// [`HogAccelerator::new`]).
     #[must_use]
     pub fn new(model: LinearSvm, config: AcceleratorConfig, integrity: IntegrityConfig) -> Self {
+        let budget = DeadlineBudget::default();
+        let policy = DegradationPolicy::default();
+        let tracker = rtped_detect::tracker::TrackerParams::default();
+        let session = Session::new(budget, policy, tracker.clone());
+        let report = IntegrityReport::new(integrity.ecc);
         Self {
             accelerator: HogAccelerator::new(&model, config),
             golden: model,
             integrity,
-            budget: DeadlineBudget::default(),
-            policy: DegradationPolicy::default(),
-            tracker: TrackerParams::default(),
+            budget,
+            policy,
+            tracker,
+            session,
+            report,
         }
     }
 
-    /// Replaces the per-frame deadline budget.
+    /// Replaces the per-frame deadline budget (resets the session).
     #[must_use]
     pub fn with_budget(mut self, budget: DeadlineBudget) -> Self {
         self.budget = budget;
+        self.reset();
         self
     }
 
-    /// Replaces the degradation hysteresis policy.
+    /// Replaces the degradation hysteresis policy (resets the session).
     #[must_use]
     pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
         self.policy = policy;
+        self.reset();
+        self
+    }
+
+    /// Adopts budget, hysteresis, tracker, and ECC mode from a validated
+    /// [`RuntimeConfig`] — the daemon's single config path (resets the
+    /// session).
+    #[must_use]
+    pub fn with_runtime_config(mut self, config: &RuntimeConfig) -> Self {
+        self.budget = config.budget;
+        self.policy = config.policy;
+        self.tracker = config.tracker.clone();
+        self.integrity.ecc = config.ecc;
+        self.reset();
         self
     }
 
@@ -90,113 +121,102 @@ impl IntegrityRuntime {
     pub fn accelerator(&self) -> &HogAccelerator {
         &self.accelerator
     }
+}
 
-    /// Serves `frames` under `plan`, returning the full run record with
-    /// [`RunReport::integrity`] populated.
-    ///
-    /// Controller, tracker, and the integrity aggregation start fresh, so
-    /// equal inputs produce byte-identical reports.
-    #[must_use]
-    pub fn run(&self, frames: &[GrayImage], plan: &FaultPlan) -> RunReport {
-        let mut controller = Controller::new(self.budget, self.policy);
-        let mut tracker = Tracker::new(self.tracker.clone());
-        let mut integrity = IntegrityReport::new(self.integrity.ecc);
-        let mut records = Vec::with_capacity(frames.len());
-        let mut transitions = Vec::new();
-        let clock = self.accelerator.config().clock;
-
-        for (index, frame) in frames.iter().enumerate() {
-            let state = controller.state();
-            let (image, faults, delay_ms, worker_panic) = match plan.deliver(index, frame) {
-                Delivery::Dropped => {
-                    let transition = controller.observe_error();
-                    push_transition(&mut transitions, index, transition);
-                    records.push(error_record(
-                        index,
-                        state,
-                        vec!["sensor_dropout".into()],
-                        FrameError::SensorDropout,
-                    ));
-                    continue;
-                }
-                Delivery::Truncated { error } => {
-                    let transition = controller.observe_error();
-                    push_transition(&mut transitions, index, transition);
-                    records.push(error_record(
-                        index,
-                        state,
-                        vec!["truncation".into()],
-                        FrameError::TruncatedFrame(error),
-                    ));
-                    continue;
-                }
-                Delivery::Frame {
+impl Engine for IntegrityRuntime {
+    fn serve_frame(&mut self, frame: &GrayImage, plan: &FaultPlan) -> FrameRecord {
+        let index = self.session.next_index();
+        let state = self.session.state();
+        let (image, faults, mut fault_labels, delay_ms, worker_panic) =
+            match self.session.deliver(index, state, frame, plan) {
+                Admitted::Rejected(record) => return record,
+                Admitted::Frame {
                     image,
                     faults,
+                    fault_labels,
                     delay_ms,
                     worker_panic,
-                } => (image, faults, delay_ms, worker_panic),
+                } => (image, faults, fault_labels, delay_ms, worker_panic),
             };
-            let mut fault_labels: Vec<String> = faults.iter().map(Fault::label).collect();
-            if worker_panic {
-                let transition = controller.observe_error();
-                push_transition(&mut transitions, index, transition);
-                records.push(error_record(
-                    index,
-                    state,
-                    fault_labels,
-                    FrameError::WorkerPanic(format!("injected worker panic at frame {index}")),
-                ));
-                continue;
-            }
-            let dose = dose_from_faults(&faults, plan, index);
-
-            let (hw_report, frame_integrity) = self.accelerator.process_with_integrity(
-                &image,
-                &self.golden,
-                &self.integrity,
-                &dose,
+        if worker_panic {
+            // The hardware path has no software worker to kill; the
+            // scheduled panic surfaces as the same typed error the
+            // software engine reports, keeping plans portable.
+            return self.session.fail(
+                index,
+                state,
+                fault_labels,
+                FrameError::WorkerPanic(format!("injected worker panic at frame {index}")),
             );
-            let latency_ms = clock.millis(hw_report.frame_cycles()) + delay_ms;
-            let faults = integrity.record_frame(&frame_integrity);
-            for fault in &faults {
-                fault_labels.push(format!("integrity:{}", fault.label()));
+        }
+        let dose = dose_from_faults(&faults, plan, index);
+
+        let (hw_report, frame_integrity) =
+            self.accelerator
+                .process_with_integrity(&image, &self.golden, &self.integrity, &dose);
+        let clock = self.accelerator.config().clock;
+        let latency_ms = clock.millis(hw_report.frame_cycles()) + delay_ms;
+        let integrity_faults = self.report.record_frame(&frame_integrity);
+        for fault in &integrity_faults {
+            fault_labels.push(format!("integrity:{}", fault.label()));
+        }
+
+        self.session.tracker.step(&hw_report.detections);
+        let transition = if integrity_faults.is_empty() {
+            self.session.controller.observe_ok(latency_ms)
+        } else {
+            let t = self.session.controller.observe_integrity_fault();
+            if t.is_some() {
+                self.report.record_escalation();
             }
+            t
+        };
 
-            tracker.step(&hw_report.detections);
-            let transition = if faults.is_empty() {
-                controller.observe_ok(latency_ms)
-            } else {
-                let t = controller.observe_integrity_fault();
-                if t.is_some() {
-                    integrity.record_escalation();
-                }
-                t
-            };
-            push_transition(&mut transitions, index, transition);
-
-            let outcome = if state == HealthState::SafeFallback {
-                FrameOutcome::Coasted(coasted_tracks(&tracker))
-            } else {
-                FrameOutcome::Detections(hw_report.detections)
-            };
-            records.push(FrameRecord {
+        let outcome = if state == HealthState::SafeFallback {
+            FrameOutcome::Coasted(self.session.coasted_tracks(WINDOW_HEIGHT_PX))
+        } else {
+            FrameOutcome::Detections(hw_report.detections)
+        };
+        self.session.push(
+            FrameRecord {
                 index,
                 state,
                 faults: fault_labels,
                 modeled_latency_ms: latency_ms,
                 outcome,
-            });
-        }
+            },
+            transition,
+        )
+    }
 
-        RunReport {
-            seed: plan.seed,
-            frames: records,
-            transitions,
-            final_state: controller.state(),
-            stream: None,
-            integrity: Some(integrity),
-        }
+    fn state(&self) -> HealthState {
+        self.session.state()
+    }
+
+    fn frames_served(&self) -> usize {
+        self.session.served()
+    }
+
+    fn budget(&self) -> DeadlineBudget {
+        self.budget
+    }
+
+    fn kind(&self) -> &'static str {
+        "integrity"
+    }
+
+    fn reset(&mut self) {
+        self.session = Session::new(self.budget, self.policy, self.tracker.clone());
+        self.report = IntegrityReport::new(self.integrity.ecc);
+    }
+
+    fn take_report(&mut self, seed: u64) -> RunReport {
+        let mut report = self.session.take_report(seed);
+        report.integrity = Some(std::mem::replace(
+            &mut self.report,
+            IntegrityReport::new(self.integrity.ecc),
+        ));
+        report
     }
 }
 
@@ -221,45 +241,4 @@ fn dose_from_faults(faults: &[Fault], plan: &FaultPlan, index: usize) -> SoftErr
         }
     }
     SoftErrorDose::none()
-}
-
-fn push_transition(
-    transitions: &mut Vec<TransitionRecord>,
-    frame: usize,
-    transition: Option<crate::control::Transition>,
-) {
-    if let Some(t) = transition {
-        transitions.push(TransitionRecord {
-            frame,
-            transition: t,
-        });
-    }
-}
-
-fn error_record(
-    index: usize,
-    state: HealthState,
-    faults: Vec<String>,
-    error: FrameError,
-) -> FrameRecord {
-    FrameRecord {
-        index,
-        state,
-        faults,
-        modeled_latency_ms: 0.0,
-        outcome: FrameOutcome::Error(error),
-    }
-}
-
-/// Confirmed tracks rendered as detections — the `SafeFallback` coast
-/// output. The 64×128 px detection window anchors the scale estimate.
-fn coasted_tracks(tracker: &Tracker) -> Vec<Detection> {
-    tracker
-        .confirmed()
-        .map(|t| Detection {
-            bbox: t.bbox,
-            score: t.score,
-            scale: t.bbox.height as f64 / 128.0,
-        })
-        .collect()
 }

@@ -32,7 +32,7 @@
 //! # Example
 //!
 //! ```
-//! use rtped_runtime::{FaultPlan, Runtime, RuntimeConfig};
+//! use rtped_runtime::{Engine, FaultPlan, Runtime, RuntimeConfig};
 //! use rtped_detect::detector::{DetectorConfig, FeaturePyramidDetector};
 //! use rtped_image::GrayImage;
 //! use rtped_svm::LinearSvm;
@@ -40,7 +40,7 @@
 //! let config = DetectorConfig::two_scale();
 //! let model = LinearSvm::new(vec![0.0; config.params.cell_descriptor_len()], -1.0);
 //! let detector = FeaturePyramidDetector::new(model, config);
-//! let runtime = Runtime::with_config(detector, RuntimeConfig::default());
+//! let mut runtime = Runtime::with_config(detector, RuntimeConfig::default());
 //!
 //! let frames: Vec<GrayImage> = (0..8)
 //!     .map(|k| GrayImage::from_fn(160, 192, move |x, y| ((x + y * 3 + k * 7) % 256) as u8))
@@ -49,16 +49,35 @@
 //! assert_eq!(report.frames.len(), 8);   // every frame accounted for
 //! ```
 
+pub mod config;
 pub mod control;
 pub mod deadline;
 pub mod engine;
 pub mod fault;
 pub mod integrity;
 pub mod report;
+mod session;
 
+pub use config::{RuntimeConfig, RuntimeConfigBuilder};
 pub use control::{Controller, DegradationPolicy, HealthState, Transition, TransitionCause};
 pub use deadline::{CostModel, DeadlineBudget, DEADLINE_ENV, PRT_FRACTION};
-pub use engine::{Runtime, RuntimeConfig};
+pub use engine::{Engine, Runtime};
 pub use fault::{Delivery, Fault, FaultPlan};
 pub use integrity::IntegrityRuntime;
-pub use report::{FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord};
+pub use report::{
+    FrameError, FrameOutcome, FrameRecord, RunReport, TransitionRecord, REPORT_FORMAT_VERSION,
+};
+
+/// Serializes unit tests that mutate `RTPED_*` environment variables —
+/// cargo runs `#[test]`s on parallel threads, and the process environment
+/// is shared state.
+#[cfg(test)]
+pub(crate) mod test_env {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -6,16 +6,31 @@
 //! canonical JSON via [`rtped_core::json`], so two runs with the same
 //! seed and thread count produce byte-identical artifacts (the
 //! determinism tests diff exactly these bytes).
+//!
+//! # Schema versioning
+//!
+//! A serialized [`RunReport`] is a versioned document: the root carries
+//! `"format"` ([`REPORT_FORMAT_VERSION`]) and `"kind": "run_report"`,
+//! checked on decode by [`rtped_core::json::check_schema_header`] — the
+//! same evolution policy `rtped_svm::io` applies to model files, so wire
+//! responses and on-disk artifacts evolve together. [`FromJson`] decodes
+//! reject mismatched versions with typed [`rtped_core::Error`]s instead
+//! of misreading fields.
 
 use std::fmt;
 
-use rtped_core::json::obj;
-use rtped_core::{Json, ToJson};
+use rtped_core::json::{check_schema_header, obj, required_field};
+use rtped_core::{Error, FromJson, Json, ToJson};
 use rtped_detect::detector::Detection;
 use rtped_hw::integrity::IntegrityReport;
 use rtped_hw::stream::StreamStats;
 
-use crate::control::{HealthState, Transition};
+use crate::control::{HealthState, Transition, TransitionCause};
+
+/// Schema version stamped into serialized [`RunReport`]s (the `"format"`
+/// field, paired with `"kind": "run_report"`). Bump on any incompatible
+/// change to the report layout.
+pub const REPORT_FORMAT_VERSION: u64 = 1;
 
 /// Why a frame produced no detections.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,12 +116,31 @@ pub struct FrameRecord {
 
 impl ToJson for FrameRecord {
     fn to_json(&self) -> Json {
-        let (boxes, error): (Json, Json) = match &self.outcome {
-            FrameOutcome::Error(err) => (Json::Null, err.to_string().into()),
-            other => (
-                Json::Number(other.detections().map_or(0, <[Detection]>::len) as f64),
+        let (count, boxes, error): (Json, Json, Json) = match &self.outcome {
+            FrameOutcome::Error(err) => (
                 Json::Null,
+                Json::Null,
+                obj([
+                    ("kind", err.kind().into()),
+                    (
+                        "message",
+                        match err {
+                            FrameError::SensorDropout => Json::Null,
+                            FrameError::TruncatedFrame(msg) | FrameError::WorkerPanic(msg) => {
+                                msg.as_str().into()
+                            }
+                        },
+                    ),
+                ]),
             ),
+            other => {
+                let published = other.detections().unwrap_or(&[]);
+                (
+                    Json::Number(published.len() as f64),
+                    Json::Array(published.iter().map(ToJson::to_json).collect()),
+                    Json::Null,
+                )
+            }
         };
         obj([
             ("frame", self.index.into()),
@@ -117,9 +151,50 @@ impl ToJson for FrameRecord {
             ),
             ("latency_ms", self.modeled_latency_ms.into()),
             ("outcome", self.outcome.kind().into()),
-            ("detections", boxes),
+            ("detections", count),
+            ("boxes", boxes),
             ("error", error),
         ])
+    }
+}
+
+impl FromJson for FrameRecord {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        let state = HealthState::parse_label(&String::from_json(required_field(json, "state")?)?)?;
+        let kind = String::from_json(required_field(json, "outcome")?)?;
+        let outcome = match kind.as_str() {
+            "detections" | "coasted" => {
+                let boxes = Vec::<Detection>::from_json(required_field(json, "boxes")?)?;
+                if kind == "detections" {
+                    FrameOutcome::Detections(boxes)
+                } else {
+                    FrameOutcome::Coasted(boxes)
+                }
+            }
+            "error" => {
+                let error = required_field(json, "error")?;
+                let error_kind = String::from_json(required_field(error, "kind")?)?;
+                let message = || String::from_json(required_field(error, "message")?);
+                FrameOutcome::Error(match error_kind.as_str() {
+                    "sensor_dropout" => FrameError::SensorDropout,
+                    "truncated_frame" => FrameError::TruncatedFrame(message()?),
+                    "worker_panic" => FrameError::WorkerPanic(message()?),
+                    other => {
+                        return Err(Error::format(format!("unknown error kind \"{other}\"")));
+                    }
+                })
+            }
+            other => {
+                return Err(Error::format(format!("unknown frame outcome \"{other}\"")));
+            }
+        };
+        Ok(FrameRecord {
+            index: usize::from_json(required_field(json, "frame")?)?,
+            state,
+            faults: Vec::<String>::from_json(required_field(json, "faults")?)?,
+            modeled_latency_ms: f64::from_json(required_field(json, "latency_ms")?)?,
+            outcome,
+        })
     }
 }
 
@@ -140,6 +215,21 @@ impl ToJson for TransitionRecord {
             ("to", self.transition.to.label().into()),
             ("cause", self.transition.cause.label().into()),
         ])
+    }
+}
+
+impl FromJson for TransitionRecord {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        Ok(TransitionRecord {
+            frame: usize::from_json(required_field(json, "frame")?)?,
+            transition: Transition {
+                from: HealthState::parse_label(&String::from_json(required_field(json, "from")?)?)?,
+                to: HealthState::parse_label(&String::from_json(required_field(json, "to")?)?)?,
+                cause: TransitionCause::parse_label(&String::from_json(required_field(
+                    json, "cause",
+                )?)?)?,
+            },
+        })
     }
 }
 
@@ -228,6 +318,8 @@ impl ToJson for RunReport {
                 .collect(),
         );
         obj([
+            ("format", REPORT_FORMAT_VERSION.into()),
+            ("kind", "run_report".into()),
             ("seed", self.seed.into()),
             ("frames", (self.frames.len()).into()),
             ("faulted_frames", self.faulted_count().into()),
@@ -252,6 +344,35 @@ impl ToJson for RunReport {
                 self.integrity.as_ref().map_or(Json::Null, ToJson::to_json),
             ),
         ])
+    }
+}
+
+impl FromJson for RunReport {
+    /// Decodes a versioned report. The aggregate fields (`frames`,
+    /// `faulted_frames`, `worst_latency_ms`, `dwell`, …) are derived from
+    /// the frame log on encode, so decode reconstructs from `frame_log`
+    /// and ignores them.
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        check_schema_header(json, "run_report", "report", REPORT_FORMAT_VERSION)?;
+        let stream = match required_field(json, "stream")? {
+            Json::Null => None,
+            value => Some(StreamStats::from_json(value)?),
+        };
+        let integrity = match required_field(json, "integrity")? {
+            Json::Null => None,
+            value => Some(IntegrityReport::from_json(value)?),
+        };
+        Ok(RunReport {
+            seed: u64::from_json(required_field(json, "seed")?)?,
+            frames: Vec::<FrameRecord>::from_json(required_field(json, "frame_log")?)?,
+            transitions: Vec::<TransitionRecord>::from_json(required_field(json, "transitions")?)?,
+            final_state: HealthState::parse_label(&String::from_json(required_field(
+                json,
+                "final_state",
+            )?)?)?,
+            stream,
+            integrity,
+        })
     }
 }
 
@@ -322,6 +443,65 @@ mod tests {
         let text = report.to_json().to_string();
         assert!(text.contains("\"final_state\":\"healthy\""));
         assert!(text.contains("\"cause\":\"recovered\""));
+    }
+
+    #[test]
+    fn versioned_report_roundtrips_and_rejects_mismatches() {
+        use rtped_detect::BoundingBox;
+        let detection = Detection {
+            bbox: BoundingBox::new(8, 16, 64, 128),
+            score: 1.25,
+            scale: 1.5,
+        };
+        let report = RunReport {
+            seed: 7,
+            frames: vec![
+                record(
+                    0,
+                    HealthState::Healthy,
+                    FrameOutcome::Detections(vec![detection]),
+                ),
+                record(
+                    1,
+                    HealthState::Degraded(2),
+                    FrameOutcome::Error(FrameError::WorkerPanic("boom".into())),
+                ),
+                record(
+                    2,
+                    HealthState::SafeFallback,
+                    FrameOutcome::Error(FrameError::SensorDropout),
+                ),
+            ],
+            transitions: vec![TransitionRecord {
+                frame: 1,
+                transition: Transition {
+                    from: HealthState::Healthy,
+                    to: HealthState::Degraded(1),
+                    cause: TransitionCause::DeadlineMiss,
+                },
+            }],
+            final_state: HealthState::Degraded(1),
+            stream: None,
+            integrity: None,
+        };
+        let text = report.to_json().to_string();
+        assert!(text.starts_with("{\"format\":1,\"kind\":\"run_report\""));
+        // Round-trip through the canonical bytes, not just the tree.
+        let decoded = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(decoded.to_json().to_string(), text);
+
+        // A future format is rejected with the shared typed message, not
+        // misdecoded.
+        let future = text.replacen("\"format\":1", "\"format\":2", 1);
+        let err = RunReport::from_json(&Json::parse(&future).unwrap()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "format error: unsupported report format 2 (this build reads format 1)"
+        );
+        // A different document kind is rejected too.
+        let wrong = text.replacen("\"kind\":\"run_report\"", "\"kind\":\"model\"", 1);
+        assert!(RunReport::from_json(&Json::parse(&wrong).unwrap()).is_err());
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Append-only job journal and deterministic crash recovery.
+//!
+//! Every admitted `detect` request is journaled *before* its engine runs
+//! (`journal_job` line) and marked off after its response is written back
+//! (`journal_done` line). Because [`Engine::serve_frame`] is a pure
+//! function of the engine's construction parameters and the sequence of
+//! frames it has served, a restarted daemon can rebuild every tenant's
+//! exact state by replaying all journaled jobs in order through a fresh
+//! engine — and the responses it reproduces for jobs *without* a done
+//! line are bit-identical to what the dead daemon would have sent. Those
+//! responses are parked per tenant and handed out via `recover` requests.
+//!
+//! The journal is JSON-lines: one canonical-JSON object per line, each
+//! with the shared `format`/`kind` header. A torn final line (the daemon
+//! died mid-write) is tolerated and ignored; anything else malformed is a
+//! typed error so corruption never turns into silent divergence.
+//!
+//! [`Engine::serve_frame`]: rtped_runtime::Engine::serve_frame
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rtped_core::json::{obj, required_field};
+use rtped_core::{Error, FromJson, Json, ToJson};
+
+use crate::protocol::{FrameSpec, PROTOCOL_VERSION};
+
+/// One journaled admission: everything needed to re-serve the job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledJob {
+    /// Tenant the job belongs to.
+    pub tenant: String,
+    /// Caller-chosen job id.
+    pub job: String,
+    /// The request's fault seed, if any.
+    pub fault_seed: Option<u64>,
+    /// The frame to (re-)serve.
+    pub frame: FrameSpec,
+}
+
+impl ToJson for JournaledJob {
+    fn to_json(&self) -> Json {
+        obj([
+            ("format", PROTOCOL_VERSION.into()),
+            ("kind", "journal_job".into()),
+            ("tenant", self.tenant.as_str().into()),
+            ("job", self.job.as_str().into()),
+            (
+                "fault_seed",
+                self.fault_seed.map_or(Json::Null, |seed| seed.into()),
+            ),
+            ("frame", self.frame.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JournaledJob {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        Ok(JournaledJob {
+            tenant: String::from_json(required_field(json, "tenant")?)?,
+            job: String::from_json(required_field(json, "job")?)?,
+            fault_seed: match required_field(json, "fault_seed")? {
+                Json::Null => None,
+                value => Some(u64::from_json(value)?),
+            },
+            frame: FrameSpec::from_json(required_field(json, "frame")?)?,
+        })
+    }
+}
+
+/// One parsed journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A job was admitted (engine may or may not have finished it).
+    Job(JournaledJob),
+    /// The named job's response reached the client.
+    Done {
+        /// Tenant the job belongs to.
+        tenant: String,
+        /// The completed job id.
+        job: String,
+    },
+}
+
+impl ToJson for JournalEntry {
+    fn to_json(&self) -> Json {
+        match self {
+            JournalEntry::Job(job) => job.to_json(),
+            JournalEntry::Done { tenant, job } => obj([
+                ("format", PROTOCOL_VERSION.into()),
+                ("kind", "journal_done".into()),
+                ("tenant", tenant.as_str().into()),
+                ("job", job.as_str().into()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for JournalEntry {
+    fn from_json(json: &Json) -> Result<Self, Error> {
+        match crate::protocol::message_kind(json, "journal entry")?.as_str() {
+            "journal_job" => Ok(JournalEntry::Job(JournaledJob::from_json(json)?)),
+            "journal_done" => Ok(JournalEntry::Done {
+                tenant: String::from_json(required_field(json, "tenant")?)?,
+                job: String::from_json(required_field(json, "job")?)?,
+            }),
+            other => Err(Error::format(format!(
+                "unknown journal entry kind \"{other}\""
+            ))),
+        }
+    }
+}
+
+/// An open append-only journal. Each append writes one canonical-JSON
+/// line and flushes it, so the on-disk tail is at most one torn line
+/// behind reality.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file cannot be opened.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, Error> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends and flushes one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failure.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), Error> {
+        let mut line = entry.to_json().to_string();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// Parses journal `bytes` into entries, in file order.
+///
+/// A torn final line — no trailing newline and unparseable — is dropped:
+/// that is the expected shape of a crash mid-append. Malformed content
+/// anywhere else is a typed error naming the line.
+///
+/// # Errors
+///
+/// Returns [`Error::Format`] for corrupt interior lines or a final line
+/// that parses as JSON but violates the entry schema.
+pub fn parse_journal(bytes: &[u8]) -> Result<Vec<JournalEntry>, Error> {
+    let mut entries = Vec::new();
+    let mut rest = bytes;
+    let mut line_no = 0usize;
+    while !rest.is_empty() {
+        line_no += 1;
+        let (line, tail, terminated) = match rest.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&rest[..pos], &rest[pos + 1..], true),
+            None => (rest, &[][..], false),
+        };
+        rest = tail;
+        if line.is_empty() {
+            continue;
+        }
+        match Json::parse_bytes(line) {
+            Ok(json) => entries.push(
+                JournalEntry::from_json(&json)
+                    .map_err(|err| Error::format(format!("journal line {line_no}: {err}")))?,
+            ),
+            // An unterminated, unparseable tail is a torn write from the
+            // crash we are recovering from — ignore it.
+            Err(_) if !terminated => break,
+            Err(err) => {
+                return Err(Error::format(format!("journal line {line_no}: {err}")));
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Reads and parses the journal at `path`; a missing file is an empty
+/// journal.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on read failure (other than not-found) and
+/// [`parse_journal`] errors.
+pub fn load_journal(path: impl AsRef<Path>) -> Result<Vec<JournalEntry>, Error> {
+    match std::fs::read(path) {
+        Ok(bytes) => parse_journal(&bytes),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(err) => Err(err.into()),
+    }
+}
+
+/// The per-tenant replay plan derived from a journal: every job in
+/// admission order, plus which of them never got a done line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReplay {
+    /// All journaled jobs for the tenant, oldest first. Replaying every
+    /// one (not just the unfinished ones) is what makes the rebuilt
+    /// engine state — controller ladder, tracker, frame indices —
+    /// bit-identical to the dead daemon's.
+    pub jobs: Vec<JournaledJob>,
+    /// Ids of jobs with no `journal_done` line; their replayed responses
+    /// are owed to clients.
+    pub pending: Vec<String>,
+}
+
+/// Groups journal entries into per-tenant replay plans, preserving
+/// admission order. Returned pairs are sorted by tenant name.
+#[must_use]
+pub fn replay_plans(entries: &[JournalEntry]) -> Vec<(String, TenantReplay)> {
+    let mut plans: std::collections::BTreeMap<String, TenantReplay> =
+        std::collections::BTreeMap::new();
+    for entry in entries {
+        match entry {
+            JournalEntry::Job(job) => {
+                plans
+                    .entry(job.tenant.clone())
+                    .or_insert_with(|| TenantReplay {
+                        jobs: Vec::new(),
+                        pending: Vec::new(),
+                    })
+                    .jobs
+                    .push(job.clone());
+            }
+            JournalEntry::Done { tenant, job } => {
+                if let Some(plan) = plans.get_mut(tenant) {
+                    plan.pending.retain(|pending| pending != job);
+                }
+            }
+        }
+    }
+    // Pending = journaled jobs minus done ids; fill after the sweep so a
+    // done line landing before its job line (impossible in a well-formed
+    // journal, harmless here) cannot resurrect anything.
+    let mut done: std::collections::BTreeMap<&str, Vec<&str>> = std::collections::BTreeMap::new();
+    for entry in entries {
+        if let JournalEntry::Done { tenant, job } = entry {
+            done.entry(tenant.as_str()).or_default().push(job.as_str());
+        }
+    }
+    for (tenant, plan) in &mut plans {
+        let finished = done.get(tenant.as_str());
+        plan.pending = plan
+            .jobs
+            .iter()
+            .map(|job| job.job.clone())
+            .filter(|id| finished.is_none_or(|list| !list.contains(&id.as_str())))
+            .collect();
+    }
+    plans.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tenant: &str, id: &str) -> JournalEntry {
+        JournalEntry::Job(JournaledJob {
+            tenant: tenant.into(),
+            job: id.into(),
+            fault_seed: Some(7),
+            frame: FrameSpec::Synthetic {
+                width: 16,
+                height: 16,
+                seed: 3,
+            },
+        })
+    }
+
+    fn done(tenant: &str, id: &str) -> JournalEntry {
+        JournalEntry::Done {
+            tenant: tenant.into(),
+            job: id.into(),
+        }
+    }
+
+    fn to_bytes(entries: &[JournalEntry]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for entry in entries {
+            bytes.extend_from_slice(entry.to_json().to_string().as_bytes());
+            bytes.push(b'\n');
+        }
+        bytes
+    }
+
+    #[test]
+    fn journal_roundtrips_through_disk_format() {
+        let entries = vec![job("a", "1"), done("a", "1"), job("b", "1"), job("a", "2")];
+        assert_eq!(parse_journal(&to_bytes(&entries)).unwrap(), entries);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored_but_interior_corruption_is_fatal() {
+        let mut bytes = to_bytes(&[job("a", "1")]);
+        bytes.extend_from_slice(b"{\"format\":1,\"kind\":\"journal_j");
+        assert_eq!(parse_journal(&bytes).unwrap(), vec![job("a", "1")]);
+
+        let mut corrupt = b"garbage\n".to_vec();
+        corrupt.extend_from_slice(&to_bytes(&[job("a", "1")]));
+        let err = parse_journal(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("journal line 1"), "{err}");
+    }
+
+    #[test]
+    fn replay_plans_track_pending_jobs_per_tenant() {
+        let entries = vec![
+            job("a", "1"),
+            job("b", "1"),
+            done("a", "1"),
+            job("a", "2"),
+            job("a", "3"),
+            done("a", "3"),
+        ];
+        let plans = replay_plans(&entries);
+        assert_eq!(plans.len(), 2);
+        let (ref name_a, ref plan_a) = plans[0];
+        assert_eq!(name_a, "a");
+        assert_eq!(plan_a.jobs.len(), 3, "all jobs replay, finished or not");
+        assert_eq!(plan_a.pending, vec!["2".to_string()]);
+        let (ref name_b, ref plan_b) = plans[1];
+        assert_eq!(name_b, "b");
+        assert_eq!(plan_b.pending, vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn append_then_load_roundtrips_and_missing_file_is_empty() {
+        let dir = std::env::temp_dir().join("rtped_serve_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        assert!(load_journal(&path).unwrap().is_empty());
+        {
+            let mut journal = Journal::open(&path).unwrap();
+            journal.append(&job("a", "1")).unwrap();
+            journal.append(&done("a", "1")).unwrap();
+        }
+        assert_eq!(
+            load_journal(&path).unwrap(),
+            vec![job("a", "1"), done("a", "1")]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-tenant frame-serving daemon for the rtped detection stack.
+//!
+//! `rtped-serve` turns the single-process runtime into a shared service:
+//! thousands of dashcam streams (tenants), each with its own [`Engine`]
+//! behind the unified object-safe trait, multiplexed over a
+//! length-prefixed binary protocol on plain `std::net` sockets. The
+//! crate is zero-dependency like the rest of the workspace — framing
+//! comes from [`rtped_core::wire`], the worker pool from
+//! [`rtped_core::par`], and every message is canonical
+//! [`rtped_core::json`].
+//!
+//! The pieces:
+//!
+//! - [`protocol`] — versioned request/response schema (`"format"` +
+//!   `"kind"` headers, typed decode errors, bounded frame specs).
+//! - [`journal`] — append-only job journal; a restarted daemon replays
+//!   it to rebuild tenant state and reproduce in-flight responses
+//!   bit-identically.
+//! - [`admission`] — the runtime's degradation controller repurposed as
+//!   deadline-aware load shedding.
+//! - [`tenant`] — engine construction (`hw:` prefix selects the
+//!   integrity engine) and the sharded tenant map.
+//! - [`server`] — accept loop, worker pool, dispatch, [`Client`].
+//!
+//! [`Engine`]: rtped_runtime::Engine
+//! [`Client`]: server::Client
+
+pub mod admission;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use admission::{Admission, Verdict};
+pub use journal::{load_journal, parse_journal, replay_plans, Journal, JournalEntry, JournaledJob};
+pub use protocol::{
+    FrameSpec, RecoveredJob, Request, Response, TenantStatus, MAX_FRAME_DIM, PROTOCOL_VERSION,
+};
+pub use server::{Client, Server, ServerConfig};
+pub use tenant::{build_engine, Tenant, TenantMap, HW_TENANT_PREFIX};

@@ -1,0 +1,483 @@
+//! The daemon: TCP accept loop, worker pool, dispatch, and shutdown.
+//!
+//! One listener thread accepts connections and queues them; `workers`
+//! threads (all from [`par::run_workers`] — no ad-hoc thread spawning)
+//! drain the queue and speak the length-prefixed protocol. Per-tenant
+//! state lives in the sharded [`TenantMap`], so two workers serving
+//! different tenants never contend while traffic for one tenant
+//! serializes deterministically.
+//!
+//! Admission control sees the accept queue's depth as its modeled load
+//! signal: every `detect` is assessed against how many connections are
+//! waiting, and a saturated daemon sheds (`shed` responses) instead of
+//! queueing requests into certain deadline misses.
+//!
+//! Admitted jobs are journaled before the engine runs and marked done
+//! after the response hits the socket; see [`crate::journal`] for how a
+//! restart turns that into bit-identical recovered responses.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use rtped_core::json::Json;
+use rtped_core::{par, wire, Error, FromJson, ToJson};
+use rtped_runtime::RuntimeConfig;
+
+use crate::admission::Verdict;
+use crate::journal::{load_journal, replay_plans, Journal, JournalEntry, JournaledJob};
+use crate::protocol::{RecoveredJob, Request, Response};
+use crate::tenant::TenantMap;
+
+/// How long a worker blocks in a socket read before re-checking the
+/// shutdown flag. Pure liveness plumbing — never used as a measurement.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Everything needed to bring a daemon up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-serving workers (the accept loop rides on one more).
+    pub workers: usize,
+    /// Journal path; `None` disables journaling (and recovery).
+    pub journal: Option<PathBuf>,
+    /// The runtime config every tenant engine is built from.
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: String::from("127.0.0.1:0"),
+            workers: 4,
+            journal: None,
+            runtime: RuntimeConfig::default(),
+        }
+    }
+}
+
+/// What to do after a response has been written back.
+enum Post {
+    /// Nothing.
+    None,
+    /// Mark the job finished in the journal.
+    Done { tenant: String, job: String },
+    /// Begin daemon shutdown.
+    Shutdown,
+}
+
+/// A bound daemon. [`Server::bind`] performs journal recovery;
+/// [`Server::run`] blocks until a `shutdown` request drains the pool.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    tenants: TenantMap,
+    journal: Mutex<Option<Journal>>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener, opens the journal, and replays any journaled
+    /// jobs through fresh engines so the daemon resumes exactly where
+    /// its predecessor died.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the address cannot be bound or the
+    /// journal cannot be opened, and journal parse errors verbatim —
+    /// refusing to serve over a corrupt journal beats diverging from it.
+    pub fn bind(config: ServerConfig) -> Result<Self, Error> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let tenants = TenantMap::new(workers * 4, config.runtime);
+        let journal = match &config.journal {
+            Some(path) => {
+                let entries = load_journal(path)?;
+                for (name, plan) in replay_plans(&entries) {
+                    tenants.with_tenant(&name, |tenant| {
+                        for job in &plan.jobs {
+                            let response = tenant.serve_job(job);
+                            if plan.pending.contains(&job.job) {
+                                tenant.recovered.push(RecoveredJob {
+                                    job: job.job.clone(),
+                                    response: response.to_json(),
+                                });
+                            }
+                        }
+                    });
+                }
+                Some(Journal::open(path)?)
+            }
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            local_addr,
+            tenants,
+            journal: Mutex::new(journal),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The tenant registry (visible for status introspection in tests).
+    #[must_use]
+    pub fn tenants(&self) -> &TenantMap {
+        &self.tenants
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains and
+    /// returns the number of frames served over the daemon's lifetime.
+    pub fn run(&self) -> u64 {
+        par::run_workers(self.workers + 1, |worker| {
+            if worker == 0 {
+                self.accept_loop();
+            } else {
+                self.connection_loop();
+            }
+        });
+        self.tenants.total_served()
+    }
+
+    fn accept_loop(&self) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                queue.push_back(stream);
+                drop(queue);
+                self.available.notify_one();
+            }
+        }
+        self.available.notify_all();
+    }
+
+    fn connection_loop(&self) {
+        loop {
+            let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let stream = loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = self
+                    .available
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            };
+            drop(queue);
+            match stream {
+                Some(stream) => self.handle_connection(&stream),
+                None => return,
+            }
+        }
+    }
+
+    fn handle_connection(&self, stream: &TcpStream) {
+        // A short read timeout keeps workers responsive to shutdown; it
+        // is liveness plumbing, not measurement (rtped-lint pins the
+        // wall clock to core::timer and the bench binaries).
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        loop {
+            match wire::read_frame(stream, wire::MAX_FRAME_BYTES) {
+                Ok(None) => return,
+                Ok(Some(payload)) => {
+                    let (response, post) = self.dispatch(&payload);
+                    let bytes = response.to_json().to_string().into_bytes();
+                    if wire::write_frame(stream, &bytes).is_err() {
+                        return;
+                    }
+                    match post {
+                        Post::None => {}
+                        Post::Done { tenant, job } => {
+                            let _ = self.journal_append(&JournalEntry::Done { tenant, job });
+                        }
+                        Post::Shutdown => {
+                            self.initiate_shutdown();
+                            return;
+                        }
+                    }
+                }
+                Err(err) if wire::is_timeout(&err) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(err) => {
+                    // Framing violation: best-effort typed error, then
+                    // drop the connection (resynchronizing a corrupt
+                    // length-prefixed stream is not possible).
+                    let response = Response::Error {
+                        message: Error::from(err).to_string(),
+                    };
+                    let _ = wire::write_frame(stream, response.to_json().to_string().as_bytes());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch(&self, payload: &[u8]) -> (Response, Post) {
+        let json = match Json::parse_bytes(payload) {
+            Ok(json) => json,
+            Err(err) => {
+                return (
+                    Response::Error {
+                        message: Error::from(err).to_string(),
+                    },
+                    Post::None,
+                )
+            }
+        };
+        let request = match Request::from_json(&json) {
+            Ok(request) => request,
+            Err(err) => {
+                return (
+                    Response::Error {
+                        message: err.to_string(),
+                    },
+                    Post::None,
+                )
+            }
+        };
+        match request {
+            Request::Detect {
+                tenant,
+                job,
+                fault_seed,
+                frame,
+            } => self.handle_detect(JournaledJob {
+                tenant,
+                job,
+                fault_seed,
+                frame,
+            }),
+            Request::Status => (
+                Response::Status {
+                    tenants: self.tenants.statuses(),
+                },
+                Post::None,
+            ),
+            Request::Recover { tenant } => self.handle_recover(tenant),
+            Request::Shutdown => (
+                Response::ShutdownAck {
+                    served: self.tenants.total_served(),
+                },
+                Post::Shutdown,
+            ),
+        }
+    }
+
+    fn handle_detect(&self, job: JournaledJob) -> (Response, Post) {
+        let queued_ahead = self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        self.tenants.with_tenant(&job.tenant.clone(), |tenant| {
+            let (verdict, _) = tenant.admission.assess(queued_ahead);
+            if verdict == Verdict::Shed {
+                return (
+                    Response::Shed {
+                        tenant: job.tenant.clone(),
+                        job: job.job.clone(),
+                        reason: String::from("overload"),
+                    },
+                    Post::None,
+                );
+            }
+            if let Err(err) = self.journal_append(&JournalEntry::Job(job.clone())) {
+                return (
+                    Response::Error {
+                        message: err.to_string(),
+                    },
+                    Post::None,
+                );
+            }
+            let response = tenant.serve_job(&job);
+            (
+                response,
+                Post::Done {
+                    tenant: job.tenant.clone(),
+                    job: job.job.clone(),
+                },
+            )
+        })
+    }
+
+    fn handle_recover(&self, tenant: String) -> (Response, Post) {
+        let jobs = self
+            .tenants
+            .with_tenant(&tenant, |t| std::mem::take(&mut t.recovered));
+        // Done lines land only now, at pickup: if the daemon dies again
+        // before a client fetches these, the next restart replays them
+        // again instead of losing them.
+        for job in &jobs {
+            let _ = self.journal_append(&JournalEntry::Done {
+                tenant: tenant.clone(),
+                job: job.job.clone(),
+            });
+        }
+        (Response::Recovered { tenant, jobs }, Post::None)
+    }
+
+    fn journal_append(&self, entry: &JournalEntry) -> Result<(), Error> {
+        let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        match journal.as_mut() {
+            Some(journal) => journal.append(entry),
+            None => Ok(()),
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        // Unblock the accept loop with a throwaway self-connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A minimal blocking client for the daemon's protocol — used by the
+/// load generator, the CI smoke, and the integration tests.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on connect failure.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, Error> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on socket failure, [`Error::Format`] on an
+    /// unparsable reply, and [`Error::Format`] ("connection closed") if
+    /// the daemon hung up instead of replying.
+    pub fn call(&mut self, request: &Request) -> Result<Response, Error> {
+        let payload = request.to_json().to_string().into_bytes();
+        wire::write_frame(&self.stream, &payload).map_err(Error::from)?;
+        match wire::read_frame(&self.stream, wire::MAX_FRAME_BYTES).map_err(Error::from)? {
+            Some(reply) => Response::from_json(&Json::parse_bytes(&reply)?),
+            None => Err(Error::format("connection closed before a response arrived")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FrameSpec;
+
+    fn detect(tenant: &str, job: &str, seed: u64) -> Request {
+        Request::Detect {
+            tenant: tenant.into(),
+            job: job.into(),
+            fault_seed: None,
+            frame: FrameSpec::Synthetic {
+                width: 96,
+                height: 160,
+                seed,
+            },
+        }
+    }
+
+    #[test]
+    fn daemon_serves_status_and_shuts_down() {
+        let server = Server::bind(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.run());
+            let mut client = Client::connect(addr).unwrap();
+            let reply = client.call(&detect("cam-1", "job-1", 7)).unwrap();
+            assert!(
+                matches!(&reply, Response::FrameResult { engine, .. } if engine == "software"),
+                "{reply:?}"
+            );
+            let reply = client.call(&detect("hw:cam-2", "job-1", 7)).unwrap();
+            assert!(
+                matches!(&reply, Response::FrameResult { engine, .. } if engine == "integrity"),
+                "{reply:?}"
+            );
+            match client.call(&Request::Status).unwrap() {
+                Response::Status { tenants } => {
+                    assert_eq!(tenants.len(), 2);
+                    assert_eq!(tenants[0].name, "cam-1");
+                    assert_eq!(tenants[0].served, 1);
+                }
+                other => panic!("unexpected status reply: {other:?}"),
+            }
+            match client.call(&Request::Shutdown).unwrap() {
+                Response::ShutdownAck { served } => assert_eq!(served, 2),
+                other => panic!("unexpected shutdown reply: {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn malformed_payloads_get_typed_errors_not_hangs() {
+        let server = Server::bind(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.run());
+            // Not JSON at all.
+            let stream = TcpStream::connect(addr).unwrap();
+            wire::write_frame(&stream, b"not json").unwrap();
+            let reply = wire::read_frame(&stream, wire::MAX_FRAME_BYTES)
+                .unwrap()
+                .unwrap();
+            let response = Response::from_json(&Json::parse_bytes(&reply).unwrap()).unwrap();
+            assert!(matches!(response, Response::Error { .. }), "{response:?}");
+            drop(stream);
+            // JSON but wrong schema.
+            let mut client = Client::connect(addr).unwrap();
+            let reply = client
+                .call(&Request::Recover {
+                    tenant: String::new(),
+                })
+                .unwrap();
+            assert!(
+                matches!(&reply, Response::Recovered { jobs, .. } if jobs.is_empty()),
+                "{reply:?}"
+            );
+            client.call(&Request::Shutdown).unwrap();
+        });
+    }
+}

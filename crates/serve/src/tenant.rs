@@ -1,0 +1,285 @@
+//! Per-tenant engines and the sharded tenant map.
+//!
+//! Each tenant (one dashcam stream) owns a private [`Engine`] — its own
+//! degradation ladder, tracker, and frame history — plus its admission
+//! controller and any journal-recovered responses awaiting pickup. The
+//! daemon hosts heterogeneous tenants behind `Box<dyn Engine>`: names
+//! prefixed `hw:` get the cycle-accurate [`IntegrityRuntime`], all
+//! others the software [`Runtime`].
+//!
+//! Tenants live in a fixed set of mutex-guarded shards keyed by an
+//! FNV-1a hash of the name, so connections serving different tenants
+//! proceed concurrently while all traffic for one tenant serializes —
+//! which is exactly what keeps a tenant's engine state (and therefore
+//! journal replay) deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+use rtped_core::rng::SeedRng;
+use rtped_core::Rng;
+use rtped_detect::{DetectorConfig, FeaturePyramidDetector};
+use rtped_hw::integrity::IntegrityConfig;
+use rtped_hw::AcceleratorConfig;
+use rtped_runtime::{Engine, FaultPlan, IntegrityRuntime, Runtime, RuntimeConfig};
+use rtped_svm::LinearSvm;
+
+use crate::admission::{Admission, Verdict};
+use crate::journal::JournaledJob;
+use crate::protocol::{RecoveredJob, Response, TenantStatus};
+
+/// Tenant names with this prefix are served by the hardware-integrity
+/// engine; everything else by the software runtime.
+pub const HW_TENANT_PREFIX: &str = "hw:";
+
+/// The deterministic pseudo-random model every engine loads: serving
+/// cost does not depend on the weights' values, and a fixed model is
+/// what makes two daemon processes (or a daemon and its journal replay)
+/// produce bit-identical records.
+fn pseudo_model(dim: usize) -> LinearSvm {
+    let mut rng = SeedRng::seed_from_u64(0x000D_AC17);
+    let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    LinearSvm::new(weights, -0.5)
+}
+
+/// Builds the engine for `name` under the daemon's runtime config.
+#[must_use]
+pub fn build_engine(name: &str, config: &RuntimeConfig) -> Box<dyn Engine> {
+    let detector_config = DetectorConfig::two_scale();
+    let dim = detector_config.params.cell_descriptor_len();
+    if name.starts_with(HW_TENANT_PREFIX) {
+        let accel = AcceleratorConfig {
+            scales: vec![1.0],
+            ..AcceleratorConfig::default()
+        };
+        Box::new(
+            IntegrityRuntime::new(pseudo_model(dim), accel, IntegrityConfig::full())
+                .with_runtime_config(config),
+        )
+    } else {
+        Box::new(Runtime::with_config(
+            FeaturePyramidDetector::new(pseudo_model(dim), detector_config),
+            config.clone(),
+        ))
+    }
+}
+
+/// One tenant's serving state.
+pub struct Tenant {
+    /// The tenant's engine.
+    pub engine: Box<dyn Engine>,
+    /// The tenant's admission controller.
+    pub admission: Admission,
+    /// Journal-recovered responses not yet fetched via `recover`.
+    pub recovered: Vec<RecoveredJob>,
+}
+
+impl Tenant {
+    /// Creates a fresh tenant named `name` under `config`.
+    #[must_use]
+    pub fn new(name: &str, config: &RuntimeConfig) -> Self {
+        Tenant {
+            engine: build_engine(name, config),
+            admission: Admission::new(config.budget, config.policy),
+            recovered: Vec::new(),
+        }
+    }
+
+    /// Serves one (already admitted) job through the engine. Replay and
+    /// live traffic share this path, which is what makes recovered
+    /// responses bit-identical to the ones the dead daemon would have
+    /// sent.
+    pub fn serve_job(&mut self, job: &JournaledJob) -> Response {
+        let image = match job.frame.render() {
+            Ok(image) => image,
+            Err(err) => {
+                return Response::Error {
+                    message: err.to_string(),
+                }
+            }
+        };
+        let plan = match job.fault_seed {
+            Some(seed) => FaultPlan::stress(seed),
+            None => FaultPlan::none(),
+        };
+        let record = self.engine.serve_frame(&image, &plan);
+        Response::FrameResult {
+            tenant: job.tenant.clone(),
+            job: job.job.clone(),
+            engine: self.engine.kind().to_string(),
+            record,
+        }
+    }
+
+    fn status(&self, name: &str) -> TenantStatus {
+        TenantStatus {
+            name: name.to_string(),
+            engine: self.engine.kind().to_string(),
+            state: self.engine.state().label(),
+            served: self.engine.frames_served() as u64,
+            shed: self.admission.shed_count(),
+            recovered: self.recovered.len() as u64,
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the repo-standard tiny string hash; shard choice must
+/// be stable across restarts so replay lands tenants on the same shards.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The daemon's tenant registry: fixed shards, lazily created tenants.
+pub struct TenantMap {
+    shards: Vec<Mutex<BTreeMap<String, Tenant>>>,
+    config: RuntimeConfig,
+}
+
+impl TenantMap {
+    /// Creates an empty map with `shards` mutex-guarded shards (clamped
+    /// to at least one).
+    #[must_use]
+    pub fn new(shards: usize, config: RuntimeConfig) -> Self {
+        let shards = shards.max(1);
+        TenantMap {
+            shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            config,
+        }
+    }
+
+    /// The runtime config tenants are built from.
+    #[must_use]
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<BTreeMap<String, Tenant>> {
+        let index = (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Runs `f` with exclusive access to tenant `name`, creating the
+    /// tenant on first touch. Only this tenant's shard is locked;
+    /// tenants hashing elsewhere stay concurrent.
+    pub fn with_tenant<T>(&self, name: &str, f: impl FnOnce(&mut Tenant) -> T) -> T {
+        let mut shard = self
+            .shard(name)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let tenant = shard
+            .entry(name.to_string())
+            .or_insert_with(|| Tenant::new(name, &self.config));
+        f(tenant)
+    }
+
+    /// Admission + serve for one live request: assesses the queue depth,
+    /// journals nothing (the caller owns journaling), and returns either
+    /// the shed response or the served one via `serve`.
+    pub fn assess(&self, name: &str, queued_ahead: usize) -> Verdict {
+        self.with_tenant(name, |tenant| tenant.admission.assess(queued_ahead).0)
+    }
+
+    /// Snapshot of every tenant's counters, sorted by name.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<TenantStatus> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (name, tenant) in shard.iter() {
+                all.push(tenant.status(name));
+            }
+        }
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Total frames served across all tenants.
+    #[must_use]
+    pub fn total_served(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(|t| t.engine.frames_served() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FrameSpec;
+
+    fn detect_job(tenant: &str, job: &str, seed: u64) -> JournaledJob {
+        JournaledJob {
+            tenant: tenant.into(),
+            job: job.into(),
+            fault_seed: None,
+            frame: FrameSpec::Synthetic {
+                width: 96,
+                height: 160,
+                seed,
+            },
+        }
+    }
+
+    #[test]
+    fn tenant_prefix_selects_the_engine_family() {
+        let config = RuntimeConfig::default();
+        assert_eq!(build_engine("cam-1", &config).kind(), "software");
+        assert_eq!(build_engine("hw:cam-1", &config).kind(), "integrity");
+    }
+
+    #[test]
+    fn serving_the_same_jobs_twice_is_bit_identical() {
+        let config = RuntimeConfig::default();
+        let serve_all = || {
+            let mut tenant = Tenant::new("cam-1", &config);
+            (0..4)
+                .map(|i| {
+                    use rtped_core::ToJson;
+                    tenant
+                        .serve_job(&detect_job("cam-1", &format!("job-{i}"), i))
+                        .to_json()
+                        .to_string()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(serve_all(), serve_all());
+    }
+
+    #[test]
+    fn map_creates_tenants_lazily_and_counts_them() {
+        let map = TenantMap::new(4, RuntimeConfig::default());
+        map.with_tenant("cam-1", |tenant| {
+            tenant.serve_job(&detect_job("cam-1", "a", 1));
+        });
+        map.with_tenant("hw:cam-2", |tenant| {
+            tenant.serve_job(&detect_job("hw:cam-2", "b", 2));
+        });
+        let statuses = map.statuses();
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses[0].name, "cam-1");
+        assert_eq!(statuses[0].engine, "software");
+        assert_eq!(statuses[1].name, "hw:cam-2");
+        assert_eq!(statuses[1].engine, "integrity");
+        assert_eq!(map.total_served(), 2);
+    }
+}

@@ -35,28 +35,16 @@ use crate::platt::PlattCalibration;
 pub const FORMAT_VERSION: u64 = 1;
 
 fn check_header(json: &Json, expected_kind: &str) -> Result<(), Error> {
-    let format = required_field(json, "format").map_err(|_| {
-        Error::format(
+    // Pre-1 model files had no header at all; give those a pointed
+    // message before the shared checker's generic missing-field error.
+    if json.get("format").is_none() {
+        return Err(Error::format(
             "missing required field \"format\" — not a versioned rtped \
              model file (legacy files predate the schema; regenerate with \
              the train_model binary)",
-        )
-    })?;
-    let format = format
-        .as_u64()
-        .ok_or_else(|| Error::format("field \"format\" must be a non-negative integer"))?;
-    if format != FORMAT_VERSION {
-        return Err(Error::format(format!(
-            "unsupported model format {format} (this build reads format {FORMAT_VERSION})"
-        )));
+        ));
     }
-    let kind = String::from_json(required_field(json, "kind")?)?;
-    if kind != expected_kind {
-        return Err(Error::format(format!(
-            "expected kind \"{expected_kind}\", found \"{kind}\""
-        )));
-    }
-    Ok(())
+    rtped_core::json::check_schema_header(json, expected_kind, "model", FORMAT_VERSION)
 }
 
 impl ToJson for LinearSvm {

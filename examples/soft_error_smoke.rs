@@ -15,7 +15,7 @@ use rtped::core::ToJson;
 use rtped::hw::integrity::IntegrityConfig;
 use rtped::hw::{AcceleratorConfig, EccMode};
 use rtped::image::GrayImage;
-use rtped::runtime::{FaultPlan, IntegrityRuntime};
+use rtped::runtime::{Engine, FaultPlan, IntegrityRuntime};
 use rtped::svm::LinearSvm;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
     // else (checked MACBAR, lockstep, watchdog) stays armed.
     let integrity = IntegrityConfig::from_env();
     let ecc = integrity.ecc;
-    let runtime = IntegrityRuntime::new(model, config, integrity);
+    let mut runtime = IntegrityRuntime::new(model, config, integrity);
 
     // 20 synthetic frames; every frame takes a soft-error dose.
     let frames: Vec<GrayImage> = (0..20)

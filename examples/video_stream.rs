@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = DetectorConfig::two_scale();
     config.threshold = 0.5;
     let detector = FeaturePyramidDetector::new(model.clone(), config);
-    let runtime = Runtime::with_config(detector, RuntimeConfig::default());
+    let mut runtime = Runtime::with_config(detector, RuntimeConfig::from_env());
     println!(
         "deadline budget: {:.1} ms per frame",
         runtime.config().budget.frame_budget_ms

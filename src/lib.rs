@@ -28,7 +28,13 @@
 //! - [`hw`] — a cycle-accurate fixed-point model of the DAC'17 accelerator.
 //! - [`runtime`] — the fault-tolerant, deadline-aware frame server:
 //!   seeded fault injection, `Healthy → Degraded → SafeFallback`
-//!   degradation, panic isolation, and per-run robustness reports.
+//!   degradation, panic isolation, per-run robustness reports, and the
+//!   object-safe [`runtime::Engine`] trait unifying the software and
+//!   hardware-integrity runtimes.
+//! - [`serve`] — the multi-tenant frame-serving daemon (`rtped-serve`):
+//!   length-prefixed binary protocol over TCP, one engine per tenant
+//!   behind `Box<dyn Engine>`, deadline-aware admission control, and a
+//!   job journal for deterministic crash recovery.
 //!
 //! # Quickstart
 //!
@@ -65,6 +71,7 @@ pub use rtped_hog as hog;
 pub use rtped_hw as hw;
 pub use rtped_image as image;
 pub use rtped_runtime as runtime;
+pub use rtped_serve as serve;
 pub use rtped_svm as svm;
 
 /// The workspace-wide error type (see [`core::error`]); every fallible

@@ -7,7 +7,7 @@ use rtped::core::ToJson;
 use rtped::hw::integrity::{IntegrityConfig, SoftErrorDose};
 use rtped::hw::{AcceleratorConfig, EccMode, HogAccelerator};
 use rtped::image::GrayImage;
-use rtped::runtime::{FaultPlan, IntegrityRuntime, TransitionCause};
+use rtped::runtime::{Engine, FaultPlan, IntegrityRuntime, TransitionCause};
 use rtped::svm::LinearSvm;
 
 fn textured(w: usize, h: usize, phase: usize) -> GrayImage {
@@ -131,7 +131,7 @@ fn integrity_runtime_escalates_and_never_lets_errors_escape_silently() {
         scales: vec![1.0],
         ..AcceleratorConfig::default()
     };
-    let runtime = IntegrityRuntime::new(model, config, IntegrityConfig::full());
+    let mut runtime = IntegrityRuntime::new(model, config, IntegrityConfig::full());
     let frames: Vec<GrayImage> = (0..12).map(|k| textured(96, 160, k)).collect();
     let report = runtime.run(&frames, &FaultPlan::soft_errors(2017, 1.0));
 
@@ -167,7 +167,7 @@ fn integrity_report_json_is_byte_identical_across_runs_and_thread_counts() {
         scales: vec![1.0],
         ..AcceleratorConfig::default()
     };
-    let runtime = IntegrityRuntime::new(model, config, IntegrityConfig::full());
+    let mut runtime = IntegrityRuntime::new(model, config, IntegrityConfig::full());
     let frames: Vec<GrayImage> = (0..6).map(|k| textured(96, 160, k)).collect();
     let plan = FaultPlan::soft_errors(99, 0.8);
 

@@ -11,7 +11,8 @@ use rtped::core::ToJson;
 use rtped::detect::detector::{Detect, DetectorConfig, FeaturePyramidDetector};
 use rtped::image::GrayImage;
 use rtped::runtime::{
-    DeadlineBudget, DegradationPolicy, FaultPlan, FrameOutcome, HealthState, Runtime, RuntimeConfig,
+    DeadlineBudget, DegradationPolicy, Engine, FaultPlan, FrameOutcome, HealthState, Runtime,
+    RuntimeConfig,
 };
 use rtped::svm::LinearSvm;
 
@@ -57,7 +58,7 @@ fn runtime() -> Runtime<FeaturePyramidDetector> {
 fn seeded_stress_run_satisfies_the_acceptance_criteria() {
     let frames = synthetic_sequence();
     let plan = FaultPlan::stress(SEED);
-    let runtime = runtime();
+    let mut runtime = runtime();
 
     // Completing at all is the zero-panics criterion: injected worker
     // panics, dropouts, truncations, and corrupted rasters all flow
@@ -129,7 +130,7 @@ fn seeded_stress_run_satisfies_the_acceptance_criteria() {
 fn report_is_bit_identical_across_runs_and_thread_counts() {
     let frames = synthetic_sequence();
     let plan = FaultPlan::stress(SEED);
-    let runtime = runtime();
+    let mut runtime = runtime();
 
     let baseline = runtime.run(&frames, &plan).to_json().to_string();
     // Same inputs, fresh run: byte-equal.
@@ -155,7 +156,7 @@ fn report_is_bit_identical_across_runs_and_thread_counts() {
 fn empty_plan_is_bit_identical_to_plain_detect() {
     // A shorter sequence keeps this test fast; identity is per-frame.
     let frames: Vec<GrayImage> = synthetic_sequence().into_iter().take(12).collect();
-    let runtime = runtime();
+    let mut runtime = runtime();
     let report = runtime.run(&frames, &FaultPlan::none());
 
     assert_eq!(report.final_state, HealthState::Healthy);
@@ -177,7 +178,7 @@ fn error_burst_jumps_to_safe_fallback() {
         dropout_rate: 1.0,
         ..FaultPlan::none()
     };
-    let runtime = runtime();
+    let mut runtime = runtime();
     let report = runtime.run(&frames[..8], &all_dropout);
     assert_eq!(report.final_state, HealthState::SafeFallback);
     assert_eq!(report.error_count(), 8, "every dropped frame is an error");
@@ -202,7 +203,7 @@ fn persistent_deadline_misses_walk_the_ladder_then_coast() {
         delay_ms: 12.0,
         ..FaultPlan::none()
     };
-    let runtime = runtime();
+    let mut runtime = runtime();
     let report = runtime.run(&frames[..12], &all_late);
     assert_eq!(report.final_state, HealthState::SafeFallback);
     let visited: Vec<String> = report

@@ -1,0 +1,165 @@
+//! Wire-protocol robustness for the `rtped-serve` daemon: requests and
+//! responses round-trip bit-exactly through canonical JSON, and hostile
+//! bytes — malformed, truncated, oversized, bit-flipped — are rejected
+//! with typed errors, never panics. Style and generators follow
+//! `tests/parser_robustness.rs`.
+
+use rtped::core::check;
+use rtped::core::check::{ascii_string, vec_of};
+use rtped::core::json::Json;
+use rtped::core::{wire, FromJson, ToJson};
+use rtped_serve::{FrameSpec, Request, Response, MAX_FRAME_DIM};
+
+/// A canonical valid request for the mutation fuzzers.
+fn valid_request_bytes() -> Vec<u8> {
+    Request::Detect {
+        tenant: String::from("cam-0001"),
+        job: String::from("job-0001"),
+        fault_seed: Some(7),
+        frame: FrameSpec::Synthetic {
+            width: 96,
+            height: 160,
+            seed: 5,
+        },
+    }
+    .to_json()
+    .to_string()
+    .into_bytes()
+}
+
+check! {
+    #![cases = 128]
+
+    // Round trip: any detect request built from generated field values
+    // survives encode -> canonical bytes -> parse -> decode unchanged.
+    // Seeds stay below 2^53: canonical JSON numbers are f64, so larger
+    // integers cannot round-trip exactly (a workspace-wide schema
+    // constraint, same as model weights and report counters).
+    fn detect_requests_roundtrip_bit_exactly(
+        tenant in ascii_string(1usize..24),
+        job in ascii_string(1usize..24),
+        seed in 0u64..=(1u64 << 53),
+        w in 1u32..=64,
+        h in 1u32..=64,
+        hw in 0u32..2,
+        faulted in 0u32..2,
+    ) {
+        let request = Request::Detect {
+            tenant: if hw == 1 { format!("hw:{tenant}") } else { tenant },
+            job,
+            fault_seed: (faulted == 1).then_some(seed),
+            frame: FrameSpec::Synthetic { width: w, height: h, seed },
+        };
+        let bytes = request.to_json().to_string().into_bytes();
+        let back = Request::from_json(&Json::parse_bytes(&bytes).unwrap()).unwrap();
+        assert_eq!(back, request);
+        // Canonical: re-encoding reproduces the same bytes.
+        assert_eq!(back.to_json().to_string().into_bytes(), bytes);
+    }
+
+    fn pixel_frames_roundtrip_bit_exactly(
+        w in 1u32..=16,
+        h in 1u32..=16,
+        fill in 0u32..=255,
+    ) {
+        let pixels: Vec<u8> = (0..w * h).map(|i| ((i + fill) % 256) as u8).collect();
+        let spec = FrameSpec::Pixels { width: w, height: h, pixels };
+        let back = FrameSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.render().unwrap().as_raw(),
+                   spec.render().unwrap().as_raw());
+    }
+
+    // Arbitrary bytes into the message decoder: error or parse, never
+    // panic.
+    fn random_bytes_never_panic_the_decoder(
+        bytes in vec_of(0u8..=u8::MAX, 0usize..256),
+    ) {
+        if let Ok(json) = Json::parse_bytes(&bytes) {
+            let _ = Request::from_json(&json);
+            let _ = Response::from_json(&json);
+        }
+    }
+
+    // Truncation sweep over a valid request: every strict prefix either
+    // fails to parse or fails to decode — with a printable error.
+    fn truncated_requests_always_error(cut_permille in 0u32..1000) {
+        let full = valid_request_bytes();
+        let cut = (full.len() * cut_permille as usize) / 1000;
+        match Json::parse_bytes(&full[..cut]) {
+            Ok(json) => {
+                let err = Request::from_json(&json)
+                    .expect_err("strict prefix must not decode");
+                assert!(!err.to_string().is_empty());
+            }
+            Err(err) => assert!(!err.to_string().is_empty()),
+        }
+    }
+
+    // Bit-flip sweep: single-event upsets in the payload are typed
+    // errors or valid parses, never panics.
+    fn bit_flipped_requests_never_panic(
+        byte_permille in 0u32..1000,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = valid_request_bytes();
+        let idx = (bytes.len() * byte_permille as usize) / 1000;
+        bytes[idx] ^= 1 << bit;
+        if let Ok(json) = Json::parse_bytes(&bytes) {
+            let _ = Request::from_json(&json);
+        }
+    }
+
+    // Frame dimensions outside 1..=MAX_FRAME_DIM are rejected at decode,
+    // before any pixel memory is touched.
+    fn oversized_frame_specs_are_rejected(
+        w in 0u32..=u32::MAX,
+        h in 0u32..=u32::MAX,
+    ) {
+        let spec = FrameSpec::Synthetic { width: w, height: h, seed: 0 };
+        let in_bounds =
+            (1..=MAX_FRAME_DIM).contains(&w) && (1..=MAX_FRAME_DIM).contains(&h);
+        assert_eq!(FrameSpec::from_json(&spec.to_json()).is_ok(), in_bounds);
+    }
+
+    // The framing layer itself: truncated frames are typed errors, and a
+    // header claiming more than the cap is Oversized without allocating.
+    fn truncated_wire_frames_are_typed_errors(cut_permille in 0u32..1000) {
+        let payload = valid_request_bytes();
+        let full = wire::encode_frame(&payload).unwrap();
+        let cut = (full.len() * cut_permille as usize) / 1000;
+        match wire::read_frame(&full[..cut], wire::MAX_FRAME_BYTES) {
+            Ok(None) => assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => panic!("strict prefix must not decode"),
+            Err(err) => assert!(!rtped::core::Error::from(err).to_string().is_empty()),
+        }
+    }
+
+    fn oversized_wire_headers_are_rejected(claim in 64u32..=u32::MAX) {
+        let mut bytes = claim.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        let result = wire::read_frame(bytes.as_slice(), 64);
+        assert!(
+            matches!(result, Err(wire::WireError::Oversized { len, max })
+                if len == claim as usize && max == 64),
+            "claim {claim} was not rejected as oversized"
+        );
+    }
+}
+
+#[test]
+fn shared_header_messages_match_the_model_schema_family() {
+    // The wire schema reuses the workspace-wide format/kind discipline:
+    // version mismatches and kind confusion read identically to the
+    // rtped_svm model loader's errors.
+    let mut text = Request::Status.to_json().to_string();
+    text = text.replacen("\"format\":1", "\"format\":9", 1);
+    let err = Request::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "format error: unsupported request format 9 (this build reads format 1)"
+    );
+
+    let err = Request::from_json(&Json::parse("{\"format\":1,\"kind\":7}").unwrap()).unwrap_err();
+    assert!(err.to_string().contains("must be a string"), "{err}");
+}
