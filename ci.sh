@@ -26,8 +26,8 @@ cargo build --workspace --all-targets --release --offline
 echo "== cargo test -q --offline =="
 cargo test --workspace -q --offline
 
-echo "== bench_detect --quick (smoke: parallel==serial gate + JSON writer) =="
-cargo run --release --offline -p rtped-bench --bin bench_detect -- --quick
+echo "== bench_detect --quick (smoke: determinism gates + 15% regression gate vs BENCH_thresholds.json) =="
+cargo run --release --offline -p rtped-bench --bin bench_detect -- --quick --gate BENCH_thresholds.json
 
 echo "== video_stream fault-injection smoke (seed 2017: zero crashes, non-empty RunReport) =="
 smoke=$(RTPED_FAULT_SEED=2017 cargo run --release --offline --example video_stream)

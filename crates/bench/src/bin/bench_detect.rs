@@ -1,21 +1,33 @@
-//! Serial vs parallel detection-engine benchmark — the seed of the repo's
-//! performance trajectory.
+//! Detection-engine benchmark matrix — the repo's performance baseline.
 //!
-//! Times the image-pyramid and feature-pyramid detectors on synthetic
-//! street scenes (640×480, 1280×720, 1920×1080) twice each: once with
-//! `RTPED_THREADS=1` (the serial baseline) and once with the host's full
-//! worker pool. Medians come from `rtped_core::timer`'s batched harness;
-//! results land in `BENCH_detect.json` (canonical `rtped_core::json`
-//! bytes) so every future perf PR has a baseline to beat.
+//! Times the detectors on synthetic street scenes (640×480, 1280×720,
+//! 1920×1080) across the full serving matrix:
 //!
-//! The parallel engine must be *byte-identical* to the serial one — the
-//! run asserts that both modes return the same `Vec<Detection>`, order
-//! included, before any timing is trusted.
+//! - **threads** 1 / 2 / 4 / host-max (deduplicated, capped at the host);
+//! - **datapath** `f32` (golden float) vs `i16` (quantized fixed-point);
+//! - **mode** `cold` (every frame from scratch) vs `incremental` (the
+//!   temporal pyramid serving a video-like A/B frame toggle).
 //!
-//! `--quick` shrinks the budgets and scene list for CI smoke runs and
-//! writes `BENCH_detect.quick.json` instead, leaving the committed
-//! baseline untouched.
+//! Medians come from `rtped_core::timer`'s batched harness; results land
+//! in `BENCH_detect.json` (canonical `rtped_core::json` bytes) so every
+//! future perf PR has a baseline to beat.
+//!
+//! Before any timing is trusted the run asserts two determinism gates:
+//! parallel detections must equal serial ones (values AND order), and the
+//! temporal path must reproduce the stateless path bit-for-bit.
+//!
+//! Flags:
+//!
+//! - `--quick` shrinks the budgets and scene list for CI smoke runs and
+//!   writes `BENCH_detect.quick.json` (gitignored) instead of the
+//!   committed baseline.
+//! - `--gate <thresholds.json>` compares each case's single-thread median
+//!   against the committed thresholds and exits non-zero on a regression
+//!   beyond the margin ([`GATE_MARGIN`]).
+//! - `--record-thresholds` rewrites `BENCH_thresholds.json` from this
+//!   run's single-thread medians.
 
+use std::cell::Cell;
 use std::time::Duration;
 
 use rtped_core::json::{obj, Json};
@@ -24,29 +36,60 @@ use rtped_core::timer::{black_box, format_ns, Bench};
 use rtped_core::{Rng, SeedRng};
 use rtped_dataset::scene::SceneBuilder;
 use rtped_detect::detector::{
-    Detect, Detection, DetectorConfig, FeaturePyramidDetector, ImagePyramidDetector,
+    Datapath, Detect, Detection, DetectorConfig, FeaturePyramidDetector, ImagePyramidDetector,
 };
 use rtped_hog::params::HogParams;
 use rtped_image::GrayImage;
 use rtped_svm::LinearSvm;
 
-/// A frame-to-detections closure (either detector family, borrowed).
-type DetectFn<'a> = &'a dyn Fn(&GrayImage) -> Vec<Detection>;
+/// Allowed slowdown vs a recorded threshold before `--gate` fails: 15%.
+const GATE_MARGIN: f64 = 0.15;
 
-/// One timed configuration (scene × method × mode comparison).
+/// A ready-to-run detection closure (borrowed; frame already bound).
+type RunFn<'a> = &'a dyn Fn() -> Vec<Detection>;
+
+/// One timed point of the matrix.
+struct Timing {
+    threads: usize,
+    median_ns: f64,
+}
+
+/// One timed configuration (scene × method × datapath × mode).
 struct CaseResult {
     frame: String,
     method: &'static str,
+    datapath: &'static str,
+    mode: &'static str,
     windows: usize,
     detections: usize,
-    serial_median_ns: f64,
-    parallel_median_ns: f64,
+    timings: Vec<Timing>,
 }
 
 impl CaseResult {
+    /// Stable identity used by the threshold gate.
+    fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.frame, self.method, self.datapath, self.mode
+        )
+    }
+
+    /// Single-thread median (`threads == 1` is always measured first).
+    fn serial_median_ns(&self) -> f64 {
+        self.timings
+            .iter()
+            .find(|t| t.threads == 1)
+            .map_or(f64::NAN, |t| t.median_ns)
+    }
+
+    /// Median at the widest measured pool.
+    fn parallel_median_ns(&self) -> f64 {
+        self.timings.last().map_or(f64::NAN, |t| t.median_ns)
+    }
+
     fn speedup(&self) -> f64 {
-        if self.parallel_median_ns > 0.0 {
-            self.serial_median_ns / self.parallel_median_ns
+        if self.parallel_median_ns() > 0.0 {
+            self.serial_median_ns() / self.parallel_median_ns()
         } else {
             f64::INFINITY
         }
@@ -56,10 +99,26 @@ impl CaseResult {
         obj([
             ("frame", Json::String(self.frame.clone())),
             ("method", Json::String(self.method.to_string())),
+            ("datapath", Json::String(self.datapath.to_string())),
+            ("mode", Json::String(self.mode.to_string())),
             ("windows", (self.windows as u64).into()),
             ("detections", (self.detections as u64).into()),
-            ("serial_median_ns", self.serial_median_ns.into()),
-            ("parallel_median_ns", self.parallel_median_ns.into()),
+            (
+                "timings",
+                Json::Array(
+                    self.timings
+                        .iter()
+                        .map(|t| {
+                            obj([
+                                ("threads", (t.threads as u64).into()),
+                                ("median_ns", t.median_ns.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("serial_median_ns", self.serial_median_ns().into()),
+            ("parallel_median_ns", self.parallel_median_ns().into()),
             ("speedup", self.speedup().into()),
         ])
     }
@@ -74,7 +133,7 @@ fn pseudo_model(params: &HogParams) -> LinearSvm {
     LinearSvm::new(weights, -0.5)
 }
 
-/// Runs `detect` with `RTPED_THREADS` pinned to `threads` (`None` restores
+/// Runs `f` with `RTPED_THREADS` pinned to `threads` (`None` restores
 /// the ambient setting).
 fn with_threads<T>(threads: Option<usize>, f: impl FnOnce() -> T) -> T {
     let saved = rtped_core::env::raw(par::THREADS_ENV);
@@ -109,35 +168,66 @@ fn window_count(w: usize, h: usize, params: &HogParams, scales: &[f64]) -> usize
         .sum()
 }
 
-fn bench_case(
-    bench: &mut Bench,
-    name: &str,
-    detector: DetectFn<'_>,
-    frame: &GrayImage,
-    threads: Option<usize>,
-) -> f64 {
-    with_threads(threads, || {
-        bench.run(name, || detector(black_box(frame))).median_ns
+/// The video-like companion frame for the incremental mode: `frame` with
+/// one ~56-pixel-tall band rewritten (a moving object crossing the scene),
+/// so each A↔B toggle dirties a small, fixed row range.
+fn moved_frame(frame: &GrayImage) -> GrayImage {
+    let (w, h) = frame.dimensions();
+    let y0 = h / 3;
+    let y1 = (y0 + 56).min(h);
+    GrayImage::from_fn(w, h, |x, y| {
+        if y >= y0 && y < y1 && x >= w / 4 && x < w / 4 + w / 5 {
+            255 - frame.get(x, y)
+        } else {
+            frame.get(x, y)
+        }
     })
 }
 
+/// Times `run` once per pool size in `thread_matrix`.
+fn bench_points(bench: &mut Bench, run: RunFn<'_>, thread_matrix: &[usize]) -> Vec<Timing> {
+    thread_matrix
+        .iter()
+        .map(|&threads| Timing {
+            threads,
+            median_ns: with_threads(Some(threads), || {
+                bench
+                    .run(&format!("threads={threads}"), || black_box(run()))
+                    .median_ns
+            }),
+        })
+        .collect()
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let record_thresholds = args.iter().any(|a| a == "--record-thresholds");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .map(|i| args.get(i + 1).expect("--gate needs a path").clone());
+
     let params = HogParams::pedestrian();
     let model = pseudo_model(&params);
-    let config = DetectorConfig {
+    let config_for = |datapath: Datapath, temporal: bool| DetectorConfig {
         threshold: 1.0,
+        datapath,
+        temporal,
         ..DetectorConfig::two_scale()
     };
-    let image_det = ImagePyramidDetector::new(model.clone(), config.clone());
-    let feature_det = FeaturePyramidDetector::new(model, config.clone());
 
     let host_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let pool_threads = par::threads();
+    let mut thread_matrix: Vec<usize> = [1, 2, 4, host_threads]
+        .into_iter()
+        .filter(|&t| t <= host_threads)
+        .collect();
+    thread_matrix.sort_unstable();
+    thread_matrix.dedup();
     println!(
-        "bench_detect: host parallelism {host_threads}, worker pool {pool_threads}{}",
+        "bench_detect: host parallelism {host_threads}, thread matrix {thread_matrix:?}{}",
         if quick { " (quick mode)" } else { "" }
     );
 
@@ -152,6 +242,7 @@ fn main() {
         (Duration::from_millis(200), Duration::from_millis(1500), 9)
     };
 
+    let image_det = ImagePyramidDetector::new(model.clone(), config_for(Datapath::F32, false));
     let mut results: Vec<CaseResult> = Vec::new();
     for &(w, h) in sizes {
         let scene = SceneBuilder::new(w, h)
@@ -160,57 +251,121 @@ fn main() {
             .pedestrian_window(64, 128, 1.5)
             .pedestrian_window(64, 128, 1.2)
             .build();
-        let frame = &scene.frame;
-        let windows = window_count(w, h, &params, &config.scales);
+        let frame_a = &scene.frame;
+        let frame_b = moved_frame(frame_a);
+        let windows = window_count(w, h, &params, &config_for(Datapath::F32, false).scales);
 
-        let methods: [(&'static str, DetectFn<'_>); 2] = [
-            ("image-pyramid", &|f: &GrayImage| image_det.detect(f)),
-            ("feature-pyramid", &|f: &GrayImage| feature_det.detect(f)),
-        ];
-        for (method, detect) in methods {
-            // Determinism gate: parallel output must be byte-identical to
-            // serial (values AND order) before the timings mean anything.
-            let serial_hits = with_threads(Some(1), || detect(frame));
-            let parallel_hits = with_threads(None, || detect(frame));
+        // Image pyramid: the conventional reference, float cold path only.
+        {
+            let run = |f: &GrayImage| image_det.detect(f);
+            let serial_hits = with_threads(Some(1), || run(frame_a));
+            let parallel_hits = with_threads(Some(host_threads), || run(frame_a));
             assert_eq!(
                 serial_hits, parallel_hits,
-                "{method} {w}x{h}: parallel detections diverged from serial"
+                "image-pyramid {w}x{h}: parallel detections diverged from serial"
             );
-
-            let mut bench = Bench::new(&format!("{method}/{w}x{h}"))
+            let mut bench = Bench::new(&format!("image-pyramid/{w}x{h}/f32/cold"))
                 .warmup(warmup)
                 .measure(measure)
                 .batches(batches);
-            let serial_ns = bench_case(&mut bench, "serial", detect, frame, Some(1));
-            let parallel_ns = bench_case(&mut bench, "parallel", detect, frame, None);
             let case = CaseResult {
                 frame: format!("{w}x{h}"),
-                method,
+                method: "image-pyramid",
+                datapath: "f32",
+                mode: "cold",
                 windows,
                 detections: serial_hits.len(),
-                serial_median_ns: serial_ns,
-                parallel_median_ns: parallel_ns,
+                timings: bench_points(&mut bench, &|| run(black_box(frame_a)), &thread_matrix),
             };
-            println!(
-                "  -> {} {}: serial {} / parallel {} = {:.2}x ({} windows, {} detections)",
-                case.method,
-                case.frame,
-                format_ns(case.serial_median_ns),
-                format_ns(case.parallel_median_ns),
-                case.speedup(),
-                case.windows,
-                case.detections,
+            print_case(&case);
+            results.push(case);
+        }
+
+        // Feature pyramid: the paper's method, full datapath × mode matrix.
+        for datapath in [Datapath::F32, Datapath::I16] {
+            let stateless = FeaturePyramidDetector::new(model.clone(), config_for(datapath, false));
+            let temporal = FeaturePyramidDetector::new(model.clone(), config_for(datapath, true));
+
+            // Determinism gates: parallel == serial on the cold path, and
+            // the temporal cache reproduces the stateless path exactly
+            // across the A/B toggle it is about to be timed on.
+            let serial_hits = with_threads(Some(1), || stateless.detect(frame_a));
+            let parallel_hits = with_threads(Some(host_threads), || stateless.detect(frame_a));
+            assert_eq!(
+                serial_hits, parallel_hits,
+                "feature-pyramid/{datapath} {w}x{h}: parallel detections diverged from serial"
             );
+            let hits_b = stateless.detect(&frame_b);
+            for (toggle_frame, want) in [(frame_a, &serial_hits), (&frame_b, &hits_b)] {
+                assert_eq!(
+                    &temporal.detect(toggle_frame),
+                    want,
+                    "feature-pyramid/{datapath} {w}x{h}: temporal diverged from stateless"
+                );
+            }
+
+            let mut bench = Bench::new(&format!("feature-pyramid/{w}x{h}/{datapath}/cold"))
+                .warmup(warmup)
+                .measure(measure)
+                .batches(batches);
+            let case = CaseResult {
+                frame: format!("{w}x{h}"),
+                method: "feature-pyramid",
+                datapath: datapath.as_str(),
+                mode: "cold",
+                windows,
+                detections: serial_hits.len(),
+                timings: bench_points(
+                    &mut bench,
+                    &|| stateless.detect(black_box(frame_a)),
+                    &thread_matrix,
+                ),
+            };
+            print_case(&case);
+            results.push(case);
+
+            // Incremental: steady-state temporal serving of the A/B
+            // toggle — every timed call diffs against the previous frame
+            // and rebuilds only the moved band's rows.
+            let flip = Cell::new(false);
+            let toggle = || {
+                flip.set(!flip.get());
+                let f = if flip.get() { &frame_b } else { frame_a };
+                temporal.detect(black_box(f))
+            };
+            toggle(); // prime the cache so timing starts in steady state
+            let mut bench = Bench::new(&format!("feature-pyramid/{w}x{h}/{datapath}/incremental"))
+                .warmup(warmup)
+                .measure(measure)
+                .batches(batches);
+            let case = CaseResult {
+                frame: format!("{w}x{h}"),
+                method: "feature-pyramid",
+                datapath: datapath.as_str(),
+                mode: "incremental",
+                windows,
+                detections: hits_b.len(),
+                timings: bench_points(&mut bench, &toggle, &thread_matrix),
+            };
+            print_case(&case);
             results.push(case);
         }
     }
 
     let json = obj([
-        ("format", 1u64.into()),
+        ("format", 2u64.into()),
         ("bench", Json::String("detect".to_string())),
         ("quick", Json::Bool(quick)),
         ("host_threads", (host_threads as u64).into()),
-        ("pool_threads", (pool_threads as u64).into()),
+        (
+            "thread_matrix",
+            Json::Array(
+                thread_matrix
+                    .iter()
+                    .map(|&t| Json::from(t as u64))
+                    .collect(),
+            ),
+        ),
         (
             "scenes",
             Json::Array(results.iter().map(CaseResult::to_json).collect()),
@@ -223,4 +378,93 @@ fn main() {
     };
     std::fs::write(path, json.to_string_pretty()).expect("write benchmark baseline");
     println!("wrote {path}");
+
+    if record_thresholds {
+        let cases: Vec<(String, Json)> = results
+            .iter()
+            .map(|r| (r.key(), Json::from(r.serial_median_ns())))
+            .collect();
+        let thresholds = obj([
+            ("format", 1u64.into()),
+            ("bench", Json::String("detect-thresholds".to_string())),
+            ("quick", Json::Bool(quick)),
+            ("host_threads", (host_threads as u64).into()),
+            ("margin", GATE_MARGIN.into()),
+            ("cases", Json::Object(cases)),
+        ]);
+        std::fs::write("BENCH_thresholds.json", thresholds.to_string_pretty())
+            .expect("write thresholds");
+        println!("wrote BENCH_thresholds.json");
+    }
+
+    if let Some(path) = gate_path {
+        run_gate(&path, &results);
+    }
+}
+
+fn print_case(case: &CaseResult) {
+    let points: Vec<String> = case
+        .timings
+        .iter()
+        .map(|t| format!("{}t {}", t.threads, format_ns(t.median_ns)))
+        .collect();
+    println!(
+        "  -> {} {} {}/{}: {} = {:.2}x ({} windows, {} detections)",
+        case.method,
+        case.frame,
+        case.datapath,
+        case.mode,
+        points.join(" / "),
+        case.speedup(),
+        case.windows,
+        case.detections,
+    );
+}
+
+/// The CI regression gate: every case present in the thresholds file must
+/// stay within [`GATE_MARGIN`] of its recorded single-thread median.
+fn run_gate(path: &str, results: &[CaseResult]) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--gate: cannot read {path}: {e}"));
+    let json = Json::parse(&text).unwrap_or_else(|e| panic!("--gate: bad JSON in {path}: {e}"));
+    let cases = json
+        .get("cases")
+        .and_then(Json::as_object)
+        .unwrap_or_else(|| panic!("--gate: {path} has no \"cases\" object"));
+    let mut checked = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for r in results {
+        let key = r.key();
+        let Some(threshold) = cases
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.as_f64())
+        else {
+            continue; // thresholds may cover a subset (e.g. quick scenes)
+        };
+        checked += 1;
+        let measured = r.serial_median_ns();
+        let limit = threshold * (1.0 + GATE_MARGIN);
+        if measured > limit {
+            failures.push(format!(
+                "{key}: {} exceeds {} (recorded {} + {:.0}% margin)",
+                format_ns(measured),
+                format_ns(limit),
+                format_ns(threshold),
+                GATE_MARGIN * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "gate: {checked} case(s) within {:.0}% of recorded thresholds",
+            GATE_MARGIN * 100.0
+        );
+    } else {
+        eprintln!("gate: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -9,16 +9,78 @@
 //! - [`FeaturePyramidDetector`] (the paper's method, Fig. 3b): extract HOG
 //!   once, down-sample the normalized feature map per scale, classify.
 
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Mutex;
+
 use rtped_core::json::{obj, required_field};
 use rtped_core::{par, Error, FromJson, Json, ToJson};
 use rtped_hog::feature_map::FeatureMap;
 use rtped_hog::params::HogParams;
 use rtped_hog::pyramid::{FeaturePyramid, ImagePyramid, PyramidLevel};
+use rtped_hog::quant::{QuantFeatureMap, FEATURE_FRAC_BITS};
 use rtped_image::GrayImage;
-use rtped_svm::LinearSvm;
+use rtped_svm::{LinearSvm, QuantModel};
 
 use crate::bbox::BoundingBox;
+use crate::kernel::{self, F32Kernel};
 use crate::nms::non_maximum_suppression;
+use crate::temporal::{self, PyramidCache, TemporalStats};
+
+/// Below this many windows per level, the scan runs serially: thread-pool
+/// hand-off costs more than the scoring itself (the 640×480 parallel
+/// regression in `BENCH_detect.json`).
+pub(crate) const PAR_MIN_WINDOWS: usize = 8192;
+
+/// Which arithmetic the window-scoring hot path uses.
+///
+/// [`Datapath::F32`] is the default and the golden reference: `f32`
+/// features, `f64` accumulation, bit-identical to [`score_window`].
+/// [`Datapath::I16`] mirrors the paper's fixed-point hardware on the CPU:
+/// Q12 `i16` features against dynamically-scaled `i16` weights with `i32`
+/// row accumulation (see `rtped_hog::quant`) — roughly 4× faster and, the
+/// arithmetic being all-integer, bit-reproducible across hosts and thread
+/// counts. Accuracy sits within the PR-4 quantization-ablation bound of
+/// the float path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Datapath {
+    /// Float features, `f64` accumulation (default, golden reference).
+    #[default]
+    F32,
+    /// Fixed-point `i16` features and weights, integer accumulation.
+    I16,
+}
+
+impl Datapath {
+    /// Canonical lowercase name (`"f32"` / `"i16"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Datapath::F32 => "f32",
+            Datapath::I16 => "i16",
+        }
+    }
+}
+
+impl fmt::Display for Datapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Datapath {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        match s {
+            "f32" => Ok(Datapath::F32),
+            "i16" => Ok(Datapath::I16),
+            other => Err(Error::invalid_input(format!(
+                "unknown datapath {other:?}: expected \"f32\" or \"i16\""
+            ))),
+        }
+    }
+}
 
 /// One detected pedestrian.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +131,15 @@ pub struct DetectorConfig {
     pub nms_iou: Option<f64>,
     /// HOG geometry.
     pub params: HogParams,
+    /// Scoring arithmetic (see [`Datapath`]).
+    pub datapath: Datapath,
+    /// Enables the temporal incremental pyramid for video streams: the
+    /// detector caches the previous frame's pyramid (and pre-NMS scan
+    /// results) and rebuilds only the rows that changed, falling back to a
+    /// full rebuild on scene cuts. Output stays bit-identical to the
+    /// stateless path; only `FeaturePyramidDetector` honours it
+    /// (`ImagePyramidDetector` re-extracts per level and ignores it).
+    pub temporal: bool,
 }
 
 impl DetectorConfig {
@@ -84,6 +155,8 @@ impl DetectorConfig {
             stride_cells: 1,
             nms_iou: Some(0.3),
             params: HogParams::pedestrian(),
+            datapath: Datapath::F32,
+            temporal: false,
         }
     }
 
@@ -191,6 +264,21 @@ impl DetectorBuilder {
         self
     }
 
+    /// Selects the scoring arithmetic (default [`Datapath::F32`]).
+    #[must_use]
+    pub fn datapath(mut self, datapath: Datapath) -> Self {
+        self.config.datapath = datapath;
+        self
+    }
+
+    /// Enables the temporal incremental pyramid for video streams
+    /// (default off; see [`DetectorConfig::temporal`]).
+    #[must_use]
+    pub fn temporal(mut self, temporal: bool) -> Self {
+        self.config.temporal = temporal;
+        self
+    }
+
     fn validate(&self) -> Result<(), Error> {
         let config = &self.config;
         if config.scales.is_empty() {
@@ -258,14 +346,23 @@ mod sealed {
 
 impl BuildDetector for ImagePyramidDetector {
     fn from_validated(model: LinearSvm, config: DetectorConfig) -> Self {
-        Self { model, config }
+        Self::assemble(model, config)
     }
 }
 
 impl BuildDetector for FeaturePyramidDetector {
     fn from_validated(model: LinearSvm, config: DetectorConfig) -> Self {
-        Self { model, config }
+        Self::assemble(model, config)
     }
+}
+
+/// Quantizes `model` for the i16 datapath if `config` selects it.
+fn quantize_model(model: &LinearSvm, config: &DetectorConfig) -> Option<QuantModel> {
+    (config.datapath == Datapath::I16).then(|| {
+        let (wc, _) = config.params.window_cells();
+        let row_terms = wc * 4 * config.params.bins();
+        QuantModel::from_svm(model, FEATURE_FRAC_BITS, row_terms)
+    })
 }
 
 /// A load-shedding profile for one detection call: how much of the
@@ -381,60 +478,179 @@ impl<T: Detect + ?Sized> Detect for Box<T> {
     }
 }
 
-/// Scores every window position of one pyramid level, appending hits above
-/// `threshold` to `out` in native coordinates.
-///
-/// Window rows are fanned across cores in contiguous bands; each band
-/// appends into its own hit buffer (reused across that band's windows) and
-/// the buffers are concatenated in band order, reproducing the serial
-/// raster order exactly. Scoring itself is [`score_window`]'s strided dot
-/// product — no per-window descriptor is materialized.
-fn scan_level(
-    level: &PyramidLevel,
-    model: &LinearSvm,
-    config: &DetectorConfig,
-    out: &mut Vec<Detection>,
-) {
-    let params = &config.params;
-    let cell = params.cell_size();
-    let (ww, wh) = params.window_size();
-    let (wc, hc) = params.window_cells();
-    let (gx, gy) = level.features.cells();
-    if gx < wc || gy < hc {
-        return;
+/// Window-scan geometry of one pyramid level under a configuration.
+#[derive(Debug, Clone)]
+pub(crate) struct LevelGeometry {
+    pub scale: f64,
+    pub cell: usize,
+    pub ww: usize,
+    pub wh: usize,
+    pub wc: usize,
+    pub hc: usize,
+    pub stride: usize,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl LevelGeometry {
+    /// Geometry for a level with `cells` under `config`, or `None` when
+    /// the level is too small to hold a single window.
+    pub(crate) fn for_level(
+        cells: (usize, usize),
+        scale: f64,
+        config: &DetectorConfig,
+    ) -> Option<Self> {
+        let params = &config.params;
+        let (wc, hc) = params.window_cells();
+        let (gx, gy) = cells;
+        if gx < wc || gy < hc {
+            return None;
+        }
+        let (ww, wh) = params.window_size();
+        let stride = config.stride_cells;
+        Some(Self {
+            scale,
+            cell: params.cell_size(),
+            ww,
+            wh,
+            wc,
+            hc,
+            stride,
+            rows: (gy - hc) / stride + 1,
+            cols: (gx - wc) / stride + 1,
+        })
     }
-    let stride = config.stride_cells;
-    let rows = (gy - hc) / stride + 1;
-    let cols = (gx - wc) / stride + 1;
-    // A handful of row bands per worker balances the uneven hit density
-    // across the frame without fine-grained claiming.
-    let bands = par::band_ranges(rows, par::threads() * 4);
-    let per_band = par::map(&bands, |band| {
-        let mut hits = Vec::new();
-        for ry in band.clone() {
-            let cy = ry * stride;
-            for rx in 0..cols {
-                let cx = rx * stride;
-                let score = score_window(&level.features, cx, cy, params, model);
-                if score > config.threshold {
-                    let native = BoundingBox::new(
-                        (cx * cell) as i64,
-                        (cy * cell) as i64,
-                        ww as u64,
-                        wh as u64,
-                    )
-                    .scaled(level.scale);
-                    hits.push(Detection {
-                        bbox: native,
-                        score,
-                        scale: level.scale,
-                    });
+}
+
+/// A bound per-level scorer for one datapath: scores a whole window row
+/// per call through the blocked kernels.
+pub(crate) enum RowScorer<'a> {
+    /// Blocked f64-accumulation kernel over preconverted features.
+    F32(F32Kernel<'a>),
+    /// Integer kernel over quantized features and weights.
+    I16 {
+        qmap: &'a QuantFeatureMap,
+        model: &'a QuantModel,
+        wc: usize,
+        hc: usize,
+    },
+}
+
+impl RowScorer<'_> {
+    /// Scores window-row `ry`, returning its above-threshold detections in
+    /// column order (the serial raster order within the row).
+    pub(crate) fn row_hits(
+        &self,
+        geom: &LevelGeometry,
+        threshold: f64,
+        ry: usize,
+    ) -> Vec<Detection> {
+        let cy = ry * geom.stride;
+        let mut scores = vec![0.0f64; geom.cols];
+        match self {
+            RowScorer::F32(kernel) => {
+                kernel.score_window_row(cy, geom.cols, geom.stride, &mut scores);
+            }
+            RowScorer::I16 {
+                qmap,
+                model,
+                wc,
+                hc,
+            } => {
+                let mut acc = vec![0i64; geom.cols];
+                qmap.score_window_row(
+                    model.weights(),
+                    *wc,
+                    *hc,
+                    cy,
+                    geom.cols,
+                    geom.stride,
+                    &mut acc,
+                );
+                for (s, &a) in scores.iter_mut().zip(&acc) {
+                    *s = model.decision(a);
                 }
             }
         }
+        let mut hits = Vec::new();
+        for (rx, &score) in scores.iter().enumerate() {
+            if score > threshold {
+                let cx = rx * geom.stride;
+                let native = BoundingBox::new(
+                    (cx * geom.cell) as i64,
+                    (cy * geom.cell) as i64,
+                    geom.ww as u64,
+                    geom.wh as u64,
+                )
+                .scaled(geom.scale);
+                hits.push(Detection {
+                    bbox: native,
+                    score,
+                    scale: geom.scale,
+                });
+            }
+        }
         hits
+    }
+}
+
+/// Scores every window row of a level, returning one hit list per window
+/// row (row order). Rows are fanned across cores in contiguous bands —
+/// each row's result is independent, so the per-row lists are identical
+/// for any thread count — with a serial short-circuit for small levels.
+pub(crate) fn scan_level_rows(
+    scorer: &RowScorer<'_>,
+    geom: &LevelGeometry,
+    threshold: f64,
+) -> Vec<Vec<Detection>> {
+    if geom.rows * geom.cols < PAR_MIN_WINDOWS {
+        return (0..geom.rows)
+            .map(|ry| scorer.row_hits(geom, threshold, ry))
+            .collect();
+    }
+    let bands = par::band_ranges(geom.rows, par::threads() * 4);
+    let per_band = par::map(&bands, |band| {
+        band.clone()
+            .map(|ry| scorer.row_hits(geom, threshold, ry))
+            .collect::<Vec<_>>()
     });
-    for hits in per_band {
+    per_band.into_iter().flatten().collect()
+}
+
+/// Scores every window position of one pyramid level, appending hits above
+/// the configured threshold to `out` in native coordinates (serial raster
+/// order). Dispatches to the blocked kernel of the configured datapath;
+/// the f32 path is bit-identical to the reference [`score_window`].
+fn scan_level(
+    level: &PyramidLevel,
+    model: &LinearSvm,
+    quant: Option<&QuantModel>,
+    config: &DetectorConfig,
+    out: &mut Vec<Detection>,
+) {
+    let Some(geom) = LevelGeometry::for_level(level.features.cells(), level.scale, config) else {
+        return;
+    };
+    let (gx, _) = level.features.cells();
+    let f = level.features.cell_features();
+    let per_row = match quant {
+        Some(qm) => {
+            let qmap = level.features.quantized();
+            let scorer = RowScorer::I16 {
+                qmap: &qmap,
+                model: qm,
+                wc: geom.wc,
+                hc: geom.hc,
+            };
+            scan_level_rows(&scorer, &geom, config.threshold)
+        }
+        None => {
+            let raw64 = kernel::to_f64(&level.features);
+            let scorer = RowScorer::F32(F32Kernel::new(&raw64, gx, f, geom.wc, geom.hc, model));
+            scan_level_rows(&scorer, &geom, config.threshold)
+        }
+    };
+    for hits in per_row {
         out.extend(hits);
     }
 }
@@ -488,10 +704,15 @@ pub fn score_window(
 
 /// Conventional multi-scale detector: image pyramid + re-extraction
 /// (paper Fig. 3a).
+///
+/// Honours [`DetectorConfig::datapath`]; `temporal` is ignored (each level
+/// re-extracts from a resized image, so there is no shared pyramid to
+/// cache incrementally).
 #[derive(Debug, Clone)]
 pub struct ImagePyramidDetector {
     model: LinearSvm,
     config: DetectorConfig,
+    quant: Option<QuantModel>,
 }
 
 impl ImagePyramidDetector {
@@ -508,7 +729,16 @@ impl ImagePyramidDetector {
             config.params.cell_descriptor_len(),
             "model dimensionality does not match the window descriptor"
         );
-        Self { model, config }
+        Self::assemble(model, config)
+    }
+
+    fn assemble(model: LinearSvm, config: DetectorConfig) -> Self {
+        let quant = quantize_model(&model, &config);
+        Self {
+            model,
+            config,
+            quant,
+        }
     }
 
     /// The underlying SVM model.
@@ -523,7 +753,7 @@ impl ImagePyramidDetector {
         let pyramid = ImagePyramid::build(frame, &config.scales, &config.params);
         let mut out = Vec::new();
         for level in pyramid.levels() {
-            scan_level(level, &self.model, config, &mut out);
+            scan_level(level, &self.model, self.quant.as_ref(), config, &mut out);
         }
         match config.nms_iou {
             Some(iou) => non_maximum_suppression(out, iou),
@@ -555,10 +785,31 @@ impl Detect for ImagePyramidDetector {
 
 /// The paper's detector: single extraction + HOG feature pyramid
 /// (Fig. 3b, Fig. 6).
-#[derive(Debug, Clone)]
+///
+/// Honours both [`DetectorConfig::datapath`] and
+/// [`DetectorConfig::temporal`]; with `temporal` on, the detector keeps a
+/// [`PyramidCache`] (behind a mutex, so `&self` detection still works) and
+/// serves steady-state video frames by rebuilding only the cell rows that
+/// changed since the previous frame.
+#[derive(Debug)]
 pub struct FeaturePyramidDetector {
     model: LinearSvm,
     config: DetectorConfig,
+    quant: Option<QuantModel>,
+    cache: Mutex<Option<PyramidCache>>,
+}
+
+impl Clone for FeaturePyramidDetector {
+    /// Clones the detector; the temporal cache is transient state and
+    /// starts empty in the clone.
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model.clone(),
+            config: self.config.clone(),
+            quant: self.quant.clone(),
+            cache: Mutex::new(None),
+        }
+    }
 }
 
 impl FeaturePyramidDetector {
@@ -575,13 +826,59 @@ impl FeaturePyramidDetector {
             config.params.cell_descriptor_len(),
             "model dimensionality does not match the window descriptor"
         );
-        Self { model, config }
+        Self::assemble(model, config)
+    }
+
+    fn assemble(model: LinearSvm, config: DetectorConfig) -> Self {
+        let quant = quantize_model(&model, &config);
+        Self {
+            model,
+            config,
+            quant,
+            cache: Mutex::new(None),
+        }
     }
 
     /// The underlying SVM model.
     #[must_use]
     pub fn model(&self) -> &LinearSvm {
         &self.model
+    }
+
+    /// Temporal-cache statistics, if the temporal path has run at least
+    /// once (`None` otherwise or when `temporal` is off).
+    #[must_use]
+    pub fn temporal_stats(&self) -> Option<TemporalStats> {
+        let guard = match self.cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.as_ref().map(PyramidCache::stats)
+    }
+
+    /// Drops the temporal cache (the next temporal frame rebuilds cold).
+    pub fn reset_temporal_cache(&self) {
+        let mut guard = match self.cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *guard = None;
+    }
+
+    /// The temporal detection path: diff against the cached frame, refresh
+    /// dirty rows, rescan dirty window rows, reuse the rest.
+    fn detect_temporal(&self, frame: &GrayImage) -> Vec<Detection> {
+        let mut guard = match self.cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        temporal::detect(
+            &mut guard,
+            frame,
+            &self.model,
+            self.quant.as_ref(),
+            &self.config,
+        )
     }
 
     /// Detects over a pre-extracted base feature map (lets callers reuse
@@ -602,7 +899,7 @@ impl FeaturePyramidDetector {
         let pyramid = FeaturePyramid::from_base(base, &config.scales, &config.params);
         let mut out = Vec::new();
         for level in pyramid.levels() {
-            scan_level(level, &self.model, config, &mut out);
+            scan_level(level, &self.model, self.quant.as_ref(), config, &mut out);
         }
         match config.nms_iou {
             Some(iou) => non_maximum_suppression(out, iou),
@@ -613,6 +910,11 @@ impl FeaturePyramidDetector {
 
 impl Detect for FeaturePyramidDetector {
     fn detect(&self, frame: &GrayImage) -> Vec<Detection> {
+        if self.config.temporal {
+            // Bit-identical to the stateless path below (asserted by the
+            // temporal property tests), just incremental across frames.
+            return self.detect_temporal(frame);
+        }
         let base = FeatureMap::extract(frame, &self.config.params);
         self.detect_on_features(&base)
     }
@@ -623,9 +925,23 @@ impl Detect for FeaturePyramidDetector {
         }
         // Extraction runs on the full frame either way (the paper's whole
         // point is that extraction happens once); shedding trims the
-        // feature-pyramid levels and the scan density.
+        // feature-pyramid levels and the scan density. Shed frames bypass
+        // the temporal cache — its row hits are only valid for the full
+        // configured scan — without invalidating it.
         let base = FeatureMap::extract(frame, &self.config.params);
         self.detect_on_features_with_config(&base, &profile.effective(&self.config))
+    }
+
+    fn detect_frames(&self, frames: &[GrayImage]) -> Vec<Vec<Detection>>
+    where
+        Self: Sync + Sized,
+    {
+        if self.config.temporal {
+            // Temporal caching is inherently sequential: each frame diffs
+            // against its predecessor, so the batch walks in order.
+            return frames.iter().map(|frame| self.detect(frame)).collect();
+        }
+        par::map(frames, |frame| self.detect(frame))
     }
 
     fn config(&self) -> &DetectorConfig {

@@ -36,14 +36,17 @@ pub mod bbox;
 pub mod das;
 pub mod detector;
 pub mod evaluate;
+pub mod kernel;
 pub mod mining;
 pub mod multimodel;
 pub mod nms;
+pub mod temporal;
 pub mod tracker;
 pub mod window;
 
 pub use bbox::BoundingBox;
 pub use detector::{
-    BuildDetector, Detect, Detection, DetectorBuilder, DetectorConfig, FeaturePyramidDetector,
-    ImagePyramidDetector, ScanProfile,
+    BuildDetector, Datapath, Detect, Detection, DetectorBuilder, DetectorConfig,
+    FeaturePyramidDetector, ImagePyramidDetector, ScanProfile,
 };
+pub use temporal::TemporalStats;

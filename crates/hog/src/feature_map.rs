@@ -10,11 +10,19 @@
 //! as 8×16 cells × 36 = 4608 features out of 16 memory banks ("16×8 blocks
 //! and each of the blocks has the feature vector of 36 elements", §5).
 
+use std::ops::Range;
+
 use rtped_core::par;
 use rtped_image::GrayImage;
 
 use crate::grid::CellGrid;
 use crate::params::HogParams;
+use crate::quant::{QuantFeatureMap, FEATURE_FRAC_BITS};
+
+/// Resampled maps smaller than this many output values are built serially:
+/// below it, thread-pool coordination costs more than the resampling
+/// itself (the 640×480 regression in `BENCH_detect.json`).
+const PAR_MIN_SCALE_ELEMS: usize = 100_000;
 
 /// The four roles a cell can play inside a 2×2-cell block, in storage order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,33 +154,57 @@ impl FeatureMap {
         let norm = params.norm();
         let mut data = vec![0.0f32; cells_x * cells_y * 4 * bins];
 
-        // Normalize each block once, then scatter its four cells into their
-        // role slots. Edge cells miss some covering blocks; their role
-        // slots are filled from the nearest valid block (clamped origin),
-        // so every cell always carries 4 normalized copies.
+        // Normalize each physical block once, then scatter its four
+        // normalized cells into their role slots — each interior (cell,
+        // role) slot references exactly one block, so this writes the same
+        // values as normalizing per slot at a quarter of the cost.
         let max_bx = cells_x - 2;
         let max_by = cells_y - 2;
         let mut block = vec![0.0f32; 4 * bins];
+        for by in 0..=max_by {
+            for bx in 0..=max_bx {
+                // Gather the 2x2 block (cells in row-major order).
+                for (ci, (ox, oy)) in [(0, 0), (1, 0), (0, 1), (1, 1)].into_iter().enumerate() {
+                    let h = grid.histogram(bx + ox, by + oy);
+                    block[ci * bins..(ci + 1) * bins].copy_from_slice(h);
+                }
+                norm.normalize(&mut block);
+                // Quadrant (qx, qy) belongs to cell (bx+qx, by+qy) in role
+                // qy*2+qx (the role whose block offset is (-qx, -qy)).
+                for qy in 0..2 {
+                    for qx in 0..2 {
+                        let quadrant = qy * 2 + qx;
+                        let dst = (((by + qy) * cells_x + (bx + qx)) * 4 + quadrant) * bins;
+                        data[dst..dst + bins]
+                            .copy_from_slice(&block[quadrant * bins..(quadrant + 1) * bins]);
+                    }
+                }
+            }
+        }
+
+        // Edge cells miss some covering blocks; their role slots clamp to
+        // the nearest valid block, whose normalized quadrant was already
+        // scattered to an interior slot — copy it from there. (The source
+        // slot is never itself clamped, so ordering is immaterial.)
         for cy in 0..cells_y {
             for cx in 0..cells_x {
+                if cx > 0 && cx < cells_x - 1 && cy > 0 && cy < cells_y - 1 {
+                    continue;
+                }
                 for role in CellRole::ALL {
                     let (dx, dy) = role.block_offset();
-                    let bx = (cx as isize + dx).clamp(0, max_bx as isize) as usize;
-                    let by = (cy as isize + dy).clamp(0, max_by as isize) as usize;
-                    // Gather the 2x2 block (cells in row-major order).
-                    for (ci, (ox, oy)) in [(0, 0), (1, 0), (0, 1), (1, 1)].into_iter().enumerate() {
-                        let h = grid.histogram(bx + ox, by + oy);
-                        block[ci * bins..(ci + 1) * bins].copy_from_slice(h);
+                    let ubx = cx as isize + dx;
+                    let uby = cy as isize + dy;
+                    let bx = ubx.clamp(0, max_bx as isize) as usize;
+                    let by = uby.clamp(0, max_by as isize) as usize;
+                    if ubx == bx as isize && uby == by as isize {
+                        continue; // unclamped: the scatter already filled it
                     }
-                    norm.normalize(&mut block);
-                    // Which quadrant of the block is our cell? Position of
-                    // (cx, cy) relative to (bx, by), clamped into the block.
                     let qx = (cx as isize - bx as isize).clamp(0, 1) as usize;
                     let qy = (cy as isize - by as isize).clamp(0, 1) as usize;
-                    let quadrant = qy * 2 + qx;
-                    let src = &block[quadrant * bins..(quadrant + 1) * bins];
-                    let dst_base = ((cy * cells_x + cx) * 4 + role.index()) * bins;
-                    data[dst_base..dst_base + bins].copy_from_slice(src);
+                    let src = (((by + qy) * cells_x + (bx + qx)) * 4 + (qy * 2 + qx)) * bins;
+                    let dst = ((cy * cells_x + cx) * 4 + role.index()) * bins;
+                    data.copy_within(src..src + bins, dst);
                 }
             }
         }
@@ -182,6 +214,50 @@ impl FeatureMap {
             cells_y,
             bins,
             data,
+        }
+    }
+
+    /// Recomputes the normalized features of cell rows `rows` in place from
+    /// `grid`, leaving all other rows untouched.
+    ///
+    /// A cell row's features depend only on histogram rows `cy - 1 ..=
+    /// cy + 1` (clamped), so callers that know which histogram rows changed
+    /// can refresh exactly the affected feature rows and obtain a map
+    /// bit-identical to a full [`FeatureMap::from_cell_grid`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid does not match this map's dimensions or `rows`
+    /// is out of bounds.
+    pub fn update_rows(&mut self, grid: &CellGrid, params: &HogParams, rows: Range<usize>) {
+        assert_eq!(grid.cells(), (self.cells_x, self.cells_y), "grid mismatch");
+        assert_eq!(grid.bins(), self.bins, "bin count mismatch");
+        assert!(rows.end <= self.cells_y, "cell rows out of bounds");
+        let cells_x = self.cells_x;
+        let bins = self.bins;
+        let norm = params.norm();
+        let max_bx = cells_x - 2;
+        let max_by = self.cells_y - 2;
+        let mut block = vec![0.0f32; 4 * bins];
+        for cy in rows {
+            for cx in 0..cells_x {
+                for role in CellRole::ALL {
+                    let (dx, dy) = role.block_offset();
+                    let bx = (cx as isize + dx).clamp(0, max_bx as isize) as usize;
+                    let by = (cy as isize + dy).clamp(0, max_by as isize) as usize;
+                    for (ci, (ox, oy)) in [(0, 0), (1, 0), (0, 1), (1, 1)].into_iter().enumerate() {
+                        let h = grid.histogram(bx + ox, by + oy);
+                        block[ci * bins..(ci + 1) * bins].copy_from_slice(h);
+                    }
+                    norm.normalize(&mut block);
+                    let qx = (cx as isize - bx as isize).clamp(0, 1) as usize;
+                    let qy = (cy as isize - by as isize).clamp(0, 1) as usize;
+                    let quadrant = qy * 2 + qx;
+                    let src = &block[quadrant * bins..(quadrant + 1) * bins];
+                    let dst_base = ((cy * cells_x + cx) * 4 + role.index()) * bins;
+                    self.data[dst_base..dst_base + bins].copy_from_slice(src);
+                }
+            }
         }
     }
 
@@ -278,40 +354,21 @@ impl FeatureMap {
             return self.clone();
         }
         let f = self.cell_features();
-        let rx = self.cells_x as f32 / new_cells_x as f32;
-        let ry = self.cells_y as f32 / new_cells_y as f32;
         let row_len = new_cells_x * f;
         let mut data = vec![0.0f32; row_len * new_cells_y];
         // Band granularity: a few output rows per claim, at most ~4 bands
-        // per worker so uneven costs still balance.
-        let bands = (par::threads() * 4).min(new_cells_y).max(1);
+        // per worker so uneven costs still balance. Small outputs go
+        // serial: pool coordination would dominate the resampling.
+        let bands = if data.len() < PAR_MIN_SCALE_ELEMS {
+            1
+        } else {
+            (par::threads() * 4).min(new_cells_y).max(1)
+        };
         let rows_per_band = new_cells_y.div_ceil(bands);
         par::for_each_band(&mut data, rows_per_band * row_len, |start, band| {
             let oy0 = start / row_len;
             for (r, row) in band.chunks_mut(row_len).enumerate() {
-                let oy = oy0 + r;
-                let fy = (oy as f32 + 0.5) * ry - 0.5;
-                let y0 = fy.floor();
-                let ty = fy - y0;
-                let y0i = (y0 as isize).clamp(0, self.cells_y as isize - 1) as usize;
-                let y1i = ((y0 as isize) + 1).clamp(0, self.cells_y as isize - 1) as usize;
-                for ox in 0..new_cells_x {
-                    let fx = (ox as f32 + 0.5) * rx - 0.5;
-                    let x0 = fx.floor();
-                    let tx = fx - x0;
-                    let x0i = (x0 as isize).clamp(0, self.cells_x as isize - 1) as usize;
-                    let x1i = ((x0 as isize) + 1).clamp(0, self.cells_x as isize - 1) as usize;
-                    let c00 = self.cell(x0i, y0i);
-                    let c10 = self.cell(x1i, y0i);
-                    let c01 = self.cell(x0i, y1i);
-                    let c11 = self.cell(x1i, y1i);
-                    let base = ox * f;
-                    for k in 0..f {
-                        let top = c00[k] + (c10[k] - c00[k]) * tx;
-                        let bottom = c01[k] + (c11[k] - c01[k]) * tx;
-                        row[base + k] = top + (bottom - top) * ty;
-                    }
-                }
+                self.scale_row(new_cells_x, new_cells_y, oy0 + r, row);
             }
         });
         FeatureMap {
@@ -320,6 +377,77 @@ impl FeatureMap {
             bins: self.bins,
             data,
         }
+    }
+
+    /// Resamples one output row (`oy` of a `new_cells_x * new_cells_y`
+    /// target) into `row`. Shared by [`FeatureMap::scaled_to`] and
+    /// [`FeatureMap::scaled_rows_into`] so both produce identical bits.
+    fn scale_row(&self, new_cells_x: usize, new_cells_y: usize, oy: usize, row: &mut [f32]) {
+        let f = self.cell_features();
+        let rx = self.cells_x as f32 / new_cells_x as f32;
+        let ry = self.cells_y as f32 / new_cells_y as f32;
+        let fy = (oy as f32 + 0.5) * ry - 0.5;
+        let y0 = fy.floor();
+        let ty = fy - y0;
+        let y0i = (y0 as isize).clamp(0, self.cells_y as isize - 1) as usize;
+        let y1i = ((y0 as isize) + 1).clamp(0, self.cells_y as isize - 1) as usize;
+        for ox in 0..new_cells_x {
+            let fx = (ox as f32 + 0.5) * rx - 0.5;
+            let x0 = fx.floor();
+            let tx = fx - x0;
+            let x0i = (x0 as isize).clamp(0, self.cells_x as isize - 1) as usize;
+            let x1i = ((x0 as isize) + 1).clamp(0, self.cells_x as isize - 1) as usize;
+            let c00 = self.cell(x0i, y0i);
+            let c10 = self.cell(x1i, y0i);
+            let c01 = self.cell(x0i, y1i);
+            let c11 = self.cell(x1i, y1i);
+            let base = ox * f;
+            for k in 0..f {
+                let top = c00[k] + (c10[k] - c00[k]) * tx;
+                let bottom = c01[k] + (c11[k] - c01[k]) * tx;
+                row[base + k] = top + (bottom - top) * ty;
+            }
+        }
+    }
+
+    /// Recomputes output rows `rows` of `out` (a map previously produced by
+    /// `self.scaled_to(out.cells())`) in place, serially.
+    ///
+    /// Each output row reads only its two source rows (see
+    /// [`FeatureMap::source_rows`]), so refreshing the rows whose sources
+    /// changed yields a map bit-identical to a fresh `scaled_to` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bin counts differ or `rows` is out of bounds.
+    pub fn scaled_rows_into(&self, out: &mut FeatureMap, rows: Range<usize>) {
+        assert_eq!(self.bins, out.bins, "bin count mismatch");
+        assert!(rows.end <= out.cells_y, "output rows out of bounds");
+        let row_len = out.cells_x * out.cell_features();
+        if (out.cells_x, out.cells_y) == (self.cells_x, self.cells_y) {
+            // Identity scale: scaled_to returns a clone, so rows copy over.
+            let span = rows.start * row_len..rows.end * row_len;
+            out.data[span.clone()].copy_from_slice(&self.data[span]);
+            return;
+        }
+        let (new_cells_x, new_cells_y) = (out.cells_x, out.cells_y);
+        for oy in rows {
+            let row = &mut out.data[oy * row_len..(oy + 1) * row_len];
+            self.scale_row(new_cells_x, new_cells_y, oy, row);
+        }
+    }
+
+    /// The two (clamped) source rows that bilinear resampling reads when
+    /// producing output row `oy` of a `new_cells_y`-row target from a
+    /// `cells_y`-row source — the exact `y0/y1` indices `scaled_to` uses.
+    #[must_use]
+    pub fn source_rows(cells_y: usize, new_cells_y: usize, oy: usize) -> (usize, usize) {
+        let ry = cells_y as f32 / new_cells_y as f32;
+        let fy = (oy as f32 + 0.5) * ry - 0.5;
+        let y0 = fy.floor();
+        let y0i = (y0 as isize).clamp(0, cells_y as isize - 1) as usize;
+        let y1i = ((y0 as isize) + 1).clamp(0, cells_y as isize - 1) as usize;
+        (y0i, y1i)
     }
 
     /// Resamples by a scale factor `s > 0`: the output grid is
@@ -412,6 +540,41 @@ impl FeatureMap {
     #[must_use]
     pub fn as_raw(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Quantizes the whole map to the fixed-point representation used by
+    /// the i16 datapath (Q`FEATURE_FRAC_BITS` fraction bits).
+    ///
+    /// This is the designated float → integer conversion boundary: the
+    /// integer kernel module itself never touches floating point. Values
+    /// are scaled by `2^FEATURE_FRAC_BITS`, rounded to nearest, and
+    /// clamped to `±2^FEATURE_FRAC_BITS` (normalized HOG features live in
+    /// `[0, 1]`, so clamping only guards pathological inputs); the bound
+    /// is what makes the kernel's i32 row accumulation overflow-free.
+    #[must_use]
+    pub fn quantized(&self) -> QuantFeatureMap {
+        let mut q = QuantFeatureMap::new(self.cells_x, self.cells_y, self.bins);
+        self.quantize_rows_into(&mut q, 0..self.cells_y);
+        q
+    }
+
+    /// Requantizes cell rows `rows` of `q` from this map, leaving other
+    /// rows untouched (the temporal cache's incremental path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`'s dimensions differ or `rows` is out of bounds.
+    pub fn quantize_rows_into(&self, q: &mut QuantFeatureMap, rows: Range<usize>) {
+        assert_eq!(q.cells(), (self.cells_x, self.cells_y), "dim mismatch");
+        assert_eq!(q.bins(), self.bins, "bin count mismatch");
+        assert!(rows.end <= self.cells_y, "cell rows out of bounds");
+        let row_len = self.cells_x * self.cell_features();
+        let scale = (1i32 << FEATURE_FRAC_BITS) as f32;
+        let src = &self.data[rows.start * row_len..rows.end * row_len];
+        let dst = q.rows_mut(rows);
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = (v * scale).round().clamp(-scale, scale) as i16;
+        }
     }
 }
 
@@ -617,6 +780,54 @@ mod tests {
             second_pass_err <= max_err + 1e-6,
             "repeated renormalization should contract: {second_pass_err} vs {max_err}"
         );
+    }
+
+    #[test]
+    fn update_rows_matches_scatter_build() {
+        // The scatter-based from_cell_grid and the per-slot update_rows
+        // path must produce identical bits — the temporal cache mixes them.
+        let p = HogParams::pedestrian();
+        let img_a = textured(96, 96);
+        let img_b = GrayImage::from_fn(96, 96, |x, y| ((x * 31 + y * 3 + 7) % 256) as u8);
+        let grid_a = CellGrid::compute(&img_a, &p);
+        let grid_b = CellGrid::compute(&img_b, &p);
+        let mut map = FeatureMap::from_cell_grid(&grid_a, &p);
+        map.update_rows(&grid_b, &p, 0..4);
+        map.update_rows(&grid_b, &p, 4..9);
+        map.update_rows(&grid_b, &p, 9..12);
+        assert_eq!(map, FeatureMap::from_cell_grid(&grid_b, &p));
+    }
+
+    #[test]
+    fn scaled_rows_into_matches_scaled_to() {
+        let p = HogParams::pedestrian();
+        let map = FeatureMap::extract(&textured(160, 320), &p);
+        let reference = map.scaled_by(1.5);
+        let (nx, ny) = reference.cells();
+        let mut patched = map.scaled_to(nx, ny);
+        // Clobber some rows, then repair them through the row-ranged path.
+        let row_len = nx * patched.cell_features();
+        patched.data[3 * row_len..9 * row_len].fill(f32::NAN);
+        map.scaled_rows_into(&mut patched, 3..9);
+        assert_eq!(patched, reference);
+        // source_rows must report exactly the rows scale_row reads.
+        for oy in 0..ny {
+            let (y0, y1) = FeatureMap::source_rows(40, ny, oy);
+            assert!(y0 <= y1 && y1 < 40);
+        }
+    }
+
+    #[test]
+    fn quantized_is_rounded_q12() {
+        let p = HogParams::pedestrian();
+        let map = FeatureMap::extract(&textured(64, 128), &p);
+        let q = map.quantized();
+        assert_eq!(q.cells(), map.cells());
+        for (&f, &i) in map.as_raw().iter().zip(q.as_raw()) {
+            let want = (f * 4096.0).round().clamp(-4096.0, 4096.0) as i16;
+            assert_eq!(i, want);
+            assert!(i.unsigned_abs() <= 4096);
+        }
     }
 
     #[test]

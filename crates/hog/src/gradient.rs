@@ -1,6 +1,63 @@
 //! Image gradients: magnitude and orientation planes (paper eqs. 1–2).
 
+use std::sync::OnceLock;
+
 use rtped_image::GrayImage;
+
+/// Width of one axis of the gradient lookup table: centered differences of
+/// 8-bit pixels land in `[-255, 255]`, i.e. 511 distinct values per axis.
+pub(crate) const GRAD_LUT_SPAN: usize = 511;
+
+/// Precomputed magnitude/orientation for every centered-difference pair
+/// `(fx, fy) ∈ [-255, 255]²`.
+///
+/// The differences of 8-bit pixels are exact small integers, so `sqrt` and
+/// `atan2` are functions of at most 511 × 511 inputs. Each table entry is
+/// computed with the *identical* `f32` expressions the scalar path uses,
+/// which makes LUT results bit-identical to direct evaluation — this is a
+/// speed optimization only, not an approximation (and it mirrors the
+/// CORDIC-free arctan tables real HOG accelerators ship).
+pub(crate) struct GradLut {
+    pub(crate) mag: Vec<f32>,
+    pub(crate) ang: Vec<f32>,
+}
+
+impl GradLut {
+    /// Table index for the integer difference pair `(fx, fy)`.
+    #[inline]
+    pub(crate) fn index(fx: i32, fy: i32) -> usize {
+        ((fy + 255) * GRAD_LUT_SPAN as i32 + (fx + 255)) as usize
+    }
+
+    fn build(signed: bool) -> GradLut {
+        let mut mag = vec![0.0f32; GRAD_LUT_SPAN * GRAD_LUT_SPAN];
+        let mut ang = vec![0.0f32; GRAD_LUT_SPAN * GRAD_LUT_SPAN];
+        for fy in -255i32..=255 {
+            for fx in -255i32..=255 {
+                // Exactly the scalar path's arithmetic: integer-valued f32
+                // inputs through the same sqrt/atan2/fold expressions.
+                let fxf = fx as f32;
+                let fyf = fy as f32;
+                let idx = Self::index(fx, fy);
+                mag[idx] = (fxf * fxf + fyf * fyf).sqrt();
+                ang[idx] = fold_angle(fyf.atan2(fxf), signed);
+            }
+        }
+        GradLut { mag, ang }
+    }
+}
+
+/// The process-wide gradient tables, one per orientation convention,
+/// built lazily on first use (~4 ms, amortized over every frame).
+pub(crate) fn grad_lut(signed: bool) -> &'static GradLut {
+    static UNSIGNED: OnceLock<GradLut> = OnceLock::new();
+    static SIGNED: OnceLock<GradLut> = OnceLock::new();
+    if signed {
+        SIGNED.get_or_init(|| GradLut::build(true))
+    } else {
+        UNSIGNED.get_or_init(|| GradLut::build(false))
+    }
+}
 
 /// Gamma (power-law) intensity normalization applied ahead of gradient
 /// computation — Dalal & Triggs' first pipeline stage. `gamma = 0.5`
@@ -59,17 +116,30 @@ impl GradientField {
     ///
     /// `signed` selects the orientation range: `false` folds angles into
     /// `[0, π)` (standard for pedestrians), `true` keeps `[0, 2π)`.
+    ///
+    /// Internally this looks up magnitude/orientation in a precomputed
+    /// 511 × 511 table over the integer difference pair (see [`GradLut`]);
+    /// results are bit-identical to evaluating `sqrt`/`atan2` per pixel.
     #[must_use]
     pub fn compute(img: &GrayImage, signed: bool) -> Self {
         let (w, h) = img.dimensions();
+        let lut = grad_lut(signed);
+        let raw = img.as_raw();
         let mut magnitude = vec![0.0f32; w * h];
         let mut orientation = vec![0.0f32; w * h];
         for y in 0..h {
+            let row = &raw[y * w..(y + 1) * w];
+            let up = &raw[y.saturating_sub(1) * w..][..w];
+            let dn = &raw[(h - 1).min(y + 1) * w..][..w];
+            let base = y * w;
             for x in 0..w {
-                let (fx, fy) = Self::central_difference(img, x, y);
-                let idx = y * w + x;
-                magnitude[idx] = (fx * fx + fy * fy).sqrt();
-                orientation[idx] = fold_angle(fy.atan2(fx), signed);
+                let xl = x.saturating_sub(1);
+                let xr = (x + 1).min(w - 1);
+                let fx = i32::from(row[xr]) - i32::from(row[xl]);
+                let fy = i32::from(dn[x]) - i32::from(up[x]);
+                let e = GradLut::index(fx, fy);
+                magnitude[base + x] = lut.mag[e];
+                orientation[base + x] = lut.ang[e];
             }
         }
         Self {
@@ -249,6 +319,23 @@ mod tests {
         assert_eq!(g.magnitude(0, 0), 0.0);
         // x = 6 sees the step.
         assert!(g.magnitude(6, 0) > 0.0);
+    }
+
+    #[test]
+    fn lut_compute_is_bit_identical_to_scalar_evaluation() {
+        let img = GrayImage::from_fn(37, 29, |x, y| ((x * 7 + y * 13 + (x * y) % 5) % 256) as u8);
+        for signed in [false, true] {
+            let g = GradientField::compute(&img, signed);
+            for y in 0..29 {
+                for x in 0..37 {
+                    let (fx, fy) = GradientField::central_difference(&img, x, y);
+                    let m = (fx * fx + fy * fy).sqrt();
+                    let o = fold_angle(fy.atan2(fx), signed);
+                    assert_eq!(g.magnitude(x, y).to_bits(), m.to_bits(), "mag at {x},{y}");
+                    assert_eq!(g.orientation(x, y).to_bits(), o.to_bits(), "ang at {x},{y}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,56 @@
 //! The cell-histogram plane of a whole image.
 
+use std::ops::Range;
+use std::sync::OnceLock;
+
 use rtped_image::GrayImage;
 
 use crate::cell;
-use crate::gradient::GradientField;
+use crate::gradient::{grad_lut, GradLut, GradientField, GRAD_LUT_SPAN};
 use crate::params::HogParams;
+
+/// Precomputed bilinear bin-vote split for the canonical unsigned 9-bin
+/// geometry, indexed like [`GradLut`] by the integer difference pair.
+///
+/// For each `(fx, fy)` it stores the two target bins and the per-bin weight
+/// factors of a unit vote, derived from the LUT angle through the identical
+/// [`cell::split_vote`] arithmetic — so `mag * one_minus_frac[e]` and
+/// `mag * frac[e]` reproduce `split_vote(angle, mag, ..)` bit-for-bit.
+struct VoteLut {
+    lo: Vec<u8>,
+    hi: Vec<u8>,
+    one_minus_frac: Vec<f32>,
+    frac: Vec<f32>,
+}
+
+impl VoteLut {
+    fn build(bin_width: f32) -> VoteLut {
+        let ang = &grad_lut(false).ang;
+        let n = GRAD_LUT_SPAN * GRAD_LUT_SPAN;
+        let mut lut = VoteLut {
+            lo: vec![0u8; n],
+            hi: vec![0u8; n],
+            one_minus_frac: vec![0.0f32; n],
+            frac: vec![0.0f32; n],
+        };
+        for (e, &angle) in ang.iter().enumerate().take(n) {
+            // A unit-magnitude split: `1.0 * x == x` exactly in IEEE 754,
+            // so the returned weights are the bare vote factors.
+            let ((a, wa), (b, wb)) = cell::split_vote(angle, 1.0, 9, bin_width);
+            lut.lo[e] = a as u8;
+            lut.hi[e] = b as u8;
+            lut.one_minus_frac[e] = wa;
+            lut.frac[e] = wb;
+        }
+        lut
+    }
+}
+
+/// The process-wide vote table for the canonical geometry.
+fn vote_lut(bin_width: f32) -> &'static VoteLut {
+    static LUT: OnceLock<VoteLut> = OnceLock::new();
+    LUT.get_or_init(|| VoteLut::build(bin_width))
+}
 
 /// Un-normalized orientation histograms for every cell of an image.
 ///
@@ -34,13 +80,113 @@ pub struct CellGrid {
 impl CellGrid {
     /// Computes cell histograms for `img` under `params`.
     ///
+    /// Without spatial interpolation the gradient and voting stages are
+    /// fused: differences are looked up in the gradient table and votes are
+    /// accumulated straight into the owning cell, skipping the intermediate
+    /// magnitude/orientation planes entirely. The result is bit-identical
+    /// to `from_gradients(&GradientField::compute(img, ..), ..)` because
+    /// the per-cell pixel visiting order and every float expression are
+    /// unchanged.
+    ///
     /// # Panics
     ///
     /// Panics if the image is smaller than one cell.
     #[must_use]
     pub fn compute(img: &GrayImage, params: &HogParams) -> Self {
-        let field = GradientField::compute(img, params.signed());
-        Self::from_gradients(&field, params)
+        if params.spatial_interpolation() {
+            let field = GradientField::compute(img, params.signed());
+            return Self::from_gradients(&field, params);
+        }
+        let cs = params.cell_size();
+        let cells_x = img.width() / cs;
+        let cells_y = img.height() / cs;
+        assert!(
+            cells_x > 0 && cells_y > 0,
+            "image smaller than one {cs}px cell"
+        );
+        let bins = params.bins();
+        let mut grid = Self {
+            cells_x,
+            cells_y,
+            bins,
+            data: vec![0.0f32; cells_x * cells_y * bins],
+        };
+        grid.vote_rows(img, params, 0..cells_y);
+        grid
+    }
+
+    /// Recomputes the histograms of cell rows `rows` in place from `img`,
+    /// leaving all other rows untouched.
+    ///
+    /// Voting without spatial interpolation is row-local (each pixel votes
+    /// only into its owning cell), so recomputing a row range from the new
+    /// frame yields exactly the histograms a full [`CellGrid::compute`]
+    /// would produce — the temporal pyramid cache relies on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` enables spatial interpolation (votes then leak
+    /// across rows and row-ranged recomputation would be unsound), if the
+    /// image's grid size does not match this grid, or if `rows` is out of
+    /// bounds.
+    pub fn recompute_rows(&mut self, img: &GrayImage, params: &HogParams, rows: Range<usize>) {
+        assert!(
+            !params.spatial_interpolation(),
+            "row-ranged recompute requires cell-local voting"
+        );
+        let cs = params.cell_size();
+        assert_eq!(
+            (img.width() / cs, img.height() / cs),
+            (self.cells_x, self.cells_y),
+            "image does not match grid dimensions"
+        );
+        assert!(rows.end <= self.cells_y, "cell rows out of bounds");
+        let span = rows.start * self.cells_x * self.bins..rows.end * self.cells_x * self.bins;
+        self.data[span].fill(0.0);
+        self.vote_rows(img, params, rows);
+    }
+
+    /// Fused gradient + vote over the given cell rows. Accumulation order
+    /// matches `from_gradients` exactly: per cell `(cy, cx)`, pixels are
+    /// visited row-major within the cell and zero-gradient pixels are
+    /// skipped (`mag == 0.0` iff `fx == fy == 0`).
+    fn vote_rows(&mut self, img: &GrayImage, params: &HogParams, rows: Range<usize>) {
+        let cs = params.cell_size();
+        let bins = self.bins;
+        let bin_width = params.bin_width();
+        let lut = grad_lut(params.signed());
+        let canonical = !params.signed() && bins == 9;
+        let vlut = canonical.then(|| vote_lut(bin_width));
+        let raw = img.as_raw();
+        let (w, h) = img.dimensions();
+        for cy in rows {
+            for cx in 0..self.cells_x {
+                let base = (cy * self.cells_x + cx) * bins;
+                for py in cy * cs..(cy + 1) * cs {
+                    let row = &raw[py * w..(py + 1) * w];
+                    let up = &raw[py.saturating_sub(1) * w..][..w];
+                    let dn = &raw[(h - 1).min(py + 1) * w..][..w];
+                    for px in cx * cs..(cx + 1) * cs {
+                        let xl = px.saturating_sub(1);
+                        let xr = (px + 1).min(w - 1);
+                        let fx = i32::from(row[xr]) - i32::from(row[xl]);
+                        let fy = i32::from(dn[px]) - i32::from(up[px]);
+                        if fx == 0 && fy == 0 {
+                            continue;
+                        }
+                        let e = GradLut::index(fx, fy);
+                        let mag = lut.mag[e];
+                        let hist = &mut self.data[base..base + bins];
+                        if let Some(v) = vlut {
+                            hist[usize::from(v.lo[e])] += mag * v.one_minus_frac[e];
+                            hist[usize::from(v.hi[e])] += mag * v.frac[e];
+                        } else {
+                            cell::vote(hist, lut.ang[e], mag, bin_width);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Computes cell histograms from a precomputed gradient field
@@ -262,6 +408,50 @@ mod tests {
             let grid = CellGrid::compute(&img, &p);
             assert!(grid.as_raw().iter().all(|&v| v >= -1e-6));
         }
+    }
+
+    #[test]
+    fn fused_compute_is_bit_identical_to_gradient_path() {
+        let img = GrayImage::from_fn(72, 56, |x, y| ((x * 5 + y * 11 + (x * y) % 7) % 256) as u8);
+        // Canonical (vote LUT), non-canonical bins, and signed orientation
+        // all take the fused path; each must equal the two-stage reference.
+        for (bins, signed) in [(9usize, false), (7, false), (9, true)] {
+            let p = HogParams::builder()
+                .window(64, 48)
+                .bins(bins)
+                .signed(signed)
+                .build()
+                .unwrap();
+            let fused = CellGrid::compute(&img, &p);
+            let field = GradientField::compute(&img, p.signed());
+            let reference = CellGrid::from_gradients(&field, &p);
+            assert_eq!(fused, reference, "bins={bins} signed={signed}");
+        }
+    }
+
+    #[test]
+    fn recompute_rows_matches_full_compute() {
+        let p = params();
+        let a = GrayImage::from_fn(64, 64, |x, y| ((x * 3 + y * 7) % 256) as u8);
+        let b = GrayImage::from_fn(64, 64, |x, y| ((x * 9 + y * 2 + 31) % 256) as u8);
+        let mut grid = CellGrid::compute(&a, &p);
+        // Recomputing every row range from `b` must converge on compute(b).
+        grid.recompute_rows(&b, &p, 2..5);
+        grid.recompute_rows(&b, &p, 0..2);
+        grid.recompute_rows(&b, &p, 5..8);
+        assert_eq!(grid, CellGrid::compute(&b, &p));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell-local voting")]
+    fn recompute_rows_rejects_spatial_interpolation() {
+        let p = HogParams::builder()
+            .spatial_interpolation(true)
+            .build()
+            .unwrap();
+        let img = GrayImage::new(64, 128);
+        let mut grid = CellGrid::compute(&img, &p);
+        grid.recompute_rows(&img, &p, 0..1);
     }
 
     #[test]

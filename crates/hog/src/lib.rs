@@ -50,8 +50,10 @@ pub mod gradient;
 pub mod grid;
 pub mod params;
 pub mod pyramid;
+pub mod quant;
 pub mod visualize;
 
 pub use feature_map::FeatureMap;
 pub use grid::CellGrid;
 pub use params::HogParams;
+pub use quant::QuantFeatureMap;

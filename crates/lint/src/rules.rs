@@ -13,6 +13,10 @@
 //!   designated fixed-point modules of `crates/hw` (`nhog_mem`, `ecc`,
 //!   `macbar`); the golden-model/lockstep modules are allowlisted by
 //!   module path, not by pragma.
+//! - `float-in-quant-kernel` — `f32`/`f64` tokens are forbidden in the
+//!   i16 CPU scoring kernel (`crates/hog/src/quant.rs`); conversion
+//!   happens only at the quantization boundaries, keeping the datapath
+//!   bit-reproducible.
 //! - `unsafe-without-safety-comment` — every `unsafe` must be preceded by
 //!   a `// SAFETY:` comment (or a `# Safety` doc section for `unsafe fn`).
 //! - `unwrap-in-library` — `unwrap()`/`expect(`/`panic!` are forbidden in
@@ -37,6 +41,8 @@ pub const WALL_CLOCK: &str = "wall-clock-in-deterministic";
 pub const RAW_ENV: &str = "raw-env-access";
 /// Rule: float tokens inside the fixed-point datapath modules.
 pub const FLOAT_IN_FIXED: &str = "float-in-fixed-datapath";
+/// Rule: float tokens inside the i16 CPU scoring kernel.
+pub const FLOAT_IN_QUANT_KERNEL: &str = "float-in-quant-kernel";
 /// Rule: `unsafe` without an adjacent safety argument.
 pub const UNSAFE_COMMENT: &str = "unsafe-without-safety-comment";
 /// Rule: panicking calls in library (non-test) code.
@@ -52,6 +58,7 @@ pub const RULES: &[&str] = &[
     WALL_CLOCK,
     RAW_ENV,
     FLOAT_IN_FIXED,
+    FLOAT_IN_QUANT_KERNEL,
     UNSAFE_COMMENT,
     UNWRAP_IN_LIB,
     NONCANONICAL_JSON,
@@ -204,6 +211,16 @@ fn is_fixed_datapath(rel: &str) -> bool {
         rel,
         "crates/hw/src/nhog_mem.rs" | "crates/hw/src/ecc.rs" | "crates/hw/src/macbar.rs"
     )
+}
+
+/// The i16 CPU scoring kernel: quantized feature storage and the integer
+/// window dot product. It is integer-only by construction — every float →
+/// integer conversion happens at the designated boundaries
+/// (`FeatureMap::quantize_rows_into`, `rtped_svm::QuantModel`) — and
+/// that is what makes the i16 datapath bit-reproducible across hosts and
+/// thread counts.
+fn is_quant_kernel(rel: &str) -> bool {
+    rel == "crates/hog/src/quant.rs"
 }
 
 /// Crates whose library code must not panic on recoverable inputs.
@@ -406,6 +423,15 @@ pub fn check_source(rel: &str, src: &str) -> FileOutcome {
                      model / lockstep modules"
                 ),
             ),
+            "f32" | "f64" if is_quant_kernel(rel) => push(
+                t.line,
+                FLOAT_IN_QUANT_KERNEL,
+                format!(
+                    "`{name}` inside the i16 scoring kernel — the quantized \
+                     datapath is integer-only; convert at the designated \
+                     boundaries (FeatureMap::quantize_rows_into, QuantModel)"
+                ),
+            ),
             "unsafe" if !has_safety_comment(&text, t.line) => push(
                 t.line,
                 UNSAFE_COMMENT,
@@ -592,6 +618,21 @@ mod tests {
             2
         );
         assert!(check_source("crates/hw/src/lockstep.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn floats_flagged_in_quant_kernel_only() {
+        let src = "pub fn f(x: i16) -> f32 { x as f32 }\n";
+        let out = check_source("crates/hog/src/quant.rs", src);
+        assert_eq!(out.violations.len(), 2, "{:?}", out.violations);
+        assert!(out
+            .violations
+            .iter()
+            .all(|v| v.rule == FLOAT_IN_QUANT_KERNEL));
+        // The rest of the hog crate converts freely.
+        assert!(check_source("crates/hog/src/feature_map.rs", src)
             .violations
             .is_empty());
     }

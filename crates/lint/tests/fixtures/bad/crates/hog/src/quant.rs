@@ -1,0 +1,5 @@
+//! Known-bad: a float sneaking into the i16 scoring kernel.
+
+pub fn dequantize(v: i16) -> f64 {
+    f64::from(v) / 4096.0
+}

@@ -24,6 +24,7 @@ fn bad_corpus_fires_every_rule() {
         rules::WALL_CLOCK,
         rules::RAW_ENV,
         rules::FLOAT_IN_FIXED,
+        rules::FLOAT_IN_QUANT_KERNEL,
         rules::UNSAFE_COMMENT,
         rules::UNWRAP_IN_LIB,
         rules::NONCANONICAL_JSON,
@@ -55,6 +56,8 @@ fn bad_corpus_flags_the_expected_sites() {
         ("crates/core/src/knobs.rs", 4, rules::RAW_ENV),
         ("crates/core/src/pragma.rs", 5, rules::SUPPRESSION_PRAGMA),
         ("crates/core/src/pragma.rs", 6, rules::UNWRAP_IN_LIB),
+        ("crates/hog/src/quant.rs", 3, rules::FLOAT_IN_QUANT_KERNEL),
+        ("crates/hog/src/quant.rs", 4, rules::FLOAT_IN_QUANT_KERNEL),
         ("crates/hw/src/nhog_mem.rs", 3, rules::FLOAT_IN_FIXED),
         ("crates/hw/src/nhog_mem.rs", 4, rules::FLOAT_IN_FIXED),
         ("crates/runtime/src/report.rs", 5, rules::NONCANONICAL_JSON),
@@ -77,7 +80,7 @@ fn bad_corpus_flags_the_expected_sites() {
 #[test]
 fn good_corpus_lints_clean_with_one_justified_suppression() {
     let out = run_workspace(&fixture("good")).expect("good corpus readable");
-    assert_eq!(out.files_scanned, 6);
+    assert_eq!(out.files_scanned, 7);
     assert!(out.violations.is_empty(), "{:?}", out.violations);
     assert_eq!(out.suppressions.len(), 1, "{:?}", out.suppressions);
     let s = &out.suppressions[0];
@@ -95,6 +98,6 @@ fn json_report_is_canonical_and_complete() {
     let report = out.to_json().to_string();
     assert!(report.starts_with("{\"format\":1"), "{report}");
     assert!(report.contains("\"tool\":\"rtped-lint\""), "{report}");
-    assert!(report.contains("\"files_scanned\":6"), "{report}");
+    assert!(report.contains("\"files_scanned\":7"), "{report}");
     assert!(report.contains("examples/clocky.rs"), "{report}");
 }

@@ -20,11 +20,19 @@
 use rtped_core::Error;
 use rtped_detect::das::DasParams;
 use rtped_detect::tracker::TrackerParams;
+use rtped_detect::Datapath;
 use rtped_hw::integrity::ECC_ENV;
 use rtped_hw::EccMode;
 
 use crate::control::DegradationPolicy;
 use crate::deadline::{CostModel, DeadlineBudget, DEADLINE_ENV};
+
+/// Environment variable selecting the scoring datapath (`"f32"`/`"i16"`).
+pub const DATAPATH_ENV: &str = "RTPED_DATAPATH";
+
+/// Environment variable enabling the temporal incremental pyramid
+/// (`"true"`/`"false"`).
+pub const TEMPORAL_ENV: &str = "RTPED_TEMPORAL";
 
 /// Everything the engine needs besides the detector.
 #[derive(Debug, Clone)]
@@ -42,6 +50,14 @@ pub struct RuntimeConfig {
     pub threads: Option<usize>,
     /// ECC mode for integrity-instrumented engines.
     pub ecc: EccMode,
+    /// Scoring arithmetic for detectors built on this config
+    /// ([`Datapath::F32`] is the golden reference; [`Datapath::I16`]
+    /// mirrors the fixed-point hardware and is ~4× faster).
+    pub datapath: Datapath,
+    /// Enables the temporal incremental pyramid on feature-pyramid
+    /// detectors built on this config (video streams; bit-identical
+    /// output, only changed rows recomputed).
+    pub temporal: bool,
 }
 
 impl RuntimeConfig {
@@ -86,6 +102,8 @@ impl Default for RuntimeConfig {
             tracker: TrackerParams::default(),
             threads: None,
             ecc: EccMode::Secded,
+            datapath: Datapath::F32,
+            temporal: false,
         }
     }
 }
@@ -99,6 +117,8 @@ pub struct RuntimeConfigBuilder {
     tracker: TrackerParams,
     threads: Option<usize>,
     ecc: EccMode,
+    datapath: Datapath,
+    temporal: bool,
 }
 
 impl RuntimeConfigBuilder {
@@ -111,6 +131,8 @@ impl RuntimeConfigBuilder {
             tracker: defaults.tracker,
             threads: defaults.threads,
             ecc: defaults.ecc,
+            datapath: defaults.datapath,
+            temporal: defaults.temporal,
         }
     }
 
@@ -164,7 +186,22 @@ impl RuntimeConfigBuilder {
         self
     }
 
-    /// Applies `RTPED_DEADLINE_MS`, `RTPED_THREADS`, and `RTPED_ECC` as
+    /// Selects the scoring datapath for detectors built on this config.
+    #[must_use]
+    pub fn datapath(mut self, datapath: Datapath) -> Self {
+        self.datapath = datapath;
+        self
+    }
+
+    /// Enables or disables the temporal incremental pyramid.
+    #[must_use]
+    pub fn temporal(mut self, temporal: bool) -> Self {
+        self.temporal = temporal;
+        self
+    }
+
+    /// Applies `RTPED_DEADLINE_MS`, `RTPED_THREADS`, `RTPED_ECC`,
+    /// `RTPED_DATAPATH`, and `RTPED_TEMPORAL` as
     /// overrides — the *only* place the runtime reads the environment.
     /// Each variable goes through [`rtped_core::env::typed`]; a malformed
     /// or out-of-range value warns once on stderr and keeps the builder's
@@ -197,6 +234,26 @@ impl RuntimeConfigBuilder {
             EnvValue::Valid { value, .. } => self.ecc = value,
             EnvValue::Invalid { raw } => {
                 warn_once(ECC_ENV, &raw, self.ecc.label());
+            }
+            EnvValue::Unset => {}
+        }
+
+        match typed::<Datapath>(DATAPATH_ENV) {
+            EnvValue::Valid { value, .. } => self.datapath = value,
+            EnvValue::Invalid { raw } => {
+                warn_once(DATAPATH_ENV, &raw, self.datapath.as_str());
+            }
+            EnvValue::Unset => {}
+        }
+
+        match typed::<bool>(TEMPORAL_ENV) {
+            EnvValue::Valid { value, .. } => self.temporal = value,
+            EnvValue::Invalid { raw } => {
+                warn_once(
+                    TEMPORAL_ENV,
+                    &raw,
+                    if self.temporal { "true" } else { "false" },
+                );
             }
             EnvValue::Unset => {}
         }
@@ -265,6 +322,8 @@ impl RuntimeConfigBuilder {
             tracker: self.tracker,
             threads: self.threads,
             ecc: self.ecc,
+            datapath: self.datapath,
+            temporal: self.temporal,
         })
     }
 }
@@ -279,6 +338,8 @@ mod tests {
         assert!((config.budget.frame_budget_ms - 15.0).abs() < 1e-12);
         assert_eq!(config.threads, None);
         assert_eq!(config.ecc, EccMode::Secded);
+        assert_eq!(config.datapath, Datapath::F32);
+        assert!(!config.temporal);
     }
 
     #[test]
@@ -287,6 +348,8 @@ mod tests {
             .deadline_ms(8.0)
             .threads(4)
             .ecc(EccMode::Off)
+            .datapath(Datapath::I16)
+            .temporal(true)
             .policy(DegradationPolicy {
                 recover_after: 2,
                 recover_margin: 0.5,
@@ -299,6 +362,8 @@ mod tests {
         assert_eq!(config.effective_threads(), 4);
         assert_eq!(config.ecc, EccMode::Off);
         assert_eq!(config.policy.recover_after, 2);
+        assert_eq!(config.datapath, Datapath::I16);
+        assert!(config.temporal);
     }
 
     #[test]
@@ -342,23 +407,33 @@ mod tests {
         std::env::set_var(DEADLINE_ENV, "7.5");
         std::env::set_var(rtped_core::par::THREADS_ENV, "3");
         std::env::set_var(ECC_ENV, "off");
+        std::env::set_var(DATAPATH_ENV, "i16");
+        std::env::set_var(TEMPORAL_ENV, "true");
         let config = RuntimeConfig::from_env();
         assert!((config.budget.frame_budget_ms - 7.5).abs() < 1e-12);
         assert_eq!(config.threads, Some(3));
         assert_eq!(config.ecc, EccMode::Off);
+        assert_eq!(config.datapath, Datapath::I16);
+        assert!(config.temporal);
 
         // Malformed values keep the defaults (warn-once on stderr).
         std::env::set_var(DEADLINE_ENV, "-2");
         std::env::set_var(rtped_core::par::THREADS_ENV, "many");
         std::env::set_var(ECC_ENV, "tmr");
+        std::env::set_var(DATAPATH_ENV, "i8");
+        std::env::set_var(TEMPORAL_ENV, "maybe");
         let fallback = RuntimeConfig::from_env();
         assert!((fallback.budget.frame_budget_ms - 15.0).abs() < 1e-12);
         assert_eq!(fallback.threads, None);
         assert_eq!(fallback.ecc, EccMode::Secded);
+        assert_eq!(fallback.datapath, Datapath::F32);
+        assert!(!fallback.temporal);
 
         std::env::remove_var(DEADLINE_ENV);
         std::env::remove_var(rtped_core::par::THREADS_ENV);
         std::env::remove_var(ECC_ENV);
+        std::env::remove_var(DATAPATH_ENV);
+        std::env::remove_var(TEMPORAL_ENV);
 
         // With the environment clean, from_env is exactly the defaults.
         let clean = RuntimeConfig::from_env();

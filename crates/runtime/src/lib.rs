@@ -58,7 +58,7 @@ pub mod integrity;
 pub mod report;
 mod session;
 
-pub use config::{RuntimeConfig, RuntimeConfigBuilder};
+pub use config::{RuntimeConfig, RuntimeConfigBuilder, DATAPATH_ENV, TEMPORAL_ENV};
 pub use control::{Controller, DegradationPolicy, HealthState, Transition, TransitionCause};
 pub use deadline::{CostModel, DeadlineBudget, DEADLINE_ENV, PRT_FRACTION};
 pub use engine::{Engine, Runtime};

@@ -45,7 +45,13 @@ fn pseudo_model(dim: usize) -> LinearSvm {
 /// Builds the engine for `name` under the daemon's runtime config.
 #[must_use]
 pub fn build_engine(name: &str, config: &RuntimeConfig) -> Box<dyn Engine> {
-    let detector_config = DetectorConfig::two_scale();
+    // Software tenants honour the daemon-wide datapath/temporal knobs
+    // (RTPED_DATAPATH / RTPED_TEMPORAL via RuntimeConfig::from_env).
+    let detector_config = DetectorConfig {
+        datapath: config.datapath,
+        temporal: config.temporal,
+        ..DetectorConfig::two_scale()
+    };
     let dim = detector_config.params.cell_descriptor_len();
     if name.starts_with(HW_TENANT_PREFIX) {
         let accel = AcceleratorConfig {
@@ -263,6 +269,46 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(serve_all(), serve_all());
+    }
+
+    #[test]
+    fn datapath_and_temporal_knobs_reach_software_tenants() {
+        use rtped_detect::Datapath;
+        let config = RuntimeConfig::builder()
+            .datapath(Datapath::I16)
+            .temporal(true)
+            .build()
+            .unwrap();
+        // The i16/temporal engine must serve repeated frames and stay
+        // deterministic like the default one.
+        let mut tenant = Tenant::new("cam-1", &config);
+        use rtped_core::ToJson;
+        let boxes = |payload: String| {
+            let at = payload.find("\"boxes\"").expect("payload has boxes");
+            payload[at..].to_string()
+        };
+        let a = boxes(
+            tenant
+                .serve_job(&detect_job("cam-1", "a", 7))
+                .to_json()
+                .to_string(),
+        );
+        let b = boxes(
+            tenant
+                .serve_job(&detect_job("cam-1", "b", 7))
+                .to_json()
+                .to_string(),
+        );
+        let c = boxes(
+            tenant
+                .serve_job(&detect_job("cam-1", "c", 8))
+                .to_json()
+                .to_string(),
+        );
+        // Same synthetic frame twice: temporal cache reuse must not change
+        // the detections; a different frame must be allowed to.
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

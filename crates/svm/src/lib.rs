@@ -39,6 +39,8 @@ pub mod io;
 pub mod model;
 pub mod pegasos;
 pub mod platt;
+pub mod quant;
 pub mod scale;
 
 pub use model::{Label, LinearSvm};
+pub use quant::QuantModel;

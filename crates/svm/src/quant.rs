@@ -1,0 +1,140 @@
+//! Weight quantization for the i16 datapath.
+//!
+//! The float → integer conversion boundary on the classifier side: a
+//! [`LinearSvm`]'s `f64` weights become an `i16` vector whose scale is
+//! chosen dynamically so one window row's dot product against
+//! Q[`FEATURE_FRAC_BITS`](rtped_hog-style) features provably fits an
+//! `i32`. Decision values come back to `f64` only at the very end, via a
+//! single exact multiply-add — so the integer pipeline between the two
+//! boundaries is bit-reproducible across hosts and thread counts.
+
+use crate::model::LinearSvm;
+
+/// Fixed-point twin of [`LinearSvm`] for the i16 scoring kernel.
+///
+/// `weights[i] = round(w[i] * 2^weight_frac_bits)`, with
+/// `weight_frac_bits` the largest shift such that every quantized weight
+/// stays within the overflow-safe magnitude bound (see
+/// [`QuantModel::from_svm`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantModel {
+    weights: Vec<i16>,
+    weight_frac_bits: u32,
+    bias: f64,
+    inv_scale: f64,
+}
+
+impl QuantModel {
+    /// Quantizes `model` for scoring against features carrying
+    /// `feature_frac_bits` fraction bits, where one contiguous
+    /// accumulation row holds `row_terms` products.
+    ///
+    /// The weight magnitude bound is
+    /// `limit = min(i16::MAX, (2^31 - 1) / (2^feature_frac_bits * row_terms))`,
+    /// which guarantees `|Σ_row w·v| ≤ limit * 2^feature_frac_bits *
+    /// row_terms < 2^31`: a whole row accumulates in `i32` without
+    /// wrapping, for *any* feature values the quantizer can emit. The
+    /// fraction shift is then the largest `s` with
+    /// `round(max|w| * 2^s) ≤ limit` — maximal precision under the bound.
+    ///
+    /// For the canonical geometry (`row_terms = 288`, Q12 features) the
+    /// bound is 1820, giving Q10 weights for models with `max|w| ≤ 1` —
+    /// two bits above the precision floor found by the PR-4 quantization
+    /// ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_terms` is zero or so large that no positive weight
+    /// scale exists, or if the model's weights are not finite.
+    #[must_use]
+    pub fn from_svm(model: &LinearSvm, feature_frac_bits: u32, row_terms: usize) -> Self {
+        assert!(row_terms > 0, "row_terms must be non-zero");
+        let limit = i64::from(i16::MAX)
+            .min((i64::from(i32::MAX)) / ((1i64 << feature_frac_bits) * row_terms as i64));
+        assert!(limit >= 1, "no overflow-safe weight scale exists");
+        let max_w = model
+            .weights()
+            .iter()
+            .map(|w| w.abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_w.is_finite(), "model weights must be finite");
+        // Largest shift keeping every rounded weight within `limit`.
+        // (All-zero weights get an arbitrary valid shift.)
+        let mut shift = 0u32;
+        while shift < 15 && (max_w * f64::from(1u32 << (shift + 1))).round() <= limit as f64 {
+            shift += 1;
+        }
+        let scale = f64::from(1u32 << shift);
+        let weights: Vec<i16> = model
+            .weights()
+            .iter()
+            .map(|&w| (w * scale).round().clamp(-(limit as f64), limit as f64) as i16)
+            .collect();
+        Self {
+            weights,
+            weight_frac_bits: shift,
+            bias: model.bias(),
+            inv_scale: 1.0 / f64::from(1u32 << (feature_frac_bits + shift)),
+        }
+    }
+
+    /// The quantized weight vector (same layout as the float model's).
+    #[must_use]
+    pub fn weights(&self) -> &[i16] {
+        &self.weights
+    }
+
+    /// Fraction bits carried by the quantized weights.
+    #[must_use]
+    pub fn weight_frac_bits(&self) -> u32 {
+        self.weight_frac_bits
+    }
+
+    /// Converts a raw integer window accumulation (feature Q-bits ×
+    /// weight Q-bits) into a decision value comparable against the same
+    /// thresholds as the float path's `w·x + b`.
+    #[must_use]
+    pub fn decision(&self, acc: i64) -> f64 {
+        (acc as f64) * self.inv_scale + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_geometry_gets_q10_weights() {
+        // max|w| = 1.0, Q12 features, 288-term rows: limit = 1820 → Q10.
+        let model = LinearSvm::new(vec![1.0, -0.5, 0.25], 0.125);
+        let q = QuantModel::from_svm(&model, 12, 288);
+        assert_eq!(q.weight_frac_bits(), 10);
+        assert_eq!(q.weights(), &[1024, -512, 256]);
+    }
+
+    #[test]
+    fn row_dot_cannot_overflow_i32() {
+        let model = LinearSvm::new(vec![3.7; 288], -0.25);
+        let q = QuantModel::from_svm(&model, 12, 288);
+        let max_row: i64 = q.weights().iter().map(|&w| i64::from(w).abs() * 4096).sum();
+        assert!(max_row < i64::from(i32::MAX), "row sum {max_row} overflows");
+    }
+
+    #[test]
+    fn decision_recovers_float_scale() {
+        let model = LinearSvm::new(vec![0.5], 0.75);
+        let q = QuantModel::from_svm(&model, 12, 1);
+        // A unit feature (4096 in Q12) against the quantized 0.5 weight.
+        let acc = i64::from(q.weights()[0]) * 4096;
+        let d = q.decision(acc);
+        assert!((d - (0.5 + 0.75)).abs() < 1e-9, "decision {d}");
+    }
+
+    #[test]
+    fn zero_model_quantizes_cleanly() {
+        let model = LinearSvm::new(vec![0.0; 8], 0.0);
+        let q = QuantModel::from_svm(&model, 12, 8);
+        assert!(q.weights().iter().all(|&w| w == 0));
+        assert_eq!(q.decision(0), 0.0);
+    }
+}
