@@ -65,4 +65,34 @@ grep -q '"bench": "serve"' BENCH_serve.quick.json
 grep -q '"shed_rate"' BENCH_serve.quick.json
 rm -f "$serve_log" "$serve_journal"
 
+echo "== rtped-fleet --quick (campaign + chaos smoke, byte-identical across RTPED_THREADS) =="
+cargo build --release --offline -p rtped-fleet
+fleet_a=$(mktemp)
+fleet_b=$(mktemp)
+fleet_log=$(mktemp)
+RTPED_THREADS=1 ./target/release/rtped-fleet --quick --out "$fleet_a" >"$fleet_log"
+grep -q 'rtped-fleet: campaign ok' "$fleet_log"
+grep -q '0 integrity escapes' "$fleet_log"
+grep -q 'rtped-fleet: chaos ok (0 divergences' "$fleet_log"
+RTPED_THREADS=4 ./target/release/rtped-fleet --quick --out "$fleet_b" >/dev/null
+if ! diff -q "$fleet_a" "$fleet_b" >/dev/null; then
+    echo "rtped-fleet: quick artifacts differ across RTPED_THREADS=1 vs 4" >&2
+    diff "$fleet_a" "$fleet_b" >&2 || true
+    exit 1
+fi
+grep -q '"quick": true' "$fleet_a"
+rm -f "$fleet_a" "$fleet_b" "$fleet_log"
+
+echo "== BENCH_fleet.json (committed full-campaign artifact: schema + invariants) =="
+grep -q '"format": 1' BENCH_fleet.json
+grep -q '"bench": "fleet"' BENCH_fleet.json
+grep -q '"quick": false' BENCH_fleet.json
+grep -q '"runs": 1008' BENCH_fleet.json
+grep -q '"digest"' BENCH_fleet.json
+grep -q '"post_recovery_identical": true' BENCH_fleet.json
+if grep -E '"(integrity_escapes|divergences|daemon_panics|client_hangs|protocol_violations|retry_exhausted)": [^0]' BENCH_fleet.json; then
+    echo "BENCH_fleet.json: a must-be-zero invariant is nonzero" >&2
+    exit 1
+fi
+
 echo "ci.sh: all green"

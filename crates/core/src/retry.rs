@@ -14,6 +14,21 @@
 //! a misconfigured policy cannot stall a real-time pipeline for seconds.
 //! Tests use [`RetryPolicy::immediate`] to retry without sleeping.
 //!
+//! # Determinism
+//!
+//! Two knobs keep retrying compatible with the workspace's
+//! byte-identical-replay posture:
+//!
+//! - **Seeded jitter** ([`RetryPolicy::with_jitter`]): backoff jitter —
+//!   needed so a fleet of clients retrying against one daemon does not
+//!   thunder in lockstep — is drawn from [`crate::rng`], not from entropy.
+//!   The pause schedule is a pure function of `(policy, attempt)`.
+//! - **Injectable sleeper** ([`RetryPolicy::run_with_sleeper`]): the
+//!   *decision* to pause is separated from the *act* of pausing, so
+//!   deterministic campaigns and tests account for backoff in modeled
+//!   time (or not at all) while production call sites keep
+//!   [`RetryPolicy::run`]'s real `thread::sleep`.
+//!
 //! # Example
 //!
 //! ```
@@ -30,13 +45,22 @@
 
 use std::time::Duration;
 
+use crate::rng::{Rng, SeedRng};
+
 /// Upper bound on a single backoff pause, whatever the policy says.
 /// A detection chain with a ~15 ms frame budget must never sleep a
 /// second waiting on IO.
 const MAX_BACKOFF: Duration = Duration::from_millis(500);
 
+/// Largest fractional increase seeded jitter can add to a pause: the
+/// jittered backoff lies in `[base, base × 1.5)`, still capped at
+/// [`MAX_BACKOFF`]. Jitter only ever lengthens a pause, so it cannot
+/// defeat the backoff's purpose of spacing retries out.
+const JITTER_MAX_FRACTION: f64 = 0.5;
+
 /// A bounded retry schedule: at most `max_attempts` tries, doubling the
-/// pause between consecutive tries starting from `base_backoff`.
+/// pause between consecutive tries starting from `base_backoff`, with
+/// optional seeded jitter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total number of attempts (the first try counts; `0` is promoted
@@ -45,15 +69,20 @@ pub struct RetryPolicy {
     /// Pause before the second attempt; doubles per subsequent retry and
     /// is capped at 500 ms.
     pub base_backoff: Duration,
+    /// Seed for deterministic backoff jitter; `None` disables jitter and
+    /// keeps the exact doubling schedule. Equal seeds produce equal
+    /// pause schedules on every host.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
-    /// Three attempts, 50 ms initial backoff — tolerates a momentary
-    /// hiccup without materially delaying batch work.
+    /// Three attempts, 50 ms initial backoff, no jitter — tolerates a
+    /// momentary hiccup without materially delaying batch work.
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::from_millis(50),
+            jitter_seed: None,
         }
     }
 }
@@ -66,15 +95,39 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts,
             base_backoff: Duration::ZERO,
+            jitter_seed: None,
         }
     }
 
+    /// The same policy with seeded backoff jitter: each pause is
+    /// stretched by a factor in `[1, 1.5)` drawn from a [`SeedRng`]
+    /// stream keyed on `(seed, attempt)`. Deterministic — equal seeds
+    /// replay equal schedules — yet distinct seeds decorrelate a fleet
+    /// of clients so their retries do not synchronize.
+    #[must_use]
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
     /// The pause taken after failed attempt `attempt` (0-based): the base
-    /// backoff doubled `attempt` times, capped at 500 ms.
+    /// backoff doubled `attempt` times, stretched by the seeded jitter
+    /// factor when one is configured, capped at 500 ms. Pure: equal
+    /// `(policy, attempt)` pairs yield equal pauses.
     #[must_use]
     pub fn backoff_for(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.min(16);
-        (self.base_backoff * factor).min(MAX_BACKOFF)
+        let base = (self.base_backoff * factor).min(MAX_BACKOFF);
+        match self.jitter_seed {
+            None => base,
+            Some(seed) => {
+                // One draw from a per-attempt split: consuming jitter for
+                // attempt k never perturbs attempt k+1's draw.
+                let mut rng = SeedRng::seed_from_u64(seed).split(u64::from(attempt));
+                let stretch = 1.0 + rng.next_f64() * JITTER_MAX_FRACTION;
+                Duration::from_secs_f64(base.as_secs_f64() * stretch).min(MAX_BACKOFF)
+            }
+        }
     }
 
     /// Runs `op` until it succeeds or the attempt budget is exhausted,
@@ -85,15 +138,37 @@ impl RetryPolicy {
     ///
     /// Returns the error from the **last** attempt once the budget is
     /// spent; earlier errors are discarded.
-    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+    pub fn run<T, E>(&self, op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+        self.run_with_sleeper(
+            |pause| {
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            },
+            op,
+        )
+    }
+
+    /// [`RetryPolicy::run`] with the pause mechanism injected: `sleeper`
+    /// receives every scheduled backoff instead of `thread::sleep`.
+    /// Deterministic campaigns pass a sleeper that *accounts* for the
+    /// pause in modeled time (or ignores it) so retrying never touches
+    /// the wall clock; tests pass a recorder to assert the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from the **last** attempt once the budget is
+    /// spent; earlier errors are discarded.
+    pub fn run_with_sleeper<T, E>(
+        &self,
+        mut sleeper: impl FnMut(Duration),
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
         let attempts = self.max_attempts.max(1);
         let mut attempt = 0;
         loop {
             if attempt > 0 {
-                let pause = self.backoff_for(attempt - 1);
-                if !pause.is_zero() {
-                    std::thread::sleep(pause);
-                }
+                sleeper(self.backoff_for(attempt - 1));
             }
             match op(attempt) {
                 Ok(value) => return Ok(value),
@@ -154,6 +229,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 10,
             base_backoff: Duration::from_millis(50),
+            jitter_seed: None,
         };
         assert_eq!(policy.backoff_for(0), Duration::from_millis(50));
         assert_eq!(policy.backoff_for(1), Duration::from_millis(100));
@@ -169,5 +245,57 @@ mod tests {
         for attempt in 0..8 {
             assert_eq!(policy.backoff_for(attempt), Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_seed_sensitive() {
+        let base = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(40),
+            jitter_seed: None,
+        };
+        let jittered = base.clone().with_jitter(7);
+        for attempt in 0..4 {
+            let plain = base.backoff_for(attempt);
+            let j = jittered.backoff_for(attempt);
+            // Replaying the same (seed, attempt) yields the same pause.
+            assert_eq!(j, jittered.backoff_for(attempt));
+            // Jitter only stretches, never shrinks, and stays bounded.
+            assert!(j >= plain, "attempt {attempt}: {j:?} < {plain:?}");
+            let ceiling =
+                Duration::from_secs_f64(plain.as_secs_f64() * (1.0 + JITTER_MAX_FRACTION))
+                    .min(MAX_BACKOFF);
+            assert!(j <= ceiling, "attempt {attempt}: {j:?} > {ceiling:?}");
+        }
+        // Different seeds decorrelate the schedules.
+        let other = base.with_jitter(8);
+        assert!((0..4).any(|a| other.backoff_for(a) != jittered.backoff_for(a)));
+        // Jitter over a zero base stays zero (immediate policies remain
+        // immediate even when a seed is attached).
+        assert_eq!(
+            RetryPolicy::immediate(3).with_jitter(9).backoff_for(2),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn injected_sleeper_sees_the_exact_schedule_without_sleeping() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            jitter_seed: Some(42),
+        };
+        let mut pauses = Vec::new();
+        let out: Result<(), &str> =
+            policy.run_with_sleeper(|pause| pauses.push(pause), |_| Err("always"));
+        assert!(out.is_err());
+        assert_eq!(
+            pauses,
+            vec![
+                policy.backoff_for(0),
+                policy.backoff_for(1),
+                policy.backoff_for(2)
+            ]
+        );
     }
 }

@@ -242,6 +242,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 4,
             base_backoff: std::time::Duration::from_millis(200),
+            jitter_seed: None,
         };
         let start = rtped_core::timer::Stopwatch::start();
         let err = import_windows_retry(&root, (32, 64), &policy).unwrap_err();
@@ -270,6 +271,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 10,
             base_backoff: std::time::Duration::from_millis(40),
+            jitter_seed: None,
         };
         let back = import_windows_retry(&root, (64, 128), &policy).unwrap();
         writer.join().unwrap();

@@ -1,0 +1,241 @@
+//! Folding a campaign's run reports into one canonical fleet aggregate.
+//!
+//! Every number here is derived from the deterministic cost model and
+//! the seeded fault schedules — never the wall clock — so the same
+//! campaign grid folds to byte-identical JSON on any host at any
+//! `RTPED_THREADS`. That byte-identity is itself an acceptance gate:
+//! ci.sh runs the quick campaign twice and diffs the bytes.
+
+use std::collections::BTreeMap;
+
+use rtped_core::json::{obj, Json};
+use rtped_core::ToJson;
+use rtped_runtime::RunReport;
+use rtped_serve::tenant::fnv1a;
+
+use crate::grid::RunSpec;
+
+/// Per-engine-kind slice of the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSlice {
+    /// Instances run on this engine kind.
+    pub runs: usize,
+    /// Frames served across those instances.
+    pub frames: usize,
+    /// Frames over their spec's deadline budget.
+    pub deadline_misses: usize,
+    /// Worst modeled frame latency seen, in milliseconds.
+    pub worst_latency_ms: f64,
+    /// Silent integrity escapes (must stay zero).
+    pub integrity_escapes: u64,
+}
+
+/// The fleet-level aggregate of one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAggregate {
+    /// Total campaign instances.
+    pub runs: usize,
+    /// Total frames served.
+    pub frames: usize,
+    /// Median modeled frame latency, milliseconds (nearest rank).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile modeled frame latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Frames over their spec's deadline budget.
+    pub deadline_misses: usize,
+    /// Frames that ended in a typed error, by error kind.
+    pub frame_errors: BTreeMap<String, usize>,
+    /// Injected-fault occurrences, by fault label.
+    pub fault_counts: BTreeMap<String, usize>,
+    /// Frames served in each health state — the fleet dwell histogram.
+    pub dwell: BTreeMap<String, usize>,
+    /// Instances that degraded and then recovered.
+    pub recovered_runs: usize,
+    /// Silent integrity escapes across the whole fleet. The acceptance
+    /// invariant: this must be zero.
+    pub integrity_escapes: u64,
+    /// Per-engine-kind slices, keyed by engine label.
+    pub engines: BTreeMap<String, EngineSlice>,
+    /// FNV-1a digest over every run report's canonical JSON, in spec
+    /// order — a single number that witnesses bit-identical replay.
+    pub digest: u64,
+}
+
+/// Nearest-rank percentile over a sorted sample set.
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+impl FleetAggregate {
+    /// Folds paired `(spec, report)` rows into the fleet aggregate.
+    /// Order-sensitive only in the digest, which is the point: the
+    /// executor preserves spec order for any thread count, so equal
+    /// campaigns produce equal digests.
+    #[must_use]
+    pub fn from_runs(rows: &[(RunSpec, RunReport)]) -> Self {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut frame_errors: BTreeMap<String, usize> = BTreeMap::new();
+        let mut fault_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut dwell: BTreeMap<String, usize> = BTreeMap::new();
+        let mut engines: BTreeMap<String, EngineSlice> = BTreeMap::new();
+        let mut deadline_misses = 0usize;
+        let mut recovered_runs = 0usize;
+        let mut integrity_escapes = 0u64;
+        let mut frames = 0usize;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for (spec, report) in rows {
+            frames += report.frames.len();
+            latencies.extend(report.latencies_ms());
+            let misses = report.deadline_miss_count(spec.budget_ms);
+            deadline_misses += misses;
+            let escapes = report.integrity_escapes();
+            integrity_escapes += escapes;
+            if report.degraded_and_recovered() {
+                recovered_runs += 1;
+            }
+            for frame in &report.frames {
+                for fault in &frame.faults {
+                    // Frame records label faults with their parameters
+                    // (`bit_flips(12)`); the fleet histogram wants the
+                    // class, not every parameter value.
+                    let class = match fault.find('(') {
+                        Some(pos) => &fault[..pos],
+                        None => fault.as_str(),
+                    };
+                    *fault_counts.entry(class.to_string()).or_insert(0) += 1;
+                }
+            }
+            for (state, count) in report.dwell() {
+                *dwell.entry(state).or_insert(0) += count;
+            }
+            for frame in &report.frames {
+                if let rtped_runtime::FrameOutcome::Error(err) = &frame.outcome {
+                    *frame_errors.entry(err.kind().to_string()).or_insert(0) += 1;
+                }
+            }
+            let slice = engines
+                .entry(spec.engine.label().to_string())
+                .or_insert(EngineSlice {
+                    runs: 0,
+                    frames: 0,
+                    deadline_misses: 0,
+                    worst_latency_ms: 0.0,
+                    integrity_escapes: 0,
+                });
+            slice.runs += 1;
+            slice.frames += report.frames.len();
+            slice.deadline_misses += misses;
+            slice.worst_latency_ms = slice.worst_latency_ms.max(report.worst_latency_ms());
+            slice.integrity_escapes += escapes;
+            // Chain per-report digests: hash the canonical bytes, then
+            // fold the hash into the running FNV state.
+            let report_hash = fnv1a(report.to_json().to_string().as_bytes());
+            digest ^= report_hash;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        latencies.sort_by(f64::total_cmp);
+        FleetAggregate {
+            runs: rows.len(),
+            frames,
+            p50_latency_ms: percentile(&latencies, 50.0),
+            p99_latency_ms: percentile(&latencies, 99.0),
+            deadline_misses,
+            frame_errors,
+            fault_counts,
+            dwell,
+            recovered_runs,
+            integrity_escapes,
+            engines,
+            digest,
+        }
+    }
+
+    /// Deadline misses as a fraction of served frames.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.frames > 0 {
+            self.deadline_misses as f64 / self.frames as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+fn counts_to_json(counts: &BTreeMap<String, usize>) -> Json {
+    Json::Object(
+        counts
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Number(*v as f64)))
+            .collect(),
+    )
+}
+
+impl ToJson for FleetAggregate {
+    fn to_json(&self) -> Json {
+        let engines = Json::Object(
+            self.engines
+                .iter()
+                .map(|(label, s)| {
+                    (
+                        label.clone(),
+                        obj([
+                            ("runs", s.runs.into()),
+                            ("frames", s.frames.into()),
+                            ("deadline_misses", s.deadline_misses.into()),
+                            ("worst_latency_ms", s.worst_latency_ms.into()),
+                            ("integrity_escapes", s.integrity_escapes.into()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        obj([
+            ("runs", self.runs.into()),
+            ("frames", self.frames.into()),
+            ("p50_latency_ms", self.p50_latency_ms.into()),
+            ("p99_latency_ms", self.p99_latency_ms.into()),
+            ("deadline_misses", self.deadline_misses.into()),
+            ("deadline_miss_rate", self.miss_rate().into()),
+            ("frame_errors", counts_to_json(&self.frame_errors)),
+            ("fault_counts", counts_to_json(&self.fault_counts)),
+            ("dwell", counts_to_json(&self.dwell)),
+            ("recovered_runs", self.recovered_runs.into()),
+            ("integrity_escapes", self.integrity_escapes.into()),
+            ("engines", engines),
+            // u64 digests exceed f64-exact range; serialize as hex text.
+            ("digest", Json::String(format!("{:016x}", self.digest))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{campaign, CampaignScale};
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&samples, 50.0), 2.0);
+        assert_eq!(percentile(&samples, 99.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn aggregate_of_tiny_campaign_is_byte_identical_across_folds() {
+        let specs: Vec<_> = campaign(CampaignScale::Quick).into_iter().take(4).collect();
+        let fold = || {
+            let reports = crate::grid::execute(&specs, Some(2)).unwrap();
+            let rows: Vec<_> = specs.iter().cloned().zip(reports).collect();
+            FleetAggregate::from_runs(&rows).to_json().to_string()
+        };
+        let a = fold();
+        assert_eq!(a, fold());
+        assert!(a.contains("\"integrity_escapes\""));
+    }
+}

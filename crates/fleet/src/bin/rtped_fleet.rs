@@ -1,0 +1,178 @@
+//! `rtped-fleet` — the deterministic fleet fault-campaign orchestrator.
+//!
+//! ```text
+//! rtped-fleet [--quick] [--out PATH]
+//! ```
+//!
+//! Runs both phases and writes the benchmark artifact:
+//!
+//! 1. **Campaign**: the full grid (≥ 1000 seeded runtime instances at
+//!    full scale; a 24-instance smoke with `--quick`) executed through
+//!    `rtped_core::par` and folded into a [`FleetAggregate`]. The
+//!    aggregate JSON is byte-identical across runs, hosts, and
+//!    `RTPED_THREADS` — ci.sh runs the quick campaign at two thread
+//!    counts and diffs the artifacts.
+//! 2. **Chaos**: a seeded wire-level fault injector against a live
+//!    `rtped-serve` daemon, then a journal-recovery restart verified
+//!    bit-for-bit against an offline replica.
+//!
+//! The artifact (`BENCH_fleet.json`, or `BENCH_fleet.quick.json` with
+//! `--quick`) contains only deterministic fields; wall-clock timings go
+//! to stdout. Exit is nonzero if any acceptance invariant fails: a
+//! single silent integrity escape, a daemon panic or hang, an untyped
+//! failure, or any post-recovery divergence.
+
+use std::process::ExitCode;
+
+use rtped_core::json::{obj, Json};
+use rtped_core::timer::Stopwatch;
+use rtped_core::{Error, ToJson};
+use rtped_fleet::{campaign, execute, run_chaos, CampaignScale, ChaosConfig, FleetAggregate};
+
+struct Args {
+    quick: bool,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = Some(
+                    iter.next()
+                        .ok_or_else(|| String::from("--out needs a value"))?
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), Error> {
+    let scale = if args.quick {
+        CampaignScale::Quick
+    } else {
+        CampaignScale::Full
+    };
+
+    // Phase 1: the campaign grid.
+    let specs = campaign(scale);
+    println!(
+        "rtped-fleet: campaign {} instances over the {} grid",
+        specs.len(),
+        if args.quick { "quick" } else { "full" }
+    );
+    let watch = Stopwatch::start();
+    let reports = execute(&specs, None)?;
+    let rows: Vec<_> = specs.iter().cloned().zip(reports).collect();
+    let aggregate = FleetAggregate::from_runs(&rows);
+    println!(
+        "rtped-fleet: campaign done in {:.0} ms — p50 {:.3} ms, p99 {:.3} ms, \
+         miss rate {:.4}, digest {:016x}",
+        watch.elapsed_ms(),
+        aggregate.p50_latency_ms,
+        aggregate.p99_latency_ms,
+        aggregate.miss_rate(),
+        aggregate.digest
+    );
+    if !args.quick && aggregate.runs < 1000 {
+        return Err(Error::format(format!(
+            "full campaign ran {} instances, acceptance floor is 1000",
+            aggregate.runs
+        )));
+    }
+    if aggregate.integrity_escapes != 0 {
+        return Err(Error::format(format!(
+            "campaign observed {} silent integrity escapes; the invariant is zero",
+            aggregate.integrity_escapes
+        )));
+    }
+    println!(
+        "rtped-fleet: campaign ok ({} instances, {} integrity escapes)",
+        aggregate.runs, aggregate.integrity_escapes
+    );
+
+    // Phase 2: chaos against a live daemon. The journal path carries the
+    // pid so concurrent CI jobs on one host cannot collide.
+    let (connections, crash_window_jobs, client_workers, server_workers) = if args.quick {
+        (64, 6, 4, 2)
+    } else {
+        (640, 8, 8, 4)
+    };
+    let journal = std::env::temp_dir().join(format!(
+        "rtped_fleet_chaos_{}{}.jsonl",
+        std::process::id(),
+        if args.quick { "_quick" } else { "" }
+    ));
+    let watch = Stopwatch::start();
+    let chaos = run_chaos(&ChaosConfig {
+        connections,
+        crash_window_jobs,
+        seed: 0xFEE7,
+        client_workers,
+        server_workers,
+        journal,
+    })?;
+    if !args.quick && chaos.faulted_connections < 500 {
+        return Err(Error::format(format!(
+            "chaos drove {} faulted connections, acceptance floor is 500",
+            chaos.faulted_connections
+        )));
+    }
+    println!(
+        "rtped-fleet: chaos done in {:.0} ms — {} connections, {} faulted, \
+         {} crash-window jobs recovered",
+        watch.elapsed_ms(),
+        chaos.connections,
+        chaos.faulted_connections,
+        chaos.crash_window_jobs
+    );
+    println!("rtped-fleet: chaos ok (0 divergences, post-recovery state identical)");
+
+    // The artifact: deterministic fields only.
+    let bench = obj([
+        ("format", 1.0.into()),
+        ("bench", Json::String(String::from("fleet"))),
+        ("quick", Json::Bool(args.quick)),
+        ("campaign", aggregate.to_json()),
+        ("chaos", chaos.to_json()),
+    ]);
+    let path = args.out.clone().unwrap_or_else(|| {
+        std::path::PathBuf::from(if args.quick {
+            "BENCH_fleet.quick.json"
+        } else {
+            "BENCH_fleet.json"
+        })
+    });
+    let mut text = bench.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    println!("rtped-fleet: wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("rtped-fleet: {err}");
+            eprintln!("usage: rtped-fleet [--quick] [--out PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("rtped-fleet: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

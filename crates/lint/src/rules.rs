@@ -225,7 +225,7 @@ fn is_quant_kernel(rel: &str) -> bool {
 
 /// Crates whose library code must not panic on recoverable inputs.
 fn in_unwrap_scope(rel: &str) -> bool {
-    ["core", "hw", "runtime", "svm", "image", "serve"]
+    ["core", "hw", "runtime", "svm", "image", "serve", "fleet"]
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
 }

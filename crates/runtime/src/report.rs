@@ -293,6 +293,36 @@ impl RunReport {
             .fold(0.0, f64::max)
     }
 
+    /// Frames whose modeled latency exceeded `budget_ms` — the
+    /// deterministic deadline-miss count fleet campaigns aggregate into
+    /// miss rates. Uses a strict comparison so a frame landing exactly on
+    /// the budget is on time.
+    #[must_use]
+    pub fn deadline_miss_count(&self, budget_ms: f64) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.modeled_latency_ms > budget_ms)
+            .count()
+    }
+
+    /// Modeled per-frame latencies in input order, for percentile
+    /// aggregation across a fleet of runs.
+    #[must_use]
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.frames.iter().map(|f| f.modeled_latency_ms).collect()
+    }
+
+    /// Silent integrity escapes (uncorrectable corruption that no checker
+    /// flagged). Zero for runs without the integrity-instrumented
+    /// datapath — and the fleet acceptance gate requires it to stay zero
+    /// everywhere.
+    #[must_use]
+    pub fn integrity_escapes(&self) -> u64 {
+        self.integrity
+            .as_ref()
+            .map_or(0, IntegrityReport::silent_escapes)
+    }
+
     /// Whether the run entered `Degraded` at some point *and* later moved
     /// back toward health — the acceptance signal for the controller.
     #[must_use]
@@ -440,6 +470,11 @@ mod tests {
             vec![("healthy".to_string(), 1), ("degraded_1".to_string(), 2)]
         );
         assert!(report.degraded_and_recovered());
+        // All records carry 5.0 ms; a frame exactly on budget is on time.
+        assert_eq!(report.deadline_miss_count(4.0), 3);
+        assert_eq!(report.deadline_miss_count(5.0), 0);
+        assert_eq!(report.latencies_ms(), vec![5.0, 5.0, 5.0]);
+        assert_eq!(report.integrity_escapes(), 0);
         let text = report.to_json().to_string();
         assert!(text.contains("\"final_state\":\"healthy\""));
         assert!(text.contains("\"cause\":\"recovered\""));

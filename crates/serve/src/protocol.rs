@@ -26,6 +26,7 @@
 //! | `status`       | `tenants` (array of per-tenant counters)      |
 //! | `recovered`    | `tenant`, `jobs` (array of `{job, response}`) |
 //! | `error`        | `message`                                     |
+//! | `draining`     | `message`                                     |
 //! | `shutdown_ack` | `served`                                      |
 
 use rtped_core::json::{obj, required_field};
@@ -418,6 +419,13 @@ pub enum Response {
         /// Human-readable diagnostic.
         message: String,
     },
+    /// The daemon is shutting down and no longer serves work. Unlike a
+    /// TCP reset this is a *typed* refusal, so clients can distinguish a
+    /// clean drain from a crash and fail over instead of retrying.
+    Draining {
+        /// Human-readable diagnostic (stable prefix `draining`).
+        message: String,
+    },
     /// The daemon acknowledged a shutdown request and will drain.
     ShutdownAck {
         /// Total frames served over the daemon's lifetime.
@@ -474,6 +482,11 @@ impl ToJson for Response {
                 ("kind", "error".into()),
                 ("message", message.as_str().into()),
             ]),
+            Response::Draining { message } => obj([
+                ("format", PROTOCOL_VERSION.into()),
+                ("kind", "draining".into()),
+                ("message", message.as_str().into()),
+            ]),
             Response::ShutdownAck { served } => obj([
                 ("format", PROTOCOL_VERSION.into()),
                 ("kind", "shutdown_ack".into()),
@@ -505,6 +518,9 @@ impl FromJson for Response {
                 jobs: Vec::<RecoveredJob>::from_json(required_field(json, "jobs")?)?,
             }),
             "error" => Ok(Response::Error {
+                message: String::from_json(required_field(json, "message")?)?,
+            }),
+            "draining" => Ok(Response::Draining {
                 message: String::from_json(required_field(json, "message")?)?,
             }),
             "shutdown_ack" => Ok(Response::ShutdownAck {
@@ -657,6 +673,9 @@ mod tests {
             },
             Response::Error {
                 message: "unknown request kind".into(),
+            },
+            Response::Draining {
+                message: "draining: daemon is shutting down".into(),
             },
             Response::ShutdownAck { served: 99 },
         ];

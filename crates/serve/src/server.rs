@@ -15,6 +15,13 @@
 //! Admitted jobs are journaled before the engine runs and marked done
 //! after the response hits the socket; see [`crate::journal`] for how a
 //! restart turns that into bit-identical recovered responses.
+//!
+//! Shutdown is a *graceful drain*: once a `shutdown` request is
+//! acknowledged, in-flight connections that send another request — and
+//! connections still waiting in the accept queue — receive a typed
+//! [`Response::Draining`] before their socket closes, never a bare TCP
+//! reset. Clients can therefore tell a clean drain from a crash and
+//! fail over immediately instead of retrying into a dead daemon.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -35,6 +42,13 @@ use crate::tenant::TenantMap;
 /// How long a worker blocks in a socket read before re-checking the
 /// shutdown flag. Pure liveness plumbing — never used as a measurement.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// How many poll intervals a worker keeps listening on an idle
+/// connection after shutdown began, so a client mid-conversation gets a
+/// typed [`Response::Draining`] instead of a dropped socket. Bounds the
+/// drain: an idle connection delays shutdown by at most
+/// `DRAIN_GRACE_POLLS × POLL_INTERVAL`.
+const DRAIN_GRACE_POLLS: u32 = 2;
 
 /// Everything needed to bring a daemon up.
 #[derive(Debug, Clone)]
@@ -68,6 +82,9 @@ enum Post {
     Done { tenant: String, job: String },
     /// Begin daemon shutdown.
     Shutdown,
+    /// Close this connection (the daemon is draining and has told the
+    /// client so).
+    Close,
 }
 
 /// A bound daemon. [`Server::bind`] performs journal recovery;
@@ -174,10 +191,11 @@ impl Server {
         loop {
             let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
             let stream = loop {
+                let draining = self.shutdown.load(Ordering::SeqCst);
                 if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                    break Some((stream, draining));
                 }
-                if self.shutdown.load(Ordering::SeqCst) {
+                if draining {
                     break None;
                 }
                 queue = self
@@ -188,8 +206,31 @@ impl Server {
             };
             drop(queue);
             match stream {
-                Some(stream) => self.handle_connection(&stream),
+                Some((stream, false)) => self.handle_connection(&stream),
+                // Connections still queued when shutdown lands get a
+                // typed refusal, not a silent close.
+                Some((stream, true)) => self.drain_connection(&stream),
                 None => return,
+            }
+        }
+    }
+
+    /// Serves one connection that arrived after shutdown began: wait a
+    /// bounded grace for its first request, answer it (dispatch refuses
+    /// work with [`Response::Draining`] once the flag is set), and close.
+    fn drain_connection(&self, stream: &TcpStream) {
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        for _ in 0..DRAIN_GRACE_POLLS {
+            match wire::read_frame(stream, wire::MAX_FRAME_BYTES) {
+                Ok(Some(payload)) => {
+                    let (response, _) = self.dispatch(&payload);
+                    let bytes = response.to_json().to_string().into_bytes();
+                    let _ = wire::write_frame(stream, &bytes);
+                    return;
+                }
+                Ok(None) => return,
+                Err(err) if wire::is_timeout(&err) => {}
+                Err(_) => return,
             }
         }
     }
@@ -199,6 +240,7 @@ impl Server {
         // is liveness plumbing, not measurement (rtped-lint pins the
         // wall clock to core::timer and the bench binaries).
         let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let mut drain_polls = 0u32;
         loop {
             match wire::read_frame(stream, wire::MAX_FRAME_BYTES) {
                 Ok(None) => return,
@@ -217,11 +259,18 @@ impl Server {
                             self.initiate_shutdown();
                             return;
                         }
+                        Post::Close => return,
                     }
                 }
                 Err(err) if wire::is_timeout(&err) => {
+                    // During shutdown, hold the connection open for a
+                    // bounded grace so an in-flight client's next request
+                    // gets a typed Draining instead of a dropped socket.
                     if self.shutdown.load(Ordering::SeqCst) {
-                        return;
+                        drain_polls += 1;
+                        if drain_polls >= DRAIN_GRACE_POLLS {
+                            return;
+                        }
                     }
                 }
                 Err(err) => {
@@ -261,6 +310,19 @@ impl Server {
                 )
             }
         };
+        // Once shutdown began, work-bearing requests are refused with a
+        // typed response; status stays observable and shutdown stays
+        // idempotent so a draining daemon is still inspectable.
+        if self.shutdown.load(Ordering::SeqCst)
+            && matches!(request, Request::Detect { .. } | Request::Recover { .. })
+        {
+            return (
+                Response::Draining {
+                    message: String::from("draining: daemon is shutting down"),
+                },
+                Post::Close,
+            );
+        }
         match request {
             Request::Detect {
                 tenant,
@@ -478,6 +540,49 @@ mod tests {
                 "{reply:?}"
             );
             client.call(&Request::Shutdown).unwrap();
+        });
+    }
+
+    #[test]
+    fn draining_daemon_refuses_work_with_typed_response_not_reset() {
+        let server = Server::bind(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.run());
+            // Client B holds a persistent connection with work in flight.
+            let mut b = Client::connect(addr).unwrap();
+            let reply = b.call(&detect("cam-b", "job-1", 11)).unwrap();
+            assert!(matches!(reply, Response::FrameResult { .. }), "{reply:?}");
+            // Client A initiates shutdown on a second connection.
+            let mut a = Client::connect(addr).unwrap();
+            match a.call(&Request::Shutdown).unwrap() {
+                Response::ShutdownAck { .. } => {}
+                other => panic!("unexpected shutdown reply: {other:?}"),
+            }
+            // B's next request must resolve to a *typed* Draining reply,
+            // never a TCP reset. The shutdown flag is stored just after
+            // the ack is written, so tolerate a few served frames while
+            // the race window closes.
+            let mut drained = false;
+            for attempt in 0..50 {
+                match b.call(&detect("cam-b", &format!("job-{attempt}"), 11)) {
+                    Ok(Response::Draining { message }) => {
+                        assert!(message.starts_with("draining"), "{message}");
+                        drained = true;
+                        break;
+                    }
+                    Ok(Response::FrameResult { .. }) => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Ok(other) => panic!("unexpected drain-window reply: {other:?}"),
+                    Err(err) => panic!("connection dropped without a typed drain: {err}"),
+                }
+            }
+            assert!(drained, "daemon never reported draining");
         });
     }
 }

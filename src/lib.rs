@@ -35,6 +35,11 @@
 //!   length-prefixed binary protocol over TCP, one engine per tenant
 //!   behind `Box<dyn Engine>`, deadline-aware admission control, and a
 //!   job journal for deterministic crash recovery.
+//! - [`fleet`] — the deterministic fleet fault-campaign orchestrator
+//!   (`rtped-fleet`): ≥ 1000 seeded runtime instances over a fault ×
+//!   scenario × engine × deadline grid folded into byte-identical
+//!   aggregates, plus a seeded wire-level chaos phase against a live
+//!   `rtped-serve` daemon with journal-recovery verification.
 //!
 //! # Quickstart
 //!
@@ -67,6 +72,7 @@ pub use rtped_core as core;
 pub use rtped_dataset as dataset;
 pub use rtped_detect as detect;
 pub use rtped_eval as eval;
+pub use rtped_fleet as fleet;
 pub use rtped_hog as hog;
 pub use rtped_hw as hw;
 pub use rtped_image as image;

@@ -1,0 +1,198 @@
+//! Property sweeps over damaged journal files.
+//!
+//! The journal is the daemon's crash-recovery substrate, so its parser
+//! has a sharply asymmetric contract that these sweeps pin down:
+//!
+//! - **Torn tails are tolerated.** A crash mid-append leaves an
+//!   unterminated final line; recovery must shrug it off and replay the
+//!   intact prefix. Truncation at *any* byte offset therefore yields
+//!   `Ok` with a prefix of the original entries — never an error, never
+//!   a panic.
+//! - **Interior corruption is fatal and typed.** A damaged line that
+//!   *is* newline-terminated was durable before the crash; silently
+//!   skipping it would replay a different history than the dead daemon
+//!   served. The parser must refuse with a typed error naming the
+//!   journal line, or — when a bit flip happens to keep the line valid
+//!   JSON — keep parsing deterministically.
+//! - **Replay plans never resurrect finished work.** However job and
+//!   done lines interleave (including spurious done lines for jobs that
+//!   were never journaled), pending is exactly journaled-minus-done, in
+//!   admission order.
+
+use rtped::core::check::{boolean, vec_of};
+use rtped::core::{check, check_assert, check_assert_eq, ToJson};
+use rtped_serve::{parse_journal, replay_plans, FrameSpec, JournalEntry, JournaledJob};
+
+fn job(tenant: &str, index: usize, seed: u64) -> JournaledJob {
+    JournaledJob {
+        tenant: tenant.into(),
+        job: format!("job-{index}"),
+        fault_seed: seed.is_multiple_of(3).then_some(seed),
+        frame: FrameSpec::Synthetic {
+            width: 96,
+            height: 160,
+            seed,
+        },
+    }
+}
+
+/// A well-formed journal: `n` jobs across two tenants (one software, one
+/// integrity), each followed by a done line where `done[i]` says so.
+fn build_journal(n: usize, seeds: &[u64], done: &[bool]) -> (Vec<JournalEntry>, String) {
+    let mut entries = Vec::new();
+    for i in 0..n {
+        let seed = seeds[i % seeds.len()];
+        let tenant = if seed.is_multiple_of(2) {
+            "cam-a"
+        } else {
+            "hw:cam-b"
+        };
+        let j = job(tenant, i, seed);
+        entries.push(JournalEntry::Job(j.clone()));
+        if done[i % done.len()] {
+            entries.push(JournalEntry::Done {
+                tenant: j.tenant.clone(),
+                job: j.job.clone(),
+            });
+        }
+    }
+    let mut text = String::new();
+    for entry in &entries {
+        text.push_str(&entry.to_json().to_string());
+        text.push('\n');
+    }
+    (entries, text)
+}
+
+check! {
+    #![cases = 64]
+
+    fn truncation_at_any_byte_yields_an_intact_prefix(
+        n in 1usize..10,
+        seeds in vec_of(0u64..1000, 10),
+        done in vec_of(boolean(), 10),
+        cut in 0usize..10_000,
+    ) {
+        let (entries, text) = build_journal(n, &seeds, &done);
+        let bytes = text.as_bytes();
+        let cut = cut % (bytes.len() + 1);
+        // Any prefix of a well-formed journal parses: whole lines
+        // survive, the torn tail (if any) is ignored.
+        let parsed = parse_journal(&bytes[..cut]).unwrap();
+        check_assert!(parsed.len() <= entries.len());
+        check_assert_eq!(parsed.as_slice(), &entries[..parsed.len()]);
+        // And the prefix still produces a sane replay plan.
+        for (_, plan) in replay_plans(&parsed) {
+            let ids: Vec<&str> = plan.jobs.iter().map(|j| j.job.as_str()).collect();
+            for pending in &plan.pending {
+                check_assert!(ids.contains(&pending.as_str()));
+            }
+        }
+    }
+
+    fn interior_bit_flips_never_panic_and_errors_name_the_line(
+        n in 2usize..8,
+        seeds in vec_of(0u64..1000, 8),
+        done in vec_of(boolean(), 8),
+        byte in 0usize..10_000,
+        bit in 0u32..8,
+    ) {
+        let (_, text) = build_journal(n, &seeds, &done);
+        let mut bytes = text.into_bytes();
+        let byte = byte % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        match parse_journal(&bytes) {
+            // The flip kept every line valid (it hit a digit, a string
+            // character, or the torn-off tail after clobbering the last
+            // newline) — replay must still be well-formed.
+            Ok(parsed) => {
+                for (_, plan) in replay_plans(&parsed) {
+                    let ids: Vec<&str> =
+                        plan.jobs.iter().map(|j| j.job.as_str()).collect();
+                    for pending in &plan.pending {
+                        check_assert!(ids.contains(&pending.as_str()));
+                    }
+                }
+            }
+            // Interior corruption: typed, and it names the culprit line.
+            Err(err) => {
+                check_assert!(
+                    err.to_string().contains("journal line"),
+                    "corruption error should name the line: {}",
+                    err
+                );
+            }
+        }
+    }
+
+    fn interleaved_done_lines_leave_exactly_the_unfinished_pending(
+        n in 1usize..10,
+        seeds in vec_of(0u64..1000, 10),
+        done in vec_of(boolean(), 10),
+    ) {
+        let (entries, _) = build_journal(n, &seeds, &done);
+        // Spurious done lines — for a job never journaled and for a
+        // tenant never seen — must be no-ops, even ahead of every job.
+        let mut noisy = vec![
+            JournalEntry::Done {
+                tenant: String::from("cam-a"),
+                job: String::from("job-ghost"),
+            },
+            JournalEntry::Done {
+                tenant: String::from("cam-never"),
+                job: String::from("job-0"),
+            },
+        ];
+        noisy.extend(entries.iter().cloned());
+        for (tenant, plan) in replay_plans(&noisy) {
+            check_assert!(tenant != "cam-never");
+            // Pending is journaled-minus-done, in admission order.
+            let finished: Vec<&str> = noisy
+                .iter()
+                .filter_map(|e| match e {
+                    JournalEntry::Done { tenant: t, job } if *t == tenant => {
+                        Some(job.as_str())
+                    }
+                    _ => None,
+                })
+                .collect();
+            let expect: Vec<&str> = plan
+                .jobs
+                .iter()
+                .map(|j| j.job.as_str())
+                .filter(|id| !finished.contains(id))
+                .collect();
+            let got: Vec<&str> = plan.pending.iter().map(String::as_str).collect();
+            check_assert_eq!(got, expect);
+        }
+    }
+
+    fn torn_tail_tolerated_but_interior_garbage_fatal(
+        n in 1usize..8,
+        seeds in vec_of(0u64..1000, 8),
+        done in vec_of(boolean(), 8),
+        line in 0usize..8,
+    ) {
+        let (entries, text) = build_journal(n, &seeds, &done);
+        // Garbage without a trailing newline is a torn write: ignored.
+        let torn = format!("{text}{{\"format\": 1, \"kind\": \"jour");
+        check_assert_eq!(parse_journal(torn.as_bytes()).unwrap(), entries);
+        // The same garbage newline-terminated in the interior is fatal.
+        let lines: Vec<&str> = text.lines().collect();
+        let at = line % lines.len();
+        let mut corrupt = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            if i == at {
+                corrupt.push_str("%% not a journal entry %%\n");
+            }
+            corrupt.push_str(l);
+            corrupt.push('\n');
+        }
+        let err = parse_journal(corrupt.as_bytes()).unwrap_err();
+        check_assert!(
+            err.to_string().contains(&format!("journal line {}", at + 1)),
+            "error should pin the corrupt line: {}",
+            err
+        );
+    }
+}
