@@ -39,6 +39,11 @@ ecc_smoke=$(cargo run --release --offline --example soft_error_smoke)
 grep -q '"integrity":{' <<<"$ecc_smoke"
 grep -q 'soft_error_smoke: ok' <<<"$ecc_smoke"
 
+echo "== shard_failover_smoke (seed 2017 storm on a 4-shard fleet: quarantine, bit-identical failover, zero escapes) =="
+shard_smoke=$(cargo run --release --offline --example shard_failover_smoke)
+grep -q '"shards":{' <<<"$shard_smoke"
+grep -q 'shard_failover_smoke: ok' <<<"$shard_smoke"
+
 echo "== rtped-serve smoke (daemon on ephemeral port, load generator, clean shutdown) =="
 cargo build --release --offline -p rtped-serve -p rtped-bench --bin rtped-serve --bin bench_serve
 serve_log=$(mktemp)
@@ -73,6 +78,7 @@ fleet_log=$(mktemp)
 RTPED_THREADS=1 ./target/release/rtped-fleet --quick --out "$fleet_a" >"$fleet_log"
 grep -q 'rtped-fleet: campaign ok' "$fleet_log"
 grep -q '0 integrity escapes' "$fleet_log"
+grep -Eq '[1-9][0-9]* shard quarantines' "$fleet_log"
 grep -q 'rtped-fleet: chaos ok (0 divergences' "$fleet_log"
 RTPED_THREADS=4 ./target/release/rtped-fleet --quick --out "$fleet_b" >/dev/null
 if ! diff -q "$fleet_a" "$fleet_b" >/dev/null; then
@@ -87,12 +93,30 @@ echo "== BENCH_fleet.json (committed full-campaign artifact: schema + invariants
 grep -q '"format": 1' BENCH_fleet.json
 grep -q '"bench": "fleet"' BENCH_fleet.json
 grep -q '"quick": false' BENCH_fleet.json
-grep -q '"runs": 1008' BENCH_fleet.json
+grep -q '"runs": 2016' BENCH_fleet.json
 grep -q '"digest"' BENCH_fleet.json
 grep -q '"post_recovery_identical": true' BENCH_fleet.json
+grep -q '"shard_quarantines"' BENCH_fleet.json
 if grep -E '"(integrity_escapes|divergences|daemon_panics|client_hangs|protocol_violations|retry_exhausted)": [^0]' BENCH_fleet.json; then
     echo "BENCH_fleet.json: a must-be-zero invariant is nonzero" >&2
     exit 1
 fi
+
+echo "== results_table2.txt regen check (committed table matches the cost model) =="
+cargo run --release --offline -p rtped-bench --bin table2 | diff - results_table2.txt
+
+echo "== BENCH_hw_shard.json regen check (cycle model is byte-stable) =="
+shard_baseline=$(mktemp)
+cp BENCH_hw_shard.json "$shard_baseline"
+cargo run --release --offline -p rtped-bench --bin hw_shard >/dev/null
+if ! diff -q "$shard_baseline" BENCH_hw_shard.json >/dev/null; then
+    echo "BENCH_hw_shard.json: regenerated baseline differs from the committed one" >&2
+    diff "$shard_baseline" BENCH_hw_shard.json >&2 || true
+    exit 1
+fi
+grep -q '"bench": "hw_shard"' BENCH_hw_shard.json
+grep -q '"budget_cycles_60fps": 2083333' BENCH_hw_shard.json
+grep -q '"meets_60fps": true' BENCH_hw_shard.json
+rm -f "$shard_baseline"
 
 echo "ci.sh: all green"

@@ -22,6 +22,7 @@ fn main() {
         "ablation_quantization",
         "ablation_norm",
         "crossover",
+        "hw_shard",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe path")

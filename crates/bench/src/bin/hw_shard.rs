@@ -1,0 +1,194 @@
+//! Shard-scaling study on the cycle-accurate schedule model: for each
+//! shard geometry and fleet width, the frame latency is the slowest
+//! band's schedule (`band_cycles` of the largest band plus its halo),
+//! because bands execute concurrently and merge bit-identically.
+//!
+//! Prints per-geometry scaling tables for HDTV (1920×1080) and 4K UHD
+//! (3840×2160) and a 4K@60 fps feasibility verdict per configuration —
+//! which (shards × geometry) points meet the 125 MHz frame budget, and
+//! whether the replicated design still fits the paper's ZC7020 or needs
+//! the larger device §5 alludes to. Writes the committed
+//! `BENCH_hw_shard.json` baseline (canonical `rtped_core::json` bytes;
+//! the model is pure integer arithmetic, so the file is byte-stable
+//! across hosts).
+
+use rtped_core::json::{obj, Json};
+use rtped_eval::report::{float, Table};
+use rtped_hw::resources::{DeviceCapacity, ResourceModel};
+use rtped_hw::shard::bands;
+use rtped_hw::{ClockDomain, ShardGeometry};
+
+/// Window height in cells: a band's halo adds this minus one strip rows.
+const WINDOW_CELL_ROWS: usize = 16;
+
+/// One frame class of the study.
+struct FrameClass {
+    name: &'static str,
+    cells_x: usize,
+    cells_y: usize,
+}
+
+impl FrameClass {
+    /// Window strips in the frame (`cells_y − 15`).
+    fn strips(&self) -> usize {
+        self.cells_y - (WINDOW_CELL_ROWS - 1)
+    }
+}
+
+/// Frame latency of an N-shard fleet: bands run concurrently, so the
+/// frame is done when the largest band (plus halo) finishes.
+fn fleet_frame_cycles(geometry: ShardGeometry, frame: &FrameClass, shards: usize) -> u64 {
+    bands(frame.strips(), shards)
+        .iter()
+        .map(|b| geometry.band_cycles(frame.cells_x, b.strips()))
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let clock = ClockDomain::MHZ_125;
+    let budget = clock.cycles_per_frame_at(60.0);
+    let device = DeviceCapacity::zc7020();
+    let frames = [
+        FrameClass {
+            name: "1080p",
+            cells_x: 240,
+            cells_y: 135,
+        },
+        FrameClass {
+            name: "4k",
+            cells_x: 480,
+            cells_y: 270,
+        },
+    ];
+    let geometries = [
+        ("paper", ShardGeometry::paper()),
+        (
+            "lean-mac",
+            ShardGeometry::new(16, 2, 18).expect("valid geometry"),
+        ),
+        (
+            "wide",
+            ShardGeometry::new(32, 16, 36).expect("valid geometry"),
+        ),
+    ];
+    let shard_counts = [1usize, 2, 4, 8];
+
+    // Sanity anchor: one paper-geometry shard owning all of HDTV must
+    // reproduce the paper's 1,200,420-cycle classifier schedule.
+    assert_eq!(
+        fleet_frame_cycles(ShardGeometry::paper(), &frames[0], 1),
+        1_200_420
+    );
+
+    let mut configs: Vec<Json> = Vec::new();
+    for (gname, geometry) in &geometries {
+        let mut table = Table::new(
+            &format!(
+                "Shard scaling, geometry {} ({}): slowest band per fleet width",
+                gname,
+                geometry.label()
+            ),
+            &[
+                "Shards",
+                "1080p cycles",
+                "1080p fps",
+                "4K cycles",
+                "4K fps",
+                "4K@60",
+                "Fits ZC7020",
+            ],
+        );
+        for &shards in &shard_counts {
+            let hd = fleet_frame_cycles(*geometry, &frames[0], shards);
+            let uhd = fleet_frame_cycles(*geometry, &frames[1], shards);
+            let resources = ResourceModel::with_geometry(2, false, *geometry, shards);
+            let totals = resources.totals();
+            let fits = resources.fits(&device);
+            table.row_owned(vec![
+                shards.to_string(),
+                hd.to_string(),
+                float(clock.fps(hd), 1),
+                uhd.to_string(),
+                float(clock.fps(uhd), 1),
+                if uhd <= budget { "meets" } else { "MISSES" }.to_string(),
+                if fits { "yes" } else { "no" }.to_string(),
+            ]);
+            let frame_entries: Vec<Json> = frames
+                .iter()
+                .map(|f| {
+                    let cycles = fleet_frame_cycles(*geometry, f, shards);
+                    // Hundredths of a frame per second, kept integral so
+                    // the committed baseline is byte-stable.
+                    let fps_x100 = 125_000_000u64 * 100 / cycles;
+                    obj([
+                        ("frame", Json::String(f.name.to_string())),
+                        ("cells_x", (f.cells_x as u64).into()),
+                        ("cells_y", (f.cells_y as u64).into()),
+                        ("strips", (f.strips() as u64).into()),
+                        ("cycles", cycles.into()),
+                        ("fps_x100", fps_x100.into()),
+                        ("meets_60fps", Json::Bool(cycles <= budget)),
+                    ])
+                })
+                .collect();
+            configs.push(obj([
+                ("geometry", Json::String(geometry.label())),
+                ("geometry_name", Json::String((*gname).to_string())),
+                ("shards", (shards as u64).into()),
+                ("column_cycles", geometry.column_cycles().into()),
+                ("fill_cycles", geometry.fill_cycles().into()),
+                ("frames", Json::Array(frame_entries)),
+                (
+                    "resources",
+                    obj([
+                        ("lut", u64::from(totals.lut).into()),
+                        ("ff", u64::from(totals.ff).into()),
+                        ("lutram", u64::from(totals.lutram).into()),
+                        // Halves keep the 36-kbit block count integral.
+                        ("bram_halves", ((totals.bram * 2.0) as u64).into()),
+                        ("dsp", u64::from(totals.dsp).into()),
+                        ("fits_zc7020", Json::Bool(fits)),
+                    ]),
+                ),
+            ]));
+        }
+        println!("{}", table.render());
+    }
+
+    let feasible: Vec<String> = configs
+        .iter()
+        .filter(|c| {
+            c.get("frames")
+                .and_then(Json::as_array)
+                .map(|fs| {
+                    fs.iter().any(|f| {
+                        f.get("frame").and_then(Json::as_str) == Some("4k")
+                            && f.get("meets_60fps") == Some(&Json::Bool(true))
+                    })
+                })
+                .unwrap_or(false)
+        })
+        .map(|c| {
+            format!(
+                "{}x{}",
+                c.get("shards").and_then(Json::as_u64).unwrap_or(0),
+                c.get("geometry").and_then(Json::as_str).unwrap_or("?")
+            )
+        })
+        .collect();
+    println!(
+        "4K@60fps budget is {budget} cycles at 125 MHz; feasible points: {}",
+        feasible.join(", ")
+    );
+
+    let json = obj([
+        ("format", 1u64.into()),
+        ("bench", Json::String("hw_shard".to_string())),
+        ("clock_mhz", 125u64.into()),
+        ("budget_cycles_60fps", budget.into()),
+        ("configs", Json::Array(configs)),
+    ]);
+    std::fs::write("BENCH_hw_shard.json", json.to_string_pretty()).expect("write shard baseline");
+    println!("wrote BENCH_hw_shard.json");
+}

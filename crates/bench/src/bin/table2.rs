@@ -9,6 +9,7 @@
 
 use rtped_eval::report::{float, Table};
 use rtped_hw::resources::{DeviceCapacity, ResourceModel};
+use rtped_hw::ShardGeometry;
 
 fn print_totals(title: &str, model: &ResourceModel) {
     let device = DeviceCapacity::zc7020();
@@ -81,6 +82,60 @@ fn main() {
         ]);
     }
     println!("{}", scaling.render());
+
+    let mut geometry_table = Table::new(
+        "Shard-geometry ablation (2 scales, shift-add, 1 shard)",
+        &[
+            "Geometry",
+            "LUT",
+            "FF",
+            "LUTRAM",
+            "BRAM",
+            "DSP48",
+            "Column cyc",
+        ],
+    );
+    for (banks, macbars, rows) in [(16, 8, 18), (16, 2, 18), (32, 16, 36), (64, 32, 135)] {
+        let geometry = ShardGeometry::new(banks, macbars, rows).expect("valid geometry");
+        let t = ResourceModel::with_geometry(2, false, geometry, 1).totals();
+        geometry_table.row_owned(vec![
+            geometry.label(),
+            t.lut.to_string(),
+            t.ff.to_string(),
+            t.lutram.to_string(),
+            float(t.bram, 1),
+            t.dsp.to_string(),
+            geometry.column_cycles().to_string(),
+        ]);
+    }
+    println!("{}", geometry_table.render());
+
+    let mut shard_table = Table::new(
+        "Shard replication (paper geometry, 2 scales): datapath per shard, shared clocking",
+        &[
+            "Shards",
+            "LUT",
+            "FF",
+            "BRAM",
+            "DSP48",
+            "BUFG",
+            "Fits ZC7020",
+        ],
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let m = ResourceModel::with_geometry(2, false, ShardGeometry::paper(), shards);
+        let t = m.totals();
+        shard_table.row_owned(vec![
+            shards.to_string(),
+            t.lut.to_string(),
+            t.ff.to_string(),
+            float(t.bram, 1),
+            t.dsp.to_string(),
+            t.bufg.to_string(),
+            if m.fits(&device) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", shard_table.render());
 
     println!(
         "Paper reference (Table 2): 26051 LUT (49.61%), 40190 FF, 383 LUTRAM,\n\

@@ -28,6 +28,10 @@ pub struct EngineSlice {
     pub worst_latency_ms: f64,
     /// Silent integrity escapes (must stay zero).
     pub integrity_escapes: u64,
+    /// Shard quarantines across this slice's runs (sharded kinds only).
+    pub shard_quarantines: u64,
+    /// Bands failed over to healthy shards (sharded kinds only).
+    pub shard_failovers: u64,
 }
 
 /// The fleet-level aggregate of one campaign.
@@ -52,8 +56,14 @@ pub struct FleetAggregate {
     /// Instances that degraded and then recovered.
     pub recovered_runs: usize,
     /// Silent integrity escapes across the whole fleet. The acceptance
-    /// invariant: this must be zero.
+    /// invariant: this must be zero — including (especially) on the
+    /// sharded engine kinds, where every quarantined band must fail over
+    /// loudly rather than escape.
     pub integrity_escapes: u64,
+    /// Shard quarantines across the whole fleet.
+    pub shard_quarantines: u64,
+    /// Shard-band failovers across the whole fleet.
+    pub shard_failovers: u64,
     /// Per-engine-kind slices, keyed by engine label.
     pub engines: BTreeMap<String, EngineSlice>,
     /// FNV-1a digest over every run report's canonical JSON, in spec
@@ -86,6 +96,8 @@ impl FleetAggregate {
         let mut deadline_misses = 0usize;
         let mut recovered_runs = 0usize;
         let mut integrity_escapes = 0u64;
+        let mut shard_quarantines = 0u64;
+        let mut shard_failovers = 0u64;
         let mut frames = 0usize;
         let mut digest = 0xcbf2_9ce4_8422_2325u64;
         for (spec, report) in rows {
@@ -95,6 +107,12 @@ impl FleetAggregate {
             deadline_misses += misses;
             let escapes = report.integrity_escapes();
             integrity_escapes += escapes;
+            let (quarantines, failovers) = report
+                .integrity
+                .as_ref()
+                .map_or((0, 0), |i| (i.shard_quarantines, i.shard_failovers));
+            shard_quarantines += quarantines;
+            shard_failovers += failovers;
             if report.degraded_and_recovered() {
                 recovered_runs += 1;
             }
@@ -126,12 +144,16 @@ impl FleetAggregate {
                     deadline_misses: 0,
                     worst_latency_ms: 0.0,
                     integrity_escapes: 0,
+                    shard_quarantines: 0,
+                    shard_failovers: 0,
                 });
             slice.runs += 1;
             slice.frames += report.frames.len();
             slice.deadline_misses += misses;
             slice.worst_latency_ms = slice.worst_latency_ms.max(report.worst_latency_ms());
             slice.integrity_escapes += escapes;
+            slice.shard_quarantines += quarantines;
+            slice.shard_failovers += failovers;
             // Chain per-report digests: hash the canonical bytes, then
             // fold the hash into the running FNV state.
             let report_hash = fnv1a(report.to_json().to_string().as_bytes());
@@ -150,6 +172,8 @@ impl FleetAggregate {
             dwell,
             recovered_runs,
             integrity_escapes,
+            shard_quarantines,
+            shard_failovers,
             engines,
             digest,
         }
@@ -189,6 +213,8 @@ impl ToJson for FleetAggregate {
                             ("deadline_misses", s.deadline_misses.into()),
                             ("worst_latency_ms", s.worst_latency_ms.into()),
                             ("integrity_escapes", s.integrity_escapes.into()),
+                            ("shard_quarantines", s.shard_quarantines.into()),
+                            ("shard_failovers", s.shard_failovers.into()),
                         ]),
                     )
                 })
@@ -206,6 +232,8 @@ impl ToJson for FleetAggregate {
             ("dwell", counts_to_json(&self.dwell)),
             ("recovered_runs", self.recovered_runs.into()),
             ("integrity_escapes", self.integrity_escapes.into()),
+            ("shard_quarantines", self.shard_quarantines.into()),
+            ("shard_failovers", self.shard_failovers.into()),
             ("engines", engines),
             // u64 digests exceed f64-exact range; serialize as hex text.
             ("digest", Json::String(format!("{:016x}", self.digest))),
@@ -237,5 +265,30 @@ mod tests {
         let a = fold();
         assert_eq!(a, fold());
         assert!(a.contains("\"integrity_escapes\""));
+    }
+
+    #[test]
+    fn sharded_kinds_exercise_failover_with_zero_escapes() {
+        // Every quick-campaign cell pairing the shard storm with a
+        // sharded engine: quarantines must fire and nothing may escape.
+        let specs: Vec<_> = campaign(CampaignScale::Quick)
+            .into_iter()
+            .filter(|s| {
+                s.fault == crate::grid::FaultKind::ShardStorm
+                    && s.engine.label().starts_with("integrity_shard")
+            })
+            .collect();
+        assert!(!specs.is_empty(), "quick grid lost its shard-storm cells");
+        let reports = crate::grid::execute(&specs, Some(2)).unwrap();
+        let rows: Vec<_> = specs.iter().cloned().zip(reports).collect();
+        let aggregate = FleetAggregate::from_runs(&rows);
+        assert!(aggregate.shard_quarantines > 0, "storm never quarantined");
+        // Every quarantine fails its band over, and cooldown frames keep
+        // reassigning the quarantined shard's bands without a new
+        // quarantine event — so failovers dominate.
+        assert!(aggregate.shard_failovers >= aggregate.shard_quarantines);
+        for (label, slice) in &aggregate.engines {
+            assert_eq!(slice.integrity_escapes, 0, "{label} let faults escape");
+        }
     }
 }

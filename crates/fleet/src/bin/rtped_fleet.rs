@@ -7,7 +7,7 @@
 //! Runs both phases and writes the benchmark artifact:
 //!
 //! 1. **Campaign**: the full grid (≥ 1000 seeded runtime instances at
-//!    full scale; a 24-instance smoke with `--quick`) executed through
+//!    full scale; a 48-instance smoke with `--quick`) executed through
 //!    `rtped_core::par` and folded into a [`FleetAggregate`]. The
 //!    aggregate JSON is byte-identical across runs, hosts, and
 //!    `RTPED_THREADS` — ci.sh runs the quick campaign at two thread
@@ -95,9 +95,20 @@ fn run(args: &Args) -> Result<(), Error> {
             aggregate.integrity_escapes
         )));
     }
+    if aggregate.shard_quarantines == 0 || aggregate.shard_failovers < aggregate.shard_quarantines {
+        return Err(Error::format(format!(
+            "shard-storm cells must exercise quarantine and failover \
+             (saw {} quarantines, {} failovers)",
+            aggregate.shard_quarantines, aggregate.shard_failovers
+        )));
+    }
     println!(
-        "rtped-fleet: campaign ok ({} instances, {} integrity escapes)",
-        aggregate.runs, aggregate.integrity_escapes
+        "rtped-fleet: campaign ok ({} instances, {} integrity escapes, \
+         {} shard quarantines, {} failovers)",
+        aggregate.runs,
+        aggregate.integrity_escapes,
+        aggregate.shard_quarantines,
+        aggregate.shard_failovers
     );
 
     // Phase 2: chaos against a live daemon. The journal path carries the

@@ -199,9 +199,14 @@ impl ToJson for ChaosReport {
 }
 
 /// Worker `w`'s tenant: every fourth worker exercises the integrity
-/// engine, like the serve benchmark's fleet mix.
+/// engine, like the serve benchmark's fleet mix, and every eighth (among
+/// those) the four-shard fleet variant — so chaos traffic exercises
+/// shard quarantine and failover through the wire, not just the campaign
+/// grid.
 fn worker_tenant(worker: usize) -> String {
-    if worker.is_multiple_of(4) {
+    if worker.is_multiple_of(8) {
+        format!("hw4:cam-w{worker}")
+    } else if worker.is_multiple_of(4) {
         format!("hw:cam-w{worker}")
     } else {
         format!("cam-w{worker}")
@@ -410,14 +415,17 @@ fn drive_connection(
 }
 
 /// The crash-window jobs injected after the drain: journaled, never
-/// served — exactly what a daemon killed mid-request leaves behind.
+/// served — exactly what a daemon killed mid-request leaves behind. Odd
+/// entries land on the four-shard tenant with a fault seed, so recovery
+/// replays quarantine-and-failover frames and the replica check proves
+/// the failed-over output is bit-identical.
 fn crash_window_entries(count: usize) -> Vec<JournaledJob> {
     (0..count)
         .map(|k| JournaledJob {
             tenant: if k % 2 == 0 {
                 String::from("cam-w1")
             } else {
-                String::from("hw:cam-w0")
+                String::from("hw4:cam-w0")
             },
             job: format!("crash-{k:03}"),
             fault_seed: Some(k as u64),
@@ -636,7 +644,7 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosReport, Error> {
             // Check 4: a fresh probe frame served by the recovered
             // daemon matches the same probe served by the replica —
             // byte-identical post-recovery engine state.
-            for name in ["cam-w1", "hw:cam-w0"] {
+            for name in ["cam-w1", "hw4:cam-w0"] {
                 let probe = probe_job(name);
                 let want = replica
                     .get_mut(name)

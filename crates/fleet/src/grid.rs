@@ -27,6 +27,10 @@ pub enum FaultKind {
     /// Radiation-style soft errors at 2% per frame, exercising the
     /// integrity layer's ECC/lockstep machinery.
     SoftErrors,
+    /// A heavy soft-error storm (50% of frames struck, double-bit upsets
+    /// included), exercising shard quarantine and bit-identical failover
+    /// in the sharded engine kinds.
+    ShardStorm,
 }
 
 impl FaultKind {
@@ -37,6 +41,7 @@ impl FaultKind {
             FaultKind::Clean => "clean",
             FaultKind::Stress => "stress",
             FaultKind::SoftErrors => "soft_errors",
+            FaultKind::ShardStorm => "shard_storm",
         }
     }
 
@@ -50,6 +55,7 @@ impl FaultKind {
             },
             FaultKind::Stress => FaultPlan::stress(seed),
             FaultKind::SoftErrors => FaultPlan::soft_errors(seed, 0.02),
+            FaultKind::ShardStorm => FaultPlan::soft_errors(seed, 0.5),
         }
     }
 }
@@ -108,17 +114,23 @@ pub enum EngineKind {
     /// Integrity-instrumented accelerator model with ECC off — the
     /// pre-integrity baseline, where soft errors land unprotected.
     IntegrityEccOff,
+    /// Two-shard fleet with SECDED ECC, quarantine, and failover.
+    IntegrityShard2,
+    /// Four-shard fleet with SECDED ECC, quarantine, and failover.
+    IntegrityShard4,
 }
 
 impl EngineKind {
     /// All engine kinds, in grid order.
     #[must_use]
-    pub fn all() -> [EngineKind; 4] {
+    pub fn all() -> [EngineKind; 6] {
         [
             EngineKind::SoftwareF32,
             EngineKind::SoftwareI16,
             EngineKind::IntegritySecded,
             EngineKind::IntegrityEccOff,
+            EngineKind::IntegrityShard2,
+            EngineKind::IntegrityShard4,
         ]
     }
 
@@ -130,6 +142,8 @@ impl EngineKind {
             EngineKind::SoftwareI16 => "software_i16",
             EngineKind::IntegritySecded => "integrity_secded",
             EngineKind::IntegrityEccOff => "integrity_ecc_off",
+            EngineKind::IntegrityShard2 => "integrity_shard2",
+            EngineKind::IntegrityShard4 => "integrity_shard4",
         }
     }
 
@@ -142,6 +156,8 @@ impl EngineKind {
             EngineKind::IntegritySecded | EngineKind::IntegrityEccOff => {
                 format!("{HW_TENANT_PREFIX}cam-fleet")
             }
+            EngineKind::IntegrityShard2 => String::from("hw2:cam-fleet"),
+            EngineKind::IntegrityShard4 => String::from("hw4:cam-fleet"),
         }
     }
 
@@ -250,9 +266,9 @@ pub enum CampaignScale {
 
 /// Lays out the campaign grid for `scale`, in deterministic order.
 ///
-/// Full scale: 3 faults × 3 scenarios × 4 engines × 2 budgets × 14 seeds
-/// = 1008 instances of 12 frames each. Quick scale: 3 faults × 1
-/// scenario × 4 engines × 1 budget × 2 seeds = 24 instances of 6 frames.
+/// Full scale: 4 faults × 3 scenarios × 6 engines × 2 budgets × 14 seeds
+/// = 2016 instances of 12 frames each. Quick scale: 4 faults × 1
+/// scenario × 6 engines × 1 budget × 2 seeds = 48 instances of 6 frames.
 #[must_use]
 pub fn campaign(scale: CampaignScale) -> Vec<RunSpec> {
     let (scenario_count, budgets, seeds, frames): (usize, &[f64], u64, usize) = match scale {
@@ -260,7 +276,12 @@ pub fn campaign(scale: CampaignScale) -> Vec<RunSpec> {
         CampaignScale::Full => (3, &[15.0, 8.0], 14, 12),
     };
     let mut specs = Vec::new();
-    for fault in [FaultKind::Clean, FaultKind::Stress, FaultKind::SoftErrors] {
+    for fault in [
+        FaultKind::Clean,
+        FaultKind::Stress,
+        FaultKind::SoftErrors,
+        FaultKind::ShardStorm,
+    ] {
         for scenario in scenarios().into_iter().take(scenario_count) {
             for engine in EngineKind::all() {
                 for &budget_ms in budgets {
@@ -309,10 +330,10 @@ mod tests {
     #[test]
     fn grid_layout_is_deterministic_and_full_scale_clears_1000() {
         let quick = campaign(CampaignScale::Quick);
-        assert_eq!(quick.len(), 24);
+        assert_eq!(quick.len(), 48);
         assert_eq!(quick, campaign(CampaignScale::Quick));
         let full = campaign(CampaignScale::Full);
-        assert_eq!(full.len(), 1008);
+        assert_eq!(full.len(), 2016);
         assert!(full.len() >= 1000);
         // Every instance seed is unique: no two runs share fault and
         // frame streams.
@@ -337,6 +358,27 @@ mod tests {
         let a = spec.run().unwrap().to_json().to_string();
         let b = spec.run().unwrap().to_json().to_string();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_kinds_reach_the_sharded_engine_and_survive_storms() {
+        use rtped_core::ToJson;
+        let spec = RunSpec {
+            fault: FaultKind::ShardStorm,
+            scenario: scenarios()[0],
+            engine: EngineKind::IntegrityShard4,
+            budget_ms: 15.0,
+            frames: 6,
+            seed: 11,
+        };
+        let report = spec.run().unwrap();
+        let integrity = report.integrity.as_ref().expect("integrity report");
+        // The storm's double-bit upsets must surface as quarantines (and
+        // failovers), never as silent escapes.
+        assert!(integrity.shard_quarantines > 0, "storm never quarantined");
+        assert!(integrity.shard_failovers >= integrity.shard_quarantines);
+        let payload = report.to_json().to_string();
+        assert!(payload.contains("\"shards\""), "report lacks shard block");
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub const ECC_ENV: &str = "RTPED_ECC";
 /// any incompatible change — readers reject mismatches with a typed
 /// error instead of misdecoding, the same evolution policy
 /// `rtped_svm::io` uses for model files.
-pub const REPORT_FORMAT_VERSION: u64 = 1;
+///
+/// Version history: 1 = PR 4 single-instance counters; 2 = adds the
+/// `"shards"` block (quarantines / failovers / exhausted frames) for the
+/// sharded fleet model.
+pub const REPORT_FORMAT_VERSION: u64 = 2;
 
 /// Which integrity mechanisms are armed.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,6 +182,20 @@ pub enum IntegrityFault {
         /// Windows the schedule guarantees.
         expected: usize,
     },
+    /// A shard faulted mid-frame and was sidelined; its band failed over
+    /// to a healthy shard.
+    ShardQuarantine {
+        /// The quarantined shard.
+        shard: usize,
+        /// Frames the shard sits out before rejoining.
+        cooldown_frames: u32,
+    },
+    /// Every shard is quarantined — the fleet has no healthy capacity and
+    /// the frame produced no output.
+    FleetExhausted {
+        /// Configured shard count.
+        shards: u64,
+    },
 }
 
 impl IntegrityFault {
@@ -190,6 +208,8 @@ impl IntegrityFault {
             IntegrityFault::LockstepDivergence { .. } => "lockstep_divergence",
             IntegrityFault::WatchdogOverrun { .. } => "watchdog_overrun",
             IntegrityFault::WatchdogStall { .. } => "watchdog_stall",
+            IntegrityFault::ShardQuarantine { .. } => "shard_quarantine",
+            IntegrityFault::FleetExhausted { .. } => "fleet_exhausted",
         }
     }
 }
@@ -230,11 +250,31 @@ impl fmt::Display for IntegrityFault {
                 f,
                 "strip {strip} stalled: {windows} of {expected} windows retired"
             ),
+            IntegrityFault::ShardQuarantine {
+                shard,
+                cooldown_frames,
+            } => write!(
+                f,
+                "shard {shard} quarantined for {cooldown_frames} frame(s); band failed over"
+            ),
+            IntegrityFault::FleetExhausted { shards } => {
+                write!(f, "all {shards} shard(s) quarantined; frame not served")
+            }
         }
     }
 }
 
 impl std::error::Error for IntegrityFault {}
+
+/// One shard quarantined during a frame: which shard, and how long its
+/// hysteretic cooldown runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardQuarantineEvent {
+    /// The quarantined shard.
+    pub shard: usize,
+    /// Frames the shard sits out before rejoining.
+    pub cooldown: u32,
+}
 
 /// Everything the integrity layer observed on one frame.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -255,6 +295,16 @@ pub struct FrameIntegrity {
     pub watchdog_events: Vec<WatchdogEvent>,
     /// Lockstep comparison, when the second channel ran.
     pub lockstep: Option<LockstepReport>,
+    /// Shards quarantined this frame, in quarantine order.
+    pub shard_quarantines: Vec<ShardQuarantineEvent>,
+    /// Bands re-executed on a substitute shard this frame.
+    pub shard_failovers: u64,
+    /// Healthy shards that served bands this frame (0 for the unsharded
+    /// pipeline, where the single instance is implicit).
+    pub shards_active: u64,
+    /// `Some(shard_count)` when every shard was quarantined and the frame
+    /// produced no output.
+    pub fleet_exhausted: Option<u64>,
 }
 
 impl FrameIntegrity {
@@ -298,6 +348,15 @@ impl FrameIntegrity {
                 },
             });
         }
+        for event in &self.shard_quarantines {
+            faults.push(IntegrityFault::ShardQuarantine {
+                shard: event.shard,
+                cooldown_frames: event.cooldown,
+            });
+        }
+        if let Some(shards) = self.fleet_exhausted {
+            faults.push(IntegrityFault::FleetExhausted { shards });
+        }
         faults
     }
 }
@@ -340,6 +399,12 @@ pub struct IntegrityReport {
     pub lockstep_divergences: u64,
     /// Worst lockstep divergence seen anywhere in the run.
     pub lockstep_max_divergence: f64,
+    /// Shard quarantine events across the run.
+    pub shard_quarantines: u64,
+    /// Bands re-executed on a substitute shard across the run.
+    pub shard_failovers: u64,
+    /// Frames dropped because every shard was quarantined.
+    pub fleet_exhausted_frames: u64,
     /// Degradation-controller escalations attributed to integrity faults.
     pub escalations: u64,
     /// Frames where an uncorrectable detection did NOT surface as a fault
@@ -369,6 +434,9 @@ impl IntegrityReport {
             lockstep_strips: 0,
             lockstep_divergences: 0,
             lockstep_max_divergence: 0.0,
+            shard_quarantines: 0,
+            shard_failovers: 0,
+            fleet_exhausted_frames: 0,
             escalations: 0,
             unflagged_uncorrectable: 0,
         }
@@ -401,6 +469,11 @@ impl IntegrityReport {
             self.lockstep_divergences += lockstep.divergences.len() as u64;
             self.lockstep_max_divergence =
                 self.lockstep_max_divergence.max(lockstep.max_divergence);
+        }
+        self.shard_quarantines += frame.shard_quarantines.len() as u64;
+        self.shard_failovers += frame.shard_failovers;
+        if frame.fleet_exhausted.is_some() {
+            self.fleet_exhausted_frames += 1;
         }
         let faults = frame.faults();
         if !faults.is_empty() {
@@ -491,6 +564,14 @@ impl ToJson for IntegrityReport {
                     ("max_divergence", self.lockstep_max_divergence.into()),
                 ]),
             ),
+            (
+                "shards",
+                obj([
+                    ("quarantines", self.shard_quarantines.into()),
+                    ("failovers", self.shard_failovers.into()),
+                    ("exhausted_frames", self.fleet_exhausted_frames.into()),
+                ]),
+            ),
             ("escalations", self.escalations.into()),
             ("silent_escapes", self.silent_escapes().into()),
         ])
@@ -514,6 +595,7 @@ impl FromJson for IntegrityReport {
         let ecc_mode = ecc_label.parse::<EccMode>().map_err(Error::format)?;
         let injected = required_field(json, "injected")?;
         let lockstep = required_field(json, "lockstep")?;
+        let shards = required_field(json, "shards")?;
         Ok(IntegrityReport {
             ecc_mode,
             frames_checked: u64::from_json(required_field(json, "frames_checked")?)?,
@@ -538,6 +620,9 @@ impl FromJson for IntegrityReport {
             lockstep_strips: u64::from_json(required_field(lockstep, "strips")?)?,
             lockstep_divergences: u64::from_json(required_field(lockstep, "divergences")?)?,
             lockstep_max_divergence: f64::from_json(required_field(lockstep, "max_divergence")?)?,
+            shard_quarantines: u64::from_json(required_field(shards, "quarantines")?)?,
+            shard_failovers: u64::from_json(required_field(shards, "failovers")?)?,
+            fleet_exhausted_frames: u64::from_json(required_field(shards, "exhausted_frames")?)?,
             escalations: u64::from_json(required_field(json, "escalations")?)?,
             unflagged_uncorrectable: u64::from_json(required_field(json, "silent_escapes")?)?,
         })
@@ -613,6 +698,39 @@ mod tests {
         assert_eq!(report.frames_with_uncorrectable, 1);
         assert_eq!(report.silent_escapes(), 0);
         assert_eq!(report.uncorrectable[5], 1);
+    }
+
+    #[test]
+    fn shard_events_surface_as_faults_and_counters() {
+        let mut frame = FrameIntegrity::default();
+        frame.shard_quarantines.push(ShardQuarantineEvent {
+            shard: 2,
+            cooldown: 4,
+        });
+        frame.shard_failovers = 1;
+        frame.shards_active = 3;
+        let faults = frame.faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].label(), "shard_quarantine");
+        assert!(faults[0].to_string().contains("shard 2"));
+
+        let exhausted = FrameIntegrity {
+            fleet_exhausted: Some(4),
+            ..FrameIntegrity::default()
+        };
+        assert_eq!(exhausted.faults()[0].label(), "fleet_exhausted");
+
+        let mut report = IntegrityReport::new(EccMode::Secded);
+        report.record_frame(&frame);
+        report.record_frame(&exhausted);
+        assert_eq!(report.shard_quarantines, 1);
+        assert_eq!(report.shard_failovers, 1);
+        assert_eq!(report.fleet_exhausted_frames, 1);
+        assert_eq!(report.frames_flagged, 2);
+        let text = report.to_json().to_string();
+        assert!(
+            text.contains("\"shards\":{\"quarantines\":1,\"failovers\":1,\"exhausted_frames\":1}")
+        );
     }
 
     #[test]

@@ -37,6 +37,9 @@
 //!   SECDED protection for [`nhog_mem`], checked MACBAR accumulation,
 //!   dual-channel lockstep against the float golden model, and the
 //!   schedule watchdog, all reporting into an [`integrity::IntegrityReport`].
+//! - [`shard`]: parametric per-shard geometry, frame banding across
+//!   multiple accelerator instances, and the quarantine/failover state
+//!   machine that contains a faulting shard without corrupting output.
 //! - [`resources`]: the parametric FPGA resource model behind Table 2.
 //! - [`timing`]: cycles → milliseconds / fps at a configurable clock.
 
@@ -52,6 +55,7 @@ pub mod norm_unit;
 pub mod pipeline;
 pub mod resources;
 pub mod scaler;
+pub mod shard;
 pub mod stream;
 pub mod stream_extractor;
 pub mod svm_engine;
@@ -62,5 +66,6 @@ pub mod verify;
 pub use ecc::EccMode;
 pub use integrity::{IntegrityConfig, IntegrityFault, IntegrityReport, SoftErrorDose, ECC_ENV};
 pub use pipeline::{AcceleratorConfig, AcceleratorReport, HogAccelerator};
+pub use shard::{QuarantinePolicy, ShardConfig, ShardFleet, ShardGeometry};
 pub use stream::StreamStats;
 pub use timing::ClockDomain;

@@ -145,6 +145,17 @@ impl LockstepReport {
             .iter()
             .max_by(|a, b| a.max_error.total_cmp(&b.max_error))
     }
+
+    /// Folds another comparison into this one. Sharded frames compare
+    /// each band's scores separately; because bands are strip-aligned and
+    /// merged in band order, the folded report is exactly what one
+    /// whole-frame comparison would have produced.
+    pub fn merge(&mut self, other: &LockstepReport) {
+        self.strips_checked += other.strips_checked;
+        self.windows_checked += other.windows_checked;
+        self.max_divergence = self.max_divergence.max(other.max_divergence);
+        self.divergences.extend(other.divergences.iter().copied());
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub struct NhogMem {
     /// codeword.
     rows: std::collections::VecDeque<(usize, Vec<u64>)>,
     next_row: usize,
+    capacity_rows: usize,
     stats: MemStats,
     ecc_mode: EccMode,
     ecc_stats: EccStats,
@@ -60,23 +61,54 @@ impl NhogMem {
         Self::with_ecc(cells_x, EccMode::Off)
     }
 
-    /// Creates a memory with an explicit ECC mode.
+    /// Creates a memory with an explicit ECC mode and the paper's
+    /// [`RING_ROWS`]-row ring.
     ///
     /// # Panics
     ///
     /// Panics if `cells_x == 0`.
     #[must_use]
     pub fn with_ecc(cells_x: usize, ecc_mode: EccMode) -> Self {
+        Self::with_capacity(cells_x, ecc_mode, RING_ROWS)
+    }
+
+    /// Creates a memory with an explicit ring capacity — the
+    /// `buffered_rows` axis of a shard geometry. Capacities above 18
+    /// only widen residency; reads of resident rows are bit-identical
+    /// regardless of capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_x == 0` or `capacity_rows == 0`.
+    #[must_use]
+    pub fn with_capacity(cells_x: usize, ecc_mode: EccMode, capacity_rows: usize) -> Self {
         assert!(cells_x > 0, "memory must be at least one cell wide");
+        assert!(capacity_rows > 0, "ring must hold at least one row");
         Self {
             cells_x,
             rows: std::collections::VecDeque::new(),
             next_row: 0,
+            capacity_rows,
             stats: MemStats::default(),
             ecc_mode,
             ecc_stats: EccStats::default(),
             scrub_cursor: 0,
         }
+    }
+
+    /// Starts the write sequence at cell row `row` instead of 0 — how a
+    /// shard begins filling its ring at its band's first halo row
+    /// without streaming the rows above it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has already been written.
+    pub fn seek_row(&mut self, row: usize) {
+        assert!(
+            self.rows.is_empty() && self.next_row == 0,
+            "seek_row on a non-empty ring"
+        );
+        self.next_row = row;
     }
 
     /// Frame width in cells.
@@ -172,7 +204,7 @@ impl NhogMem {
             self.cells_x * CELL_FEATURES,
             "row width mismatch"
         );
-        if self.rows.len() == RING_ROWS {
+        if self.rows.len() == self.capacity_rows {
             self.rows.pop_front();
             self.stats.evictions += 1;
         }
@@ -311,11 +343,17 @@ impl NhogMem {
         out
     }
 
+    /// Rows the ring can hold before evicting.
+    #[must_use]
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
     /// Total storage in feature words (for the resource model):
-    /// `18 rows × cells_x × 36`.
+    /// `capacity_rows × cells_x × 36` (18 rows in the paper design).
     #[must_use]
     pub fn capacity_words(&self) -> usize {
-        RING_ROWS * self.cells_x * CELL_FEATURES
+        self.capacity_rows * self.cells_x * CELL_FEATURES
     }
 }
 

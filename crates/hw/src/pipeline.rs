@@ -26,10 +26,11 @@ use rtped_image::GrayImage;
 use rtped_svm::LinearSvm;
 
 use crate::hist_unit::HistogramUnit;
-use crate::integrity::{FrameIntegrity, IntegrityConfig, SoftErrorDose};
-use crate::lockstep::LockstepChecker;
+use crate::integrity::{FrameIntegrity, IntegrityConfig, ShardQuarantineEvent, SoftErrorDose};
+use crate::lockstep::{LockstepChecker, LockstepReport};
 use crate::norm_unit::{HwFeatureMap, NormalizerUnit};
 use crate::scaler::FeatureScaler;
+use crate::shard::{bands, shard_doses, ShardFleet, ShardGeometry};
 use crate::svm_engine::{
     QuantizedModel, SvmEngine, WindowScore, COLUMN_CYCLES, FILL_CYCLES, WINDOW_CELLS,
 };
@@ -48,6 +49,9 @@ pub struct AcceleratorConfig {
     pub threshold: f64,
     /// IoU for the (off-chip) NMS post-process; `None` disables it.
     pub nms_iou: Option<f64>,
+    /// Per-instance hardware geometry; the default is the published
+    /// 16-bank / 8-MACBAR / 18-row design point.
+    pub geometry: ShardGeometry,
 }
 
 impl Default for AcceleratorConfig {
@@ -57,6 +61,7 @@ impl Default for AcceleratorConfig {
             scales: vec![1.0, 1.5],
             threshold: 0.0,
             nms_iou: Some(0.3),
+            geometry: ShardGeometry::paper(),
         }
     }
 }
@@ -170,7 +175,7 @@ impl PipelineWatchdog {
         FILL_CYCLES + (cells_x as u64 - 1) * COLUMN_CYCLES
     }
 
-    /// Feeds one strip's observation.
+    /// Feeds one strip's observation, holding it to the paper schedule.
     pub fn observe_strip(
         &mut self,
         strip: usize,
@@ -179,8 +184,27 @@ impl PipelineWatchdog {
         expected_windows: usize,
         observed_cycles: u64,
     ) {
+        self.observe_strip_budget(
+            strip,
+            Self::strip_budget(cells_x),
+            windows,
+            expected_windows,
+            observed_cycles,
+        );
+    }
+
+    /// Feeds one strip's observation against an explicit cycle budget —
+    /// the geometry-derived schedule of a parametric shard
+    /// ([`ShardGeometry::strip_cycles`]).
+    pub fn observe_strip_budget(
+        &mut self,
+        strip: usize,
+        budget: u64,
+        windows: usize,
+        expected_windows: usize,
+        observed_cycles: u64,
+    ) {
         self.strips += 1;
-        let budget = Self::strip_budget(cells_x);
         if observed_cycles > budget {
             self.events.push(WatchdogEvent {
                 strip,
@@ -289,7 +313,7 @@ impl HogAccelerator {
     pub fn process(&self, frame: &GrayImage) -> AcceleratorReport {
         let base = self.extract_features(frame);
         let extractor_cycles = pixel_stream_cycles(frame.width(), frame.height());
-        let engine = SvmEngine::new();
+        let engine = SvmEngine::with_geometry(self.config.geometry);
         let scaler = FeatureScaler::new();
         let (wc, hc) = WINDOW_CELLS;
         let cell = 8usize;
@@ -377,7 +401,7 @@ impl HogAccelerator {
     ) -> (AcceleratorReport, FrameIntegrity) {
         let base = self.extract_features(frame);
         let extractor_cycles = pixel_stream_cycles(frame.width(), frame.height());
-        let engine = SvmEngine::new();
+        let engine = SvmEngine::with_geometry(self.config.geometry);
         let scaler = FeatureScaler::new();
         let (wc, hc) = WINDOW_CELLS;
         let cell = 8usize;
@@ -429,9 +453,9 @@ impl HogAccelerator {
             if scale_index == 0 {
                 if let Some(wd) = watchdog.as_mut() {
                     for obs in &result.strips {
-                        wd.observe_strip(
+                        wd.observe_strip_budget(
                             obs.strip,
-                            cx_cells,
+                            self.config.geometry.strip_cycles(cx_cells),
                             obs.windows,
                             cx_cells - wc + 1,
                             obs.observed_cycles,
@@ -500,6 +524,328 @@ impl HogAccelerator {
         )
     }
 
+    /// [`HogAccelerator::process_with_integrity`] banded across a
+    /// [`ShardFleet`] of shard instances — the multi-accelerator
+    /// deployment with fault containment.
+    ///
+    /// The native-scale map is split into contiguous strip bands
+    /// ([`crate::shard::bands`]), one per configured shard. Each band
+    /// runs on its own engine instance with its own slice of the frame
+    /// dose ([`crate::shard::shard_doses`]) and its own integrity
+    /// surface (ECC'd band memory, checked MACBARs, schedule watchdog,
+    /// band lockstep against the golden channel). A band whose run
+    /// raises an uncorrectable ECC detection, a MACBAR divergence, a
+    /// schedule violation, or a lockstep divergence quarantines its
+    /// serving shard and is re-executed clean on a healthy substitute,
+    /// so the merged scores stay bit-identical to the no-fault
+    /// single-instance run; the faulting attempt's counters remain in
+    /// the [`FrameIntegrity`] (nothing escapes silently), only its
+    /// scores are discarded. A fully-quarantined fleet yields an empty
+    /// report flagged [`IntegrityFault::FleetExhausted`] instead of
+    /// unattested output.
+    ///
+    /// Non-native scales run on the unsharded scaled engines exactly as
+    /// in [`HogAccelerator::process_with_integrity`]; the dose targets
+    /// the native scale only, as there. When the fleet has more shards
+    /// than the frame has strips, the surplus bands are empty and any
+    /// dose units dealt to them inject nothing.
+    ///
+    /// [`IntegrityFault::FleetExhausted`]: crate::integrity::IntegrityFault::FleetExhausted
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is smaller than 2×2 cells or `fleet` was
+    /// built for a different [`ShardGeometry`] than this accelerator's.
+    #[must_use]
+    pub fn process_with_integrity_sharded(
+        &self,
+        frame: &GrayImage,
+        golden: &LinearSvm,
+        integrity: &IntegrityConfig,
+        dose: &SoftErrorDose,
+        fleet: &mut ShardFleet,
+    ) -> (AcceleratorReport, FrameIntegrity) {
+        assert_eq!(
+            fleet.geometry(),
+            self.config.geometry,
+            "fleet geometry does not match the accelerator's"
+        );
+        let base = self.extract_features(frame);
+        let extractor_cycles = pixel_stream_cycles(frame.width(), frame.height());
+        let engine = SvmEngine::with_geometry(self.config.geometry);
+        let scaler = FeatureScaler::new();
+        let (wc, hc) = WINDOW_CELLS;
+        let cell = 8usize;
+        let shards = fleet.shard_count();
+        let mut fi = FrameIntegrity::default();
+        let mut watchdog = integrity.watchdog.then(PipelineWatchdog::new);
+
+        if fleet.begin_frame().is_empty() {
+            fleet.record_exhausted();
+            fi.fleet_exhausted = Some(shards as u64);
+            return (
+                AcceleratorReport {
+                    detections: Vec::new(),
+                    extractor_cycles,
+                    scale_reports: Vec::new(),
+                },
+                fi,
+            );
+        }
+
+        // One golden channel serves every band's lockstep comparison.
+        let params = HogParams::pedestrian();
+        let checker = integrity.lockstep_tolerance.map(LockstepChecker::new);
+        let golden_map = checker
+            .is_some()
+            .then(|| FeatureMap::extract(frame, &params));
+
+        let mut detections = Vec::new();
+        let mut scale_reports = Vec::new();
+        let mut native_scores: Vec<WindowScore> = Vec::new();
+        let mut frame_lockstep: Option<LockstepReport> = None;
+        let (cx_cells, cy_cells) = base.cells();
+
+        if cx_cells < wc || cy_cells < hc {
+            scale_reports.push(ScaleReport {
+                scale: 1.0,
+                cells: base.cells(),
+                windows: 0,
+                classifier_cycles: 0,
+                scaler_cycles: 0,
+            });
+        } else {
+            let strips = cy_cells - hc + 1;
+            let windows_per_strip = cx_cells - wc + 1;
+            let strip_cost = self.config.geometry.strip_cycles(cx_cells);
+            let doses = shard_doses(dose, shards);
+            let mut shard_cycles = vec![0u64; shards];
+            let mut exhausted = false;
+
+            for band in bands(strips, shards) {
+                if band.strips() == 0 {
+                    continue;
+                }
+                let Some(serving) = fleet.assign(band.index) else {
+                    exhausted = true;
+                    break;
+                };
+                if serving != band.index {
+                    // The home shard sat the frame out in quarantine.
+                    fleet.record_failover();
+                    fi.shard_failovers += 1;
+                }
+                let attempt = engine.classify_band_integrity(
+                    &base,
+                    &self.model,
+                    integrity.ecc,
+                    integrity.checked_macbar,
+                    &doses[band.index],
+                    band.strip_lo,
+                    band.strip_hi,
+                );
+                shard_cycles[serving] += self.config.geometry.band_cycles(cx_cells, band.strips())
+                    + attempt.injected_stall_cycles;
+                // The attempt's counters stay in the frame record even if
+                // its scores are thrown away — a contained fault must not
+                // become a silent one.
+                fi.ecc.merge(&attempt.ecc);
+                fi.injected_mem_flips += attempt.injected_mem_flips;
+                fi.injected_mem_double_flips += attempt.injected_mem_double_flips;
+                fi.injected_acc_flips += attempt.injected_acc_flips;
+                fi.injected_stall_cycles += attempt.injected_stall_cycles;
+                fi.macbar_mismatches += attempt.macbar_mismatches;
+                if let Some(wd) = watchdog.as_mut() {
+                    for obs in &attempt.strips {
+                        wd.observe_strip_budget(
+                            obs.strip,
+                            strip_cost,
+                            obs.windows,
+                            windows_per_strip,
+                            obs.observed_cycles,
+                        );
+                    }
+                }
+                let attempt_lockstep = checker
+                    .as_ref()
+                    .zip(golden_map.as_ref())
+                    .map(|(c, m)| c.check_scores(&attempt.scores, m, &params, golden));
+                let faulted = attempt.ecc.uncorrectable_total() > 0
+                    || attempt.macbar_mismatches > 0
+                    || attempt
+                        .strips
+                        .iter()
+                        .any(|o| o.observed_cycles > strip_cost || o.windows < windows_per_strip)
+                    || attempt_lockstep.as_ref().is_some_and(|r| !r.is_clean());
+                let (scores, band_lockstep) = if faulted {
+                    let cooldown = fleet.quarantine(serving);
+                    fi.shard_quarantines.push(ShardQuarantineEvent {
+                        shard: serving,
+                        cooldown,
+                    });
+                    let Some(substitute) = fleet.assign(band.index) else {
+                        exhausted = true;
+                        break;
+                    };
+                    fleet.record_failover();
+                    fi.shard_failovers += 1;
+                    // The clean re-execution: same band, no dose — its
+                    // scores are the ones the no-fault run produces.
+                    let rerun = engine.classify_band_integrity(
+                        &base,
+                        &self.model,
+                        integrity.ecc,
+                        integrity.checked_macbar,
+                        &SoftErrorDose::none(),
+                        band.strip_lo,
+                        band.strip_hi,
+                    );
+                    shard_cycles[substitute] +=
+                        self.config.geometry.band_cycles(cx_cells, band.strips());
+                    fi.ecc.merge(&rerun.ecc);
+                    fleet.record_band(substitute);
+                    let rerun_lockstep = checker
+                        .as_ref()
+                        .zip(golden_map.as_ref())
+                        .map(|(c, m)| c.check_scores(&rerun.scores, m, &params, golden));
+                    (rerun.scores, rerun_lockstep)
+                } else {
+                    fleet.record_band(serving);
+                    (attempt.scores, attempt_lockstep)
+                };
+                native_scores.extend(scores);
+                if let Some(band_report) = band_lockstep {
+                    match frame_lockstep.as_mut() {
+                        Some(merged) => merged.merge(&band_report),
+                        None => frame_lockstep = Some(band_report),
+                    }
+                }
+            }
+
+            if exhausted {
+                fleet.record_exhausted();
+                fi.fleet_exhausted = Some(shards as u64);
+                if let Some(wd) = watchdog {
+                    fi.watchdog_events = wd.into_events();
+                }
+                return (
+                    AcceleratorReport {
+                        detections: Vec::new(),
+                        extractor_cycles,
+                        scale_reports: Vec::new(),
+                    },
+                    fi,
+                );
+            }
+
+            let windows = native_scores.len();
+            for s in &native_scores {
+                if s.raw > self.threshold_raw {
+                    let bbox = BoundingBox::new(
+                        (s.cx * cell) as i64,
+                        (s.cy * cell) as i64,
+                        (wc * cell) as u64,
+                        (hc * cell) as u64,
+                    )
+                    .scaled(1.0);
+                    detections.push(Detection {
+                        bbox,
+                        score: QuantizedModel::score_to_f64(s.raw),
+                        scale: 1.0,
+                    });
+                }
+            }
+            scale_reports.push(ScaleReport {
+                scale: 1.0,
+                cells: base.cells(),
+                windows,
+                // The shards run in parallel; the native latency is the
+                // busiest shard's.
+                classifier_cycles: shard_cycles.iter().copied().max().unwrap_or(0),
+                scaler_cycles: 0,
+            });
+        }
+
+        for &scale in self.config.scales.iter().skip(1) {
+            let (map, scaler_cycles) = if (scale - 1.0).abs() < 1e-9 {
+                (base.clone(), 0u64)
+            } else {
+                let scaled = scaler.scale_by(&base, scale);
+                let (nx, ny) = scaled.cells();
+                (scaled, scaler.cycles(nx, ny))
+            };
+            let (nx, ny) = map.cells();
+            if nx < wc || ny < hc {
+                scale_reports.push(ScaleReport {
+                    scale,
+                    cells: map.cells(),
+                    windows: 0,
+                    classifier_cycles: 0,
+                    scaler_cycles,
+                });
+                continue;
+            }
+            let result = engine.classify_map_integrity(
+                &map,
+                &self.model,
+                integrity.ecc,
+                integrity.checked_macbar,
+                &SoftErrorDose::none(),
+            );
+            fi.ecc.merge(&result.ecc);
+            fi.macbar_mismatches += result.macbar_mismatches;
+            let windows = result.scores.len();
+            for s in &result.scores {
+                if s.raw > self.threshold_raw {
+                    let bbox = BoundingBox::new(
+                        (s.cx * cell) as i64,
+                        (s.cy * cell) as i64,
+                        (wc * cell) as u64,
+                        (hc * cell) as u64,
+                    )
+                    .scaled(scale);
+                    detections.push(Detection {
+                        bbox,
+                        score: QuantizedModel::score_to_f64(s.raw),
+                        scale,
+                    });
+                }
+            }
+            scale_reports.push(ScaleReport {
+                scale,
+                cells: map.cells(),
+                windows,
+                classifier_cycles: engine.cycles_per_frame(nx, ny),
+                scaler_cycles,
+            });
+        }
+
+        if let Some(wd) = watchdog {
+            fi.watchdog_events = wd.into_events();
+        }
+        fi.lockstep = frame_lockstep.or_else(|| {
+            checker
+                .as_ref()
+                .zip(golden_map.as_ref())
+                .map(|(c, m)| c.check_scores(&[], m, &params, golden))
+        });
+        fi.shards_active = fleet.healthy().len() as u64;
+
+        let detections = match self.config.nms_iou {
+            Some(iou) => non_maximum_suppression(detections, iou),
+            None => detections,
+        };
+
+        (
+            AcceleratorReport {
+                detections,
+                extractor_cycles,
+                scale_reports,
+            },
+            fi,
+        )
+    }
+
     /// A textual stage graph of the implemented architecture (the harness
     /// prints this next to the throughput table; it corresponds to the
     /// paper's Figs. 5–8).
@@ -512,15 +858,21 @@ impl HogAccelerator {
             .map(|s| format!("{s:.2}"))
             .collect::<Vec<_>>()
             .join(", ");
+        let g = self.config.geometry;
         format!(
             "pixels -> GradientUnit (1 px/cycle, isqrt magnitude, tan-compare bins)\n\
              \x20      -> HistogramUnit (8x8 cells, 9 bins, Q0.8 split votes)\n\
              \x20      -> NormalizerUnit (L2-Hys, integer isqrt, Q0.15 out)\n\
-             \x20      -> NHOGMem (16 banks, LU/RU/LB/RB groups, 18-row ring)\n\
+             \x20      -> NHOGMem ({} banks, LU/RU/LB/RB groups, {}-row ring)\n\
              \x20      -> FeatureScaler (shift-and-add bilinear, 1/16 weights)\n\
-             \x20      -> SvmEngine x{} (8 MACBAR x 16 MAC, 288-cycle fill, 36 cycles/column)\n\
+             \x20      -> SvmEngine x{} ({} MACBAR x 16 MAC, {}-cycle fill, {} cycles/column)\n\
              scales: [{}]",
+            g.bank_count(),
+            g.buffered_rows(),
             self.config.scales.len(),
+            g.macbar_count(),
+            g.fill_cycles(),
+            g.column_cycles(),
             scales
         )
     }
@@ -530,6 +882,7 @@ impl HogAccelerator {
 mod tests {
     use super::*;
     use crate::ecc::EccMode;
+    use crate::shard::ShardConfig;
     use rtped_detect::detector::score_window;
 
     fn textured(w: usize, h: usize) -> GrayImage {
@@ -763,6 +1116,111 @@ mod tests {
         assert_eq!(fi.ecc.uncorrectable_total(), 0);
         assert_eq!(report, plain);
         assert!(fi.faults().is_empty());
+    }
+
+    #[test]
+    fn sharded_clean_run_matches_single_instance_for_all_counts() {
+        let frame = textured(192, 256);
+        let model = pseudo_model(0.1);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let integrity = IntegrityConfig::full();
+        let (single, _) =
+            acc.process_with_integrity(&frame, &model, &integrity, &SoftErrorDose::none());
+        for shards in [1usize, 2, 4, 8] {
+            let config = ShardConfig::new(shards, ShardGeometry::paper()).unwrap();
+            let mut fleet = ShardFleet::new(&config);
+            let (report, fi) = acc.process_with_integrity_sharded(
+                &frame,
+                &model,
+                &integrity,
+                &SoftErrorDose::none(),
+                &mut fleet,
+            );
+            assert_eq!(report.detections, single.detections, "{shards} shards");
+            assert!(fi.shard_quarantines.is_empty());
+            assert_eq!(fi.shards_active, shards as u64);
+            assert_eq!(fi.fleet_exhausted, None);
+            if shards == 1 {
+                // One shard owning the whole frame pays exactly the
+                // single-instance schedule.
+                assert_eq!(report, single);
+            }
+        }
+    }
+
+    #[test]
+    fn mid_frame_quarantine_failover_is_bit_identical_to_clean() {
+        let frame = textured(192, 256);
+        let model = pseudo_model(0.1);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let integrity = IntegrityConfig::full();
+        let (clean, _) =
+            acc.process_with_integrity(&frame, &model, &integrity, &SoftErrorDose::none());
+        let dose = SoftErrorDose {
+            seed: 9,
+            mem_double_flips: 1,
+            ..SoftErrorDose::none()
+        };
+        let config = ShardConfig::new(4, ShardGeometry::paper()).unwrap();
+        let mut fleet = ShardFleet::new(&config);
+        let (report, fi) =
+            acc.process_with_integrity_sharded(&frame, &model, &integrity, &dose, &mut fleet);
+        assert!(fi.ecc.uncorrectable_total() > 0, "double flip went unseen");
+        assert_eq!(fi.shard_quarantines.len(), 1);
+        assert!(fi.shard_failovers >= 1);
+        assert_eq!(report.detections, clean.detections);
+        assert!(fi.faults().iter().any(|f| f.label() == "shard_quarantine"));
+        assert_eq!(fleet.quarantines(), 1);
+        assert_eq!(fleet.failovers(), fi.shard_failovers);
+    }
+
+    #[test]
+    fn exhausted_fleet_flags_the_frame_instead_of_serving_it() {
+        let frame = textured(96, 160);
+        let model = pseudo_model(0.1);
+        let acc = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let config = ShardConfig::new(2, ShardGeometry::paper()).unwrap();
+        let mut fleet = ShardFleet::new(&config);
+        fleet.quarantine(0);
+        fleet.quarantine(1);
+        let (report, fi) = acc.process_with_integrity_sharded(
+            &frame,
+            &model,
+            &IntegrityConfig::full(),
+            &SoftErrorDose::none(),
+            &mut fleet,
+        );
+        assert!(report.detections.is_empty());
+        assert!(report.scale_reports.is_empty());
+        assert_eq!(fi.fleet_exhausted, Some(2));
+        assert_eq!(fi.faults()[0].label(), "fleet_exhausted");
+        assert_eq!(fleet.exhausted_frames(), 1);
+    }
+
+    #[test]
+    fn geometry_scales_the_schedule_without_changing_scores() {
+        let frame = textured(192, 256);
+        let model = pseudo_model(0.1);
+        let paper = HogAccelerator::new(&model, AcceleratorConfig::default());
+        let fast = HogAccelerator::new(
+            &model,
+            AcceleratorConfig {
+                geometry: ShardGeometry::new(32, 16, 36).unwrap(),
+                ..AcceleratorConfig::default()
+            },
+        );
+        let a = paper.process(&frame);
+        let b = fast.process(&frame);
+        // The geometry changes throughput, never arithmetic.
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(
+            b.scale_reports[0].classifier_cycles * 2,
+            a.scale_reports[0].classifier_cycles
+        );
+        let desc = fast.describe();
+        assert!(desc.contains("32 banks"));
+        assert!(desc.contains("16 MACBAR"));
+        assert!(desc.contains("36-row ring"));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! employing a larger device ... the design could be easily extended",
 //! §5).
 
+use crate::shard::ShardGeometry;
+
 /// Resource cost of one unit instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitResources {
@@ -136,7 +138,35 @@ impl ResourceModel {
     /// Panics if `scales == 0`.
     #[must_use]
     pub fn with_options(scales: usize, multiplier_scalers: bool) -> Self {
+        Self::with_geometry(scales, multiplier_scalers, ShardGeometry::paper(), 1)
+    }
+
+    /// The fully parametric model: `scales` detection scales, scaler
+    /// style, a per-shard [`ShardGeometry`], and `shards` replicated
+    /// accelerator instances.
+    ///
+    /// Per-unit costs are derived from the geometry around the paper's
+    /// calibration point, linearly in the structural parameter each unit
+    /// is built from: NHOGMem logic scales with the bank count and its
+    /// BRAM with the buffered row depth; the classifier scales with the
+    /// MACBAR count (one DSP48 shared per MACBAR pair). Every datapath
+    /// unit is replicated per shard — each shard is a complete
+    /// accelerator instance owning its own band — while clocking stays
+    /// shared. `with_geometry(s, m, ShardGeometry::paper(), 1)` is
+    /// byte-identical to the calibrated single-instance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales == 0` or `shards == 0`.
+    #[must_use]
+    pub fn with_geometry(
+        scales: usize,
+        multiplier_scalers: bool,
+        geometry: ShardGeometry,
+        shards: usize,
+    ) -> Self {
         assert!(scales > 0, "need at least one scale");
+        assert!(shards > 0, "need at least one shard");
         let extra_scales = scales - 1;
         // Shift-and-add scaler vs DSP-multiplier scaler: the multiplier
         // variant trades ~60% of the scaler LUTs for 16 DSP48s (one per
@@ -146,14 +176,26 @@ impl ResourceModel {
         } else {
             (2400, 0)
         };
+        let banks = geometry.bank_count() as u32;
+        let rows = geometry.buffered_rows() as u32;
+        let macbars = geometry.macbar_count() as u32;
         let units = vec![
-            UnitResources::new("gradient unit", 1, 1800, 2400, 64, 8.0, 2, 0),
-            UnitResources::new("histogram unit", 1, 2600, 3200, 48, 6.0, 2, 0),
-            UnitResources::new("block normalizer", 1, 3051, 4190, 39, 4.5, 6, 0),
-            UnitResources::new("NHOGMem (16 banks, 18 rows)", 1, 1200, 1600, 0, 36.0, 0, 0),
+            UnitResources::new("gradient unit", shards, 1800, 2400, 64, 8.0, 2, 0),
+            UnitResources::new("histogram unit", shards, 2600, 3200, 48, 6.0, 2, 0),
+            UnitResources::new("block normalizer", shards, 3051, 4190, 39, 4.5, 6, 0),
+            UnitResources::new(
+                &format!("NHOGMem ({banks} banks, {rows} rows)"),
+                shards,
+                1200 * banks / 16,
+                1600 * banks / 16,
+                0,
+                36.0 * f64::from(rows) / 18.0,
+                0,
+                0,
+            ),
             UnitResources::new(
                 "feature scaler (shift-add)",
-                extra_scales,
+                extra_scales * shards,
                 scaler_lut,
                 3800,
                 32,
@@ -163,7 +205,7 @@ impl ResourceModel {
             ),
             UnitResources::new(
                 "scaled feature memory",
-                extra_scales,
+                extra_scales * shards,
                 600,
                 800,
                 0,
@@ -171,15 +213,15 @@ impl ResourceModel {
                 0,
                 0,
             ),
-            UnitResources::new("model memory", 1, 400, 600, 0, 12.0, 0, 0),
+            UnitResources::new("model memory", shards, 400, 600, 0, 12.0, 0, 0),
             UnitResources::new(
-                "SVM classifier (8 MACBAR x 16 MAC)",
-                scales,
-                7000,
-                11_800,
-                100,
+                &format!("SVM classifier ({macbars} MACBAR x 16 MAC)"),
+                scales * shards,
+                875 * macbars,
+                1475 * macbars,
+                12 * macbars + 4,
                 2.0,
-                4,
+                macbars.div_ceil(2),
                 0,
             ),
             UnitResources::new("clocking", 1, 0, 0, 0, 0.0, 0, 1),
@@ -345,6 +387,54 @@ mod tests {
     #[should_panic(expected = "need at least one scale")]
     fn zero_scales_rejected() {
         let _ = ResourceModel::with_options(0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ResourceModel::with_geometry(2, false, ShardGeometry::paper(), 0);
+    }
+
+    #[test]
+    fn shards_replicate_every_datapath_unit_but_share_clocking() {
+        let one = ResourceModel::with_geometry(2, false, ShardGeometry::paper(), 1).totals();
+        let four = ResourceModel::with_geometry(2, false, ShardGeometry::paper(), 4).totals();
+        // Clocking carries no LUT/FF/BRAM, so the datapath replicates
+        // exactly; the BUFG stays shared.
+        assert_eq!(four.lut, 4 * one.lut);
+        assert_eq!(four.ff, 4 * one.ff);
+        assert!((four.bram - 4.0 * one.bram).abs() < 1e-9);
+        assert_eq!(four.bufg, one.bufg);
+    }
+
+    #[test]
+    fn geometry_scales_the_units_it_is_built_from() {
+        let paper = ResourceModel::with_geometry(2, false, ShardGeometry::paper(), 1).totals();
+        let wide =
+            ResourceModel::with_geometry(2, false, ShardGeometry::new(32, 16, 36).unwrap(), 1)
+                .totals();
+        // Doubling the banks doubles NHOGMem logic (+1200 LUT); doubling
+        // the MACBARs doubles each classifier instance (+7000 LUT × 2
+        // scales); doubling the buffered rows doubles NHOGMem BRAM.
+        assert_eq!(wide.lut - paper.lut, 1200 + 2 * 7000);
+        assert_eq!(wide.ff - paper.ff, 1600 + 2 * 11_800);
+        assert!((wide.bram - paper.bram - 36.0).abs() < 1e-9);
+        // One DSP48 per MACBAR pair: 16 MACBARs cost 8 per classifier.
+        assert_eq!(wide.dsp - paper.dsp, 2 * 4);
+    }
+
+    #[test]
+    fn unit_names_reflect_the_geometry() {
+        let model =
+            ResourceModel::with_geometry(1, false, ShardGeometry::new(64, 2, 135).unwrap(), 2);
+        assert!(model
+            .units()
+            .iter()
+            .any(|u| u.name == "NHOGMem (64 banks, 135 rows)" && u.count == 2));
+        assert!(model
+            .units()
+            .iter()
+            .any(|u| u.name == "SVM classifier (2 MACBAR x 16 MAC)"));
     }
 
     #[test]

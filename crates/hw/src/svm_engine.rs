@@ -21,6 +21,7 @@ use crate::integrity::SoftErrorDose;
 use crate::macbar::{CheckedMacBar, MacBar, LANES};
 use crate::nhog_mem::NhogMem;
 use crate::norm_unit::{HwFeatureMap, CELL_FEATURES};
+use crate::shard::ShardGeometry;
 
 /// Buffer-fill cycles per cell row (8 columns × 36).
 pub const FILL_CYCLES: u64 = 288;
@@ -164,22 +165,41 @@ struct AccShot {
     bit: u32,
 }
 
-/// The classification engine.
+/// The classification engine for one shard geometry (the paper's
+/// single-instance design is [`ShardGeometry::paper`], the default).
 #[derive(Debug, Clone, Default)]
-pub struct SvmEngine;
+pub struct SvmEngine {
+    geometry: ShardGeometry,
+}
 
 impl SvmEngine {
-    /// Creates the engine.
+    /// Creates the engine at the paper's geometry.
     #[must_use]
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 
-    /// The paper's per-frame cycle count for a `cells_x * cells_y` cell
-    /// grid: every cell row pays the 288-cycle fill plus 36 cycles per
-    /// remaining column.
+    /// Creates the engine for an explicit shard geometry. The geometry
+    /// parameterizes the cycle model and the feature-memory capacity;
+    /// scores are bit-identical across geometries (the dot product does
+    /// not depend on how many banks or MACBARs compute it).
+    #[must_use]
+    pub fn with_geometry(geometry: ShardGeometry) -> Self {
+        Self { geometry }
+    }
+
+    /// The geometry in effect.
+    #[must_use]
+    pub fn geometry(&self) -> ShardGeometry {
+        self.geometry
+    }
+
+    /// The per-frame cycle count for a `cells_x * cells_y` cell grid:
+    /// every cell row pays the fill plus one column time per remaining
+    /// column (288 + 36/column at the paper geometry).
     ///
-    /// For HDTV (240×135) this is exactly 1,200,420.
+    /// For HDTV (240×135) at the paper geometry this is exactly
+    /// 1,200,420.
     ///
     /// # Panics
     ///
@@ -187,7 +207,7 @@ impl SvmEngine {
     #[must_use]
     pub fn cycles_per_frame(&self, cells_x: usize, cells_y: usize) -> u64 {
         assert!(cells_x > 0 && cells_y > 0, "empty cell grid");
-        cells_y as u64 * (FILL_CYCLES + (cells_x as u64 - 1) * COLUMN_CYCLES)
+        self.geometry.frame_cycles(cells_x, cells_y)
     }
 
     /// Classifies every window position of `map`, streaming the feature
@@ -213,7 +233,7 @@ impl SvmEngine {
 
         let col_weights = Self::column_weights(model);
 
-        let mut mem = NhogMem::new(cells_x);
+        let mut mem = NhogMem::with_capacity(cells_x, EccMode::Off, self.geometry.buffered_rows());
         let mut scores = Vec::new();
         let mut bars: Vec<MacBar> = (0..MACBARS).map(|_| MacBar::new()).collect();
 
@@ -294,6 +314,39 @@ impl SvmEngine {
         checked_macbar: bool,
         dose: &SoftErrorDose,
     ) -> EngineIntegrity {
+        let (_, hc) = WINDOW_CELLS;
+        let (_, cells_y) = map.cells();
+        let strips = (cells_y + 1).saturating_sub(hc);
+        self.classify_band_integrity(map, model, ecc, checked_macbar, dose, 0, strips)
+    }
+
+    /// [`SvmEngine::classify_map_integrity`] restricted to the window
+    /// strips `strip_lo..strip_hi` — the unit of work one shard executes
+    /// on its band. The shard's private `NHOGMem` starts filling at the
+    /// band's first halo row, the dose's placement draws land inside the
+    /// band, and the returned scores carry absolute strip coordinates,
+    /// so concatenating band results in band order reproduces the
+    /// whole-map raster scan bit-identically.
+    ///
+    /// With `strip_lo = 0` and `strip_hi` = the full strip count this is
+    /// exactly the single-instance run, draw for draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.dim() != 4608` (the 8×16-cell window) or the
+    /// band exceeds the map's strip range.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn classify_band_integrity(
+        &self,
+        map: &HwFeatureMap,
+        model: &QuantizedModel,
+        ecc: EccMode,
+        checked_macbar: bool,
+        dose: &SoftErrorDose,
+        strip_lo: usize,
+        strip_hi: usize,
+    ) -> EngineIntegrity {
         let (wc, hc) = WINDOW_CELLS;
         assert_eq!(
             model.dim(),
@@ -312,12 +365,15 @@ impl SvmEngine {
             injected_stall_cycles: 0,
             strips: Vec::new(),
         };
-        if cells_x < wc || cells_y < hc {
+        if cells_x < wc || cells_y < hc || strip_lo >= strip_hi {
             return out;
         }
-        let strips = cells_y - hc + 1;
+        assert!(
+            strip_hi <= cells_y - hc + 1,
+            "band exceeds the map's strip range"
+        );
         let windows_per_strip = cells_x - wc + 1;
-        let strip_budget = FILL_CYCLES + (cells_x as u64 - 1) * COLUMN_CYCLES;
+        let strip_budget = self.geometry.strip_cycles(cells_x);
 
         // Fixed draw order: memory singles, memory doubles, accumulator
         // flips, stall placement. Raw word/bit draws resolve modulo the
@@ -326,7 +382,7 @@ impl SvmEngine {
         let mut mem_shots = Vec::new();
         for _ in 0..dose.mem_flips {
             mem_shots.push(MemShot {
-                strip: rng.gen_range(0..strips),
+                strip: rng.gen_range(strip_lo..strip_hi),
                 word_draw: rng.next_u64(),
                 bit_draw: rng.next_u64(),
                 second_bit_draw: 0,
@@ -335,7 +391,7 @@ impl SvmEngine {
         }
         for _ in 0..dose.mem_double_flips {
             mem_shots.push(MemShot {
-                strip: rng.gen_range(0..strips),
+                strip: rng.gen_range(strip_lo..strip_hi),
                 word_draw: rng.next_u64(),
                 bit_draw: rng.next_u64(),
                 second_bit_draw: rng.next_u64(),
@@ -344,7 +400,7 @@ impl SvmEngine {
         }
         let acc_shots: Vec<AccShot> = (0..dose.acc_flips)
             .map(|_| AccShot {
-                strip: rng.gen_range(0..strips),
+                strip: rng.gen_range(strip_lo..strip_hi),
                 window_draw: rng.next_u64(),
                 bar: rng.gen_range(0..MACBARS),
                 lane: rng.gen_range(0..LANES),
@@ -352,18 +408,19 @@ impl SvmEngine {
             })
             .collect();
         let stall_strip = if dose.stall_cycles > 0 {
-            Some(rng.gen_range(0..strips))
+            Some(rng.gen_range(strip_lo..strip_hi))
         } else {
             None
         };
 
         let col_weights = Self::column_weights(model);
-        let mut mem = NhogMem::with_ecc(cells_x, ecc);
+        let mut mem = NhogMem::with_capacity(cells_x, ecc, self.geometry.buffered_rows());
+        mem.seek_row(strip_lo);
         let mut bars: Vec<CheckedMacBar> = (0..MACBARS).map(|_| CheckedMacBar::new()).collect();
         let row_words = cells_x * CELL_FEATURES;
         let word_bits = mem.word_bits();
 
-        for strip in 0..strips {
+        for strip in strip_lo..strip_hi {
             let through = (strip + hc + 1).min(cells_y - 1);
             mem.load_rows_through(map, through);
 

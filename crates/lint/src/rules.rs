@@ -11,8 +11,8 @@
 //!   operational knobs.
 //! - `float-in-fixed-datapath` — `f32`/`f64` tokens are forbidden in the
 //!   designated fixed-point modules of `crates/hw` (`nhog_mem`, `ecc`,
-//!   `macbar`); the golden-model/lockstep modules are allowlisted by
-//!   module path, not by pragma.
+//!   `macbar`, `shard`); the golden-model/lockstep modules are
+//!   allowlisted by module path, not by pragma.
 //! - `float-in-quant-kernel` — `f32`/`f64` tokens are forbidden in the
 //!   i16 CPU scoring kernel (`crates/hog/src/quant.rs`); conversion
 //!   happens only at the quantization boundaries, keeping the datapath
@@ -203,13 +203,18 @@ fn is_sanctioned_json(rel: &str) -> bool {
 }
 
 /// The fixed-point datapath modules: NHOG memory words, ECC codewords,
-/// and the MACBAR accumulator path must never touch floats. The golden
-/// model (`verify`, `vectors`) and lockstep comparator are allowlisted by
-/// *not* being designated — by module path, not by pragma.
+/// the MACBAR accumulator path, and the shard geometry/fleet state
+/// machine (integer cycle model, deterministic quarantine transitions)
+/// must never touch floats. The golden model (`verify`, `vectors`) and
+/// lockstep comparator are allowlisted by *not* being designated — by
+/// module path, not by pragma.
 fn is_fixed_datapath(rel: &str) -> bool {
     matches!(
         rel,
-        "crates/hw/src/nhog_mem.rs" | "crates/hw/src/ecc.rs" | "crates/hw/src/macbar.rs"
+        "crates/hw/src/nhog_mem.rs"
+            | "crates/hw/src/ecc.rs"
+            | "crates/hw/src/macbar.rs"
+            | "crates/hw/src/shard.rs"
     )
 }
 
@@ -615,6 +620,10 @@ mod tests {
             check_source("crates/hw/src/nhog_mem.rs", src)
                 .violations
                 .len(),
+            2
+        );
+        assert_eq!(
+            check_source("crates/hw/src/shard.rs", src).violations.len(),
             2
         );
         assert!(check_source("crates/hw/src/lockstep.rs", src)

@@ -22,7 +22,7 @@
 //! across runs, hosts, and `RTPED_THREADS` values.
 
 use rtped_hw::integrity::{IntegrityConfig, IntegrityReport, SoftErrorDose};
-use rtped_hw::{AcceleratorConfig, HogAccelerator};
+use rtped_hw::{AcceleratorConfig, HogAccelerator, ShardConfig, ShardFleet};
 use rtped_image::GrayImage;
 use rtped_svm::LinearSvm;
 
@@ -50,6 +50,7 @@ pub struct IntegrityRuntime {
     tracker: rtped_detect::tracker::TrackerParams,
     session: Session,
     report: IntegrityReport,
+    fleet: Option<ShardFleet>,
 }
 
 impl IntegrityRuntime {
@@ -78,7 +79,23 @@ impl IntegrityRuntime {
             tracker,
             session,
             report,
+            fleet: None,
         }
+    }
+
+    /// Bands every frame across a fleet of shard instances with
+    /// quarantine and bit-identical failover
+    /// (`HogAccelerator::process_with_integrity_sharded`). The
+    /// accelerator is rebuilt at the fleet's per-shard geometry; resets
+    /// the session.
+    #[must_use]
+    pub fn with_sharding(mut self, config: ShardConfig) -> Self {
+        let mut accel_config = self.accelerator.config().clone();
+        accel_config.geometry = config.geometry;
+        self.accelerator = HogAccelerator::new(&self.golden, accel_config);
+        self.fleet = Some(ShardFleet::new(&config));
+        self.reset();
+        self
     }
 
     /// Replaces the per-frame deadline budget (resets the session).
@@ -121,6 +138,12 @@ impl IntegrityRuntime {
     pub fn accelerator(&self) -> &HogAccelerator {
         &self.accelerator
     }
+
+    /// The shard fleet, when this runtime serves sharded.
+    #[must_use]
+    pub fn fleet(&self) -> Option<&ShardFleet> {
+        self.fleet.as_ref()
+    }
 }
 
 impl Engine for IntegrityRuntime {
@@ -151,9 +174,21 @@ impl Engine for IntegrityRuntime {
         }
         let dose = dose_from_faults(&faults, plan, index);
 
-        let (hw_report, frame_integrity) =
-            self.accelerator
-                .process_with_integrity(&image, &self.golden, &self.integrity, &dose);
+        let (hw_report, frame_integrity) = match self.fleet.as_mut() {
+            Some(fleet) => self.accelerator.process_with_integrity_sharded(
+                &image,
+                &self.golden,
+                &self.integrity,
+                &dose,
+                fleet,
+            ),
+            None => self.accelerator.process_with_integrity(
+                &image,
+                &self.golden,
+                &self.integrity,
+                &dose,
+            ),
+        };
         let clock = self.accelerator.config().clock;
         let latency_ms = clock.millis(hw_report.frame_cycles()) + delay_ms;
         let integrity_faults = self.report.record_frame(&frame_integrity);
@@ -208,6 +243,9 @@ impl Engine for IntegrityRuntime {
     fn reset(&mut self) {
         self.session = Session::new(self.budget, self.policy, self.tracker.clone());
         self.report = IntegrityReport::new(self.integrity.ecc);
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.reset();
+        }
     }
 
     fn take_report(&mut self, seed: u64) -> RunReport {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rtped-serve [--addr HOST:PORT] [--workers N] [--journal PATH]
-//!             [--deadline-ms MS]
+//!             [--deadline-ms MS] [--max-tenants N]
 //! ```
 //!
 //! Configuration precedence, most binding first: CLI flags, then the
@@ -26,6 +26,7 @@ struct Args {
     workers: usize,
     journal: Option<std::path::PathBuf>,
     deadline_ms: Option<f64>,
+    max_tenants: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         journal: None,
         deadline_ms: None,
+        max_tenants: rtped_serve::tenant::DEFAULT_MAX_TENANTS,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -46,6 +48,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|err| format!("--workers: {err}"))?;
             }
             "--journal" => args.journal = Some(value("--journal")?.into()),
+            "--max-tenants" => {
+                args.max_tenants = value("--max-tenants")?
+                    .parse()
+                    .map_err(|err| format!("--max-tenants: {err}"))?;
+            }
             "--deadline-ms" => {
                 args.deadline_ms = Some(
                     value("--deadline-ms")?
@@ -66,7 +73,7 @@ fn main() -> ExitCode {
             eprintln!("rtped-serve: {err}");
             eprintln!(
                 "usage: rtped-serve [--addr HOST:PORT] [--workers N] \
-                 [--journal PATH] [--deadline-ms MS]"
+                 [--journal PATH] [--deadline-ms MS] [--max-tenants N]"
             );
             return ExitCode::FAILURE;
         }
@@ -91,6 +98,7 @@ fn main() -> ExitCode {
         workers: args.workers,
         journal: args.journal,
         runtime,
+        max_tenants: args.max_tenants,
     }) {
         Ok(server) => server,
         Err(err) => {

@@ -23,6 +23,7 @@
 //! |----------------|-----------------------------------------------|
 //! | `frame_result` | `tenant`, `job`, `engine`, `record` (a [`FrameRecord`]) |
 //! | `shed`         | `tenant`, `job`, `reason`                     |
+//! | `rejected`     | `tenant`, `job`, `reason`                     |
 //! | `status`       | `tenants` (array of per-tenant counters)      |
 //! | `recovered`    | `tenant`, `jobs` (array of `{job, response}`) |
 //! | `error`        | `message`                                     |
@@ -225,12 +226,15 @@ impl FromJson for FrameSpec {
 pub enum Request {
     /// Serve one frame for `tenant`, identified by the caller's `job` id.
     Detect {
-        /// Tenant name; a `hw:` prefix selects the integrity engine.
+        /// Tenant name; a `hw:` prefix selects the integrity engine and
+        /// `hwN:` (e.g. `hw4:`) its N-shard fleet variant.
         tenant: String,
         /// Caller-chosen job identifier (journaled for recovery).
         job: String,
-        /// Optional fault-plan seed (`FaultPlan::stress`); `None` serves
-        /// the frame under `FaultPlan::none`.
+        /// Optional fault-plan seed (`FaultPlan::stress`, with
+        /// radiation-style soft errors added on integrity engines so a
+        /// wire-level seed can exercise shard quarantine and failover);
+        /// `None` serves the frame under `FaultPlan::none`.
         fault_seed: Option<u64>,
         /// The frame.
         frame: FrameSpec,
@@ -402,6 +406,19 @@ pub enum Response {
         /// Why (stable label, e.g. `overload`).
         reason: String,
     },
+    /// The daemon refused to create a *new* tenant — the registry is at
+    /// its `--max-tenants` cap. Unlike `shed` (a transient overload
+    /// verdict for an existing tenant), this is a capacity refusal:
+    /// retrying the same name will keep failing until a tenant slot
+    /// frees up, so clients should fail over rather than back off.
+    Rejected {
+        /// Echoed tenant name.
+        tenant: String,
+        /// Echoed job id (empty for tenantful non-job requests).
+        job: String,
+        /// Why (stable label, e.g. `tenant_capacity`).
+        reason: String,
+    },
     /// Daemon-wide tenant counters.
     Status {
         /// One entry per live tenant, in name order.
@@ -460,6 +477,17 @@ impl ToJson for Response {
                 ("job", job.as_str().into()),
                 ("reason", reason.as_str().into()),
             ]),
+            Response::Rejected {
+                tenant,
+                job,
+                reason,
+            } => obj([
+                ("format", PROTOCOL_VERSION.into()),
+                ("kind", "rejected".into()),
+                ("tenant", tenant.as_str().into()),
+                ("job", job.as_str().into()),
+                ("reason", reason.as_str().into()),
+            ]),
             Response::Status { tenants } => obj([
                 ("format", PROTOCOL_VERSION.into()),
                 ("kind", "status".into()),
@@ -506,6 +534,11 @@ impl FromJson for Response {
                 record: FrameRecord::from_json(required_field(json, "record")?)?,
             }),
             "shed" => Ok(Response::Shed {
+                tenant: String::from_json(required_field(json, "tenant")?)?,
+                job: String::from_json(required_field(json, "job")?)?,
+                reason: String::from_json(required_field(json, "reason")?)?,
+            }),
+            "rejected" => Ok(Response::Rejected {
                 tenant: String::from_json(required_field(json, "tenant")?)?,
                 job: String::from_json(required_field(json, "job")?)?,
                 reason: String::from_json(required_field(json, "reason")?)?,
@@ -653,6 +686,11 @@ mod tests {
                 tenant: "cam-7".into(),
                 job: "job-0002".into(),
                 reason: "overload".into(),
+            },
+            Response::Rejected {
+                tenant: "cam-9999".into(),
+                job: "job-0004".into(),
+                reason: "tenant_capacity".into(),
             },
             Response::Status {
                 tenants: vec![TenantStatus {

@@ -61,6 +61,9 @@ pub struct ServerConfig {
     pub journal: Option<PathBuf>,
     /// The runtime config every tenant engine is built from.
     pub runtime: RuntimeConfig,
+    /// Distinct tenants the daemon will materialize before refusing new
+    /// names with a typed `rejected` response (clamped to at least one).
+    pub max_tenants: u64,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +73,7 @@ impl Default for ServerConfig {
             workers: 4,
             journal: None,
             runtime: RuntimeConfig::default(),
+            max_tenants: crate::tenant::DEFAULT_MAX_TENANTS,
         }
     }
 }
@@ -114,7 +118,8 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let tenants = TenantMap::new(workers * 4, config.runtime);
+        let tenants =
+            TenantMap::new(workers * 4, config.runtime).with_max_tenants(config.max_tenants);
         let journal = match &config.journal {
             Some(path) => {
                 let entries = load_journal(path)?;
@@ -357,7 +362,7 @@ impl Server {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len();
-        self.tenants.with_tenant(&job.tenant.clone(), |tenant| {
+        let served = self.tenants.try_with_tenant(&job.tenant.clone(), |tenant| {
             let (verdict, _) = tenant.admission.assess(queued_ahead);
             if verdict == Verdict::Shed {
                 return (
@@ -385,13 +390,39 @@ impl Server {
                     job: job.job.clone(),
                 },
             )
+        });
+        served.unwrap_or_else(|| {
+            (
+                Response::Rejected {
+                    tenant: job.tenant,
+                    job: job.job,
+                    reason: String::from("tenant_capacity"),
+                },
+                Post::None,
+            )
         })
     }
 
     fn handle_recover(&self, tenant: String) -> (Response, Post) {
-        let jobs = self
+        let jobs = match self
             .tenants
-            .with_tenant(&tenant, |t| std::mem::take(&mut t.recovered));
+            .try_with_tenant(&tenant, |t| std::mem::take(&mut t.recovered))
+        {
+            Some(jobs) => jobs,
+            None => {
+                // Recovery for a name the daemon has never seen must not
+                // materialize an engine past the cap; there is nothing to
+                // recover for it anyway.
+                return (
+                    Response::Rejected {
+                        tenant,
+                        job: String::new(),
+                        reason: String::from("tenant_capacity"),
+                    },
+                    Post::None,
+                );
+            }
+        };
         // Done lines land only now, at pickup: if the daemon dies again
         // before a client fetches these, the next restart replays them
         // again instead of losing them.
@@ -506,6 +537,56 @@ mod tests {
                 Response::ShutdownAck { served } => assert_eq!(served, 2),
                 other => panic!("unexpected shutdown reply: {other:?}"),
             }
+        });
+    }
+
+    #[test]
+    fn tenant_cap_rejects_new_names_but_serves_existing() {
+        let server = Server::bind(ServerConfig {
+            workers: 1,
+            max_tenants: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.run());
+            let mut client = Client::connect(addr).unwrap();
+            for name in ["cam-1", "cam-2"] {
+                let reply = client.call(&detect(name, "job-1", 7)).unwrap();
+                assert!(matches!(reply, Response::FrameResult { .. }), "{reply:?}");
+            }
+            // A third name is past the cap: typed rejection, not an engine.
+            match client.call(&detect("cam-3", "job-1", 7)).unwrap() {
+                Response::Rejected {
+                    tenant,
+                    job,
+                    reason,
+                } => {
+                    assert_eq!(tenant, "cam-3");
+                    assert_eq!(job, "job-1");
+                    assert_eq!(reason, "tenant_capacity");
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+            // Existing tenants keep serving at the cap.
+            let reply = client.call(&detect("cam-1", "job-2", 8)).unwrap();
+            assert!(matches!(reply, Response::FrameResult { .. }), "{reply:?}");
+            // Recovery for an unknown name is refused the same way.
+            match client
+                .call(&Request::Recover {
+                    tenant: String::from("cam-9"),
+                })
+                .unwrap()
+            {
+                Response::Rejected { reason, .. } => assert_eq!(reason, "tenant_capacity"),
+                other => panic!("expected rejection, got {other:?}"),
+            }
+            match client.call(&Request::Status).unwrap() {
+                Response::Status { tenants } => assert_eq!(tenants.len(), 2),
+                other => panic!("unexpected status reply: {other:?}"),
+            }
+            client.call(&Request::Shutdown).unwrap();
         });
     }
 

@@ -13,14 +13,16 @@
 //! which is exactly what keeps a tenant's engine state (and therefore
 //! journal replay) deterministic.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use rtped_core::rng::SeedRng;
 use rtped_core::Rng;
 use rtped_detect::{DetectorConfig, FeaturePyramidDetector};
 use rtped_hw::integrity::IntegrityConfig;
-use rtped_hw::AcceleratorConfig;
+use rtped_hw::{AcceleratorConfig, ShardConfig, ShardGeometry};
 use rtped_runtime::{Engine, FaultPlan, IntegrityRuntime, Runtime, RuntimeConfig};
 use rtped_svm::LinearSvm;
 
@@ -29,8 +31,30 @@ use crate::journal::JournaledJob;
 use crate::protocol::{RecoveredJob, Response, TenantStatus};
 
 /// Tenant names with this prefix are served by the hardware-integrity
-/// engine; everything else by the software runtime.
+/// engine; everything else by the software runtime. `hwN:` (N ∈ 1..=16,
+/// e.g. `hw4:cam-1`) selects the N-shard fleet variant with quarantine
+/// and bit-identical failover.
 pub const HW_TENANT_PREFIX: &str = "hw:";
+
+/// Default cap on distinct tenants the daemon will lazily create
+/// (`--max-tenants`).
+pub const DEFAULT_MAX_TENANTS: u64 = 256;
+
+/// Parses a hardware tenant name: `Some(None)` for the plain `hw:`
+/// single-instance engine, `Some(Some(n))` for the `hwN:` fleet with
+/// `n` shards, `None` for software tenants — including malformed
+/// `hw…:` shard counts (zero, non-numeric, above 16), which fall back
+/// to the software engine instead of panicking on untrusted names.
+#[must_use]
+pub fn hw_shard_count(name: &str) -> Option<Option<usize>> {
+    let rest = name.strip_prefix("hw")?;
+    let digits = &rest[..rest.find(':')?];
+    if digits.is_empty() {
+        return Some(None);
+    }
+    let shards = digits.parse::<usize>().ok()?;
+    (1..=16).contains(&shards).then_some(Some(shards))
+}
 
 /// The deterministic pseudo-random model every engine loads: serving
 /// cost does not depend on the weights' values, and a fixed model is
@@ -53,14 +77,20 @@ pub fn build_engine(name: &str, config: &RuntimeConfig) -> Box<dyn Engine> {
         ..DetectorConfig::two_scale()
     };
     let dim = detector_config.params.cell_descriptor_len();
-    if name.starts_with(HW_TENANT_PREFIX) {
+    if let Some(shards) = hw_shard_count(name) {
         let accel = AcceleratorConfig {
             scales: vec![1.0],
             ..AcceleratorConfig::default()
         };
+        let runtime = IntegrityRuntime::new(pseudo_model(dim), accel, IntegrityConfig::full())
+            .with_runtime_config(config);
         Box::new(
-            IntegrityRuntime::new(pseudo_model(dim), accel, IntegrityConfig::full())
-                .with_runtime_config(config),
+            match shards.and_then(|n| ShardConfig::new(n, ShardGeometry::paper()).ok()) {
+                // hw_shard_count only admits 1..=16, so the config always
+                // validates; the `None` arm doubles as the safety net.
+                Some(config) => runtime.with_sharding(config),
+                None => runtime,
+            },
         )
     } else {
         Box::new(Runtime::with_config(
@@ -105,7 +135,17 @@ impl Tenant {
             }
         };
         let plan = match job.fault_seed {
-            Some(seed) => FaultPlan::stress(seed),
+            Some(seed) => {
+                let mut plan = FaultPlan::stress(seed);
+                if self.engine.kind() == "integrity" {
+                    // Integrity engines also take radiation-style soft
+                    // errors, so a wire-level fault seed exercises ECC,
+                    // lockstep, and (on hwN: tenants) shard quarantine
+                    // and bit-identical failover.
+                    plan.soft_error_rate = 0.5;
+                }
+                plan
+            }
             None => FaultPlan::none(),
         };
         let record = self.engine.serve_frame(&image, &plan);
@@ -141,22 +181,38 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// The daemon's tenant registry: fixed shards, lazily created tenants.
+/// The daemon's tenant registry: fixed shards, lazily created tenants,
+/// bounded population.
 pub struct TenantMap {
     shards: Vec<Mutex<BTreeMap<String, Tenant>>>,
     config: RuntimeConfig,
+    max_tenants: u64,
+    tenant_count: AtomicU64,
 }
 
 impl TenantMap {
     /// Creates an empty map with `shards` mutex-guarded shards (clamped
-    /// to at least one).
+    /// to at least one) and the default [`DEFAULT_MAX_TENANTS`] cap.
     #[must_use]
     pub fn new(shards: usize, config: RuntimeConfig) -> Self {
         let shards = shards.max(1);
         TenantMap {
             shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
             config,
+            max_tenants: DEFAULT_MAX_TENANTS,
+            tenant_count: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the tenant cap (clamped to at least one). Each tenant
+    /// owns a full engine — trackers, ring buffers, frame history — so
+    /// an unbounded lazily-populated map would let a many-tenant client
+    /// exhaust daemon memory; past the cap, new names are refused with a
+    /// typed `rejected` response instead.
+    #[must_use]
+    pub fn with_max_tenants(mut self, max_tenants: u64) -> Self {
+        self.max_tenants = max_tenants.max(1);
+        self
     }
 
     /// The runtime config tenants are built from.
@@ -171,23 +227,70 @@ impl TenantMap {
         self.shards.len()
     }
 
+    /// The tenant cap in force.
+    #[must_use]
+    pub fn max_tenants(&self) -> u64 {
+        self.max_tenants
+    }
+
+    /// Distinct tenants currently materialized.
+    #[must_use]
+    pub fn tenant_count(&self) -> u64 {
+        self.tenant_count.load(Ordering::SeqCst)
+    }
+
     fn shard(&self, name: &str) -> &Mutex<BTreeMap<String, Tenant>> {
         let index = (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize;
         &self.shards[index]
     }
 
     /// Runs `f` with exclusive access to tenant `name`, creating the
-    /// tenant on first touch. Only this tenant's shard is locked;
-    /// tenants hashing elsewhere stay concurrent.
+    /// tenant on first touch — unconditionally, cap notwithstanding.
+    /// Journal replay uses this path (the journal's population was
+    /// admitted by the dead daemon); live request paths must go through
+    /// [`TenantMap::try_with_tenant`] instead.
     pub fn with_tenant<T>(&self, name: &str, f: impl FnOnce(&mut Tenant) -> T) -> T {
         let mut shard = self
             .shard(name)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let tenant = shard
-            .entry(name.to_string())
-            .or_insert_with(|| Tenant::new(name, &self.config));
+        let tenant = match shard.entry(name.to_string()) {
+            Entry::Occupied(entry) => entry.into_mut(),
+            Entry::Vacant(entry) => {
+                self.tenant_count.fetch_add(1, Ordering::SeqCst);
+                entry.insert(Tenant::new(name, &self.config))
+            }
+        };
         f(tenant)
+    }
+
+    /// [`TenantMap::with_tenant`] for live traffic: an existing tenant
+    /// is always served, but creating a new one past the cap fails with
+    /// `None` — the caller turns that into the typed `rejected`
+    /// response. The slot is reserved with a compare-exchange before the
+    /// engine is built, so concurrent first touches on different shards
+    /// cannot overshoot the cap.
+    pub fn try_with_tenant<T>(&self, name: &str, f: impl FnOnce(&mut Tenant) -> T) -> Option<T> {
+        let mut shard = self
+            .shard(name)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let tenant = match shard.entry(name.to_string()) {
+            Entry::Occupied(entry) => entry.into_mut(),
+            Entry::Vacant(entry) => {
+                let admitted = self
+                    .tenant_count
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |count| {
+                        (count < self.max_tenants).then_some(count + 1)
+                    })
+                    .is_ok();
+                if !admitted {
+                    return None;
+                }
+                entry.insert(Tenant::new(name, &self.config))
+            }
+        };
+        Some(f(tenant))
     }
 
     /// Admission + serve for one live request: assesses the queue depth,
@@ -327,5 +430,63 @@ mod tests {
         assert_eq!(statuses[1].name, "hw:cam-2");
         assert_eq!(statuses[1].engine, "integrity");
         assert_eq!(map.total_served(), 2);
+        assert_eq!(map.tenant_count(), 2);
+        assert_eq!(map.max_tenants(), DEFAULT_MAX_TENANTS);
+    }
+
+    #[test]
+    fn hw_shard_count_parses_tenant_names() {
+        assert_eq!(hw_shard_count("cam-1"), None);
+        assert_eq!(hw_shard_count("hwx:cam-1"), None);
+        assert_eq!(hw_shard_count("hw0:cam-1"), None);
+        assert_eq!(hw_shard_count("hw17:cam-1"), None);
+        assert_eq!(hw_shard_count("hw4cam-1"), None);
+        assert_eq!(hw_shard_count("hw:cam-1"), Some(None));
+        assert_eq!(hw_shard_count("hw1:cam-1"), Some(Some(1)));
+        assert_eq!(hw_shard_count("hw4:cam-1"), Some(Some(4)));
+        assert_eq!(hw_shard_count("hw16:cam-1"), Some(Some(16)));
+    }
+
+    #[test]
+    fn sharded_hw_tenants_serve_bit_identically_to_single_instance() {
+        let config = RuntimeConfig::default();
+        assert_eq!(build_engine("hw4:cam-1", &config).kind(), "integrity");
+        let serve_all = |name: &str| {
+            let mut tenant = Tenant::new(name, &config);
+            (0..3)
+                .map(|i| {
+                    use rtped_core::ToJson;
+                    let mut payload = tenant
+                        .serve_job(&detect_job(name, &format!("job-{i}"), i))
+                        .to_json()
+                        .to_string();
+                    // The tenant name itself appears in the payload;
+                    // compare everything after it.
+                    payload = payload.replace(name, "<tenant>");
+                    payload
+                })
+                .collect::<Vec<_>>()
+        };
+        // Clean frames banded over 4 shards must match the 1-shard and
+        // plain single-instance engines byte for byte.
+        assert_eq!(serve_all("hw:cam-1"), serve_all("hw4:cam-1"));
+        assert_eq!(serve_all("hw1:cam-1"), serve_all("hw8:cam-1"));
+    }
+
+    #[test]
+    fn try_with_tenant_enforces_the_cap_for_new_names_only() {
+        let map = TenantMap::new(4, RuntimeConfig::default()).with_max_tenants(2);
+        assert_eq!(map.max_tenants(), 2);
+        assert!(map.try_with_tenant("cam-1", |_| ()).is_some());
+        assert!(map.try_with_tenant("cam-2", |_| ()).is_some());
+        // At the cap: a new name is refused, existing names still serve.
+        assert!(map.try_with_tenant("cam-3", |_| ()).is_none());
+        assert!(map.try_with_tenant("cam-1", |_| ()).is_some());
+        assert_eq!(map.tenant_count(), 2);
+        // The unconditional path (journal replay) still admits, and the
+        // count tracks it so capacity accounting stays exact.
+        map.with_tenant("cam-replayed", |_| ());
+        assert_eq!(map.tenant_count(), 3);
+        assert!(map.try_with_tenant("cam-4", |_| ()).is_none());
     }
 }

@@ -5,7 +5,9 @@
 
 use rtped::core::ToJson;
 use rtped::hw::integrity::{IntegrityConfig, SoftErrorDose};
-use rtped::hw::{AcceleratorConfig, EccMode, HogAccelerator};
+use rtped::hw::{
+    AcceleratorConfig, EccMode, HogAccelerator, ShardConfig, ShardFleet, ShardGeometry,
+};
 use rtped::image::GrayImage;
 use rtped::runtime::{Engine, FaultPlan, IntegrityRuntime, TransitionCause};
 use rtped::svm::LinearSvm;
@@ -182,6 +184,88 @@ fn integrity_report_json_is_byte_identical_across_runs_and_thread_counts() {
     assert_eq!(first, third, "thread count leaked into the report");
     assert!(first.contains("\"integrity\":{"), "integrity block missing");
     assert!(first.contains("\"ecc\":\"secded\""));
+}
+
+#[test]
+fn sharded_single_bit_storms_are_corrected_per_shard_with_zero_escapes() {
+    let frame = textured(96, 192, 5);
+    let model = pseudo_model(0.1);
+    let acc = accelerator(&model);
+    let clean = acc.process(&frame);
+    for shards in [2usize, 4, 8] {
+        let mut fleet = ShardFleet::new(&ShardConfig::new(shards, ShardGeometry::paper()).unwrap());
+        for seed in 0..16 {
+            let dose = SoftErrorDose {
+                seed,
+                mem_flips: 6,
+                ..SoftErrorDose::none()
+            };
+            let (report, fi) = acc.process_with_integrity_sharded(
+                &frame,
+                &model,
+                &IntegrityConfig::full(),
+                &dose,
+                &mut fleet,
+            );
+            assert!(
+                fi.ecc.corrected_total() >= 6,
+                "{shards} shards, seed {seed}: only {} corrected",
+                fi.ecc.corrected_total()
+            );
+            assert_eq!(
+                fi.ecc.uncorrectable_total(),
+                0,
+                "{shards} shards, seed {seed}"
+            );
+            assert!(
+                fi.shard_quarantines.is_empty(),
+                "{shards} shards, seed {seed}"
+            );
+            assert_eq!(
+                report.detections, clean.detections,
+                "{shards} shards, seed {seed}: corrected storm changed the output"
+            );
+            assert!(
+                fi.faults().is_empty(),
+                "{shards} shards, seed {seed}: {:?}",
+                fi.faults()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_double_bit_faults_quarantine_exactly_one_shard() {
+    let frame = textured(96, 192, 6);
+    let model = pseudo_model(0.1);
+    let acc = accelerator(&model);
+    let clean = acc.process(&frame);
+    for seed in 0..16 {
+        let mut fleet = ShardFleet::new(&ShardConfig::new(4, ShardGeometry::paper()).unwrap());
+        let dose = SoftErrorDose {
+            seed,
+            mem_double_flips: 1,
+            ..SoftErrorDose::none()
+        };
+        let (report, fi) = acc.process_with_integrity_sharded(
+            &frame,
+            &model,
+            &IntegrityConfig::full(),
+            &dose,
+            &mut fleet,
+        );
+        assert_eq!(
+            fi.shard_quarantines.len(),
+            1,
+            "seed {seed}: {:?}",
+            fi.shard_quarantines
+        );
+        assert_eq!(fi.shard_failovers, 1, "seed {seed}");
+        assert_eq!(fleet.healthy().len(), 3, "seed {seed}");
+        // The failed-over band was re-executed clean: output identical to
+        // the no-fault run.
+        assert_eq!(report.detections, clean.detections, "seed {seed}");
+    }
 }
 
 #[test]

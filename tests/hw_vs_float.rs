@@ -55,6 +55,7 @@ fn hw_and_float_detectors_agree_on_detections() {
             threshold: 0.0,
             nms_iou: None,
             clock: ClockDomain::MHZ_125,
+            ..AcceleratorConfig::default()
         },
     );
     let hw_report = hw.process(&scene.frame);
