@@ -10,11 +10,32 @@ cargo fmt --all --check
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-echo "== rtped-lint (project invariants: clock/env/float/unsafe/unwrap/json) =="
-cargo run --release --offline -p rtped-lint >/dev/null
+echo "== rtped-lint (token/use-graph analyzer + suppression ratchet vs LINT_BASELINE.json) =="
+cargo build --release --offline -p rtped-lint
+lint_a=$(mktemp)
+lint_b=$(mktemp)
+./target/release/rtped-lint --check-baseline LINT_BASELINE.json >"$lint_a"
+
+echo "== rtped-lint determinism (report byte-identical across runs and RTPED_THREADS) =="
+RTPED_THREADS=1 ./target/release/rtped-lint >"$lint_b" 2>/dev/null
+if ! diff -q "$lint_a" "$lint_b" >/dev/null; then
+    echo "rtped-lint: report differs between runs (RTPED_THREADS=1)" >&2
+    diff "$lint_a" "$lint_b" >&2 || true
+    exit 1
+fi
+RTPED_THREADS=4 ./target/release/rtped-lint >"$lint_b" 2>/dev/null
+if ! diff -q "$lint_a" "$lint_b" >/dev/null; then
+    echo "rtped-lint: report differs across RTPED_THREADS=1 vs 4" >&2
+    diff "$lint_a" "$lint_b" >&2 || true
+    exit 1
+fi
+rm -f "$lint_a" "$lint_b"
+
+echo "== rtped-lint --self-check (the analyzer lints itself) =="
+./target/release/rtped-lint --self-check >/dev/null
 
 echo "== rtped-lint self-test (bad fixture corpus must fail the gate) =="
-if cargo run --release --offline -p rtped-lint -- \
+if ./target/release/rtped-lint \
     crates/lint/tests/fixtures/bad >/dev/null 2>&1; then
     echo "rtped-lint: bad fixture corpus unexpectedly passed" >&2
     exit 1
@@ -25,6 +46,15 @@ cargo build --workspace --all-targets --release --offline
 
 echo "== cargo test -q --offline =="
 cargo test --workspace -q --offline
+
+echo "== miri (best-effort: UB verification of the unsafe par core + wire framing) =="
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    # Hard gate when available: any UB report fails CI.
+    cargo +nightly miri test --offline -p rtped-core --lib -- par:: wire::
+else
+    echo "miri: NOT AVAILABLE in this toolchain — SKIPPING UB verification." >&2
+    echo "miri: install with \`rustup component add --toolchain nightly miri\` to enable." >&2
+fi
 
 echo "== bench_detect --quick (smoke: determinism gates + 15% regression gate vs BENCH_thresholds.json) =="
 cargo run --release --offline -p rtped-bench --bin bench_detect -- --quick --gate BENCH_thresholds.json

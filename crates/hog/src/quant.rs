@@ -139,9 +139,10 @@ impl QuantFeatureMap {
                 let wrow = &weights[dy * row_len..(dy + 1) * row_len];
                 let mut acc: i32 = 0;
                 for (&w, &v) in wrow.iter().zip(frow) {
+                    // rtped-lint: allow(unchecked-arith-in-fixed-datapath, "DESIGN.md §13: the weight fraction shift is chosen so one window row's dot product fits i32 for any representable Q12 inputs; keeping the bare MAC preserves autovectorization of the hot loop")
                     acc += i32::from(w) * i32::from(v);
                 }
-                total += i64::from(acc);
+                total = total.wrapping_add(i64::from(acc));
             }
             *o = total;
         }

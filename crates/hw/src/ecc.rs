@@ -121,7 +121,7 @@ fn extract(code: u64) -> u32 {
             continue;
         }
         if (code >> pos) & 1 == 1 {
-            data |= 1 << k;
+            data |= 1u32.wrapping_shl(k);
         }
         k += 1;
     }
@@ -138,19 +138,19 @@ pub fn encode(data: u32) -> u64 {
             continue;
         }
         if (data >> k) & 1 == 1 {
-            code |= 1u64 << pos;
+            code |= 1u64.wrapping_shl(pos);
         }
         k += 1;
     }
     for p in 0..PARITY_BITS {
-        let parity_pos = 1u32 << p;
+        let parity_pos = 1u32.wrapping_shl(p);
         let mut parity = 0u64;
         for pos in 1..=38u32 {
             if pos & parity_pos != 0 {
                 parity ^= (code >> pos) & 1;
             }
         }
-        code |= parity << parity_pos;
+        code |= parity.wrapping_shl(parity_pos);
     }
     // Overall parity over the 38 Hamming positions; bit 0 is still clear
     // here, so the popcount is exactly their parity.
@@ -176,7 +176,7 @@ pub fn decode(code: u64) -> Decoded {
             bit: 0,
         },
         (s, false) if s <= 38 => Decoded::Corrected {
-            data: extract(code ^ (1u64 << s)),
+            data: extract(code ^ 1u64.wrapping_shl(s)),
             bit: s,
         },
         // Odd error count pointing outside the codeword, or an even

@@ -30,8 +30,8 @@ impl Mac {
     /// `acc += feature * weight` with 48-bit saturation. `feature` is
     /// Q0.15, `weight` Q4.12; the product is Q4.27.
     pub fn mac(&mut self, feature: i32, weight: i32) {
-        let product = i64::from(feature) * i64::from(weight);
-        self.acc = (self.acc + product).clamp(ACC_MIN, ACC_MAX);
+        let product = i64::from(feature).wrapping_mul(i64::from(weight));
+        self.acc = self.acc.saturating_add(product).clamp(ACC_MIN, ACC_MAX);
     }
 
     /// The accumulated value (Q4.27 when fed Q0.15 × Q4.12).
@@ -55,7 +55,7 @@ impl Mac {
     /// Panics if `bit >= 48`.
     pub fn flip_acc_bit(&mut self, bit: u32) {
         assert!(bit < 48, "accumulator is 48 bits wide");
-        let raw = (self.acc as u64) ^ (1u64 << bit);
+        let raw = (self.acc as u64) ^ 1u64.wrapping_shl(bit);
         self.acc = ((raw << 16) as i64) >> 16;
     }
 }

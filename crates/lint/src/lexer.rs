@@ -1,0 +1,426 @@
+//! A token-level lexer for Rust source, layered on the region scanner.
+//!
+//! [`crate::scan`] stays the string/comment oracle: it decides which bytes
+//! are code and which are literals or comments, and this module lexes the
+//! *code* bytes into spanned tokens — identifiers, lifetimes, numeric
+//! literals with their suffixes, and maximal-munch punctuation — while
+//! string/char literal regions surface as single literal tokens. That is
+//! the vocabulary the cross-cutting rules need: `<<` as one token (so the
+//! overflow audit can ask "is this a shift?"), `::` as one token (so
+//! `env::var` is three tokens, not five), and numeric suffixes attached to
+//! their literal (so `4096i32` names the width `i32` without a phantom
+//! identifier appearing in the stream).
+//!
+//! Like the scanner, the lexer is total: arbitrary or truncated input
+//! produces *some* token stream, never a panic. Tokens carry byte spans
+//! and 1-based lines, plus an `in_attr` flag marking attribute context
+//! (`#[...]` / `#![...]`), which downstream rules use to skip
+//! configuration syntax.
+
+use crate::scan::{Kind, Scan};
+
+/// What one lexical token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `i32`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`); `text` includes the quote.
+    Lifetime,
+    /// Integer literal; radix prefix kept in `text`, suffix split off.
+    Int,
+    /// Float literal (has a `.` or exponent); suffix split off.
+    Float,
+    /// `"..."`/`b"..."` string literal (whole region, delimiters included).
+    Str,
+    /// Raw string literal (whole region).
+    RawStr,
+    /// Char or byte literal (whole region).
+    Char,
+    /// Punctuation, maximal munch: `<<=`, `::`, `->`, `+`, `(` ...
+    Punct,
+}
+
+/// One token with its span and context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexToken {
+    /// Token class.
+    pub kind: LexKind,
+    /// Source text of the token (for `Str`/`RawStr` the full literal).
+    pub text: String,
+    /// For `Int`/`Float`: the literal's type suffix (`u64`, `f32`, ...).
+    pub suffix: Option<String>,
+    /// Byte offset of the first byte in the original source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Whether the token sits inside a `#[...]`/`#![...]` attribute.
+    pub in_attr: bool,
+}
+
+impl LexToken {
+    /// Whether this is punctuation with exactly this text.
+    #[must_use]
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == LexKind::Punct && self.text == p
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == LexKind::Ident && self.text == name
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a simple
+/// first-match scan.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into tokens, using `scan` as the region oracle. Comment
+/// regions produce no tokens; literal regions produce one token each.
+#[must_use]
+pub fn lex(src: &str, scan: &Scan) -> Vec<LexToken> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    for region in &scan.regions {
+        let line = region.line;
+        match region.kind {
+            Kind::LineComment | Kind::BlockComment => {}
+            Kind::Str | Kind::RawStr | Kind::CharLit => {
+                let kind = match region.kind {
+                    Kind::Str => LexKind::Str,
+                    Kind::RawStr => LexKind::RawStr,
+                    _ => LexKind::Char,
+                };
+                out.push(LexToken {
+                    kind,
+                    text: src.get(region.start..region.end).unwrap_or("").to_string(),
+                    suffix: None,
+                    start: region.start,
+                    end: region.end,
+                    line,
+                    in_attr: false,
+                });
+            }
+            Kind::Code => lex_code(bytes, src, region.start, region.end, line, &mut out),
+        }
+    }
+    mark_attr_context(&mut out);
+    out
+}
+
+/// Lexes one code region (`bytes[start..end]`) starting on `line`.
+fn lex_code(
+    bytes: &[u8],
+    src: &str,
+    start: usize,
+    end: usize,
+    mut line: usize,
+    out: &mut Vec<LexToken>,
+) {
+    let mut i = start;
+    while i < end {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let tok_start = i;
+            while i < end && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            out.push(LexToken {
+                kind: LexKind::Ident,
+                text: src.get(tok_start..i).unwrap_or("").to_string(),
+                suffix: None,
+                start: tok_start,
+                end: i,
+                line,
+                in_attr: false,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            i = lex_number(bytes, src, i, end, line, out);
+            continue;
+        }
+        // Lifetime: a quote the scanner did not classify as a char
+        // literal, followed by an identifier.
+        if c == b'\'' && i + 1 < end && is_ident_start(bytes[i + 1]) {
+            let tok_start = i;
+            i += 1;
+            while i < end && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            out.push(LexToken {
+                kind: LexKind::Lifetime,
+                text: src.get(tok_start..i).unwrap_or("").to_string(),
+                suffix: None,
+                start: tok_start,
+                end: i,
+                line,
+                in_attr: false,
+            });
+            continue;
+        }
+        // Maximal-munch multi-character operator, else single punctuation.
+        let rest = &bytes[i..end];
+        let op_len = OPERATORS
+            .iter()
+            .find(|op| rest.starts_with(op.as_bytes()))
+            .map_or(1, |op| op.len());
+        out.push(LexToken {
+            kind: LexKind::Punct,
+            text: src.get(i..i + op_len).unwrap_or("").to_string(),
+            suffix: None,
+            start: i,
+            end: i + op_len,
+            line,
+            in_attr: false,
+        });
+        i += op_len;
+    }
+}
+
+/// Lexes a numeric literal at `i`, splitting off any type suffix.
+/// Returns the offset one past the literal.
+fn lex_number(
+    bytes: &[u8],
+    src: &str,
+    i: usize,
+    end: usize,
+    line: usize,
+    out: &mut Vec<LexToken>,
+) -> usize {
+    let tok_start = i;
+    let mut j = i;
+    let mut is_float = false;
+    let radix_prefix = j + 2 <= end
+        && bytes[j] == b'0'
+        && matches!(bytes[j + 1], b'x' | b'X' | b'b' | b'B' | b'o' | b'O');
+    if radix_prefix {
+        j += 2;
+        while j < end && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        // Hex digits swallow any suffix ambiguity; no suffix split for
+        // radix literals (none appear in width positions the rules check).
+        push_number(src, tok_start, j, line, false, None, out);
+        return j;
+    }
+    while j < end && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // A fractional part: a single `.` followed by a digit (so `0..n`
+    // ranges and `1.method()` calls stay untouched).
+    if j + 1 < end && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+        is_float = true;
+        j += 1;
+        while j < end && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    // Exponent (`1e9`, `2.5E-3`): only when followed by a digit or a
+    // signed digit, otherwise the `e...` run is a type-suffix candidate.
+    if j < end && (bytes[j] == b'e' || bytes[j] == b'E') {
+        let mut k = j + 1;
+        if k < end && (bytes[k] == b'+' || bytes[k] == b'-') {
+            k += 1;
+        }
+        if k < end && bytes[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < end && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix: a trailing alphanumeric run (`u64`, `f32`, `usize`).
+    let suffix_start = j;
+    while j < end && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    let suffix = if j > suffix_start {
+        src.get(suffix_start..j).map(str::to_string)
+    } else {
+        None
+    };
+    let is_float = is_float || suffix.as_deref().is_some_and(|s| s.starts_with('f'));
+    push_number(src, tok_start, j, line, is_float, suffix, out);
+    j
+}
+
+fn push_number(
+    src: &str,
+    start: usize,
+    end: usize,
+    line: usize,
+    is_float: bool,
+    suffix: Option<String>,
+    out: &mut Vec<LexToken>,
+) {
+    out.push(LexToken {
+        kind: if is_float {
+            LexKind::Float
+        } else {
+            LexKind::Int
+        },
+        text: src.get(start..end).unwrap_or("").to_string(),
+        suffix,
+        start,
+        end,
+        line,
+        in_attr: false,
+    });
+}
+
+/// Marks every token inside `#[...]` / `#![...]` spans with `in_attr`.
+/// Bracket nesting inside the attribute is honoured; an unclosed
+/// attribute extends to end of stream (total on malformed input).
+fn mark_attr_context(toks: &mut [LexToken]) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct("!") {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("[") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < toks.len() {
+            if toks[k].is_punct("[") {
+                depth += 1;
+            } else if toks[k].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let close = k.min(toks.len().saturating_sub(1));
+        for t in toks.iter_mut().take(close + 1).skip(i) {
+            t.in_attr = true;
+        }
+        i = k + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn lex_src(src: &str) -> Vec<LexToken> {
+        lex(src, &scan(src))
+    }
+
+    fn texts(src: &str) -> Vec<(LexKind, String)> {
+        lex_src(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_suffixes() {
+        let toks = lex_src("let x = 4096i32 + 1.5f64;");
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+        let int = toks.iter().find(|t| t.kind == LexKind::Int).unwrap();
+        assert_eq!(int.text, "4096i32");
+        assert_eq!(int.suffix.as_deref(), Some("i32"));
+        let f = toks.iter().find(|t| t.kind == LexKind::Float).unwrap();
+        assert_eq!(f.suffix.as_deref(), Some("f64"));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let got = texts("a <<= b << c <= d < e; x..=y; p->q; m::n");
+        let puncts: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == LexKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            puncts,
+            ["<<=", "<<", "<=", "<", ";", "..=", ";", "->", ";", "::"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex_src("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == LexKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == LexKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let toks = lex_src("for i in 0..38u32 {}");
+        assert!(toks.iter().any(|t| t.kind == LexKind::Int && t.text == "0"));
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        let hi = toks
+            .iter()
+            .find(|t| t.kind == LexKind::Int && t.text == "38u32")
+            .unwrap();
+        assert_eq!(hi.suffix.as_deref(), Some("u32"));
+    }
+
+    #[test]
+    fn attr_context_is_marked() {
+        let toks = lex_src("#[cfg(test)]\nmod tests {}\n");
+        let cfg = toks.iter().find(|t| t.is_ident("cfg")).unwrap();
+        assert!(cfg.in_attr);
+        let m = toks.iter().find(|t| t.is_ident("mod")).unwrap();
+        assert!(!m.in_attr);
+    }
+
+    #[test]
+    fn string_regions_surface_as_single_tokens() {
+        let toks = lex_src(r####"let s = r#"a :: b"#; let t = "x + y";"####);
+        assert_eq!(toks.iter().filter(|t| t.kind == LexKind::RawStr).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == LexKind::Str).count(), 1);
+        // Nothing inside the literals leaked into the punct stream.
+        assert!(!toks.iter().any(|t| t.is_punct("+")));
+        assert!(!toks.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn spans_are_monotone_and_in_bounds() {
+        let src = "fn f(a: u64) -> u64 { (a << 3) + 0x2f }";
+        let toks = lex_src(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert!(t.start >= pos, "{t:?}");
+            assert!(t.end <= src.len());
+            assert_eq!(&src[t.start..t.end], t.text, "span/text mismatch");
+            pos = t.start;
+        }
+    }
+}

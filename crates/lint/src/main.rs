@@ -1,38 +1,89 @@
 //! The `rtped-lint` binary: lints a workspace root and gates CI.
 //!
-//! Usage: `rtped-lint [ROOT]` — `ROOT` defaults to the current directory
-//! and may point at any tree mirroring the workspace layout (the fixture
-//! corpora under `crates/lint/tests/fixtures/` do exactly that, which is
-//! how `ci.sh` proves the gate itself rejects known-bad input).
+//! Usage:
+//!
+//! ```text
+//! rtped-lint [ROOT]                         lint the workspace
+//! rtped-lint --self-check [ROOT]            lint only crates/lint/ itself
+//! rtped-lint --write-baseline PATH [ROOT]   also write the suppression baseline
+//! rtped-lint --check-baseline PATH [ROOT]   also enforce the suppression ratchet
+//! ```
+//!
+//! `ROOT` defaults to the current directory and may point at any tree
+//! mirroring the workspace layout (the fixture corpora under
+//! `crates/lint/tests/fixtures/` do exactly that, which is how `ci.sh`
+//! proves the gate itself rejects known-bad input).
 //!
 //! Human diagnostics (`file:line: rule: message`) go to stderr; the
 //! canonical JSON report goes to stdout. Exit status: 0 clean, 1 when any
-//! violation survives suppression, 2 on usage or I/O errors.
+//! violation survives suppression (or the baseline ratchet fails), 2 on
+//! usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
+struct Options {
+    root: PathBuf,
+    self_check: bool,
+    write_baseline: Option<PathBuf>,
+    check_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        self_check: false,
+        write_baseline: None,
+        check_baseline: None,
+    };
+    let mut saw_root = false;
     let mut args = std::env::args().skip(1);
-    let root = match (args.next(), args.next()) {
-        (None, _) => PathBuf::from("."),
-        (Some(root), None) if !root.starts_with('-') => PathBuf::from(root),
-        _ => {
-            eprintln!("usage: rtped-lint [ROOT]");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-check" => opts.self_check = true,
+            "--write-baseline" => {
+                let path = args.next().ok_or("--write-baseline needs a PATH")?;
+                opts.write_baseline = Some(PathBuf::from(path));
+            }
+            "--check-baseline" => {
+                let path = args.next().ok_or("--check-baseline needs a PATH")?;
+                opts.check_baseline = Some(PathBuf::from(path));
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`")),
+            _ if !saw_root => {
+                opts.root = PathBuf::from(arg);
+                saw_root = true;
+            }
+            _ => return Err("more than one ROOT given".to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("rtped-lint: {msg}");
+            eprintln!(
+                "usage: rtped-lint [--self-check] [--write-baseline PATH] \
+                 [--check-baseline PATH] [ROOT]"
+            );
             return ExitCode::from(2);
         }
     };
-    let outcome = match rtped_lint::run_workspace(&root) {
+    let prefix = opts.self_check.then_some("crates/lint/");
+    let outcome = match rtped_lint::run_filtered(&opts.root, prefix) {
         Ok(outcome) => outcome,
         Err(err) => {
-            eprintln!("rtped-lint: cannot scan {}: {err}", root.display());
+            eprintln!("rtped-lint: cannot scan {}: {err}", opts.root.display());
             return ExitCode::from(2);
         }
     };
     if outcome.files_scanned == 0 {
         eprintln!(
             "rtped-lint: no lintable files under {} — wrong root?",
-            root.display()
+            opts.root.display()
         );
         return ExitCode::from(2);
     }
@@ -51,10 +102,47 @@ fn main() -> ExitCode {
         outcome.violations.len(),
         outcome.suppressions.len()
     );
+
+    let mut failed = !outcome.violations.is_empty();
+    if let Some(path) = &opts.write_baseline {
+        let text = format!("{}\n", outcome.baseline_json());
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!(
+                "rtped-lint: cannot write baseline {}: {err}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "rtped-lint: wrote baseline ({} suppressions) to {}",
+            outcome.suppressions.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.check_baseline {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| rtped_core::json::Json::parse(&text).map_err(|e| e.to_string()));
+        match baseline {
+            Ok(baseline) => {
+                if let Err(msg) = outcome.check_baseline(&baseline) {
+                    eprintln!("rtped-lint: baseline ratchet: {msg}");
+                    failed = true;
+                } else {
+                    eprintln!("rtped-lint: baseline ratchet ok");
+                }
+            }
+            Err(err) => {
+                eprintln!("rtped-lint: cannot read baseline {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     println!("{}", outcome.to_json());
-    if outcome.violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if failed {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -25,6 +25,21 @@
 //! - `noncanonical-json` — string literals carrying hand-rolled JSON
 //!   fragments are forbidden outside `rtped_core::json`; reports must go
 //!   through the canonical serializer.
+//! - `unchecked-arith-in-fixed-datapath` ([`crate::arith`]) — integer
+//!   `+ - * <<` in the fixed-point modules must be explicit
+//!   `wrapping_*`/`checked_*`/`saturating_*` or cite the overflow proof.
+//! - `hash-iteration-nondeterminism` ([`crate::taint`]) —
+//!   `HashMap`/`HashSet` are forbidden in modules reaching
+//!   canonical-report code.
+//! - `lock-order` ([`crate::locks`]) — mutex nesting in `serve`/`fleet`
+//!   must follow the declared acquisition order, acyclically.
+//! - `determinism-taint` ([`crate::taint`]) — report-producing modules
+//!   must not reach wall-clock/env/thread-identity sources along the
+//!   use-graph except through the sanctioned facades.
+//!
+//! The per-file rules run over [`crate::lexer`] token streams; the last
+//! four are cross-cutting and are orchestrated by [`crate::run_workspace`]
+//! on top of the per-file [`Analysis`] this module produces.
 //!
 //! Suppression: a line comment holding the `rtped-lint` marker, a colon,
 //! then `allow(<rule>, "<justification>")`, placed on the violating line
@@ -33,7 +48,8 @@
 //! is one naming an unknown rule. (The grammar is spelled indirectly
 //! here because this doc comment is itself scanned.)
 
-use crate::scan::{scan, split, tokens, FileText, Tok, Token};
+use crate::lexer::{lex, LexKind, LexToken};
+use crate::scan::{scan, split, FileText};
 
 /// Rule: wall-clock reads outside the sanctioned timer boundary.
 pub const WALL_CLOCK: &str = "wall-clock-in-deterministic";
@@ -51,6 +67,14 @@ pub const UNWRAP_IN_LIB: &str = "unwrap-in-library";
 pub const NONCANONICAL_JSON: &str = "noncanonical-json";
 /// Rule: malformed or unjustified suppression pragmas.
 pub const SUPPRESSION_PRAGMA: &str = "suppression-pragma";
+/// Rule: implicit integer arithmetic in the fixed-point datapath.
+pub const UNCHECKED_ARITH: &str = "unchecked-arith-in-fixed-datapath";
+/// Rule: hash-ordered collections in report-reaching modules.
+pub const HASH_ITER: &str = "hash-iteration-nondeterminism";
+/// Rule: undeclared or cyclic mutex nesting.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule: nondeterminism sources reachable from report producers.
+pub const DET_TAINT: &str = "determinism-taint";
 
 /// Every suppressible rule name (the pragma parser validates against
 /// this; `suppression-pragma` itself is deliberately not suppressible).
@@ -62,6 +86,10 @@ pub const RULES: &[&str] = &[
     UNSAFE_COMMENT,
     UNWRAP_IN_LIB,
     NONCANONICAL_JSON,
+    UNCHECKED_ARITH,
+    HASH_ITER,
+    LOCK_ORDER,
+    DET_TAINT,
 ];
 
 /// One reported violation.
@@ -109,11 +137,25 @@ struct Pragma {
     standalone: bool,
 }
 
+/// Everything the workspace pass needs from one file: its token stream
+/// (reused by the graph builder and the cross-cutting rules), its
+/// `#[cfg(test)]` line ranges, its pragmas, and the raw per-file
+/// violations awaiting suppression resolution.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Lexed tokens (attr context marked).
+    pub toks: Vec<LexToken>,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
+    pub tests: Vec<(usize, usize)>,
+    pragmas: Vec<Pragma>,
+    raw: Vec<Violation>,
+}
+
 const PRAGMA_MARKER: &str = "rtped-lint:";
 
 /// Parses every pragma in the file's comments. Malformed pragmas become
 /// violations immediately.
-fn parse_pragmas(rel: &str, text: &FileText, out: &mut FileOutcome) -> Vec<Pragma> {
+fn parse_pragmas(rel: &str, text: &FileText, raw: &mut Vec<Violation>) -> Vec<Pragma> {
     let mut pragmas = Vec::new();
     for (idx, comment) in text.comments.iter().enumerate() {
         let line = idx + 1;
@@ -122,7 +164,7 @@ fn parse_pragmas(rel: &str, text: &FileText, out: &mut FileOutcome) -> Vec<Pragm
             rest = &rest[pos + PRAGMA_MARKER.len()..];
             let body = rest.trim_start();
             let Some(args) = body.strip_prefix("allow(") else {
-                out.violations.push(Violation {
+                raw.push(Violation {
                     file: rel.to_string(),
                     line,
                     rule: SUPPRESSION_PRAGMA.to_string(),
@@ -133,7 +175,7 @@ fn parse_pragmas(rel: &str, text: &FileText, out: &mut FileOutcome) -> Vec<Pragm
                 continue;
             };
             let Some(close) = args.find(')') else {
-                out.violations.push(Violation {
+                raw.push(Violation {
                     file: rel.to_string(),
                     line,
                     rule: SUPPRESSION_PRAGMA.to_string(),
@@ -148,7 +190,7 @@ fn parse_pragmas(rel: &str, text: &FileText, out: &mut FileOutcome) -> Vec<Pragm
                 Some((r, j)) => (r.trim(), Some(j.trim())),
             };
             if !RULES.contains(&rule) {
-                out.violations.push(Violation {
+                raw.push(Violation {
                     file: rel.to_string(),
                     line,
                     rule: SUPPRESSION_PRAGMA.to_string(),
@@ -162,7 +204,7 @@ fn parse_pragmas(rel: &str, text: &FileText, out: &mut FileOutcome) -> Vec<Pragm
                 .map(str::trim)
                 .unwrap_or("");
             if justification.is_empty() {
-                out.violations.push(Violation {
+                raw.push(Violation {
                     file: rel.to_string(),
                     line,
                     rule: SUPPRESSION_PRAGMA.to_string(),
@@ -198,8 +240,11 @@ fn is_sanctioned_env(rel: &str) -> bool {
     rel == "crates/core/src/env.rs"
 }
 
+/// The canonical serializer itself — and the analyzer's own sources,
+/// whose punctuation-pattern literals (a quote-colon sequence opens
+/// `"::"`) collide with the JSON-key needle without ever being JSON.
 fn is_sanctioned_json(rel: &str) -> bool {
-    rel == "crates/core/src/json.rs"
+    rel == "crates/core/src/json.rs" || rel.starts_with("crates/lint/src/")
 }
 
 /// The fixed-point datapath modules: NHOG memory words, ECC codewords,
@@ -243,7 +288,8 @@ fn in_src_tree(rel: &str) -> bool {
 }
 
 /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
-fn test_region_lines(toks: &[Token]) -> Vec<(usize, usize)> {
+#[must_use]
+pub fn test_region_lines(toks: &[LexToken]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -266,24 +312,22 @@ fn test_region_lines(toks: &[Token]) -> Vec<(usize, usize)> {
         let mut depth = 0usize;
         let mut end_line = start_line;
         while j < toks.len() {
-            match toks[j].tok {
-                Tok::Punct('{') => depth += 1,
-                Tok::Punct('}') => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        end_line = toks[j].line;
-                        j += 1;
-                        break;
-                    }
-                }
-                Tok::Punct(';') if depth == 0 => {
-                    end_line = toks[j].line;
+            let t = &toks[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end_line = t.line;
                     j += 1;
                     break;
                 }
-                _ => {}
+            } else if t.is_punct(";") && depth == 0 {
+                end_line = t.line;
+                j += 1;
+                break;
             }
-            end_line = toks[j].line;
+            end_line = t.line;
             j += 1;
         }
         out.push((start_line, end_line));
@@ -295,15 +339,15 @@ fn test_region_lines(toks: &[Token]) -> Vec<(usize, usize)> {
 /// If an attribute (`#[...]` / `#![...]`) starts at token `i`, returns
 /// the index one past its closing `]` and whether it is a
 /// `cfg(... test ...)` attribute (excluding `cfg(not(test))`).
-fn parse_attr(toks: &[Token], i: usize) -> Option<(usize, bool)> {
-    if toks.get(i).map(|t| &t.tok) != Some(&Tok::Punct('#')) {
+fn parse_attr(toks: &[LexToken], i: usize) -> Option<(usize, bool)> {
+    if !toks.get(i)?.is_punct("#") {
         return None;
     }
     let mut j = i + 1;
-    if toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('!')) {
+    if toks.get(j).is_some_and(|t| t.is_punct("!")) {
         j += 1;
     }
-    if toks.get(j).map(|t| &t.tok) != Some(&Tok::Punct('[')) {
+    if !toks.get(j).is_some_and(|t| t.is_punct("[")) {
         return None;
     }
     let mut depth = 0usize;
@@ -311,28 +355,30 @@ fn parse_attr(toks: &[Token], i: usize) -> Option<(usize, bool)> {
     let mut saw_test = false;
     let mut saw_not = false;
     while j < toks.len() {
-        match &toks[j].tok {
-            Tok::Punct('[') => depth += 1,
-            Tok::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((j + 1, saw_cfg && saw_test && !saw_not));
-                }
+        let t = &toks[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some((j + 1, saw_cfg && saw_test && !saw_not));
             }
-            Tok::Ident(name) => match name.as_str() {
+        } else if t.kind == LexKind::Ident {
+            match t.text.as_str() {
                 "cfg" => saw_cfg = true,
                 "test" => saw_test = true,
                 "not" => saw_not = true,
                 _ => {}
-            },
-            _ => {}
+            }
         }
         j += 1;
     }
     Some((toks.len(), false))
 }
 
-fn in_test_region(regions: &[(usize, usize)], line: usize) -> bool {
+/// Whether `line` falls inside any of the given test regions.
+#[must_use]
+pub fn in_test_region(regions: &[(usize, usize)], line: usize) -> bool {
     regions.iter().any(|&(s, e)| s <= line && line <= e)
 }
 
@@ -362,118 +408,148 @@ fn has_safety_comment(text: &FileText, line: usize) -> bool {
     false
 }
 
-/// Runs every rule over one file. `rel` is the workspace-relative path
-/// with `/` separators.
+/// Lexes one file and runs every per-file rule (including the
+/// [`crate::arith`] overflow audit), leaving the raw violations
+/// unsuppressed. The workspace pass layers the cross-cutting rules on
+/// top before calling [`resolve`]; single-file callers go straight
+/// through [`check_source`].
 #[must_use]
-pub fn check_source(rel: &str, src: &str) -> FileOutcome {
-    let mut out = FileOutcome::default();
+pub fn analyze(rel: &str, src: &str) -> Analysis {
     let scanned = scan(src);
     let text = split(src, &scanned);
-    let toks = tokens(&text);
-    let pragmas = parse_pragmas(rel, &text, &mut out);
+    let toks = lex(src, &scanned);
+    let mut raw: Vec<Violation> = Vec::new();
+    let pragmas = parse_pragmas(rel, &text, &mut raw);
     let tests = test_region_lines(&toks);
 
-    let mut raw: Vec<Violation> = Vec::new();
-    let mut push = |line: usize, rule: &str, message: String| {
-        raw.push(Violation {
-            file: rel.to_string(),
-            line,
-            rule: rule.to_string(),
-            message,
-        });
-    };
-
-    for (k, t) in toks.iter().enumerate() {
-        let Tok::Ident(name) = &t.tok else { continue };
-        let prev_is = |offset: usize, tok: &Tok| {
-            k.checked_sub(offset)
-                .and_then(|p| toks.get(p))
-                .map(|t| &t.tok)
-                == Some(tok)
+    {
+        let mut push = |line: usize, rule: &str, message: String| {
+            raw.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: rule.to_string(),
+                message,
+            });
         };
-        let next_is = |offset: usize, tok: &Tok| toks.get(k + offset).map(|t| &t.tok) == Some(tok);
-        match name.as_str() {
-            "Instant" | "SystemTime" if !is_sanctioned_clock(rel) => push(
-                t.line,
-                WALL_CLOCK,
-                format!(
-                    "`{name}` outside the sanctioned clock boundary \
-                     (rtped_core::timer / bench binaries) — deterministic \
-                     code must use the modeled cost clock or `timer::Stopwatch`"
-                ),
-            ),
-            "var" | "var_os"
-                if !is_sanctioned_env(rel)
-                    && prev_is(1, &Tok::Punct(':'))
-                    && prev_is(2, &Tok::Punct(':'))
-                    && k.checked_sub(3)
-                        .and_then(|p| toks.get(p))
-                        .is_some_and(|t| t.tok == Tok::Ident("env".to_string())) =>
+
+        for (k, t) in toks.iter().enumerate() {
+            // Float-suffixed literals name the type as surely as the
+            // ident does (`1.5f64` in the datapath is still a float).
+            if matches!(t.kind, LexKind::Int | LexKind::Float)
+                && matches!(t.suffix.as_deref(), Some("f32") | Some("f64"))
             {
-                push(
-                    t.line,
-                    RAW_ENV,
-                    "raw `env::var` outside rtped_core::env — operational \
-                     knobs must go through the typed, warn-once boundary"
-                        .to_string(),
-                )
+                if is_fixed_datapath(rel) {
+                    push(
+                        t.line,
+                        FLOAT_IN_FIXED,
+                        format!(
+                            "float-suffixed literal `{}` inside the fixed-point datapath",
+                            t.text
+                        ),
+                    );
+                } else if is_quant_kernel(rel) {
+                    push(
+                        t.line,
+                        FLOAT_IN_QUANT_KERNEL,
+                        format!(
+                            "float-suffixed literal `{}` inside the i16 scoring kernel",
+                            t.text
+                        ),
+                    );
+                }
+                continue;
             }
-            "f32" | "f64" if is_fixed_datapath(rel) => push(
-                t.line,
-                FLOAT_IN_FIXED,
-                format!(
-                    "`{name}` inside the fixed-point datapath — NhogMem \
-                     words, ECC codewords, and MACBAR accumulators are \
-                     integer-only; float comparisons belong to the golden \
-                     model / lockstep modules"
-                ),
-            ),
-            "f32" | "f64" if is_quant_kernel(rel) => push(
-                t.line,
-                FLOAT_IN_QUANT_KERNEL,
-                format!(
-                    "`{name}` inside the i16 scoring kernel — the quantized \
-                     datapath is integer-only; convert at the designated \
-                     boundaries (FeatureMap::quantize_rows_into, QuantModel)"
-                ),
-            ),
-            "unsafe" if !has_safety_comment(&text, t.line) => push(
-                t.line,
-                UNSAFE_COMMENT,
-                "`unsafe` without an adjacent `// SAFETY:` comment stating \
-                 the invariant it relies on"
-                    .to_string(),
-            ),
-            "unwrap" | "expect"
-                if in_unwrap_scope(rel)
-                    && !in_test_region(&tests, t.line)
-                    && prev_is(1, &Tok::Punct('.'))
-                    && next_is(1, &Tok::Punct('(')) =>
-            {
-                push(
+            if t.kind != LexKind::Ident {
+                continue;
+            }
+            let prev_punct =
+                |offset: usize, p: &str| k.checked_sub(offset).is_some_and(|i| toks[i].is_punct(p));
+            let next_punct =
+                |offset: usize, p: &str| toks.get(k + offset).is_some_and(|t| t.is_punct(p));
+            match t.text.as_str() {
+                "Instant" | "SystemTime" if !is_sanctioned_clock(rel) => push(
                     t.line,
-                    UNWRAP_IN_LIB,
+                    WALL_CLOCK,
                     format!(
-                        "`.{name}(` in library code — return the crate's \
-                         typed error instead, or justify unreachability \
-                         with a pragma"
+                        "`{}` outside the sanctioned clock boundary \
+                         (rtped_core::timer / bench binaries) — deterministic \
+                         code must use the modeled cost clock or `timer::Stopwatch`",
+                        t.text
                     ),
-                )
-            }
-            "panic"
-                if in_unwrap_scope(rel)
-                    && !in_test_region(&tests, t.line)
-                    && next_is(1, &Tok::Punct('!')) =>
-            {
-                push(
+                ),
+                "var" | "var_os"
+                    if !is_sanctioned_env(rel)
+                        && prev_punct(1, "::")
+                        && k.checked_sub(2).is_some_and(|i| toks[i].is_ident("env")) =>
+                {
+                    push(
+                        t.line,
+                        RAW_ENV,
+                        "raw `env::var` outside rtped_core::env — operational \
+                         knobs must go through the typed, warn-once boundary"
+                            .to_string(),
+                    )
+                }
+                "f32" | "f64" if is_fixed_datapath(rel) => push(
                     t.line,
-                    UNWRAP_IN_LIB,
-                    "`panic!` in library code — return the crate's typed \
-                     error instead, or justify with a pragma"
+                    FLOAT_IN_FIXED,
+                    format!(
+                        "`{}` inside the fixed-point datapath — NhogMem \
+                         words, ECC codewords, and MACBAR accumulators are \
+                         integer-only; float comparisons belong to the golden \
+                         model / lockstep modules",
+                        t.text
+                    ),
+                ),
+                "f32" | "f64" if is_quant_kernel(rel) => push(
+                    t.line,
+                    FLOAT_IN_QUANT_KERNEL,
+                    format!(
+                        "`{}` inside the i16 scoring kernel — the quantized \
+                         datapath is integer-only; convert at the designated \
+                         boundaries (FeatureMap::quantize_rows_into, QuantModel)",
+                        t.text
+                    ),
+                ),
+                "unsafe" if !has_safety_comment(&text, t.line) => push(
+                    t.line,
+                    UNSAFE_COMMENT,
+                    "`unsafe` without an adjacent `// SAFETY:` comment stating \
+                     the invariant it relies on"
                         .to_string(),
-                )
+                ),
+                "unwrap" | "expect"
+                    if in_unwrap_scope(rel)
+                        && !in_test_region(&tests, t.line)
+                        && prev_punct(1, ".")
+                        && next_punct(1, "(") =>
+                {
+                    push(
+                        t.line,
+                        UNWRAP_IN_LIB,
+                        format!(
+                            "`.{}(` in library code — return the crate's \
+                             typed error instead, or justify unreachability \
+                             with a pragma",
+                            t.text
+                        ),
+                    )
+                }
+                "panic"
+                    if in_unwrap_scope(rel)
+                        && !in_test_region(&tests, t.line)
+                        && next_punct(1, "!") =>
+                {
+                    push(
+                        t.line,
+                        UNWRAP_IN_LIB,
+                        "`panic!` in library code — return the crate's typed \
+                         error instead, or justify with a pragma"
+                            .to_string(),
+                    )
+                }
+                _ => {}
             }
-            _ => {}
         }
     }
 
@@ -497,10 +573,28 @@ pub fn check_source(rel: &str, src: &str) -> FileOutcome {
         }
     }
 
-    // Apply suppressions: a pragma covers its own line, and the next line
-    // when it stands alone on a comment-only line.
+    crate::arith::check(rel, &toks, &tests, &mut raw);
+
+    Analysis {
+        toks,
+        tests,
+        pragmas,
+        raw,
+    }
+}
+
+/// Applies the file's suppression pragmas to its raw per-file violations
+/// plus any `extra` cross-cutting violations anchored in it. A pragma
+/// covers its own line, and the next line when it stands alone on a
+/// comment-only line. Duplicate suppressions (one pragma absorbing two
+/// same-line, same-rule hits) collapse to one inventory entry.
+#[must_use]
+pub fn resolve(analysis: &Analysis, extra: Vec<Violation>) -> FileOutcome {
+    let mut out = FileOutcome::default();
+    let mut raw = analysis.raw.clone();
+    raw.extend(extra);
     for v in raw {
-        let matching = pragmas.iter().find(|p| {
+        let matching = analysis.pragmas.iter().find(|p| {
             p.rule == v.rule && (p.line == v.line || (p.standalone && p.line + 1 == v.line))
         });
         match matching {
@@ -515,7 +609,17 @@ pub fn check_source(rel: &str, src: &str) -> FileOutcome {
     }
     out.violations
         .sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    out.suppressions
+        .sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    out.suppressions.dedup();
     out
+}
+
+/// Runs every per-file rule over one file. `rel` is the workspace-relative
+/// path with `/` separators.
+#[must_use]
+pub fn check_source(rel: &str, src: &str) -> FileOutcome {
+    resolve(&analyze(rel, src), Vec::new())
 }
 
 #[cfg(test)]
@@ -632,6 +736,14 @@ mod tests {
     }
 
     #[test]
+    fn float_suffixed_literals_count_as_floats() {
+        let src = "pub fn f() { let _ = 1.5f64; }\n";
+        let out = check_source("crates/hw/src/ecc.rs", src);
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert_eq!(out.violations[0].rule, FLOAT_IN_FIXED);
+    }
+
+    #[test]
     fn floats_flagged_in_quant_kernel_only() {
         let src = "pub fn f(x: i16) -> f32 { x as f32 }\n";
         let out = check_source("crates/hog/src/quant.rs", src);
@@ -669,5 +781,18 @@ mod tests {
         assert!(check_source("crates/core/src/json.rs", src)
             .violations
             .is_empty());
+    }
+
+    #[test]
+    fn arith_audit_runs_through_check_source_and_pragmas_apply() {
+        let bad = "pub fn f(a: i32, b: i32) -> i32 { let s: i32 = a * b; s }\n";
+        let out = check_source("crates/hog/src/quant.rs", bad);
+        assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+        assert_eq!(out.violations[0].rule, UNCHECKED_ARITH);
+
+        let suppressed = "// rtped-lint: allow(unchecked-arith-in-fixed-datapath, \"|a*b| < 2^20 by Q12 bounds\")\npub fn f(a: i32, b: i32) -> i32 { let s: i32 = a * b; s }\n";
+        let out = check_source("crates/hog/src/quant.rs", suppressed);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.suppressions.len(), 1);
     }
 }

@@ -1,0 +1,6 @@
+//! Known-bad companion: pointer formatting is a nondeterminism source
+//! (the taint violation lands on the report module that imports this).
+
+pub fn label(v: &u32) -> String {
+    format!("{:p}", v)
+}

@@ -1,0 +1,17 @@
+//! Known-bad: nested and reentrant lock acquisition.
+
+use std::sync::Mutex;
+
+pub fn nested(queue: &Mutex<u32>, journal: &Mutex<u32>) {
+    let q = queue.lock();
+    let j = journal.lock();
+    drop(j);
+    drop(q);
+}
+
+pub fn reentrant(queue: &Mutex<u32>) {
+    let a = queue.lock();
+    let b = queue.lock();
+    drop(b);
+    drop(a);
+}

@@ -1,0 +1,11 @@
+//! Known-bad: a report producer importing a determinism-tainted module.
+
+use crate::debugfmt::label;
+
+pub struct Summary;
+
+impl ToJson for Summary {}
+
+pub fn emit() -> String {
+    label(&0)
+}

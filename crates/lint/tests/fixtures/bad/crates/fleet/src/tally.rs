@@ -1,0 +1,13 @@
+//! Known-bad: hash-ordered container in a report-reaching module.
+
+use std::collections::HashMap;
+use crate::summary::Summary;
+
+pub fn tally(items: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &i in items {
+        *m.entry(i).or_insert(0) += 1;
+    }
+    let _ = Summary;
+    m
+}

@@ -1,0 +1,9 @@
+//! Known-bad: bare arithmetic in the fixed-point ECC path.
+
+pub fn set_bit(code: u64, pos: u32) -> u64 {
+    code | (1u64 << pos)
+}
+
+pub fn widen_sum(a: i16, b: i16) -> i64 {
+    i64::from(a) + i64::from(b)
+}

@@ -1,0 +1,174 @@
+//! Property tests for the token lexer: it must be total (arbitrary and
+//! truncated printable-ASCII input lexes without panicking, with sane
+//! spans) and must classify the tricky vocabulary exactly — raw strings
+//! as single tokens, maximal-munch `<<`/`>>` (nested generics included:
+//! the *rule* layer disambiguates, the lexer munches), and lifetimes vs
+//! char literals.
+
+use rtped_core::check::{ascii_string, choice, vec_of};
+use rtped_lint::lexer::{lex, LexKind, LexToken};
+use rtped_lint::scan::scan;
+
+fn lex_src(src: &str) -> Vec<LexToken> {
+    lex(src, &scan(src))
+}
+
+fn kinds_texts(src: &str) -> Vec<(LexKind, String)> {
+    lex_src(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+/// Asserts the stream's structural invariants: spans in bounds, strictly
+/// ordered, non-empty, matching their source text, lines non-decreasing.
+fn assert_stream(src: &str, toks: &[LexToken]) {
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    for t in toks {
+        assert!(t.start >= pos, "overlapping token {t:?} in {src:?}");
+        assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+        assert!(t.end <= src.len(), "span out of bounds {t:?} in {src:?}");
+        assert_eq!(&src[t.start..t.end], t.text, "span/text mismatch {t:?}");
+        assert!(t.line >= line, "line regressed {t:?} in {src:?}");
+        pos = t.end;
+        line = t.line;
+    }
+}
+
+/// Curated snippets with their exact expected token streams. The snippet
+/// must not end inside a line comment (the property joins them with
+/// `\n;\n`).
+fn case(i: usize) -> (&'static str, Vec<(LexKind, &'static str)>) {
+    use LexKind::{Char, Float, Ident, Int, Lifetime, Punct, RawStr};
+    match i {
+        0 => (
+            r###"let s = r#"a " b"#"###,
+            vec![
+                (Ident, "let"),
+                (Ident, "s"),
+                (Punct, "="),
+                (RawStr, r###"r#"a " b"#"###),
+            ],
+        ),
+        // Nested generics: the closing `>>` munches as one shift token —
+        // deliberate; the arith rule disambiguates via its neighbors.
+        1 => (
+            "let v: Vec<Vec<u8>> = x",
+            vec![
+                (Ident, "let"),
+                (Ident, "v"),
+                (Punct, ":"),
+                (Ident, "Vec"),
+                (Punct, "<"),
+                (Ident, "Vec"),
+                (Punct, "<"),
+                (Ident, "u8"),
+                (Punct, ">>"),
+                (Punct, "="),
+                (Ident, "x"),
+            ],
+        ),
+        2 => (
+            "acc << shift",
+            vec![(Ident, "acc"), (Punct, "<<"), (Ident, "shift")],
+        ),
+        3 => (
+            "fn f<'a>(x: &'a str) -> &'a str",
+            vec![
+                (Ident, "fn"),
+                (Ident, "f"),
+                (Punct, "<"),
+                (Lifetime, "'a"),
+                (Punct, ">"),
+                (Punct, "("),
+                (Ident, "x"),
+                (Punct, ":"),
+                (Punct, "&"),
+                (Lifetime, "'a"),
+                (Ident, "str"),
+                (Punct, ")"),
+                (Punct, "->"),
+                (Punct, "&"),
+                (Lifetime, "'a"),
+                (Ident, "str"),
+            ],
+        ),
+        4 => (
+            "let c = 'x'",
+            vec![(Ident, "let"), (Ident, "c"), (Punct, "="), (Char, "'x'")],
+        ),
+        5 => (
+            r"let nl = '\n'",
+            vec![(Ident, "let"), (Ident, "nl"), (Punct, "="), (Char, r"'\n'")],
+        ),
+        6 => (
+            r####"let b = br##"x "# y"##"####,
+            vec![
+                (Ident, "let"),
+                (Ident, "b"),
+                (Punct, "="),
+                (RawStr, r####"br##"x "# y"##"####),
+            ],
+        ),
+        7 => (
+            "&'static str",
+            vec![(Punct, "&"), (Lifetime, "'static"), (Ident, "str")],
+        ),
+        8 => (
+            "1u64 + 2.5f32",
+            vec![(Int, "1u64"), (Punct, "+"), (Float, "2.5f32")],
+        ),
+        _ => (
+            "std::env::var",
+            vec![
+                (Ident, "std"),
+                (Punct, "::"),
+                (Ident, "env"),
+                (Punct, "::"),
+                (Ident, "var"),
+            ],
+        ),
+    }
+}
+
+const CASES: usize = 10;
+
+rtped_core::check! {
+    #![cases = 192, seed = 0x7E4A]
+
+    fn curated_snippets_classify_exactly(
+        indices in vec_of(choice((0..CASES).collect::<Vec<usize>>()), 1..8)
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<(LexKind, String)> = Vec::new();
+        for &i in &indices {
+            let (snippet, toks) = case(i);
+            src.push_str(snippet);
+            src.push_str("\n;\n");
+            expected.extend(toks.into_iter().map(|(k, t)| (k, t.to_string())));
+            expected.push((LexKind::Punct, ";".to_string()));
+        }
+        assert_stream(&src, &lex_src(&src));
+        rtped_core::check_assert_eq!(kinds_texts(&src), expected, "{src:?}");
+    }
+
+    fn truncated_snippets_lex_totally(
+        indices in vec_of(choice((0..CASES).collect::<Vec<usize>>()), 1..8),
+        cut_pct in 0..=100usize
+    ) {
+        let mut src = String::new();
+        for &i in &indices {
+            src.push_str(case(i).0);
+            src.push_str("\n;\n");
+        }
+        // All snippets are ASCII, so any byte index is a char boundary;
+        // cutting mid-literal must still yield a well-formed stream.
+        let cut = src.len() * cut_pct / 100;
+        let truncated = &src[..cut];
+        assert_stream(truncated, &lex_src(truncated));
+    }
+
+    fn arbitrary_ascii_never_breaks_the_lexer(
+        s in ascii_string(0..120)
+    ) {
+        assert_stream(&s, &lex_src(&s));
+    }
+}

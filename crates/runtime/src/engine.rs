@@ -211,8 +211,9 @@ impl<D: Detect + Sync + Send> Engine for Runtime<D> {
                 FrameError::WorkerPanic(panic.message),
             ),
             Ok(mut results) => {
-                // rtped-lint: allow(unwrap-in-library, "try_map over a one-element slice returns exactly one result on the Ok path")
-                let detections = results.pop().expect("one input yields one output");
+                // try_map over a one-element slice returns exactly one
+                // result on the Ok path; the empty fallback is unreachable.
+                let detections = results.pop().unwrap_or_default();
                 self.session.tracker.step(&detections);
                 let transition = self.session.controller.observe_ok(modeled_ms);
                 let outcome = if state == HealthState::SafeFallback {

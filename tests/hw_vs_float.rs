@@ -70,7 +70,7 @@ fn hw_and_float_detectors_agree_on_detections() {
     // fixed-point error band (~0.05 for this weight amplitude). Every
     // confidently-positive float window must appear in the hardware set,
     // and per-window scores must agree closely.
-    let hw_set: std::collections::HashMap<(i64, i64), f64> = hw_report
+    let hw_set: std::collections::BTreeMap<(i64, i64), f64> = hw_report
         .detections
         .iter()
         .map(|d| ((d.bbox.x, d.bbox.y), d.score))

@@ -92,7 +92,7 @@ check! {
             min_hits: 1,
             ..TrackerParams::default()
         });
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for dets in &frames {
             let _ = tracker.step(dets);
             let mut ids: Vec<u64> = tracker.tracks().iter().map(|t| t.id).collect();
